@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the core data structures (true pytest-benchmark runs).
+
+These measure the library's own hot paths — the quantities a user of the
+real system would care about: ElasticMap single-scan build rate, Bloom
+filter throughput, bucket-separator throughput, and scheduling latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bipartite import BipartiteGraph
+from repro.core.bloom import BloomFilter
+from repro.core.bucketizer import BucketSeparator, BucketSpec
+from repro.core.builder import ElasticMapBuilder
+from repro.core.flow import optimal_assignment
+from repro.core.scheduler import DistributionAwareScheduler
+
+
+@pytest.fixture(scope="module")
+def scan_input():
+    """64 blocks x 2000 records of (sub_id, nbytes) observations."""
+    rng = np.random.default_rng(0)
+    blocks = []
+    for bid in range(64):
+        sids = rng.integers(0, 400, size=2000)
+        sizes = rng.integers(50, 400, size=2000)
+        blocks.append(
+            (bid, [(f"s{sid}", int(sz)) for sid, sz in zip(sids, sizes)])
+        )
+    return blocks
+
+
+@pytest.fixture(scope="module")
+def random_graph():
+    rng = np.random.default_rng(1)
+    placement = {
+        b: [int(n) for n in rng.choice(64, size=3, replace=False)]
+        for b in range(512)
+    }
+    weights = {b: int(w) for b, w in enumerate(rng.gamma(1.2, 7.0, 512) * 1000)}
+    return BipartiteGraph(placement, weights, nodes=list(range(64)))
+
+
+def test_perf_bloom_insert(benchmark):
+    keys = [f"subdataset-{i}" for i in range(5000)]
+
+    def insert():
+        bf = BloomFilter(capacity=5000, error_rate=0.01)
+        bf.update(keys)
+        return bf
+
+    bf = benchmark(insert)
+    assert all(k in bf for k in keys[:100])
+
+
+def test_perf_bloom_query(benchmark):
+    bf = BloomFilter(capacity=5000, error_rate=0.01)
+    keys = [f"subdataset-{i}" for i in range(5000)]
+    bf.update(keys)
+    probes = keys[:2500] + [f"missing-{i}" for i in range(2500)]
+
+    result = benchmark(lambda: sum(1 for p in probes if p in bf))
+    assert result >= 2500
+
+
+def test_perf_bucket_separator(benchmark):
+    rng = np.random.default_rng(2)
+    obs = [(f"s{i}", int(n)) for i, n in zip(rng.integers(0, 500, 20000),
+                                             rng.integers(50, 5000, 20000))]
+
+    def run():
+        sep = BucketSeparator(BucketSpec.fibonacci(base=64))
+        sep.observe_many(obs)
+        return sep.separate(alpha=0.3)
+
+    result = benchmark(run)
+    assert result.num_subdatasets == 500
+
+
+def test_perf_elasticmap_build(benchmark, scan_input):
+    def build():
+        builder = ElasticMapBuilder(alpha=0.3, spec=BucketSpec.fibonacci(base=64))
+        return builder.build(iter(scan_input))
+
+    # scan_input holds generators' worth of tuples; rebuild the iterable
+    array = benchmark(build)
+    assert len(array) == 64
+
+
+def test_perf_algorithm1(benchmark, random_graph):
+    scheduler = DistributionAwareScheduler()
+    assignment = benchmark(lambda: scheduler.schedule(random_graph))
+    assert assignment.num_tasks == 512
+
+
+def test_perf_maxflow_optimal(benchmark, random_graph):
+    assignment = benchmark.pedantic(
+        lambda: optimal_assignment(random_graph), rounds=1, iterations=1
+    )
+    assert assignment.num_tasks == 512

@@ -1,0 +1,30 @@
+"""Figure 10: workload balance vs the hash-map fraction α.
+
+Paper: "with only about 15 % of the sub-datasets recorded in the hash map,
+DataNet is able to achieve a satisfactory workload balance ... changing
+the percentage from 15 to 100 will have little effect".
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10 import run_fig10
+
+
+def test_fig10_alpha(benchmark, save_result):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+
+    # Balance stabilizes beyond ~15 % alpha.
+    assert result.stable_after(0.15, tol=0.12)
+
+    # The worst balance is at the smallest alpha.
+    smallest = min(result.summaries)
+    assert result.summaries[smallest].maximum == max(
+        s.maximum for s in result.summaries.values()
+    )
+
+    # At alpha >= 15 % the normalized max sits in the paper's ~0.9 band
+    # relative to the small-alpha worst case.
+    stable = [s.maximum for a, s in result.summaries.items() if a >= 0.15]
+    assert all(m <= 0.99 for m in stable)
+
+    save_result("fig10_alpha", result.format())

@@ -1,0 +1,34 @@
+"""Figure 2: P(extreme workload) grows with cluster size (Section II-B).
+
+Regenerates the four analytic curves with the paper's parameters and the
+expected extreme-node counts at m=128, cross-checked by Monte-Carlo.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_theory(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_fig2, kwargs={"mc_trials": 300}, rounds=1, iterations=1
+    )
+
+    # The paper's exact headline number: ~4.0 nodes above 2·E at m=128.
+    assert result.expected_counts_m128[
+        "E[#nodes > 2E] (paper's 4.0)"
+    ] == pytest.approx(4.0, abs=0.1)
+
+    # Every curve increases with cluster size (the figure's message).
+    for label, points in result.curves.items():
+        probs = [p.probability for p in points]
+        assert probs[-1] > probs[0], label
+
+    # Monte-Carlo agrees with the closed form.
+    for label, analytic in result.expected_counts_m128.items():
+        mc = result.monte_carlo_counts_m128[label]
+        assert mc == pytest.approx(analytic, rel=0.4, abs=0.4), label
+
+    save_result("fig2_theory", result.format())

@@ -1,0 +1,37 @@
+"""Figure 5: the headline with/without-DataNet comparison (32 nodes).
+
+Paper: improvements of 20 % (MovingAverage), 39.1 % (WordCount), 40.6 %
+(Histogram) and 42 % (TopKSearch).  Checked shape: DataNet wins on every
+application, compute-heavier applications win more, and the filtered
+workload is visibly rebalanced (Fig. 5c).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5 import PAPER_IMPROVEMENTS, run_fig5
+from repro.experiments.pipeline import APP_ORDER
+
+
+def test_fig5_overall(benchmark, save_result):
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+
+    improvements = {app: result.overall[app]["improvement"] for app in APP_ORDER}
+
+    # DataNet wins on every application.
+    for app, imp in improvements.items():
+        assert imp > 0.0, f"{app} regressed: {imp:.1%}"
+
+    # Ordering: moving_average gains least; top_k_search most.
+    assert improvements["moving_average"] == min(improvements.values())
+    assert improvements["top_k_search"] == max(improvements.values())
+
+    # Magnitudes within a band of the paper's numbers.
+    for app, paper in PAPER_IMPROVEMENTS.items():
+        assert abs(improvements[app] - paper) < 0.15, (
+            f"{app}: measured {improvements[app]:.1%} vs paper {paper:.1%}"
+        )
+
+    # Fig. 5c: rebalancing visible.
+    assert result.imbalance_with < result.imbalance_without
+
+    save_result("fig5_overall", result.format())

@@ -1,0 +1,29 @@
+"""Figure 6: map execution times on the filtered sub-dataset.
+
+Paper: TopK's slowest map is 64 s vs fastest 5 s without DataNet (6a);
+the min-max gap widens with computational weight (6b/c).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_maptime(benchmark, save_result):
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+
+    # Fig. 6a: a wide spread of TopK map times without DataNet...
+    assert result.topk_spread_without > 1.5
+    # ...that DataNet substantially narrows.
+    with_times = list(result.topk_map_times_with.values())
+    spread_with = max(with_times) / max(min(with_times), 1e-9)
+    assert spread_with < result.topk_spread_without
+
+    # Fig. 6b/c: the gap grows with compute weight
+    # (MovingAverage < WordCount < TopKSearch).
+    gap_mavg = result.gap("moving_average", "without")
+    gap_wc = result.gap("word_count", "without")
+    gap_topk = result.gap("top_k_search", "without")
+    assert gap_mavg < gap_wc < gap_topk
+
+    save_result("fig6_maptime", result.format())

@@ -1,0 +1,27 @@
+"""Figure 7: shuffle-phase comparison.
+
+Paper: "the shuffle phase without the use of DataNet takes 4-5X longer
+than with DataNet", and TopK's speedup exceeds WordCount's because its
+longer maps make the straggler wait dominate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7_shuffle(benchmark, save_result):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+
+    wc = result.speedup_of("word_count")
+    topk = result.speedup_of("top_k_search")
+
+    # Multi-x shuffle speedup (paper band: 4-5x; accept a generous window
+    # around it since the straggler wait is placement-sensitive).
+    assert 2.0 < wc < 10.0
+    assert 2.0 < topk < 10.0
+
+    # TopK's shuffle speedup >= WordCount's (longer maps -> longer wait).
+    assert topk >= wc * 0.9
+
+    save_result("fig7_shuffle", result.format())

@@ -1,0 +1,28 @@
+"""Figure 9: Eq. 6 estimate accuracy per sub-dataset vs its size.
+
+Paper: large (hash-map-resident) sub-datasets estimate accurately; small
+(Bloom-resident) ones deviate — harmlessly, since they cannot cause
+imbalance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig9_accuracy(benchmark, save_result):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+
+    small_err = result.mean_abs_error_below(result.small_threshold)
+    large_err = result.mean_abs_error_above(result.small_threshold)
+
+    # Large sub-datasets estimate much better than small ones.
+    assert large_err < small_err
+    assert large_err < 0.25  # near-exact for the movies that matter
+
+    # Estimates for the largest decile are essentially perfect.
+    top = result.points[-len(result.points) // 10 :]
+    mean_top_ratio = sum(p.ratio for p in top) / len(top)
+    assert abs(mean_top_ratio - 1.0) < 0.1
+
+    save_result("fig9_accuracy", result.format())

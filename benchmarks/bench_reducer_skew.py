@@ -1,0 +1,21 @@
+"""LIBRA orthogonality bench: reducer-skew sampling vs map-side balance.
+
+The paper's related-work claim, measured: sampling flattens reducer loads,
+DataNet flattens map inputs, and neither does the other's job — they
+compose.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reducer_skew import run_reducer_skew
+
+
+def test_reducer_skew_orthogonality(benchmark, save_result):
+    result = benchmark.pedantic(run_reducer_skew, rounds=1, iterations=1)
+
+    # sampling balances the reducers...
+    assert result.sampled_imbalance <= result.hash_imbalance
+    # ...but leaves the map-side gap between stock and DataNet intact
+    assert result.map_imbalance_without > result.map_imbalance_with
+
+    save_result("reducer_skew", result.format())

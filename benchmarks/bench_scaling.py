@@ -1,0 +1,43 @@
+"""Cluster-size scaling and heterogeneous-cluster benches.
+
+Not paper figures — they validate Section II-B's prediction end to end
+(stock imbalance grows with the node count) and Section IV-B's capacity-
+aware scheduling claim.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.heterogeneous import run_heterogeneous
+from repro.experiments.scaling import run_scaling
+
+
+def test_scaling_with_cluster_size(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_scaling, kwargs={"cluster_sizes": (8, 16, 32, 64)}, rounds=1, iterations=1
+    )
+
+    # Section II-B: stock imbalance grows as blocks-per-node shrinks
+    # (monotone over the range where DataNet can still balance).
+    without = result.imbalances_without()
+    assert without[0] < without[2]
+
+    # DataNet never loses and always balances at least as well.
+    for p in result.points:
+        assert p.imbalance_with <= p.imbalance_without + 0.05
+        assert p.topk_improvement > 0
+
+    save_result("scaling", result.format())
+
+
+def test_heterogeneous_capacities(benchmark, save_result):
+    result = benchmark.pedantic(run_heterogeneous, rounds=1, iterations=1)
+
+    ms = result.makespans
+    # capacity-aware <= capacity-blind <= stock (completion-time proxy)
+    assert ms["Algorithm 1 (capacity-aware)"] <= ms["Algorithm 1 (capacity-blind)"]
+    assert ms["Algorithm 1 (capacity-blind)"] <= ms["stock locality"]
+
+    # fast nodes carry roughly their capacity share of the bytes
+    assert 0.55 < result.fast_fraction_aware < 0.75
+
+    save_result("heterogeneous", result.format())

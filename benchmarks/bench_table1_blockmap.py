@@ -1,0 +1,16 @@
+"""Table I: the per-block movie → review-count map (raw hash-map form)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_blockmap(benchmark, save_result):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    # The table's point: a block holds MANY sub-datasets, a few dominant.
+    assert result.num_movies > 20
+    counts = [c for _sid, c, _b in result.rows]
+    assert counts[0] > 5 * counts[-1]  # dominant vs long tail
+
+    save_result("table1_blockmap", result.format())

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one paper table/figure: it runs the experiment
+driver (timed via pytest-benchmark), checks the paper's shape claims, and
+writes the reproduced rows/series to ``results/<experiment>.txt`` so they
+can be inspected after ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the reproduced tables/figures as text files."""
+    path = pathlib.Path(__file__).resolve().parent.parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write one experiment's formatted output to results/ and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        out = results_dir / f"{name}.txt"
+        out.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {out}]")
+
+    return _save

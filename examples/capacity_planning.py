@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Capacity planning with the Section II-B theory and the Eq. 5 memory model.
+
+Answers three operator questions before any job runs:
+
+1. How large can my cluster get before stock scheduling degrades (i.e.
+   when do I start *needing* DataNet)?
+2. What hash-map fraction α fits my metadata memory budget?
+3. How much metadata will the ElasticMap cost at that α?
+
+Then validates the first answer against a Monte-Carlo block deal.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import format_table
+from repro.theory import (
+    WorkloadModel,
+    max_cluster_for_imbalance,
+    metadata_budget,
+    plan,
+    recommend_alpha,
+)
+from repro.units import MiB, format_size
+
+
+def main() -> None:
+    # The paper's workload shape: 512 blocks, Γ(1.2, 7) per-block amounts.
+    model = WorkloadModel(k=1.2, theta=7.0, num_blocks=512)
+
+    # 1. When does stock scheduling break down?
+    rows = []
+    for tolerance in (0.5, 1.0, 2.0, 4.0):
+        m = max_cluster_for_imbalance(
+            model, expected_overloaded_nodes=tolerance
+        )
+        rows.append([f"{tolerance:.1f}", m])
+    print(
+        format_table(
+            ["tolerated overloaded nodes (E[> 2E(Z)])", "max cluster size"],
+            rows,
+            title="How big before stock scheduling degrades?",
+        )
+    )
+
+    # Monte-Carlo sanity check at the 1.0 boundary.
+    rng = np.random.default_rng(0)
+    m = max_cluster_for_imbalance(model, expected_overloaded_nodes=1.0)
+    over = np.mean(
+        [
+            (
+                model.sample_node_workloads(m, rng)
+                > 2 * model.expected_node_workload(m)
+            ).sum()
+            for _ in range(300)
+        ]
+    )
+    print(f"\nMonte-Carlo at m={m}: {over:.2f} overloaded nodes on average")
+
+    # 2./3. Metadata sizing for a big deployment.
+    rows = []
+    for budget in (2 * MiB, 8 * MiB, 32 * MiB):
+        try:
+            alpha = recommend_alpha(256, 2000, budget)
+            cost = metadata_budget(256, 2000, alpha)
+            rows.append([format_size(budget), f"{alpha:.0%}", format_size(cost)])
+        except Exception as exc:  # noqa: BLE001 - demo output
+            rows.append([format_size(budget), "-", f"({exc})"])
+    print()
+    print(
+        format_table(
+            ["metadata budget", "recommended alpha", "actual footprint"],
+            rows,
+            title="Alpha for a 256-block x 2000-sub-dataset deployment",
+        )
+    )
+
+    # Full one-shot plan.
+    print()
+    report = plan(
+        num_blocks=256,
+        subdatasets_per_block=2000,
+        target_nodes=128,
+        metadata_budget_bytes=8 * MiB,
+    )
+    print(report.format())
+
+
+if __name__ == "__main__":
+    main()

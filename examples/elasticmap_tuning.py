@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Tuning ElasticMap: the memory/accuracy/balance trade-off.
+
+Sweeps the hash-map fraction α (Table II, Figure 10) and the Bloom error
+rate, and shows the memory-budget sizing mode where ElasticMap adapts the
+per-block hash-map population to fit a bit budget (Eq. 5 inverted).
+
+Run:  python examples/elasticmap_tuning.py [--small]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.builder import ElasticMapBuilder
+from repro.experiments.ablations import run_bloom_eps_ablation, run_bucket_ablation
+from repro.experiments.config import ReferenceConfig, build_movie_environment
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.table2 import run_table2
+from repro.metrics import format_kv
+from repro.units import format_size
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true")
+    args = parser.parse_args()
+    cfg = ReferenceConfig.small() if args.small else ReferenceConfig()
+
+    print(run_table2(cfg).format())
+    print()
+    print(run_fig10(cfg).format())
+    print()
+    print(run_bloom_eps_ablation(cfg).format())
+    print()
+    print(run_bucket_ablation(cfg).format())
+
+    # Memory-budget mode: hand the builder a per-block bit budget instead
+    # of a fraction; it admits whole buckets top-down while Eq. 5 fits.
+    env = build_movie_environment(cfg)
+    for budget_kib in (1, 4, 16):
+        builder = ElasticMapBuilder(
+            alpha=None,
+            budget_bits_per_block=budget_kib * 8192.0,
+            spec=cfg.bucket_spec(),
+        )
+        array = builder.build(env.dataset.scan_blocks())
+        chi = array.accuracy(env.dataset.subdataset_ids(), env.dataset.total_bytes)
+        print()
+        print(
+            format_kv(
+                {
+                    "per-block budget": f"{budget_kib} KiB",
+                    "realized alpha": f"{builder.stats.mean_alpha:.0%}",
+                    "total metadata": format_size(array.memory_bytes()),
+                    "accuracy (chi)": f"{chi:.1%}",
+                },
+                title=f"Budget-driven sizing @ {budget_kib} KiB/block",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — a full reproduction of *DataNet: A Data Distribution-aware
+Method for Sub-dataset Analysis on Distributed File Systems* (IPDPS 2016).
+
+Quickstart::
+
+    import numpy as np
+    from repro import HDFSCluster, DataNet
+    from repro.workloads import MovieLensGenerator
+
+    rng = np.random.default_rng(7)
+    cluster = HDFSCluster(num_nodes=32, block_size=1 << 16, rng=rng)
+    records = MovieLensGenerator(num_movies=500, rng=rng).generate()
+    dataset = cluster.write_dataset("movies", records)
+
+    datanet = DataNet.build(dataset, alpha=0.3)   # single-scan ElasticMap
+    movie = dataset.subdataset_ids()[0]
+    print(datanet.estimate_total_size(movie))     # Eq. 6 size estimate
+    assignment = datanet.schedule(movie)          # Algorithm 1
+
+Package layout: ``repro.core`` (ElasticMap, schedulers — the paper's
+contribution), ``repro.hdfs`` (storage substrate), ``repro.mapreduce``
+(execution substrate), ``repro.workloads`` (synthetic datasets),
+``repro.theory`` (Section II-B analysis), ``repro.baselines``,
+``repro.metrics`` and ``repro.experiments`` (one driver per paper
+figure/table).
+"""
+
+from .core import (
+    BloomFilter,
+    BucketSeparator,
+    BucketSpec,
+    BlockElasticMap,
+    ElasticMapArray,
+    ElasticMapBuilder,
+    MemoryModel,
+    BipartiteGraph,
+    DistributionAwareScheduler,
+    Assignment,
+    DataNet,
+    optimal_assignment,
+)
+from .hdfs import HDFSCluster, DatasetView, Record
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BloomFilter",
+    "BucketSeparator",
+    "BucketSpec",
+    "BlockElasticMap",
+    "ElasticMapArray",
+    "ElasticMapBuilder",
+    "MemoryModel",
+    "BipartiteGraph",
+    "DistributionAwareScheduler",
+    "Assignment",
+    "DataNet",
+    "optimal_assignment",
+    "HDFSCluster",
+    "DatasetView",
+    "Record",
+    "ReproError",
+    "__version__",
+]

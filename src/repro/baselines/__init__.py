@@ -1,0 +1,23 @@
+"""Comparison baselines.
+
+- :mod:`repro.baselines.default_hadoop` — re-export of the stock
+  block-locality scheduler (the paper's "without DataNet").
+- :mod:`repro.baselines.dynamic_rebalance` — SkewTune-style runtime
+  migration (paper Section V-A.4's alternative: observe the imbalance
+  after selection, then move data; the paper measures >30 % of the
+  sub-dataset migrating).
+- :mod:`repro.baselines.sampling` — LIBRA-style intermediate-data sampling
+  to balance *reducers* (orthogonal to DataNet, included for the related-
+  work comparison benches).
+"""
+
+from .default_hadoop import DefaultHadoopScheduler
+from .dynamic_rebalance import DynamicRebalancer, MigrationStats
+from .sampling import SamplingPartitioner
+
+__all__ = [
+    "DefaultHadoopScheduler",
+    "DynamicRebalancer",
+    "MigrationStats",
+    "SamplingPartitioner",
+]

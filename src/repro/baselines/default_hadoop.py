@@ -1,0 +1,20 @@
+"""The stock Hadoop scheduler, re-exported under its baseline role.
+
+The class lives in :mod:`repro.mapreduce.scheduler` (it is part of the
+MapReduce substrate); this alias exists so baseline enumeration in
+experiments and ablations reads naturally.
+"""
+
+from __future__ import annotations
+
+from ..mapreduce.scheduler import LocalityScheduler
+
+__all__ = ["DefaultHadoopScheduler"]
+
+
+class DefaultHadoopScheduler(LocalityScheduler):
+    """Block-locality-driven assignment, blind to sub-dataset distribution.
+
+    Identical to :class:`~repro.mapreduce.scheduler.LocalityScheduler`;
+    see that class for the behaviour.
+    """

@@ -1,0 +1,155 @@
+"""SkewTune-style dynamic workload rebalancing (paper Section V-A.4).
+
+The alternative to DataNet the paper discusses: run the selection phase
+with stock scheduling, *observe* the resulting per-node sub-dataset sizes,
+then migrate data from overloaded to underloaded nodes before analysis.
+It reaches a balanced state but pays for it at runtime: the paper measures
+"the overall percentage of data migration is more than 30 %", plus
+monitoring overhead and network occupancy — costs DataNet avoids by
+foreseeing the imbalance.
+
+:class:`DynamicRebalancer` implements the migration: greedy largest-
+surplus-to-largest-deficit record moves until every node is within
+``tolerance`` of the mean, with migration time modeled as pipelined
+point-to-point transfers (each node sends/receives serially; distinct
+pairs move in parallel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+from ..errors import ConfigError
+from ..hdfs.records import Record
+from ..mapreduce.costmodel import ClusterCostModel
+
+__all__ = ["DynamicRebalancer", "MigrationStats"]
+
+NodeId = Hashable
+
+
+@dataclass
+class MigrationStats:
+    """What the rebalance cost.
+
+    Attributes:
+        migrated_bytes: sub-dataset bytes moved between nodes.
+        total_bytes: total sub-dataset bytes (denominator of the paper's
+            ">30 % of data migrated" figure).
+        migration_time: modeled seconds for all transfers (pipelined).
+        monitor_time: modeled seconds spent collecting runtime statistics.
+        transfers: ``(src, dst, bytes)`` per migration edge.
+        nodes_touched: count of nodes that sent or received data.
+    """
+
+    migrated_bytes: int
+    total_bytes: int
+    migration_time: float
+    monitor_time: float
+    transfers: List[Tuple[NodeId, NodeId, int]]
+    nodes_touched: int
+
+    @property
+    def migration_fraction(self) -> float:
+        """Fraction of the sub-dataset that moved (paper: > 0.30)."""
+        return self.migrated_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def overhead_time(self) -> float:
+        """Total runtime overhead the rebalance added."""
+        return self.migration_time + self.monitor_time
+
+
+class DynamicRebalancer:
+    """Post-hoc migration toward the mean per-node workload.
+
+    Args:
+        cost: cluster cost model (network speed prices the migration).
+        tolerance: stop once every node is within ``tolerance`` (fraction
+            of the mean) of the mean workload.
+        monitor_overhead_s: fixed statistics-collection cost (progress
+            reports from every node, as SkewTune's scan does).
+    """
+
+    def __init__(
+        self,
+        cost: ClusterCostModel | None = None,
+        *,
+        tolerance: float = 0.1,
+        monitor_overhead_s: float = 2.0,
+    ) -> None:
+        if not (0.0 < tolerance < 1.0):
+            raise ConfigError("tolerance must be in (0, 1)")
+        if monitor_overhead_s < 0:
+            raise ConfigError("monitor_overhead_s must be non-negative")
+        self.cost = cost or ClusterCostModel()
+        self.tolerance = tolerance
+        self.monitor_overhead_s = monitor_overhead_s
+
+    def rebalance(
+        self, local_data: Mapping[NodeId, List[Record]]
+    ) -> Tuple[Dict[NodeId, List[Record]], MigrationStats]:
+        """Migrate records until per-node bytes are within tolerance of mean.
+
+        Returns the balanced ``local_data`` (new dict; inputs untouched)
+        and the :class:`MigrationStats`.
+        """
+        if not local_data:
+            raise ConfigError("rebalance requires at least one node")
+        data: Dict[NodeId, List[Record]] = {
+            n: list(records) for n, records in local_data.items()
+        }
+        loads: Dict[NodeId, int] = {
+            n: sum(r.nbytes for r in records) for n, records in data.items()
+        }
+        total = sum(loads.values())
+        mean = total / len(loads)
+        band = self.tolerance * mean
+
+        transfers: List[Tuple[NodeId, NodeId, int]] = []
+        migrated = 0
+        # Greedy: repeatedly move records from the most overloaded node to
+        # the most underloaded one.
+        while True:
+            src = max(loads, key=lambda n: loads[n])
+            dst = min(loads, key=lambda n: loads[n])
+            surplus = loads[src] - mean
+            deficit = mean - loads[dst]
+            if surplus <= band and deficit <= band:
+                break
+            want = min(surplus, deficit)
+            if want <= 0:
+                break
+            moved_bytes = 0
+            moved: List[Record] = []
+            while data[src] and moved_bytes < want:
+                r = data[src].pop()
+                moved.append(r)
+                moved_bytes += r.nbytes
+            if not moved:
+                break
+            data[dst].extend(moved)
+            loads[src] -= moved_bytes
+            loads[dst] += moved_bytes
+            migrated += moved_bytes
+            transfers.append((src, dst, moved_bytes))
+
+        # Pipelined transfer time: per-node serialized send/receive volume,
+        # different pairs in parallel -> the busiest endpoint bounds time.
+        endpoint_bytes: Dict[NodeId, int] = {}
+        for src, dst, nbytes in transfers:
+            endpoint_bytes[src] = endpoint_bytes.get(src, 0) + nbytes
+            endpoint_bytes[dst] = endpoint_bytes.get(dst, 0) + nbytes
+        migration_time = (
+            max((self.cost.transfer(b) for b in endpoint_bytes.values()), default=0.0)
+        )
+        stats = MigrationStats(
+            migrated_bytes=migrated,
+            total_bytes=total,
+            migration_time=migration_time,
+            monitor_time=self.monitor_overhead_s,
+            transfers=transfers,
+            nodes_touched=len(endpoint_bytes),
+        )
+        return data, stats

@@ -1,0 +1,405 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    repro info                        # what this is
+    repro experiment fig5             # regenerate one paper figure/table
+    repro experiment all --small      # regenerate everything, fast variant
+    repro generate movielens -n 50000 -o reviews.tsv
+    repro index reviews.tsv --alpha 0.3 --query movie-00000
+    repro theory                      # Section II-B curves
+
+``python -m repro ...`` works identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from . import __version__
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment id → lazy runner returning a formatted string.
+EXPERIMENTS: Dict[str, str] = {
+    "fig1": "Figure 1 — content clustering & imbalance (motivation)",
+    "fig2": "Figure 2 — extreme-workload probability vs cluster size",
+    "table1": "Table I — per-block sub-dataset size map",
+    "fig5": "Figure 5 — overall with/without DataNet comparison",
+    "fig6": "Figure 6 — map execution time distributions",
+    "fig7": "Figure 7 — shuffle phase comparison",
+    "fig8": "Figure 8 — GitHub events experiment",
+    "table2": "Table II — ElasticMap memory/accuracy trade-off",
+    "fig9": "Figure 9 — per-sub-dataset estimate accuracy",
+    "fig10": "Figure 10 — balance vs alpha",
+    "migration": "Section V-A.4 — dynamic rebalance baseline",
+    "scaling": "Extension — imbalance vs cluster size (theory, end to end)",
+    "hetero": "Extension — capacity-aware scheduling on a mixed cluster",
+    "concurrent": "Extension — four jobs sharing the cluster (event-driven sim)",
+    "skew": "Related work — LIBRA reducer-skew sampling is orthogonal to DataNet",
+    "ablations": "Design ablations (buckets/schedulers/I-O/bloom/aggregation)",
+}
+
+
+def _run_experiment(exp_id: str, small: bool) -> str:
+    """Dispatch one experiment id to its driver and return the report."""
+    from .experiments.config import ReferenceConfig
+
+    cfg = ReferenceConfig.small() if small else ReferenceConfig()
+    if exp_id == "fig1":
+        from .experiments.fig1 import run_fig1
+
+        return run_fig1(cfg).format()
+    if exp_id == "fig2":
+        from .experiments.fig2 import run_fig2
+
+        return run_fig2(mc_trials=200).format()
+    if exp_id == "table1":
+        from .experiments.table1 import run_table1
+
+        return run_table1(cfg).format()
+    if exp_id == "fig5":
+        from .experiments.fig5 import run_fig5
+
+        return run_fig5(cfg).format()
+    if exp_id == "fig6":
+        from .experiments.fig6 import run_fig6
+
+        return run_fig6(cfg).format()
+    if exp_id == "fig7":
+        from .experiments.fig7 import run_fig7
+
+        return run_fig7(cfg).format()
+    if exp_id == "fig8":
+        from .experiments.fig8 import run_fig8
+
+        return run_fig8(cfg).format()
+    if exp_id == "table2":
+        from .experiments.table2 import run_table2
+
+        return run_table2(cfg).format()
+    if exp_id == "fig9":
+        from .experiments.fig9 import run_fig9
+
+        return run_fig9(cfg).format()
+    if exp_id == "fig10":
+        from .experiments.fig10 import run_fig10
+
+        return run_fig10(cfg).format()
+    if exp_id == "migration":
+        from .experiments.migration import run_migration
+
+        return run_migration(cfg).format()
+    if exp_id == "scaling":
+        from .experiments.scaling import run_scaling
+
+        sizes = (4, 8, 16) if small else (8, 16, 32, 64)
+        return run_scaling(cfg, cluster_sizes=sizes).format()
+    if exp_id == "hetero":
+        from .experiments.heterogeneous import run_heterogeneous
+
+        return run_heterogeneous(cfg).format()
+    if exp_id == "concurrent":
+        from .experiments.concurrent import run_concurrent
+
+        return run_concurrent(cfg).format()
+    if exp_id == "skew":
+        from .experiments.reducer_skew import run_reducer_skew
+
+        return run_reducer_skew(cfg).format()
+    if exp_id == "ablations":
+        from .experiments import ablations
+
+        parts = [
+            ablations.run_bucket_ablation(cfg).format(),
+            ablations.run_tail_store_ablation(cfg).format(),
+            ablations.run_scheduler_ablation(cfg).format(),
+            ablations.run_io_skip_ablation(cfg).format(),
+            ablations.run_bloom_eps_ablation(cfg).format(),
+            ablations.run_aggregation_ablation(cfg).format(),
+            ablations.run_speculation_ablation(cfg).format(),
+        ]
+        return "\n\n".join(parts)
+    raise ReproError(f"unknown experiment id {exp_id!r}")
+
+
+# -- subcommand handlers -------------------------------------------------------
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(
+        f"repro {__version__} — reproduction of 'DataNet: A Data "
+        "Distribution-aware Method for Sub-dataset Analysis on Distributed "
+        "File Systems' (IPDPS 2016).\n"
+        "Experiments available via `repro experiment <id>`:"
+    )
+    for exp_id, desc in EXPERIMENTS.items():
+        print(f"  {exp_id:<10} {desc}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    targets: List[str] = (
+        list(EXPERIMENTS) if args.id == "all" else [args.id]
+    )
+    for exp_id in targets:
+        report = _run_experiment(exp_id, args.small)
+        print(report)
+        print()
+        if args.out:
+            out_dir = Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{exp_id}.txt").write_text(report + "\n", encoding="utf-8")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.workload == "movielens":
+        from .workloads import MovieLensGenerator
+
+        records = MovieLensGenerator(
+            num_movies=args.keys, total_reviews=args.records, rng=rng
+        ).generate()
+    elif args.workload == "github":
+        from .workloads import GitHubEventsGenerator
+
+        records = GitHubEventsGenerator(args.records, rng=rng).generate()
+    elif args.workload == "worldcup":
+        from .workloads import WorldCupGenerator
+
+        records = WorldCupGenerator(
+            num_matches=max(args.keys, 1), total_requests=args.records, rng=rng
+        ).generate()
+    else:  # pragma: no cover - argparse choices guard this
+        raise ReproError(f"unknown workload {args.workload!r}")
+    with open(args.output, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(record.serialize() + "\n")
+    print(f"wrote {len(records)} records to {args.output}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .core.bucketizer import BucketSpec
+    from .core.datanet import DataNet
+    from .hdfs.cluster import HDFSCluster
+    from .hdfs.records import Record
+    from .metrics import format_kv
+    from .units import format_size, parse_size
+
+    block_size = parse_size(args.block_size)
+    records = []
+    with open(args.input, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if line.strip():
+                records.append(Record.deserialize(line))
+    cluster = HDFSCluster(
+        num_nodes=args.nodes,
+        block_size=block_size,
+        rng=np.random.default_rng(args.seed),
+    )
+    dataset = cluster.write_dataset("cli", records)
+    datanet = DataNet.build(
+        dataset, alpha=args.alpha, spec=BucketSpec.for_block_size(block_size)
+    )
+    info = {
+        "records": len(records),
+        "blocks": dataset.num_blocks,
+        "data": format_size(dataset.total_bytes),
+        "sub-datasets": len(dataset.subdataset_ids()),
+        "metadata": format_size(datanet.memory_bytes()),
+        "representation ratio": f"{datanet.representation_ratio(dataset.total_bytes):.0f}",
+    }
+    print(format_kv(info, title=f"ElasticMap over {args.input} (alpha={args.alpha})"))
+    if args.save:
+        written = datanet.save(args.save)
+        print(f"metadata saved to {args.save} ({written} bytes)")
+    if args.query:
+        est = datanet.estimate_total_size(args.query)
+        truth = dataset.subdataset_total_bytes(args.query)
+        blocks = datanet.blocks_containing(args.query)
+        assignment = datanet.schedule(args.query)
+        print()
+        print(
+            format_kv(
+                {
+                    "estimate (Eq. 6)": format_size(est),
+                    "ground truth": format_size(truth),
+                    "blocks holding it": len(blocks),
+                    "balanced max/mean": f"{assignment.imbalance:.2f}",
+                },
+                title=f"sub-dataset {args.query!r}",
+            )
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .experiments.concurrent import run_concurrent
+    from .experiments.config import ReferenceConfig
+    from .sim import render_gantt
+
+    cfg = ReferenceConfig.small() if args.small else ReferenceConfig()
+    result = run_concurrent(cfg, slots_per_node=args.slots)
+    print(result.format())
+    nodes = sorted(
+        {t.node for t in result.timelines["with"].tasks.values()}, key=repr
+    )[: args.rows]
+    for method in ("without", "with"):
+        print(f"\n=== schedule {method} DataNet ===")
+        print(
+            render_gantt(
+                result.timelines[method], width=args.width, nodes=nodes
+            )
+        )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .theory.planner import plan
+    from .units import parse_size
+
+    report = plan(
+        num_blocks=args.blocks,
+        subdatasets_per_block=args.subdatasets,
+        target_nodes=args.nodes,
+        metadata_budget_bytes=float(parse_size(args.budget)),
+        gamma_k=args.gamma_k,
+        gamma_theta=args.gamma_theta,
+    )
+    print(report.format())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .core.datanet import DataNet
+    from .metrics import format_kv
+    from .units import format_size
+
+    datanet = DataNet.load(args.metadata)
+    assignment = datanet.schedule(args.sub_id)
+    print(
+        format_kv(
+            {
+                "blocks covered": datanet.num_blocks,
+                "blocks holding it": len(datanet.blocks_containing(args.sub_id)),
+                "size estimate (Eq. 6)": format_size(
+                    datanet.estimate_total_size(args.sub_id)
+                ),
+                "balanced max/mean": f"{assignment.imbalance:.2f}",
+                "locality": f"{assignment.locality_fraction:.0%}",
+            },
+            title=f"sub-dataset {args.sub_id!r} via {args.metadata}",
+        )
+    )
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    from .experiments.fig2 import run_fig2
+
+    print(run_fig2(mc_trials=args.trials).format())
+    return 0
+
+
+# -- parser ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DataNet (IPDPS 2016) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="describe the library and experiments")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("id", choices=list(EXPERIMENTS) + ["all"])
+    p_exp.add_argument("--small", action="store_true", help="fast scaled-down run")
+    p_exp.add_argument("--out", help="directory to also write reports into")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic workload as TSV")
+    p_gen.add_argument("workload", choices=["movielens", "github", "worldcup"])
+    p_gen.add_argument("-n", "--records", type=int, default=50_000)
+    p_gen.add_argument(
+        "-k", "--keys", type=int, default=1000,
+        help="movies/matches for keyed workloads",
+    )
+    p_gen.add_argument("-o", "--output", required=True)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_idx = sub.add_parser("index", help="build ElasticMap metadata over a TSV")
+    p_idx.add_argument("input")
+    p_idx.add_argument("--alpha", type=float, default=0.3)
+    p_idx.add_argument("--block-size", default="64kb")
+    p_idx.add_argument("--nodes", type=int, default=16)
+    p_idx.add_argument("--seed", type=int, default=0)
+    p_idx.add_argument("--query", help="report one sub-dataset id in detail")
+    p_idx.add_argument("--save", help="persist the metadata to this file")
+    p_idx.set_defaults(func=_cmd_index)
+
+    p_q = sub.add_parser(
+        "query", help="query a saved metadata file (no raw data needed)"
+    )
+    p_q.add_argument("metadata", help="file written by `repro index --save`")
+    p_q.add_argument("sub_id")
+    p_q.set_defaults(func=_cmd_query)
+
+    p_theory = sub.add_parser("theory", help="Section II-B probability analysis")
+    p_theory.add_argument("--trials", type=int, default=200)
+    p_theory.set_defaults(func=_cmd_theory)
+
+    p_plan = sub.add_parser(
+        "plan", help="capacity planning (alpha, metadata, cluster size)"
+    )
+    p_plan.add_argument("--blocks", type=int, default=256)
+    p_plan.add_argument("--subdatasets", type=int, default=2000,
+                        help="distinct sub-datasets per block")
+    p_plan.add_argument("--nodes", type=int, default=128)
+    p_plan.add_argument("--budget", default="16mb",
+                        help="metadata memory budget (e.g. 16mb)")
+    p_plan.add_argument("--gamma-k", type=float, default=1.2)
+    p_plan.add_argument("--gamma-theta", type=float, default=7.0)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_sim = sub.add_parser(
+        "simulate", help="event-driven multi-job batch + gantt charts"
+    )
+    p_sim.add_argument("--small", action="store_true")
+    p_sim.add_argument("--slots", type=int, default=2)
+    p_sim.add_argument("--rows", type=int, default=10, help="nodes to draw")
+    p_sim.add_argument("--width", type=int, default=72)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

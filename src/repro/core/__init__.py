@@ -1,0 +1,63 @@
+"""DataNet core: the paper's primary contribution.
+
+Subpackage layout:
+
+- :mod:`repro.core.bloom` — space-efficient Bloom filter (from scratch).
+- :mod:`repro.core.bucketizer` — linear-time dominant sub-dataset separation.
+- :mod:`repro.core.elasticmap` — ElasticMap metadata store (hash map + Bloom
+  filter per block) with the paper's Eq. 5 memory model and Eq. 6 size
+  estimator.
+- :mod:`repro.core.builder` — single-scan ElasticMap construction over a
+  stored dataset.
+- :mod:`repro.core.bipartite` — the cluster-node/block bipartite graph of
+  Section IV-A.
+- :mod:`repro.core.scheduler` — Algorithm 1, distribution-aware balanced
+  task assignment.
+- :mod:`repro.core.flow` — Ford–Fulkerson (Edmonds–Karp) optimal assignment
+  for homogeneous clusters.
+- :mod:`repro.core.datanet` — the :class:`~repro.core.datanet.DataNet`
+  facade tying everything together.
+- :mod:`repro.core.metastore` — distributed metadata store (the paper's
+  future-work direction for metadata beyond one master's memory).
+- :mod:`repro.core.aggregation` — aggregation-transfer minimization (the
+  paper's other future-work direction).
+"""
+
+from .bloom import BloomFilter
+from .bucketizer import BucketSeparator, BucketSpec, SeparationResult
+from .elasticmap import BlockElasticMap, ElasticMapArray, MemoryModel
+from .builder import ElasticMapBuilder, build_elasticmap_array
+from .bipartite import BipartiteGraph
+from .scheduler import DistributionAwareScheduler, Assignment
+from .flow import MaxFlowSolver, optimal_assignment
+from .datanet import DataNet
+from .metastore import DistributedMetaStore, MetaNode, ShardMap
+from .aggregation import AggregationPlan, plan_greedy, plan_optimal
+from .countmin import CountMinSketch
+from .sketchmap import SketchBlockElasticMap
+
+__all__ = [
+    "BloomFilter",
+    "BucketSeparator",
+    "BucketSpec",
+    "SeparationResult",
+    "BlockElasticMap",
+    "ElasticMapArray",
+    "MemoryModel",
+    "ElasticMapBuilder",
+    "build_elasticmap_array",
+    "BipartiteGraph",
+    "DistributionAwareScheduler",
+    "Assignment",
+    "MaxFlowSolver",
+    "optimal_assignment",
+    "DataNet",
+    "DistributedMetaStore",
+    "MetaNode",
+    "ShardMap",
+    "AggregationPlan",
+    "plan_greedy",
+    "plan_optimal",
+    "CountMinSketch",
+    "SketchBlockElasticMap",
+]

@@ -1,0 +1,141 @@
+"""The cluster-node / block bipartite graph of paper Section IV-A.
+
+``G = (CN, B, E)``: an edge connects cluster node ``cn_i`` to block ``b_j``
+iff a replica of ``b_j`` resides on ``cn_i``.  Every edge adjacent to
+``b_j`` carries the same weight ``|b_j ∩ s|`` — the bytes of the target
+sub-dataset ``s`` in that block, as reported by the ElasticMap.
+
+The graph is deliberately a small purpose-built structure (not networkx):
+Algorithm 1 mutates it destructively (removing a block's edges once its
+task is assigned), and the scheduler needs O(1) "local blocks of node i"
+access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Set
+
+from ..errors import ConfigError, SchedulingError
+
+__all__ = ["BipartiteGraph"]
+
+NodeId = Hashable
+
+
+class BipartiteGraph:
+    """Mutable weighted bipartite graph between cluster nodes and blocks.
+
+    Args:
+        placement: block id → sequence of cluster nodes holding a replica.
+        weights: block id → sub-dataset bytes in that block (``|b ∩ s|``).
+            Blocks present in ``placement`` but missing from ``weights``
+            get weight 0; blocks only in ``weights`` are rejected, since a
+            block with no replicas cannot be scheduled.
+        nodes: optional explicit node universe (so nodes holding no relevant
+            block still participate in scheduling).
+    """
+
+    def __init__(
+        self,
+        placement: Mapping[int, Sequence[NodeId]],
+        weights: Mapping[int, int],
+        *,
+        nodes: Iterable[NodeId] | None = None,
+    ) -> None:
+        unknown = set(weights) - set(placement)
+        if unknown:
+            raise ConfigError(
+                f"weights given for blocks with no placement: {sorted(unknown)[:5]}"
+            )
+        self._nodes: Set[NodeId] = set(nodes) if nodes is not None else set()
+        self._blocks_on: Dict[NodeId, Set[int]] = {n: set() for n in self._nodes}
+        self._nodes_of: Dict[int, Set[NodeId]] = {}
+        self._weight: Dict[int, int] = {}
+        for block_id, replica_nodes in placement.items():
+            if not replica_nodes:
+                raise ConfigError(f"block {block_id} has an empty replica list")
+            w = int(weights.get(block_id, 0))
+            if w < 0:
+                raise ConfigError(f"block {block_id} has negative weight {w}")
+            self._weight[block_id] = w
+            self._nodes_of[block_id] = set(replica_nodes)
+            for node in replica_nodes:
+                self._nodes.add(node)
+                self._blocks_on.setdefault(node, set()).add(block_id)
+        for node in self._nodes:
+            self._blocks_on.setdefault(node, set())
+
+    # -- static views ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        """All cluster nodes, in sorted order (sortable node ids assumed)."""
+        return sorted(self._nodes, key=repr)
+
+    @property
+    def blocks(self) -> List[int]:
+        """All block ids still present in the graph, sorted."""
+        return sorted(self._nodes_of)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._nodes_of)
+
+    def weight(self, block_id: int) -> int:
+        """The edge weight ``|b ∩ s|`` of a block (0 allowed)."""
+        try:
+            return self._weight[block_id]
+        except KeyError:
+            raise SchedulingError(f"block {block_id} not in graph") from None
+
+    def total_weight(self) -> int:
+        """Sum of all block weights currently in the graph."""
+        return sum(self._weight[b] for b in self._nodes_of)
+
+    def blocks_on(self, node: NodeId) -> Set[int]:
+        """Blocks with a replica on ``node`` (the ``d_i`` of Algorithm 1)."""
+        try:
+            return set(self._blocks_on[node])
+        except KeyError:
+            raise SchedulingError(f"unknown cluster node {node!r}") from None
+
+    def nodes_of(self, block_id: int) -> Set[NodeId]:
+        """Cluster nodes holding a replica of ``block_id``."""
+        try:
+            return set(self._nodes_of[block_id])
+        except KeyError:
+            raise SchedulingError(f"block {block_id} not in graph") from None
+
+    def is_local(self, node: NodeId, block_id: int) -> bool:
+        """True iff ``node`` holds a replica of ``block_id``."""
+        return block_id in self._blocks_on.get(node, ())
+
+    # -- mutation (Algorithm 1 lines 17-20) -----------------------------------------
+
+    def remove_block(self, block_id: int) -> None:
+        """Remove a block and all its edges (after its task is assigned)."""
+        try:
+            replica_nodes = self._nodes_of.pop(block_id)
+        except KeyError:
+            raise SchedulingError(f"block {block_id} not in graph") from None
+        for node in replica_nodes:
+            self._blocks_on[node].discard(block_id)
+
+    def copy(self) -> "BipartiteGraph":
+        """Deep copy; schedulers mutate copies, callers keep the original."""
+        out = object.__new__(BipartiteGraph)
+        out._nodes = set(self._nodes)
+        out._blocks_on = {n: set(bs) for n, bs in self._blocks_on.items()}
+        out._nodes_of = {b: set(ns) for b, ns in self._nodes_of.items()}
+        out._weight = dict(self._weight)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BipartiteGraph(nodes={self.num_nodes}, blocks={self.num_blocks}, "
+            f"total_weight={self.total_weight()})"
+        )

@@ -1,0 +1,227 @@
+"""A from-scratch Bloom filter backed by a NumPy bit array.
+
+The paper (Section III-A) stores *non-dominant* sub-dataset ids in a Bloom
+filter because their exact sizes are irrelevant for workload balance — only
+their existence matters.  A Bloom filter answers "is sub-dataset *s*
+possibly in block *b*?" with a tunable false-positive rate ``eps`` at a
+memory cost of ``-ln(eps) / ln(2)**2`` bits per element (the paper quotes
+~10 bits vs ~85 bits for a hash-map entry).
+
+Implementation notes
+--------------------
+* Double hashing (Kirsch–Mitzenmacher): two 64-bit digests ``h1``, ``h2``
+  derived from one ``blake2b`` call; probe *i* uses ``h1 + i*h2``.  This
+  preserves the asymptotic false-positive rate of *k* independent hashes.
+* The bit array is a ``numpy.uint8`` buffer, so a filter is cheap to union,
+  serialize, and measure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["BloomFilter", "bits_per_element", "optimal_num_bits", "optimal_num_hashes"]
+
+_LN2 = math.log(2.0)
+
+
+def bits_per_element(error_rate: float) -> float:
+    """Bits needed per stored element for a target false-positive rate.
+
+    This is the paper's expression ``-ln(eps) / ln(2)^2`` (Section III-A).
+
+    >>> round(bits_per_element(0.01), 1)
+    9.6
+    """
+    _check_error_rate(error_rate)
+    return -math.log(error_rate) / (_LN2 * _LN2)
+
+
+def optimal_num_bits(capacity: int, error_rate: float) -> int:
+    """Optimal total bit count ``m`` for ``capacity`` elements at ``error_rate``."""
+    if capacity < 0:
+        raise ConfigError(f"capacity must be non-negative, got {capacity}")
+    return max(8, int(math.ceil(max(capacity, 1) * bits_per_element(error_rate))))
+
+
+def optimal_num_hashes(num_bits: int, capacity: int) -> int:
+    """Optimal hash count ``k = (m/n) ln 2`` (at least 1)."""
+    if capacity <= 0:
+        return 1
+    return max(1, int(round((num_bits / capacity) * _LN2)))
+
+
+def _check_error_rate(error_rate: float) -> None:
+    if not (0.0 < error_rate < 1.0):
+        raise ConfigError(f"error_rate must be in (0, 1), got {error_rate}")
+
+
+def _digest_pair(item: str | bytes, seed: int) -> tuple[int, int]:
+    """Two independent 64-bit hash values for *item* via one blake2b call."""
+    data = item.encode("utf-8") if isinstance(item, str) else item
+    d = hashlib.blake2b(data, digest_size=16, salt=seed.to_bytes(8, "little")).digest()
+    h1 = int.from_bytes(d[:8], "little")
+    h2 = int.from_bytes(d[8:], "little") | 1  # odd so all probes differ
+    return h1, h2
+
+
+class BloomFilter:
+    """Space-efficient probabilistic set membership over string/bytes keys.
+
+    Args:
+        capacity: expected number of distinct elements; sizing uses this.
+        error_rate: target false-positive probability ``eps`` at capacity.
+        seed: salt mixed into the hash, so independent filters (e.g. one per
+            HDFS block) do not share false-positive patterns.
+
+    No false negatives are possible; false positives occur with probability
+    ~``error_rate`` once ``capacity`` elements are inserted (lower before).
+    """
+
+    __slots__ = ("num_bits", "num_hashes", "error_rate", "seed", "_bits", "_count")
+
+    def __init__(self, capacity: int = 1024, error_rate: float = 0.01, *, seed: int = 0) -> None:
+        _check_error_rate(error_rate)
+        if capacity < 0:
+            raise ConfigError(f"capacity must be non-negative, got {capacity}")
+        self.num_bits = optimal_num_bits(capacity, error_rate)
+        self.num_hashes = optimal_num_hashes(self.num_bits, max(capacity, 1))
+        self.error_rate = error_rate
+        self.seed = seed
+        self._bits = np.zeros((self.num_bits + 7) // 8, dtype=np.uint8)
+        self._count = 0
+
+    # -- core operations ---------------------------------------------------
+
+    def _positions(self, item: str | bytes) -> Iterator[int]:
+        h1, h2 = _digest_pair(item, self.seed)
+        m = self.num_bits
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % m
+
+    def add(self, item: str | bytes) -> None:
+        """Insert *item* (idempotent)."""
+        new = False
+        for pos in self._positions(item):
+            byte, bit = divmod(pos, 8)
+            mask = np.uint8(1 << bit)
+            if not self._bits[byte] & mask:
+                new = True
+            self._bits[byte] |= mask
+        if new:
+            self._count += 1
+
+    def update(self, items: Iterable[str | bytes]) -> None:
+        """Insert every element of *items*."""
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: str | bytes) -> bool:
+        for pos in self._positions(item):
+            byte, bit = divmod(pos, 8)
+            if not self._bits[byte] & np.uint8(1 << bit):
+                return False
+        return True
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def approx_count(self) -> int:
+        """Lower-bound estimate of distinct insertions (exact until saturation)."""
+        return self._count
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits currently set; drives the live FP rate."""
+        return float(np.unpackbits(self._bits)[: self.num_bits].sum()) / self.num_bits
+
+    def current_error_rate(self) -> float:
+        """False-positive probability at the *current* fill level."""
+        return self.fill_ratio ** self.num_hashes
+
+    @property
+    def memory_bits(self) -> int:
+        """Bits of storage used by the bit array (the Eq. 5 cost term)."""
+        return self.num_bits
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes of storage used by the bit array."""
+        return int(self._bits.nbytes)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BloomFilter(bits={self.num_bits}, hashes={self.num_hashes}, "
+            f"eps={self.error_rate}, count~{self._count})"
+        )
+
+    # -- set algebra ---------------------------------------------------------
+
+    def _check_compatible(self, other: "BloomFilter") -> None:
+        if (
+            self.num_bits != other.num_bits
+            or self.num_hashes != other.num_hashes
+            or self.seed != other.seed
+        ):
+            raise ConfigError("Bloom filters have incompatible geometry; cannot combine")
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Return a filter containing every element of either input."""
+        self._check_compatible(other)
+        out = self.copy()
+        np.bitwise_or(out._bits, other._bits, out=out._bits)
+        out._count = max(self._count, other._count)
+        return out
+
+    def copy(self) -> "BloomFilter":
+        """Deep copy (bit array included)."""
+        out = object.__new__(BloomFilter)
+        out.num_bits = self.num_bits
+        out.num_hashes = self.num_hashes
+        out.error_rate = self.error_rate
+        out.seed = self.seed
+        out._bits = self._bits.copy()
+        out._count = self._count
+        return out
+
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize geometry + bit array to a compact byte string."""
+        header = (
+            self.num_bits.to_bytes(8, "little")
+            + self.num_hashes.to_bytes(2, "little")
+            + self.seed.to_bytes(8, "little", signed=True)
+            + int(self.error_rate * 1e9).to_bytes(8, "little")
+            + self._count.to_bytes(8, "little")
+        )
+        return header + self._bits.tobytes()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "BloomFilter":
+        """Inverse of :meth:`to_bytes`."""
+        if len(blob) < 34:
+            raise ConfigError("bloom filter blob too short")
+        out = object.__new__(cls)
+        out.num_bits = int.from_bytes(blob[0:8], "little")
+        out.num_hashes = int.from_bytes(blob[8:10], "little")
+        out.seed = int.from_bytes(blob[10:18], "little", signed=True)
+        out.error_rate = int.from_bytes(blob[18:26], "little") / 1e9
+        out._count = int.from_bytes(blob[26:34], "little")
+        bits = np.frombuffer(blob[34:], dtype=np.uint8).copy()
+        expected = (out.num_bits + 7) // 8
+        if bits.size != expected:
+            raise ConfigError(
+                f"bloom filter blob bit-array size mismatch: {bits.size} != {expected}"
+            )
+        out._bits = bits
+        return out

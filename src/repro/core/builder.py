@@ -1,0 +1,144 @@
+"""Single-scan construction of an ElasticMap array (paper Sections III-A/B).
+
+The builder consumes each block's records exactly once.  Per block it runs
+the linear-time :class:`~repro.core.bucketizer.BucketSeparator`, picks the
+dominant/tail cutoff (by target fraction ``alpha`` or per-block memory
+budget), and emits a :class:`~repro.core.elasticmap.BlockElasticMap`.
+Total time is ``O(sum of records over all blocks)`` — the paper's
+"only a single scan of the raw data is needed".
+
+The builder is storage-agnostic: it accepts any iterable of
+``(block_id, observations)`` where observations yield
+``(sub_dataset_id, nbytes)`` pairs.  ``repro.hdfs`` adapts stored blocks to
+this shape (see :meth:`repro.hdfs.cluster.HDFSCluster.scan_blocks`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from ..errors import ConfigError
+from .bucketizer import BucketSeparator, BucketSpec
+from .elasticmap import BlockElasticMap, ElasticMapArray, MemoryModel
+
+__all__ = ["BuildStats", "ElasticMapBuilder", "build_elasticmap_array"]
+
+#: One block's worth of scan input: ``(block_id, [(sub_dataset_id, nbytes), ...])``.
+BlockObservations = Tuple[int, Iterable[Tuple[str, int]]]
+
+
+@dataclass
+class BuildStats:
+    """Bookkeeping from one construction pass (useful in benchmarks/tests)."""
+
+    blocks_built: int = 0
+    records_scanned: int = 0
+    subdatasets_per_block: List[int] = field(default_factory=list)
+    dominant_per_block: List[int] = field(default_factory=list)
+
+    @property
+    def mean_alpha(self) -> float:
+        """Realized average dominant fraction across blocks (0 if empty)."""
+        pairs = [
+            (d, m)
+            for d, m in zip(self.dominant_per_block, self.subdatasets_per_block)
+            if m > 0
+        ]
+        if not pairs:
+            return 0.0
+        return sum(d / m for d, m in pairs) / len(pairs)
+
+
+class ElasticMapBuilder:
+    """Configurable single-scan ElasticMap constructor.
+
+    Args:
+        alpha: target fraction of each block's sub-datasets to store exactly
+            in the hash map (the paper's default experiments use 0.3).
+            Mutually exclusive with ``budget_bits_per_block``.
+        budget_bits_per_block: per-block metadata budget; the cutoff bucket
+            is chosen so the Eq. 5 cost fits within it.
+        spec: bucket boundary series (Fibonacci by default).
+        memory_model: Eq. 5 parameters (hash-map entry bits, Bloom error rate).
+        tail_store: ``"bloom"`` (the paper's design) or ``"countmin"``
+            (tail sizes approximated by a Count-Min sketch; see
+            :mod:`repro.core.sketchmap`).
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: Optional[float] = 0.3,
+        budget_bits_per_block: Optional[float] = None,
+        spec: Optional[BucketSpec] = None,
+        memory_model: Optional[MemoryModel] = None,
+        tail_store: str = "bloom",
+    ) -> None:
+        if (alpha is None) == (budget_bits_per_block is None):
+            raise ConfigError("pass exactly one of alpha or budget_bits_per_block")
+        if alpha is not None and not (0.0 <= alpha <= 1.0):
+            raise ConfigError(f"alpha must be in [0, 1], got {alpha}")
+        if budget_bits_per_block is not None and budget_bits_per_block < 0:
+            raise ConfigError("budget_bits_per_block must be non-negative")
+        if tail_store not in ("bloom", "countmin"):
+            raise ConfigError(f"unknown tail_store {tail_store!r}")
+        self.alpha = alpha
+        self.budget_bits_per_block = budget_bits_per_block
+        self.spec = spec or BucketSpec.fibonacci()
+        self.memory_model = memory_model or MemoryModel()
+        self.tail_store = tail_store
+        self.stats = BuildStats()
+
+    def build_block(
+        self, block_id: int, observations: Iterable[Tuple[str, int]]
+    ) -> BlockElasticMap:
+        """Scan one block's ``(sub_dataset_id, nbytes)`` stream into metadata."""
+        separator = BucketSeparator(self.spec)
+        n = 0
+        for sid, nbytes in observations:
+            separator.observe(sid, nbytes)
+            n += 1
+        if self.alpha is not None:
+            result = separator.separate(alpha=self.alpha)
+        else:
+            assert self.budget_bits_per_block is not None
+            max_entries = self.memory_model.max_hashmap_entries(
+                self.budget_bits_per_block, separator.num_subdatasets
+            )
+            cutoff = separator.cutoff_for_budget(max_entries)
+            result = separator.separate(cutoff_bucket=cutoff)
+        self.stats.blocks_built += 1
+        self.stats.records_scanned += n
+        self.stats.subdatasets_per_block.append(result.num_subdatasets)
+        self.stats.dominant_per_block.append(len(result.dominant))
+        if self.tail_store == "countmin":
+            from .sketchmap import SketchBlockElasticMap
+
+            return SketchBlockElasticMap.from_separation(
+                block_id, result, memory_model=self.memory_model
+            )
+        return BlockElasticMap.from_separation(
+            block_id, result, memory_model=self.memory_model
+        )
+
+    def build(self, blocks: Iterable[BlockObservations]) -> ElasticMapArray:
+        """Scan every block once and return the assembled ElasticMap array."""
+        return ElasticMapArray([self.build_block(bid, obs) for bid, obs in blocks])
+
+
+def build_elasticmap_array(
+    blocks: Iterable[BlockObservations],
+    *,
+    alpha: float = 0.3,
+    spec: Optional[BucketSpec] = None,
+    memory_model: Optional[MemoryModel] = None,
+) -> ElasticMapArray:
+    """One-call convenience wrapper around :class:`ElasticMapBuilder`.
+
+    >>> array = build_elasticmap_array([(0, [("movie-1", 4096), ("movie-2", 10)])])
+    >>> array.estimate_total_size("movie-1")
+    4096
+    """
+    builder = ElasticMapBuilder(alpha=alpha, spec=spec, memory_model=memory_model)
+    return builder.build(blocks)

@@ -1,0 +1,356 @@
+"""The DataNet facade: metadata construction + distribution-aware scheduling.
+
+This is the top of the paper's stack.  A :class:`DataNet` instance owns the
+:class:`~repro.core.elasticmap.ElasticMapArray` for one stored dataset plus
+the dataset's block placement, and answers the questions the paper's
+workflow needs:
+
+1. *Where is sub-dataset s?*  (:meth:`distribution`,
+   :meth:`blocks_containing`)
+2. *How big is it?*  (:meth:`estimate_total_size`, Eq. 6)
+3. *How should its analysis tasks be scheduled?*  (:meth:`schedule`,
+   Algorithm 1 greedy, or the Ford-Fulkerson optimal variant)
+
+``DataNet.build`` is storage-agnostic: any object exposing
+``scan_blocks() -> iterable[(block_id, [(sid, nbytes), ...])]``,
+``placement() -> {block_id: [node, ...]}`` and ``nodes`` (a sequence of
+cluster node ids) can be indexed — :class:`repro.hdfs.cluster.DatasetView`
+is the in-repo provider.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+from ..errors import ConfigError
+from .bipartite import BipartiteGraph
+from .bucketizer import BucketSpec
+from .builder import ElasticMapBuilder
+from .elasticmap import ElasticMapArray, MemoryModel, QueryKind
+from .flow import optimal_assignment
+from .scheduler import Assignment, DistributionAwareScheduler
+
+__all__ = ["DataNet", "ScannableDataset"]
+
+NodeId = Hashable
+
+
+class ScannableDataset(Protocol):
+    """Structural interface DataNet indexes against (see module docstring)."""
+
+    def scan_blocks(self) -> Iterable[Tuple[int, Iterable[Tuple[str, int]]]]:
+        """Yield ``(block_id, [(sub_dataset_id, nbytes), ...])`` per block."""
+        ...
+
+    def placement(self) -> Mapping[int, Sequence[NodeId]]:
+        """Block id → replica-holding cluster nodes."""
+        ...
+
+    @property
+    def nodes(self) -> Sequence[NodeId]:
+        """All cluster nodes (including ones holding no replica)."""
+        ...
+
+
+class DataNet:
+    """Sub-dataset distribution metadata + scheduling for one dataset.
+
+    Construct with :meth:`build` (runs the single scan) or directly from a
+    pre-built :class:`ElasticMapArray` plus placement information.
+    """
+
+    def __init__(
+        self,
+        elasticmap: ElasticMapArray,
+        placement: Mapping[int, Sequence[NodeId]],
+        *,
+        nodes: Optional[Sequence[NodeId]] = None,
+    ) -> None:
+        missing = set(elasticmap.block_ids) - set(placement)
+        if missing:
+            raise ConfigError(
+                f"placement missing for blocks: {sorted(missing)[:5]}"
+            )
+        self.elasticmap = elasticmap
+        self._placement: Dict[int, List[NodeId]] = {
+            b: list(ns) for b, ns in placement.items()
+        }
+        if nodes is not None:
+            self._nodes: List[NodeId] = list(nodes)
+        else:
+            seen: set = set()
+            for ns in self._placement.values():
+                seen.update(ns)
+            self._nodes = sorted(seen, key=repr)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        dataset: ScannableDataset,
+        *,
+        alpha: Optional[float] = 0.3,
+        budget_bits_per_block: Optional[float] = None,
+        spec: Optional[BucketSpec] = None,
+        memory_model: Optional[MemoryModel] = None,
+    ) -> "DataNet":
+        """Single-scan metadata construction over a stored dataset.
+
+        The scan is the paper's O(records) pass: every block is read once,
+        its dominant sub-datasets go to the hash map, the tail to a Bloom
+        filter.  See :class:`~repro.core.builder.ElasticMapBuilder` for the
+        ``alpha`` vs ``budget_bits_per_block`` sizing modes.
+        """
+        builder = ElasticMapBuilder(
+            alpha=alpha,
+            budget_bits_per_block=budget_bits_per_block,
+            spec=spec,
+            memory_model=memory_model,
+        )
+        array = builder.build(dataset.scan_blocks())
+        dn = cls(array, dataset.placement(), nodes=list(dataset.nodes))
+        dn.build_stats = builder.stats  # type: ignore[attr-defined]
+        dn._builder_config = dict(
+            alpha=alpha,
+            budget_bits_per_block=budget_bits_per_block,
+            spec=spec,
+            memory_model=memory_model,
+        )
+        return dn
+
+    def extend(self, dataset: ScannableDataset) -> int:
+        """Incrementally index blocks appended since the last build/extend.
+
+        Models the paper's motivating pipeline — Flume-style continuous log
+        collection into HDFS — without rescanning old blocks: only block
+        ids absent from the metadata are scanned (each exactly once), and
+        the placement map picks up their replica locations.
+
+        Returns the number of newly indexed blocks.  Only available on
+        instances created via :meth:`build` (the builder configuration is
+        needed to index new blocks consistently).
+        """
+        config = getattr(self, "_builder_config", None)
+        if config is None:
+            raise ConfigError(
+                "extend() requires a DataNet created by DataNet.build()"
+            )
+        covered = set(self.elasticmap.block_ids)
+        placement = dataset.placement()
+        builder = ElasticMapBuilder(**config)
+        added = 0
+        for block_id, observations in dataset.scan_blocks():
+            if block_id in covered:
+                continue
+            block_map = builder.build_block(block_id, observations)
+            self.elasticmap.add_block(block_map)
+            self._placement[block_id] = list(placement[block_id])
+            added += 1
+        for node in dataset.nodes:
+            if node not in self._nodes:
+                self._nodes.append(node)
+        return added
+
+    # -- metadata queries -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        """Cluster nodes known to this DataNet instance."""
+        return list(self._nodes)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks covered by the metadata."""
+        return len(self.elasticmap)
+
+    def distribution(self, sub_dataset_id: str) -> Dict[int, Tuple[int, QueryKind]]:
+        """Per-block ``(bytes, kind)`` of the sub-dataset (absent blocks omitted)."""
+        return self.elasticmap.distribution(sub_dataset_id)
+
+    def blocks_containing(self, sub_dataset_id: str) -> List[int]:
+        """Blocks that may hold the sub-dataset — the task list for its analysis."""
+        return self.elasticmap.blocks_containing(sub_dataset_id)
+
+    def estimate_total_size(self, sub_dataset_id: str) -> int:
+        """Eq. 6 estimate of the sub-dataset's total bytes across all blocks."""
+        return self.elasticmap.estimate_total_size(sub_dataset_id)
+
+    # -- scheduling -------------------------------------------------------------------
+
+    def bipartite_graph(
+        self, sub_dataset_id: str, *, skip_absent: bool = True
+    ) -> BipartiteGraph:
+        """Section IV-A graph for the sub-dataset.
+
+        With ``skip_absent`` (default) only blocks with a hash-map or Bloom
+        hit become tasks — the paper's I/O saving: "we don't need to
+        process blocks that don't contain our target data".  Disable it to
+        schedule every block (weights 0 for absent ones).
+        """
+        weights = self.elasticmap.block_weights(sub_dataset_id)
+        if skip_absent:
+            placement = {b: self._placement[b] for b in weights}
+        else:
+            placement = self._placement
+            weights = {b: weights.get(b, 0) for b in placement}
+        return BipartiteGraph(placement, weights, nodes=self._nodes)
+
+    def schedule(
+        self,
+        sub_dataset_id: str,
+        *,
+        method: str = "greedy",
+        capacities: Optional[Mapping[NodeId, float]] = None,
+        skip_absent: bool = True,
+    ) -> Assignment:
+        """Distribution-aware task assignment for one sub-dataset's analysis.
+
+        Args:
+            method: ``"greedy"`` runs Algorithm 1; ``"optimal"`` runs the
+                Ford-Fulkerson-based assignment (homogeneous clusters only).
+            capacities: per-node relative compute capability (greedy only).
+            skip_absent: see :meth:`bipartite_graph`.
+
+        Raises:
+            ConfigError: unknown method, or capacities with ``"optimal"``.
+        """
+        graph = self.bipartite_graph(sub_dataset_id, skip_absent=skip_absent)
+        if method == "greedy":
+            return DistributionAwareScheduler(capacities).schedule(graph)
+        if method == "optimal":
+            if capacities is not None:
+                raise ConfigError(
+                    "optimal (max-flow) scheduling assumes a homogeneous cluster"
+                )
+            return optimal_assignment(graph)
+        raise ConfigError(f"unknown scheduling method: {method!r}")
+
+    def combined_graph(
+        self, sub_dataset_ids: Iterable[str], *, skip_absent: bool = True
+    ) -> BipartiteGraph:
+        """A bipartite graph weighted by the *union* of several sub-datasets.
+
+        For analyses over a family of sub-datasets (e.g. all movies in one
+        genre, Eq. 1's ``S(e)`` for a compound event), the per-block weight
+        is the summed ``|b ∩ s_i|``; balancing that sum balances the whole
+        family's processing.
+        """
+        ids = list(sub_dataset_ids)
+        if not ids:
+            raise ConfigError("need at least one sub-dataset id")
+        weights: Dict[int, int] = {}
+        for sid in ids:
+            for bid, w in self.elasticmap.block_weights(sid).items():
+                weights[bid] = weights.get(bid, 0) + w
+        if skip_absent:
+            placement = {b: self._placement[b] for b in weights}
+        else:
+            placement = self._placement
+            weights = {b: weights.get(b, 0) for b in placement}
+        return BipartiteGraph(placement, weights, nodes=self._nodes)
+
+    def schedule_many(
+        self,
+        sub_dataset_ids: Iterable[str],
+        *,
+        method: str = "greedy",
+        capacities: Optional[Mapping[NodeId, float]] = None,
+        skip_absent: bool = True,
+    ) -> Assignment:
+        """Jointly balanced assignment for a family of sub-datasets.
+
+        Same methods as :meth:`schedule`, over :meth:`combined_graph`.
+        """
+        graph = self.combined_graph(sub_dataset_ids, skip_absent=skip_absent)
+        if method == "greedy":
+            return DistributionAwareScheduler(capacities).schedule(graph)
+        if method == "optimal":
+            if capacities is not None:
+                raise ConfigError(
+                    "optimal (max-flow) scheduling assumes a homogeneous cluster"
+                )
+            return optimal_assignment(graph)
+        raise ConfigError(f"unknown scheduling method: {method!r}")
+
+    # -- persistence ------------------------------------------------------------------
+
+    #: file magic for the on-disk metadata format
+    _MAGIC = b"DATANET1"
+
+    def save(self, path: str) -> int:
+        """Persist metadata + placement to a file; returns bytes written.
+
+        The format is self-contained: a JSON header (placement, node list,
+        per-block blob lengths) followed by each block's serialized
+        ElasticMap.  ``load`` restores a fully functional instance — the
+        raw dataset is *not* needed to answer distribution queries or to
+        schedule (that is the point of the metadata).
+        """
+        import json
+
+        blobs = [b.to_bytes() for b in self.elasticmap]
+        header = json.dumps(
+            {
+                "placement": {str(k): list(v) for k, v in self._placement.items()},
+                "nodes": list(self._nodes),
+                "blob_lengths": [len(b) for b in blobs],
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        payload = (
+            self._MAGIC
+            + len(header).to_bytes(8, "little")
+            + header
+            + b"".join(blobs)
+        )
+        with open(path, "wb") as fh:
+            fh.write(payload)
+        return len(payload)
+
+    @classmethod
+    def load(cls, path: str) -> "DataNet":
+        """Restore a :meth:`save`-d instance.
+
+        Raises:
+            ConfigError: for a missing/corrupt file.
+        """
+        import json
+
+        from .elasticmap import BlockElasticMap
+
+        with open(path, "rb") as fh:
+            payload = fh.read()
+        if not payload.startswith(cls._MAGIC):
+            raise ConfigError(f"{path!r} is not a DataNet metadata file")
+        offset = len(cls._MAGIC)
+        header_len = int.from_bytes(payload[offset : offset + 8], "little")
+        offset += 8
+        try:
+            header = json.loads(payload[offset : offset + header_len])
+        except ValueError as exc:
+            raise ConfigError(f"corrupt DataNet header: {exc}") from exc
+        offset += header_len
+        blocks = []
+        for length in header["blob_lengths"]:
+            blob = payload[offset : offset + length]
+            if len(blob) != length:
+                raise ConfigError("truncated DataNet metadata file")
+            blocks.append(BlockElasticMap.from_bytes(blob))
+            offset += length
+        placement = {int(k): v for k, v in header["placement"].items()}
+        return cls(ElasticMapArray(blocks), placement, nodes=header["nodes"])
+
+    # -- accounting -----------------------------------------------------------------------
+
+    def memory_bytes(self) -> float:
+        """Total metadata footprint in bytes."""
+        return self.elasticmap.memory_bytes()
+
+    def representation_ratio(self, raw_bytes: int) -> float:
+        """Raw bytes represented per metadata byte (Table II)."""
+        return self.elasticmap.representation_ratio(raw_bytes)
+
+    def accuracy(self, sub_dataset_ids: Iterable[str], raw_bytes: int) -> float:
+        """Overall Eq. 6 accuracy ``chi`` against the known raw size (Table II)."""
+        return self.elasticmap.accuracy(sub_dataset_ids, raw_bytes)

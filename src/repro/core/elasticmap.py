@@ -1,0 +1,414 @@
+"""ElasticMap: the paper's compact sub-dataset distribution store (Section III).
+
+One :class:`BlockElasticMap` per HDFS block records, for that block:
+
+* a **hash map** with the *exact* byte size of each dominant sub-dataset,
+* a **Bloom filter** holding only the *ids* of the non-dominant tail.
+
+An :class:`ElasticMapArray` is the per-dataset array of these (Figure 3 of
+the paper): index it by block to answer "how much of sub-dataset *s* does
+block *b* hold?" — exactly for dominant sub-datasets, approximately (a
+small constant ``delta``) for tail sub-datasets, and (almost always) zero
+for absent ones.
+
+The memory model of Eq. 5 and the size estimator of Eq. 6 live here too,
+as :class:`MemoryModel` and :meth:`ElasticMapArray.estimate_total_size`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Literal, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigError, MetadataError
+from .bloom import BloomFilter, bits_per_element
+from .bucketizer import SeparationResult
+
+__all__ = ["MemoryModel", "BlockElasticMap", "ElasticMapArray", "QueryKind"]
+
+#: How a per-block size query was answered.
+QueryKind = Literal["exact", "approx", "absent"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Parameters of the paper's Eq. 5 memory-cost model.
+
+    Attributes:
+        hashmap_bits_per_entry: ``k`` — bits for one hash-map record (id +
+            size + table overhead).  The paper's example uses 85 bits.
+        load_factor: ``delta`` in Eq. 5 — how full the hash table is allowed
+            to get (entries are charged ``k / load_factor`` bits).
+        bloom_error_rate: ``eps`` — target false-positive rate of the Bloom
+            filter (the paper's example ~10 bits/element corresponds to
+            eps ≈ 1 %).
+    """
+
+    hashmap_bits_per_entry: int = 85
+    load_factor: float = 0.75
+    bloom_error_rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.hashmap_bits_per_entry <= 0:
+            raise ConfigError("hashmap_bits_per_entry must be positive")
+        if not (0.0 < self.load_factor <= 1.0):
+            raise ConfigError("load_factor must be in (0, 1]")
+        if not (0.0 < self.bloom_error_rate < 1.0):
+            raise ConfigError("bloom_error_rate must be in (0, 1)")
+
+    def cost_bits(self, num_subdatasets: int, alpha: float) -> float:
+        """Eq. 5: modeled ElasticMap bits for one block.
+
+        ``m*(1-alpha)`` tail entries cost ``-ln(eps)/ln(2)^2`` bits each in
+        the Bloom filter; ``m*alpha`` dominant entries cost
+        ``k / load_factor`` bits each in the hash map.
+        """
+        if num_subdatasets < 0:
+            raise ConfigError("num_subdatasets must be non-negative")
+        if not (0.0 <= alpha <= 1.0):
+            raise ConfigError(f"alpha must be in [0, 1], got {alpha}")
+        m = num_subdatasets
+        bloom_bits = m * (1.0 - alpha) * bits_per_element(self.bloom_error_rate)
+        hash_bits = m * alpha * self.hashmap_bits_per_entry / self.load_factor
+        return bloom_bits + hash_bits
+
+    def max_hashmap_entries(self, budget_bits: float, num_subdatasets: int) -> int:
+        """Largest dominant-entry count whose Eq. 5 cost fits ``budget_bits``.
+
+        Inverts :meth:`cost_bits` for a block with ``num_subdatasets``
+        sub-datasets, assuming every non-dominant entry still pays its Bloom
+        cost.  Returns a value clamped to ``[0, num_subdatasets]``.
+        """
+        if budget_bits < 0:
+            raise ConfigError("budget_bits must be non-negative")
+        per_bloom = bits_per_element(self.bloom_error_rate)
+        per_hash = self.hashmap_bits_per_entry / self.load_factor
+        base = num_subdatasets * per_bloom
+        if per_hash <= per_bloom:  # pathological: hash map is cheaper, admit all
+            return num_subdatasets
+        extra = (budget_bits - base) / (per_hash - per_bloom)
+        return max(0, min(num_subdatasets, int(extra)))
+
+
+class BlockElasticMap:
+    """Per-block metadata: exact sizes for dominant sub-datasets, Bloom tail.
+
+    Build one from a :class:`~repro.core.bucketizer.SeparationResult` via
+    :meth:`from_separation`, or supply the parts directly.
+
+    Args:
+        block_id: index of the block this metadata describes.
+        hash_map: dominant sub-dataset id → exact byte size.
+        bloom: Bloom filter containing the tail sub-dataset ids.
+        delta: approximate byte size attributed to any sub-dataset found
+            only in the Bloom filter (the paper uses the smallest hash-map
+            value).
+        memory_model: Eq. 5 parameters used for cost accounting.
+    """
+
+    __slots__ = ("block_id", "hash_map", "bloom", "delta", "memory_model")
+
+    #: Fallback ``delta`` when a block has an empty hash map (bytes).
+    DEFAULT_DELTA = 512
+
+    #: Whether ``query`` returns a per-sub-dataset size for tail ("approx")
+    #: hits.  The Bloom-backed store cannot (all hits price at delta);
+    #: the Count-Min variant (:mod:`repro.core.sketchmap`) can.
+    reports_tail_sizes = False
+
+    def __init__(
+        self,
+        block_id: int,
+        hash_map: Mapping[str, int],
+        bloom: BloomFilter,
+        *,
+        delta: Optional[int] = None,
+        memory_model: Optional[MemoryModel] = None,
+    ) -> None:
+        if block_id < 0:
+            raise ConfigError(f"block_id must be non-negative, got {block_id}")
+        self.block_id = block_id
+        self.hash_map: Dict[str, int] = dict(hash_map)
+        self.bloom = bloom
+        if delta is None:
+            delta = min(self.hash_map.values()) if self.hash_map else self.DEFAULT_DELTA
+        if delta <= 0:
+            raise ConfigError(f"delta must be positive, got {delta}")
+        self.delta = int(delta)
+        self.memory_model = memory_model or MemoryModel()
+
+    @classmethod
+    def from_separation(
+        cls,
+        block_id: int,
+        result: SeparationResult,
+        *,
+        memory_model: Optional[MemoryModel] = None,
+        bloom_seed: Optional[int] = None,
+    ) -> "BlockElasticMap":
+        """Construct from a dominant/tail separation of one block's contents.
+
+        The Bloom filter is sized for the tail population at the memory
+        model's error rate, salted per block so false positives do not
+        repeat across blocks.
+        """
+        model = memory_model or MemoryModel()
+        bloom = BloomFilter(
+            capacity=max(len(result.tail), 1),
+            error_rate=model.bloom_error_rate,
+            seed=bloom_seed if bloom_seed is not None else block_id,
+        )
+        bloom.update(result.tail.keys())
+        # Eq. 6's delta: "the smallest size value of |s ∩ b_j|" — observed
+        # from the tail while it is still in hand (the ElasticMap itself
+        # keeps only this one number, not the tail sizes).
+        if result.tail:
+            delta = min(result.tail.values())
+        elif result.dominant:
+            delta = min(result.dominant.values())
+        else:
+            delta = None
+        return cls(
+            block_id,
+            result.dominant,
+            bloom,
+            delta=max(delta, 1) if delta is not None else None,
+            memory_model=model,
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def query(self, sub_dataset_id: str) -> Tuple[int, QueryKind]:
+        """Size of ``sub_dataset_id`` in this block, and how it was resolved.
+
+        Returns ``(exact_size, "exact")`` for a hash-map hit,
+        ``(delta, "approx")`` for a Bloom hit, ``(0, "absent")`` otherwise.
+        A Bloom false positive yields a spurious ``(delta, "approx")`` with
+        probability ≈ the configured error rate — this is the accuracy/
+        memory trade-off the paper studies in Table II.
+        """
+        size = self.hash_map.get(sub_dataset_id)
+        if size is not None:
+            return size, "exact"
+        if sub_dataset_id in self.bloom:
+            return self.delta, "approx"
+        return 0, "absent"
+
+    def __contains__(self, sub_dataset_id: str) -> bool:
+        return sub_dataset_id in self.hash_map or sub_dataset_id in self.bloom
+
+    @property
+    def num_dominant(self) -> int:
+        """Number of sub-datasets recorded exactly (hash-map entries)."""
+        return len(self.hash_map)
+
+    @property
+    def dominant_bytes(self) -> int:
+        """Total bytes covered by exact entries."""
+        return sum(self.hash_map.values())
+
+    # -- memory accounting -----------------------------------------------------
+
+    def memory_bits(self) -> float:
+        """Actual bits used: charged hash-map entries + real Bloom bit count."""
+        per_hash = self.memory_model.hashmap_bits_per_entry / self.memory_model.load_factor
+        return len(self.hash_map) * per_hash + self.bloom.memory_bits
+
+    def modeled_memory_bits(self, num_subdatasets: int) -> float:
+        """Eq. 5 cost for this block given its total sub-dataset count."""
+        if num_subdatasets < len(self.hash_map):
+            raise MetadataError(
+                "num_subdatasets smaller than the number of dominant entries"
+            )
+        alpha = len(self.hash_map) / num_subdatasets if num_subdatasets else 0.0
+        return self.memory_model.cost_bits(num_subdatasets, alpha)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a compact byte string (header + hash map + Bloom).
+
+        This is the wire/storage format used when metadata does not fit in
+        one master's memory and is spread over a metadata store (the
+        paper's future-work direction; see :mod:`repro.core.metastore`).
+        """
+        import json
+
+        hash_blob = json.dumps(self.hash_map, separators=(",", ":")).encode("utf-8")
+        bloom_blob = self.bloom.to_bytes()
+        header = (
+            self.block_id.to_bytes(8, "little")
+            + self.delta.to_bytes(8, "little")
+            + len(hash_blob).to_bytes(8, "little")
+            + len(bloom_blob).to_bytes(8, "little")
+        )
+        return header + hash_blob + bloom_blob
+
+    @classmethod
+    def from_bytes(
+        cls, blob: bytes, *, memory_model: Optional[MemoryModel] = None
+    ) -> "BlockElasticMap":
+        """Inverse of :meth:`to_bytes`.
+
+        Raises:
+            MetadataError: for a truncated or inconsistent blob.
+        """
+        import json
+
+        if len(blob) < 32:
+            raise MetadataError("BlockElasticMap blob too short")
+        block_id = int.from_bytes(blob[0:8], "little")
+        delta = int.from_bytes(blob[8:16], "little")
+        hash_len = int.from_bytes(blob[16:24], "little")
+        bloom_len = int.from_bytes(blob[24:32], "little")
+        if len(blob) != 32 + hash_len + bloom_len:
+            raise MetadataError("BlockElasticMap blob length mismatch")
+        try:
+            hash_map = json.loads(blob[32 : 32 + hash_len].decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise MetadataError(f"corrupt hash-map payload: {exc}") from exc
+        try:
+            bloom = BloomFilter.from_bytes(blob[32 + hash_len :])
+        except ConfigError as exc:
+            raise MetadataError(f"corrupt bloom payload: {exc}") from exc
+        return cls(
+            block_id, hash_map, bloom, delta=delta, memory_model=memory_model
+        )
+
+
+class ElasticMapArray:
+    """The array of per-block ElasticMaps for one dataset (paper Figure 3).
+
+    Supports the two queries DataNet needs:
+
+    * :meth:`distribution` — per-block sizes of one sub-dataset (drives the
+      bipartite edge weights of Section IV).
+    * :meth:`estimate_total_size` — Eq. 6 total-size estimate ``Z``.
+
+    Plus the accuracy/memory accounting behind Table II and Figs. 9-10.
+    """
+
+    def __init__(self, blocks: Sequence[BlockElasticMap]) -> None:
+        ids = [b.block_id for b in blocks]
+        if len(set(ids)) != len(ids):
+            raise MetadataError("duplicate block ids in ElasticMapArray")
+        self._blocks: List[BlockElasticMap] = sorted(blocks, key=lambda b: b.block_id)
+        self._by_id: Dict[int, BlockElasticMap] = {b.block_id: b for b in self._blocks}
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self):
+        return iter(self._blocks)
+
+    def __getitem__(self, block_id: int) -> BlockElasticMap:
+        try:
+            return self._by_id[block_id]
+        except KeyError:
+            raise MetadataError(f"no ElasticMap for block {block_id}") from None
+
+    @property
+    def block_ids(self) -> List[int]:
+        """Sorted ids of all covered blocks."""
+        return [b.block_id for b in self._blocks]
+
+    def add_block(self, block_map: BlockElasticMap) -> None:
+        """Register metadata for a newly appended block.
+
+        Raises:
+            MetadataError: if the block id is already covered.
+        """
+        if block_map.block_id in self._by_id:
+            raise MetadataError(
+                f"block {block_map.block_id} already has metadata"
+            )
+        self._by_id[block_map.block_id] = block_map
+        import bisect
+
+        idx = bisect.bisect(
+            [b.block_id for b in self._blocks], block_map.block_id
+        )
+        self._blocks.insert(idx, block_map)
+
+    # -- sub-dataset queries -----------------------------------------------------
+
+    def distribution(self, sub_dataset_id: str) -> Dict[int, Tuple[int, QueryKind]]:
+        """Per-block ``(size, kind)`` for every block that (apparently) holds
+        ``sub_dataset_id``; blocks answering ``absent`` are omitted.
+
+        The omission is the paper's I/O-saving property: analysis can skip
+        blocks with no trace of the target sub-dataset entirely.
+        """
+        out: Dict[int, Tuple[int, QueryKind]] = {}
+        for block in self._blocks:
+            size, kind = block.query(sub_dataset_id)
+            if kind != "absent":
+                out[block.block_id] = (size, kind)
+        return out
+
+    def block_weights(self, sub_dataset_id: str) -> Dict[int, int]:
+        """Per-block byte weights ``|b ∩ s|`` (approximate for Bloom hits)."""
+        return {bid: size for bid, (size, _k) in self.distribution(sub_dataset_id).items()}
+
+    def blocks_containing(self, sub_dataset_id: str) -> List[int]:
+        """Ids of blocks that may hold the sub-dataset (hash-map or Bloom hit)."""
+        return sorted(self.distribution(sub_dataset_id).keys())
+
+    def global_delta(self) -> int:
+        """Eq. 6's ``delta``: the smallest per-block intersection observed."""
+        if not self._blocks:
+            return BlockElasticMap.DEFAULT_DELTA
+        return min(b.delta for b in self._blocks)
+
+    def estimate_total_size(self, sub_dataset_id: str) -> int:
+        """Eq. 6: ``Z = sum_{b in tau1} |s ∩ b| + delta * |tau2|``.
+
+        ``tau1`` are blocks answering exactly (hash map), ``tau2`` blocks
+        answering approximately (Bloom filter).
+        """
+        delta = self.global_delta()
+        total = 0
+        for bid, (size, kind) in self.distribution(sub_dataset_id).items():
+            if kind == "exact":
+                total += size
+            elif self[bid].reports_tail_sizes:
+                total += size  # the tail store estimated a real size
+            else:
+                total += delta
+        return total
+
+    # -- accuracy & memory accounting (Table II, Fig. 9) -----------------------------
+
+    def estimate_dataset_size(self, sub_dataset_ids: Iterable[str]) -> int:
+        """Eq. 6 estimate summed over a collection of sub-dataset ids."""
+        return sum(self.estimate_total_size(sid) for sid in sub_dataset_ids)
+
+    def accuracy(self, sub_dataset_ids: Iterable[str], raw_bytes: int) -> float:
+        """The paper's overall accuracy ``chi``.
+
+        ``chi = 1 - |estimated_total - raw_bytes| / raw_bytes`` where the
+        estimate is Eq. 6 summed over all sub-datasets.  1.0 means the
+        metadata reconstructs the dataset size perfectly; Bloom-filter
+        approximation and false positives pull it below 1.
+        """
+        if raw_bytes <= 0:
+            raise MetadataError("raw_bytes must be positive to compute accuracy")
+        est = self.estimate_dataset_size(sub_dataset_ids)
+        return 1.0 - abs(est - raw_bytes) / raw_bytes
+
+    def memory_bits(self) -> float:
+        """Total actual metadata bits across all blocks."""
+        return sum(b.memory_bits() for b in self._blocks)
+
+    def memory_bytes(self) -> float:
+        """Total actual metadata bytes across all blocks."""
+        return self.memory_bits() / 8.0
+
+    def representation_ratio(self, raw_bytes: int) -> float:
+        """Table II's ratio: raw data bytes represented per metadata byte."""
+        mem = self.memory_bytes()
+        if mem <= 0:
+            raise MetadataError("ElasticMapArray holds no metadata")
+        return raw_bytes / mem

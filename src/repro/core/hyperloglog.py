@@ -1,0 +1,144 @@
+"""HyperLogLog: cardinality estimation for sub-dataset statistics.
+
+Two uses in this repository:
+
+* the **distinct-words** analysis application (how many distinct tokens a
+  sub-dataset contains — a classic aggregation whose exact answer needs a
+  giant shuffle, but whose HLL sketch shuffles a few KiB);
+* cheap per-block **sub-dataset cardinality** (how many distinct
+  sub-datasets a block holds — the ``m`` in the Eq. 5 memory model)
+  without keeping per-id state.
+
+Standard HLL (Flajolet et al.) with the small-range linear-counting
+correction; registers are a NumPy uint8 array, and sketches merge by
+element-wise max (used as a MapReduce combiner).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["HyperLogLog"]
+
+
+def _alpha(m: int) -> float:
+    """The standard bias-correction constant for ``m`` registers."""
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / m)
+
+
+class HyperLogLog:
+    """Distinct-count sketch over string/bytes keys.
+
+    Args:
+        precision: ``p``; the sketch uses ``2**p`` one-byte registers and
+            achieves a relative error around ``1.04 / sqrt(2**p)``
+            (p=12 → ~1.6 %).
+        seed: salt so independent sketches hash independently.
+    """
+
+    __slots__ = ("precision", "num_registers", "seed", "_registers")
+
+    def __init__(self, precision: int = 12, *, seed: int = 0) -> None:
+        if not (4 <= precision <= 18):
+            raise ConfigError(f"precision must be in [4, 18], got {precision}")
+        self.precision = precision
+        self.num_registers = 1 << precision
+        self.seed = seed
+        self._registers = np.zeros(self.num_registers, dtype=np.uint8)
+
+    # -- updates ------------------------------------------------------------------
+
+    def _hash(self, key: str | bytes) -> int:
+        data = key.encode("utf-8") if isinstance(key, str) else key
+        digest = hashlib.blake2b(
+            data, digest_size=8, salt=self.seed.to_bytes(8, "little")
+        ).digest()
+        return int.from_bytes(digest, "little")
+
+    def add(self, key: str | bytes) -> None:
+        """Insert one element (idempotent)."""
+        h = self._hash(key)
+        idx = h & (self.num_registers - 1)
+        rest = h >> self.precision
+        # rank = position of the leftmost 1-bit in the remaining 64-p bits
+        rank = (64 - self.precision) - rest.bit_length() + 1
+        if rank > self._registers[idx]:
+            self._registers[idx] = rank
+
+    def update(self, keys: Iterable[str | bytes]) -> None:
+        """Insert every element of ``keys``."""
+        for key in keys:
+            self.add(key)
+
+    # -- estimate -----------------------------------------------------------------
+
+    def estimate(self) -> float:
+        """Estimated number of distinct inserted elements."""
+        m = self.num_registers
+        regs = self._registers.astype(np.float64)
+        raw = _alpha(m) * m * m / np.power(2.0, -regs).sum()
+        zeros = int((self._registers == 0).sum())
+        if raw <= 2.5 * m and zeros > 0:
+            return m * math.log(m / zeros)  # linear counting, small range
+        return float(raw)
+
+    def __len__(self) -> int:
+        return int(round(self.estimate()))
+
+    @property
+    def relative_error(self) -> float:
+        """The sketch's standard error ``1.04 / sqrt(m)``."""
+        return 1.04 / math.sqrt(self.num_registers)
+
+    # -- algebra -------------------------------------------------------------------
+
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        """Union of two sketches (register-wise max); same geometry required."""
+        if (
+            self.precision != other.precision
+            or self.seed != other.seed
+        ):
+            raise ConfigError("HyperLogLog sketches have incompatible geometry")
+        out = HyperLogLog(self.precision, seed=self.seed)
+        np.maximum(self._registers, other._registers, out=out._registers)
+        return out
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self._registers.nbytes)
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize geometry + registers."""
+        header = self.precision.to_bytes(1, "little") + self.seed.to_bytes(
+            8, "little", signed=True
+        )
+        return header + self._registers.tobytes()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "HyperLogLog":
+        """Inverse of :meth:`to_bytes`."""
+        if len(blob) < 9:
+            raise ConfigError("hyperloglog blob too short")
+        precision = blob[0]
+        out = cls(precision, seed=int.from_bytes(blob[1:9], "little", signed=True))
+        regs = np.frombuffer(blob[9:], dtype=np.uint8)
+        if regs.size != out.num_registers:
+            raise ConfigError("hyperloglog blob register-count mismatch")
+        out._registers = regs.copy()
+        return out

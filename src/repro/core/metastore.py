@@ -1,0 +1,310 @@
+"""Distributed ElasticMap metadata store (paper Section V-B.1 future work).
+
+The paper: "as the problem size becomes extremely large, the meta-data may
+not be able to reside in memory.  In such cases, the meta-data can be
+stored into a database or distributed among multiple machines."  This
+module builds that machinery:
+
+* :class:`MetaNode` — one metadata server holding serialized
+  :class:`~repro.core.elasticmap.BlockElasticMap` blobs.
+* :class:`ShardMap` — rendezvous (highest-random-weight) hashing of block
+  ids onto meta-nodes with a configurable replication factor; adding or
+  removing a node only remaps the blocks that must move.
+* :class:`DistributedMetaStore` — the client facade: ``put``/``get`` per
+  block, the same ``distribution`` / ``estimate_total_size`` queries an
+  in-memory :class:`~repro.core.elasticmap.ElasticMapArray` answers, and
+  transparent failover to replica meta-nodes when a server is down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import ConfigError, MetadataError
+from .elasticmap import BlockElasticMap, ElasticMapArray, MemoryModel, QueryKind
+
+__all__ = ["MetaNode", "ShardMap", "DistributedMetaStore"]
+
+
+class MetaNode:
+    """One metadata server: a byte-blob store keyed by block id."""
+
+    def __init__(self, node_id: str) -> None:
+        if not node_id:
+            raise ConfigError("meta-node id must be non-empty")
+        self.node_id = node_id
+        self._blobs: Dict[int, bytes] = {}
+        self._alive = True
+
+    # -- storage ----------------------------------------------------------------
+
+    def put(self, block_id: int, blob: bytes) -> None:
+        """Store (or overwrite) one block's serialized metadata."""
+        self._ensure_alive()
+        self._blobs[block_id] = blob
+
+    def get(self, block_id: int) -> bytes:
+        """Fetch one block's blob.
+
+        Raises:
+            MetadataError: if the node is down or the blob is absent.
+        """
+        self._ensure_alive()
+        try:
+            return self._blobs[block_id]
+        except KeyError:
+            raise MetadataError(
+                f"meta-node {self.node_id} holds no metadata for block {block_id}"
+            ) from None
+
+    def has(self, block_id: int) -> bool:
+        self._ensure_alive()
+        return block_id in self._blobs
+
+    def drop(self, block_id: int) -> None:
+        """Remove a blob if present (rebalancing)."""
+        self._ensure_alive()
+        self._blobs.pop(block_id, None)
+
+    @property
+    def stored_blocks(self) -> List[int]:
+        """Ids currently stored, sorted (inspection/testing)."""
+        return sorted(self._blobs)
+
+    def used_bytes(self) -> int:
+        """Total blob bytes held."""
+        return sum(len(b) for b in self._blobs.values())
+
+    # -- liveness ----------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def fail(self) -> None:
+        """Simulate a crash: all requests raise until :meth:`recover`."""
+        self._alive = False
+
+    def recover(self) -> None:
+        """Bring the node back (its blobs survive, like a disk-backed store)."""
+        self._alive = True
+
+    def _ensure_alive(self) -> None:
+        if not self._alive:
+            raise MetadataError(f"meta-node {self.node_id} is down")
+
+
+class ShardMap:
+    """Rendezvous-hash placement of block metadata onto meta-nodes.
+
+    Every block id is mapped to the ``replication`` meta-nodes with the
+    highest hash score — a standard technique whose property we rely on:
+    membership changes reshuffle only the affected blocks.
+    """
+
+    def __init__(self, node_ids: Iterable[str], *, replication: int = 2) -> None:
+        ids = list(node_ids)
+        if not ids:
+            raise ConfigError("ShardMap needs at least one meta-node")
+        if len(set(ids)) != len(ids):
+            raise ConfigError("duplicate meta-node ids")
+        if replication <= 0:
+            raise ConfigError("replication must be positive")
+        self.node_ids = ids
+        self.replication = min(replication, len(ids))
+
+    @staticmethod
+    def _score(node_id: str, block_id: int) -> int:
+        digest = hashlib.blake2b(
+            f"{node_id}/{block_id}".encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "little")
+
+    def owners(self, block_id: int) -> List[str]:
+        """The meta-nodes responsible for ``block_id``, primary first."""
+        ranked = sorted(
+            self.node_ids, key=lambda n: self._score(n, block_id), reverse=True
+        )
+        return ranked[: self.replication]
+
+    def with_nodes(self, node_ids: Iterable[str]) -> "ShardMap":
+        """A new map over a different membership (same replication)."""
+        return ShardMap(node_ids, replication=self.replication)
+
+
+class DistributedMetaStore:
+    """Client facade over a fleet of meta-nodes.
+
+    Args:
+        num_nodes: meta-node count.
+        replication: metadata copies per block (failover depth).
+        memory_model: attached to deserialized block maps.
+
+    Ingest with :meth:`load_array` (spreads an existing
+    :class:`ElasticMapArray`) or :meth:`put_block`; query exactly like the
+    in-memory array.  When a meta-node is down, reads fail over to the next
+    replica; writes go to every live owner.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        *,
+        replication: int = 2,
+        memory_model: Optional[MemoryModel] = None,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ConfigError("num_nodes must be positive")
+        self.nodes: Dict[str, MetaNode] = {
+            f"meta-{i}": MetaNode(f"meta-{i}") for i in range(num_nodes)
+        }
+        self.shard_map = ShardMap(self.nodes.keys(), replication=replication)
+        self.memory_model = memory_model or MemoryModel()
+        self._block_ids: Set[int] = set()
+
+    # -- ingest -----------------------------------------------------------------
+
+    def put_block(self, block_map: BlockElasticMap) -> None:
+        """Store one block's metadata on all its live owners."""
+        blob = block_map.to_bytes()
+        owners = self.shard_map.owners(block_map.block_id)
+        stored = 0
+        for owner in owners:
+            node = self.nodes[owner]
+            if node.alive:
+                node.put(block_map.block_id, blob)
+                stored += 1
+        if stored == 0:
+            raise MetadataError(
+                f"no live meta-node available for block {block_map.block_id}"
+            )
+        self._block_ids.add(block_map.block_id)
+
+    def load_array(self, array: ElasticMapArray) -> None:
+        """Spread a whole ElasticMap array across the fleet."""
+        for block_map in array:
+            self.put_block(block_map)
+
+    # -- lookups -------------------------------------------------------------------
+
+    @property
+    def block_ids(self) -> List[int]:
+        """All block ids ever stored, sorted."""
+        return sorted(self._block_ids)
+
+    def get_block(self, block_id: int) -> BlockElasticMap:
+        """Fetch and deserialize one block's metadata, with failover.
+
+        Raises:
+            MetadataError: when no replica is reachable or the block is
+                unknown.
+        """
+        if block_id not in self._block_ids:
+            raise MetadataError(f"block {block_id} not stored")
+        last_error: Optional[Exception] = None
+        for owner in self.shard_map.owners(block_id):
+            node = self.nodes[owner]
+            if not node.alive:
+                last_error = MetadataError(f"meta-node {owner} is down")
+                continue
+            try:
+                blob = node.get(block_id)
+            except MetadataError as exc:
+                last_error = exc
+                continue
+            return BlockElasticMap.from_bytes(blob, memory_model=self.memory_model)
+        raise MetadataError(
+            f"no live replica of metadata for block {block_id}: {last_error}"
+        )
+
+    # -- the ElasticMapArray-compatible queries ----------------------------------------
+
+    def distribution(self, sub_dataset_id: str) -> Dict[int, Tuple[int, QueryKind]]:
+        """Per-block ``(size, kind)`` — same contract as the in-memory array."""
+        out: Dict[int, Tuple[int, QueryKind]] = {}
+        for bid in self.block_ids:
+            size, kind = self.get_block(bid).query(sub_dataset_id)
+            if kind != "absent":
+                out[bid] = (size, kind)
+        return out
+
+    def block_weights(self, sub_dataset_id: str) -> Dict[int, int]:
+        """Per-block byte weights, Bloom hits approximated by delta."""
+        return {b: s for b, (s, _k) in self.distribution(sub_dataset_id).items()}
+
+    def estimate_total_size(self, sub_dataset_id: str) -> int:
+        """Eq. 6 over the distributed store."""
+        deltas = [self.get_block(b).delta for b in self.block_ids]
+        delta = min(deltas) if deltas else BlockElasticMap.DEFAULT_DELTA
+        exact = 0
+        approx = 0
+        for _b, (size, kind) in self.distribution(sub_dataset_id).items():
+            if kind == "exact":
+                exact += size
+            else:
+                approx += 1
+        return exact + delta * approx
+
+    # -- operations -----------------------------------------------------------------
+
+    def add_node(self, node_id: Optional[str] = None) -> str:
+        """Grow the fleet by one meta-node and rebalance ownership.
+
+        Rendezvous hashing keeps movement minimal: only blocks whose owner
+        set changes migrate.  Blobs the new node now owns are copied to it;
+        blobs a node no longer owns are dropped.  Returns the new node id.
+        """
+        if node_id is None:
+            i = len(self.nodes)
+            while f"meta-{i}" in self.nodes:
+                i += 1
+            node_id = f"meta-{i}"
+        if node_id in self.nodes:
+            raise ConfigError(f"meta-node {node_id!r} already exists")
+        old_map = self.shard_map
+        self.nodes[node_id] = MetaNode(node_id)
+        new_map = old_map.with_nodes(self.nodes.keys())
+        # migrate while the OLD map still resolves reads, then switch over
+        for bid in self.block_ids:
+            new_owners = set(new_map.owners(bid))
+            old_owners = set(old_map.owners(bid))
+            if new_owners == old_owners:
+                continue
+            blob = self.get_block(bid).to_bytes()  # reads via old owners
+            for owner in new_owners - old_owners:
+                node = self.nodes[owner]
+                if node.alive and not node.has(bid):
+                    node.put(bid, blob)
+            for owner in old_owners - new_owners:
+                node = self.nodes[owner]
+                if node.alive:
+                    node.drop(bid)
+        self.shard_map = new_map
+        return node_id
+
+    def fail_node(self, node_id: str) -> None:
+        """Take one meta-node down (reads fail over, writes skip it)."""
+        try:
+            self.nodes[node_id].fail()
+        except KeyError:
+            raise ConfigError(f"unknown meta-node {node_id!r}") from None
+
+    def recover_node(self, node_id: str) -> None:
+        """Bring a meta-node back and re-sync the blobs it should own."""
+        try:
+            node = self.nodes[node_id]
+        except KeyError:
+            raise ConfigError(f"unknown meta-node {node_id!r}") from None
+        node.recover()
+        for bid in self.block_ids:
+            if node_id in self.shard_map.owners(bid) and not node.has(bid):
+                node.put(bid, self.get_block(bid).to_bytes())
+
+    def storage_by_node(self) -> Dict[str, int]:
+        """Blob bytes per live meta-node (balance inspection)."""
+        return {
+            nid: node.used_bytes()
+            for nid, node in self.nodes.items()
+            if node.alive
+        }

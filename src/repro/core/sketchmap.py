@@ -1,0 +1,129 @@
+"""Count-Min-backed ElasticMap variant.
+
+Drop-in alternative to the paper's Bloom-only tail: membership is still
+answered by a Bloom filter (cheap, no false negatives), but a positive
+answer is priced by a :class:`~repro.core.countmin.CountMinSketch` holding
+approximate tail *sizes* instead of the global constant ``delta``.  The
+Bloom gate matters: consulting the sketch for every queried id would turn
+its hash collisions into widespread phantom sizes, while Bloom-gated
+lookups expose only ~``eps`` of them.  Costs more bits per tail entry than
+Bloom alone; buys tighter Eq. 6 estimates and better scheduler weights for
+mid-sized sub-datasets.  The ``ablation_tail_store`` bench quantifies the
+trade.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .bucketizer import SeparationResult
+from .countmin import CountMinSketch
+from .elasticmap import BlockElasticMap, MemoryModel, QueryKind
+
+__all__ = ["SketchBlockElasticMap"]
+
+
+class SketchBlockElasticMap(BlockElasticMap):
+    """Per-block metadata with a Count-Min sketch tail.
+
+    The interface is identical to :class:`BlockElasticMap` (it slots into
+    :class:`~repro.core.elasticmap.ElasticMapArray` unchanged); only the
+    tail behaviour differs: ``query`` on a tail sub-dataset first passes
+    the Bloom membership gate and then returns the sketch's size estimate
+    (clamped below by 1 byte) as an ``"approx"`` answer.
+    """
+
+    __slots__ = ("sketch",)
+
+    reports_tail_sizes = True
+
+    def __init__(
+        self,
+        block_id: int,
+        hash_map,
+        sketch: CountMinSketch,
+        *,
+        bloom=None,
+        delta: Optional[int] = None,
+        memory_model: Optional[MemoryModel] = None,
+    ) -> None:
+        from .bloom import BloomFilter
+
+        model = memory_model or MemoryModel()
+        if bloom is None:
+            bloom = BloomFilter(
+                capacity=1, error_rate=model.bloom_error_rate, seed=block_id
+            )
+        super().__init__(
+            block_id,
+            hash_map,
+            bloom,
+            delta=delta,
+            memory_model=model,
+        )
+        self.sketch = sketch
+
+    @classmethod
+    def from_separation(
+        cls,
+        block_id: int,
+        result: SeparationResult,
+        *,
+        memory_model: Optional[MemoryModel] = None,
+        epsilon: float = 0.02,
+        sketch_delta: float = 0.05,
+    ) -> "SketchBlockElasticMap":
+        """Build from a dominant/tail separation, sketching the tail sizes."""
+        from .bloom import BloomFilter
+
+        model = memory_model or MemoryModel()
+        sketch = CountMinSketch(epsilon=epsilon, delta=sketch_delta, seed=block_id)
+        bloom = BloomFilter(
+            capacity=max(len(result.tail), 1),
+            error_rate=model.bloom_error_rate,
+            seed=block_id,
+        )
+        for sid, nbytes in result.tail.items():
+            sketch.add(sid, max(nbytes, 1))
+            bloom.add(sid)
+        if result.tail:
+            delta = min(result.tail.values())
+        elif result.dominant:
+            delta = min(result.dominant.values())
+        else:
+            delta = None
+        return cls(
+            block_id,
+            result.dominant,
+            sketch,
+            bloom=bloom,
+            delta=max(delta, 1) if delta is not None else None,
+            memory_model=model,
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    def query(self, sub_dataset_id: str) -> Tuple[int, QueryKind]:
+        """Exact for dominant entries; Bloom-gated sketch estimate for the tail."""
+        size = self.hash_map.get(sub_dataset_id)
+        if size is not None:
+            return size, "exact"
+        if sub_dataset_id not in self.bloom:
+            return 0, "absent"
+        return max(self.sketch.estimate(sub_dataset_id), 1), "approx"
+
+    def __contains__(self, sub_dataset_id: str) -> bool:
+        return sub_dataset_id in self.hash_map or sub_dataset_id in self.bloom
+
+    # -- memory accounting -------------------------------------------------------
+
+    def memory_bits(self) -> float:
+        """Hash-map entries + Bloom membership gate + sketch counters."""
+        per_hash = (
+            self.memory_model.hashmap_bits_per_entry / self.memory_model.load_factor
+        )
+        return (
+            len(self.hash_map) * per_hash
+            + self.bloom.memory_bits
+            + self.sketch.memory_bits
+        )

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subsystems get
+their own subclass to make failures attributable: a scheduling failure is
+distinguishable from a storage-layer failure without string matching.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class StorageError(ReproError):
+    """Raised by the HDFS substrate (``repro.hdfs``)."""
+
+
+class BlockNotFoundError(StorageError, KeyError):
+    """A block id was requested that the NameNode does not know about."""
+
+
+class ReplicationError(StorageError):
+    """Replica placement could not satisfy the requested replication factor."""
+
+
+class MetadataError(ReproError):
+    """Raised by the ElasticMap / DataNet metadata layer (``repro.core``)."""
+
+
+class SchedulingError(ReproError):
+    """Raised by schedulers when an assignment cannot be produced."""
+
+
+class JobError(ReproError):
+    """Raised by the MapReduce engine for malformed or failed jobs."""

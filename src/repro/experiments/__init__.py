@@ -1,0 +1,28 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Each driver exposes a ``run_*`` function returning a result dataclass with
+a ``format()`` method that prints the same rows/series the paper reports.
+Examples and benchmarks call these drivers; they contain *no* measurement
+logic of their own — everything comes from the library layers below.
+
+Driver map (see DESIGN.md section 4 for the full experiment index):
+
+========  =====================================================
+Fig. 1    :func:`repro.experiments.fig1.run_fig1`
+Fig. 2    :func:`repro.experiments.fig2.run_fig2`
+Table I   :func:`repro.experiments.table1.run_table1`
+Fig. 5    :func:`repro.experiments.fig5.run_fig5`
+Fig. 6    :func:`repro.experiments.fig6.run_fig6`
+Fig. 7    :func:`repro.experiments.fig7.run_fig7`
+Fig. 8    :func:`repro.experiments.fig8.run_fig8`
+§V-A.4    :func:`repro.experiments.migration.run_migration`
+Table II  :func:`repro.experiments.table2.run_table2`
+Fig. 9    :func:`repro.experiments.fig9.run_fig9`
+Fig. 10   :func:`repro.experiments.fig10.run_fig10`
+Ablations :mod:`repro.experiments.ablations`
+========  =====================================================
+"""
+
+from .config import ReferenceConfig, MovieEnvironment, build_movie_environment
+
+__all__ = ["ReferenceConfig", "MovieEnvironment", "build_movie_environment"]

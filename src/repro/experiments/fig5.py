@@ -1,0 +1,114 @@
+"""Figure 5: the headline comparison on the 32-node cluster.
+
+(a) overall execution time of the four analysis jobs with/without DataNet
+    (paper improvements: MovingAverage 20 %, WordCount 39.1 %,
+    Histogram 40.6 %, TopKSearch 42 %);
+(b) the target sub-dataset's distribution over HDFS blocks;
+(c) the filtered workload per node under both scheduling methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..metrics.balance import imbalance_ratio
+from ..metrics.reporting import format_table
+from ..units import KiB
+from .config import ReferenceConfig
+from .pipeline import APP_ORDER, ReferencePipeline, run_reference_pipeline
+
+__all__ = ["Fig5Result", "run_fig5", "PAPER_IMPROVEMENTS"]
+
+#: The improvements reported in the paper's text for Fig. 5a.
+PAPER_IMPROVEMENTS: Dict[str, float] = {
+    "moving_average": 0.20,
+    "word_count": 0.391,
+    "histogram": 0.406,
+    "top_k_search": 0.42,
+}
+
+
+@dataclass
+class Fig5Result:
+    """All three panels of Figure 5."""
+
+    overall: Dict[str, Dict[str, float]]  # app -> {without, with, improvement}
+    block_series: List[float]  # Fig. 5b: target KiB per block
+    node_workloads_without: Dict[object, float]  # Fig. 5c, KiB
+    node_workloads_with: Dict[object, float]
+
+    @property
+    def imbalance_without(self) -> float:
+        return imbalance_ratio(self.node_workloads_without.values())
+
+    @property
+    def imbalance_with(self) -> float:
+        return imbalance_ratio(self.node_workloads_with.values())
+
+    def format(self) -> str:
+        rows = [
+            [
+                app,
+                f"{self.overall[app]['without']:.1f}",
+                f"{self.overall[app]['with']:.1f}",
+                f"{self.overall[app]['improvement']:.1%}",
+                f"{PAPER_IMPROVEMENTS[app]:.1%}",
+            ]
+            for app in APP_ORDER
+        ]
+        t1 = format_table(
+            ["application", "without (s)", "with (s)", "improvement", "paper"],
+            rows,
+            title="Figure 5a — overall execution time of the analysis jobs",
+        )
+        nonzero = sum(1 for v in self.block_series if v > 0)
+        t2 = (
+            f"\nFigure 5b — target over {len(self.block_series)} blocks: "
+            f"{nonzero} blocks hold data, densest block "
+            f"{max(self.block_series):.1f} KiB"
+        )
+        rows3 = [
+            [
+                node,
+                f"{self.node_workloads_without[node]:.1f}",
+                f"{self.node_workloads_with[node]:.1f}",
+            ]
+            for node in sorted(self.node_workloads_without)
+        ]
+        t3 = format_table(
+            ["node", "without KiB", "with KiB"],
+            rows3,
+            title=(
+                f"\nFigure 5c — filtered workload per node "
+                f"(imbalance {self.imbalance_without:.2f} -> "
+                f"{self.imbalance_with:.2f})"
+            ),
+        )
+        return t1 + t2 + "\n" + t3
+
+
+def run_fig5(config: Optional[ReferenceConfig] = None) -> Fig5Result:
+    """Reproduce all three panels from the shared reference pipeline."""
+    pipe: ReferencePipeline = run_reference_pipeline(config)
+    improvements = pipe.improvements()
+    overall = {
+        app: {
+            "without": pipe.without_datanet.jobs[app].total_time,
+            "with": pipe.with_datanet.jobs[app].total_time,
+            "improvement": improvements[app],
+        }
+        for app in APP_ORDER
+    }
+    per_block = pipe.env.dataset.subdataset_bytes_per_block(pipe.env.target)
+    series = [per_block.get(bid, 0) / KiB for bid in pipe.env.dataset.block_ids]
+    return Fig5Result(
+        overall=overall,
+        block_series=series,
+        node_workloads_without={
+            n: b / KiB for n, b in pipe.without_datanet.selection.bytes_per_node.items()
+        },
+        node_workloads_with={
+            n: b / KiB for n, b in pipe.with_datanet.selection.bytes_per_node.items()
+        },
+    )

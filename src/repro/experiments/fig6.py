@@ -1,0 +1,96 @@
+"""Figure 6: map execution time on the filtered sub-dataset.
+
+(a) Top K Search per-node map times — the paper observes a 5 s fastest vs
+    64 s slowest node without DataNet;
+(b)/(c) min/avg/max map times for Moving Average vs Word Count — the
+    min-max gap widens with computational weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..metrics.balance import BalanceSummary, summarize
+from ..metrics.reporting import format_table
+from .config import ReferenceConfig
+from .pipeline import ReferencePipeline, run_reference_pipeline
+
+__all__ = ["Fig6Result", "run_fig6"]
+
+
+@dataclass
+class Fig6Result:
+    """Per-node map timings for the analysis jobs."""
+
+    topk_map_times_without: Dict[object, float]  # Fig. 6a
+    topk_map_times_with: Dict[object, float]
+    summaries: Dict[str, Dict[str, BalanceSummary]]  # app -> method -> stats
+
+    @property
+    def topk_spread_without(self) -> float:
+        """max/min of TopK map times without DataNet (paper: 64/5 ≈ 13x)."""
+        vals = list(self.topk_map_times_without.values())
+        return max(vals) / min(vals) if min(vals) > 0 else float("inf")
+
+    def gap(self, app: str, method: str) -> float:
+        """max - min map time (the Fig. 6b/c whisker width)."""
+        s = self.summaries[app][method]
+        return s.maximum - s.minimum
+
+    def format(self) -> str:
+        t1_rows = [
+            [
+                node,
+                f"{self.topk_map_times_without[node]:.1f}",
+                f"{self.topk_map_times_with[node]:.1f}",
+            ]
+            for node in sorted(self.topk_map_times_without)
+        ]
+        t1 = format_table(
+            ["node", "without (s)", "with (s)"],
+            t1_rows,
+            title=(
+                "Figure 6a — TopK map time per node "
+                f"(spread without: {self.topk_spread_without:.1f}x)"
+            ),
+        )
+        t2_rows = []
+        for app in ("moving_average", "word_count", "top_k_search"):
+            for method in ("without", "with"):
+                s = self.summaries[app][method]
+                t2_rows.append(
+                    [
+                        app,
+                        method,
+                        f"{s.minimum:.2f}",
+                        f"{s.mean:.2f}",
+                        f"{s.maximum:.2f}",
+                    ]
+                )
+        t2 = format_table(
+            ["application", "method", "min (s)", "avg (s)", "max (s)"],
+            t2_rows,
+            title="\nFigure 6b/c — map-time min/avg/max",
+        )
+        return t1 + "\n" + t2
+
+
+def run_fig6(config: Optional[ReferenceConfig] = None) -> Fig6Result:
+    """Extract Figure 6's views from the shared reference pipeline."""
+    pipe: ReferencePipeline = run_reference_pipeline(config)
+    summaries: Dict[str, Dict[str, BalanceSummary]] = {}
+    for app in ("moving_average", "word_count", "histogram", "top_k_search"):
+        summaries[app] = {
+            "without": summarize(
+                list(pipe.without_datanet.jobs[app].map_times.values())
+            ),
+            "with": summarize(list(pipe.with_datanet.jobs[app].map_times.values())),
+        }
+    return Fig6Result(
+        topk_map_times_without=dict(
+            pipe.without_datanet.jobs["top_k_search"].map_times
+        ),
+        topk_map_times_with=dict(pipe.with_datanet.jobs["top_k_search"].map_times),
+        summaries=summaries,
+    )

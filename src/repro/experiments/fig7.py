@@ -1,0 +1,63 @@
+"""Figure 7: shuffle-phase execution time comparison.
+
+The paper: "the shuffle phase without the use of DataNet takes 4-5X longer
+than with DataNet", and Top K Search's shuffle speedup exceeds Word
+Count's because its map phase is longer (the straggler wait dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..metrics.balance import speedup
+from ..metrics.reporting import format_table
+from .config import ReferenceConfig
+from .pipeline import ReferencePipeline, run_reference_pipeline
+
+__all__ = ["Fig7Result", "run_fig7"]
+
+
+@dataclass
+class Fig7Result:
+    """Shuffle min/avg/max per app and method, plus speedups."""
+
+    stats: Dict[str, Dict[str, Dict[str, float]]]  # app -> method -> min/avg/max
+
+    def speedup_of(self, app: str) -> float:
+        """Mean-shuffle speedup of DataNet for one application."""
+        return speedup(
+            self.stats[app]["without"]["avg"], self.stats[app]["with"]["avg"]
+        )
+
+    def format(self) -> str:
+        rows = []
+        for app in ("word_count", "top_k_search"):
+            for method in ("without", "with"):
+                s = self.stats[app][method]
+                rows.append(
+                    [app, method, f"{s['min']:.2f}", f"{s['avg']:.2f}", f"{s['max']:.2f}"]
+                )
+            rows.append(
+                [app, "speedup", f"{self.speedup_of(app):.1f}x", "", ""]
+            )
+        return format_table(
+            ["application", "method", "min (s)", "avg (s)", "max (s)"],
+            rows,
+            title="Figure 7 — shuffle-phase execution times (paper: 4-5x)",
+        )
+
+
+def run_fig7(config: Optional[ReferenceConfig] = None) -> Fig7Result:
+    """Extract Figure 7's shuffle statistics from the reference pipeline."""
+    pipe: ReferencePipeline = run_reference_pipeline(config)
+    stats: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for app in ("moving_average", "word_count", "histogram", "top_k_search"):
+        stats[app] = {}
+        for method, run in (
+            ("without", pipe.without_datanet),
+            ("with", pipe.with_datanet),
+        ):
+            sh = run.jobs[app].shuffle
+            stats[app][method] = {"min": sh.min, "avg": sh.mean, "max": sh.max}
+    return Fig7Result(stats=stats)

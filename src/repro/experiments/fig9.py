@@ -1,0 +1,113 @@
+"""Figure 9: per-sub-dataset accuracy of the Eq. 6 size estimate.
+
+Movies are sorted by actual size; the estimate/actual ratio is plotted
+against size.  The paper's finding: large sub-datasets (dominant on most
+of their blocks, hence hash-map-resident) estimate accurately; small ones
+(Bloom-resident) deviate — but they are also the ones that cannot cause
+imbalance, so the inaccuracy is harmless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..metrics.reporting import format_table
+from ..units import KiB
+from .config import ReferenceConfig, build_movie_environment
+
+__all__ = ["Fig9Point", "Fig9Result", "run_fig9"]
+
+
+@dataclass(frozen=True)
+class Fig9Point:
+    """One sub-dataset's actual vs estimated size."""
+
+    sub_id: str
+    actual_bytes: int
+    estimated_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        """estimate / actual (1.0 is perfect)."""
+        return self.estimated_bytes / self.actual_bytes if self.actual_bytes else 1.0
+
+
+@dataclass
+class Fig9Result:
+    """Per-sub-dataset estimate accuracy, sorted ascending by actual size."""
+
+    points: List[Fig9Point]
+    small_threshold: int  # bytes below which the paper expects deviation
+
+    def mean_ratio_above(self, threshold: int) -> float:
+        pts = [p for p in self.points if p.actual_bytes >= threshold]
+        return sum(p.ratio for p in pts) / len(pts) if pts else float("nan")
+
+    def mean_abs_error_above(self, threshold: int) -> float:
+        """Mean |ratio - 1| of sub-datasets at or above ``threshold``."""
+        pts = [p for p in self.points if p.actual_bytes >= threshold]
+        return (
+            sum(abs(p.ratio - 1.0) for p in pts) / len(pts) if pts else float("nan")
+        )
+
+    def mean_abs_error_below(self, threshold: int) -> float:
+        pts = [p for p in self.points if p.actual_bytes < threshold]
+        return (
+            sum(abs(p.ratio - 1.0) for p in pts) / len(pts) if pts else float("nan")
+        )
+
+    def format(self) -> str:
+        # decile view over the size-sorted series
+        n = len(self.points)
+        rows = []
+        for d in range(10):
+            chunk = self.points[d * n // 10 : (d + 1) * n // 10]
+            if not chunk:
+                continue
+            mean_ratio = sum(p.ratio for p in chunk) / len(chunk)
+            rows.append(
+                [
+                    f"decile {d + 1}",
+                    f"{chunk[0].actual_bytes / KiB:.1f}",
+                    f"{chunk[-1].actual_bytes / KiB:.1f}",
+                    f"{mean_ratio:.2f}",
+                ]
+            )
+        return format_table(
+            ["size band", "from KiB", "to KiB", "mean est/actual"],
+            rows,
+            title=(
+                "Figure 9 — estimate accuracy vs sub-dataset size "
+                f"(err small: {self.mean_abs_error_below(self.small_threshold):.2f}, "
+                f"large: {self.mean_abs_error_above(self.small_threshold):.2f})"
+            ),
+        )
+
+
+def run_fig9(
+    config: Optional[ReferenceConfig] = None, *, max_subdatasets: int = 400
+) -> Fig9Result:
+    """Compare Eq. 6 estimates to ground truth for every movie.
+
+    ``max_subdatasets`` limits the series to the largest N movies plus a
+    uniform sample of the tail, keeping the driver fast at full scale.
+    """
+    env = build_movie_environment(config)
+    sizes = env.dataset.subdataset_sizes()
+    ordered = sorted(sizes, key=sizes.get)
+    if len(ordered) > max_subdatasets:
+        step = len(ordered) / max_subdatasets
+        ordered = [ordered[int(i * step)] for i in range(max_subdatasets)]
+    points = [
+        Fig9Point(
+            sub_id=sid,
+            actual_bytes=sizes[sid],
+            estimated_bytes=env.datanet.estimate_total_size(sid),
+        )
+        for sid in ordered
+    ]
+    # The paper calls out sizes below 32 MB (of 64 MB blocks) as the
+    # deviating band; the scaled equivalent is half a block.
+    threshold = env.config.block_size // 2
+    return Fig9Result(points=points, small_threshold=threshold)

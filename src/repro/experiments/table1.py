@@ -1,0 +1,61 @@
+"""Table I: the per-block sub-dataset size map a hash table would store.
+
+The paper's example records "the number of reviews corresponding to
+different movies within a block file" — the raw form of ElasticMap's
+hash-map half.  This driver materializes that table for the densest block
+of the reference dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics.reporting import format_table
+from .config import ReferenceConfig, build_movie_environment
+
+__all__ = ["Table1Result", "run_table1"]
+
+
+@dataclass
+class Table1Result:
+    """Per-movie review counts (and bytes) inside one block file."""
+
+    block_id: int
+    rows: List[Tuple[str, int, int]]  # (movie id, #reviews, bytes)
+
+    @property
+    def num_movies(self) -> int:
+        return len(self.rows)
+
+    def format(self) -> str:
+        shown = self.rows[:10]
+        table_rows = [[sid, count, nbytes] for sid, count, nbytes in shown]
+        if len(self.rows) > len(shown):
+            table_rows.append(["...", "...", "..."])
+        return format_table(
+            ["movie id", "# of reviews", "bytes"],
+            table_rows,
+            title=(
+                f"Table I — sub-dataset sizes within block {self.block_id} "
+                f"({self.num_movies} movies total)"
+            ),
+        )
+
+
+def run_table1(config: Optional[ReferenceConfig] = None) -> Table1Result:
+    """Build Table I from the reference dataset's densest block."""
+    env = build_movie_environment(config)
+    per_block = env.dataset.subdataset_bytes_per_block(env.target)
+    block_id = max(per_block, key=per_block.get)
+    block = env.dataset.block(block_id)
+    counts: Dict[str, int] = {}
+    sizes: Dict[str, int] = {}
+    for record in block.records():
+        counts[record.sub_id] = counts.get(record.sub_id, 0) + 1
+        sizes[record.sub_id] = sizes.get(record.sub_id, 0) + record.nbytes
+    rows = sorted(
+        ((sid, counts[sid], sizes[sid]) for sid in counts),
+        key=lambda r: -r[1],
+    )
+    return Table1Result(block_id=block_id, rows=rows)

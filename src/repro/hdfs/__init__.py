@@ -1,0 +1,52 @@
+"""In-process HDFS substrate.
+
+Models the pieces of the Hadoop file system that DataNet's behaviour
+depends on: datasets split into fixed-size blocks, blocks replicated
+3-way across cluster nodes by a placement policy, and a NameNode holding
+the block → node mapping.  Record content lives in memory; the "cluster"
+is a faithful placement/metadata model, not a network server.
+
+Modules:
+
+- :mod:`repro.hdfs.records` — the log-record data model and serialization.
+- :mod:`repro.hdfs.block` — fixed-capacity blocks and the block packer.
+- :mod:`repro.hdfs.placement` — replica placement policies (random,
+  round-robin, rack-aware).
+- :mod:`repro.hdfs.namenode` — dataset/block metadata.
+- :mod:`repro.hdfs.datanode` — per-node replica stores.
+- :mod:`repro.hdfs.cluster` — the façade: write datasets, get
+  :class:`~repro.hdfs.cluster.DatasetView` objects that DataNet can index.
+"""
+
+from .records import Record
+from .block import Block, pack_records
+from .placement import (
+    PlacementPolicy,
+    RandomPlacement,
+    RoundRobinPlacement,
+    RackAwarePlacement,
+)
+from .namenode import NameNode, BlockMeta
+from .datanode import DataNode
+from .cluster import HDFSCluster, DatasetView
+from .failure import FailureManager, ReplicationEvent
+from .balancer import BlockBalancer, BalancerReport
+
+__all__ = [
+    "Record",
+    "Block",
+    "pack_records",
+    "PlacementPolicy",
+    "RandomPlacement",
+    "RoundRobinPlacement",
+    "RackAwarePlacement",
+    "NameNode",
+    "BlockMeta",
+    "DataNode",
+    "HDFSCluster",
+    "DatasetView",
+    "FailureManager",
+    "ReplicationEvent",
+    "BlockBalancer",
+    "BalancerReport",
+]

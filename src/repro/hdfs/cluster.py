@@ -1,0 +1,244 @@
+"""The HDFS cluster façade.
+
+:class:`HDFSCluster` wires DataNodes, a NameNode and a placement policy
+together.  ``write_dataset`` performs the full ingest path — chronological
+block packing, replica placement, catalog registration — and returns a
+:class:`DatasetView`, the object the rest of the library (DataNet, the
+MapReduce engine, experiments) works against.
+
+``DatasetView`` implements the :class:`repro.core.datanet.ScannableDataset`
+protocol, so ``DataNet.build(view)`` runs the single-scan metadata
+construction directly over stored blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import BlockNotFoundError, ConfigError
+from ..units import MiB
+from .block import Block, pack_records
+from .datanode import DataNode
+from .namenode import NameNode
+from .placement import PlacementPolicy, RandomPlacement
+from .records import Record
+
+__all__ = ["HDFSCluster", "DatasetView"]
+
+
+class HDFSCluster:
+    """An in-process model of an HDFS deployment.
+
+    Args:
+        num_nodes: number of DataNodes (the paper's experiments use 32
+            worker nodes out of a 128-node testbed).
+        block_size: block capacity in bytes (64 MB in the paper; scale it
+            down together with the workload for fast experiments).
+        replication: replicas per block (HDFS default 3).
+        placement: replica placement policy; random by default.
+        num_racks: racks the nodes are striped over.
+        rng: random generator used by default placement (deterministic
+            experiments pass a seeded generator).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 32,
+        *,
+        block_size: int = 64 * MiB,
+        replication: int = 3,
+        placement: Optional[PlacementPolicy] = None,
+        num_racks: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ConfigError(f"num_nodes must be positive, got {num_nodes}")
+        if block_size <= 0:
+            raise ConfigError(f"block_size must be positive, got {block_size}")
+        if num_racks <= 0:
+            raise ConfigError(f"num_racks must be positive, got {num_racks}")
+        self.block_size = block_size
+        self.num_racks = min(num_racks, num_nodes)
+        self.namenode = NameNode()
+        self.datanodes: Dict[int, DataNode] = {
+            i: DataNode(i, rack=i % self.num_racks) for i in range(num_nodes)
+        }
+        self.placement_policy = placement or RandomPlacement(
+            replication, rng=rng if rng is not None else np.random.default_rng()
+        )
+        self._blocks: Dict[Tuple[str, int], Block] = {}
+
+    # -- topology ---------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.datanodes)
+
+    @property
+    def nodes(self) -> List[int]:
+        """All DataNode ids, sorted."""
+        return sorted(self.datanodes)
+
+    def rack_of(self, node: int) -> int:
+        """Rack index of a node."""
+        try:
+            return self.datanodes[node].rack
+        except KeyError:
+            raise ConfigError(f"unknown node {node}") from None
+
+    # -- ingest ------------------------------------------------------------------
+
+    def write_dataset(self, name: str, records: Iterable[Record]) -> "DatasetView":
+        """Store a record stream as a replicated, block-structured dataset.
+
+        Records are packed in stream order; each block's replicas are
+        placed by the configured policy and registered with the NameNode.
+        """
+        if self.namenode.has_dataset(name):
+            raise ConfigError(f"dataset {name!r} already exists")
+        blocks = pack_records(records, self.block_size)
+        for block in blocks:
+            replicas = self.placement_policy.place(block.block_id, self.nodes)
+            self.namenode.register_block(
+                name, block.block_id, block.used_bytes, replicas
+            )
+            self._blocks[(name, block.block_id)] = block
+            for node in replicas:
+                self.datanodes[node].store_replica(name, block)
+        return DatasetView(self, name)
+
+    def append_records(self, name: str, records: Iterable[Record]) -> "DatasetView":
+        """Append a record stream to an existing dataset as new blocks.
+
+        Models continuous log collection (the paper's Flume pipeline):
+        fresh records arrive in new blocks whose ids continue the
+        dataset's sequence; existing blocks are immutable.
+        """
+        if not self.namenode.has_dataset(name):
+            raise BlockNotFoundError(f"unknown dataset {name!r}")
+        existing = self.namenode.blocks_of(name)
+        start_id = (max(existing) + 1) if existing else 0
+        blocks = [
+            b
+            for b in pack_records(records, self.block_size, start_id=start_id)
+            if b.num_records  # an empty append registers nothing
+        ]
+        for block in blocks:
+            replicas = self.placement_policy.place(block.block_id, self.nodes)
+            self.namenode.register_block(
+                name, block.block_id, block.used_bytes, replicas
+            )
+            self._blocks[(name, block.block_id)] = block
+            for node in replicas:
+                self.datanodes[node].store_replica(name, block)
+        return DatasetView(self, name)
+
+    # -- access -------------------------------------------------------------------
+
+    def dataset(self, name: str) -> "DatasetView":
+        """View over an existing dataset."""
+        if not self.namenode.has_dataset(name):
+            raise BlockNotFoundError(f"unknown dataset {name!r}")
+        return DatasetView(self, name)
+
+    def get_block(self, dataset: str, block_id: int) -> Block:
+        """The logical block content (independent of any replica)."""
+        try:
+            return self._blocks[(dataset, block_id)]
+        except KeyError:
+            raise BlockNotFoundError(
+                f"block {block_id} of dataset {dataset!r} not found"
+            ) from None
+
+
+class DatasetView:
+    """All per-dataset operations, bound to one cluster + dataset name.
+
+    Implements the ``ScannableDataset`` protocol consumed by
+    :meth:`repro.core.datanet.DataNet.build`, plus ground-truth helpers the
+    tests and experiments use to validate the metadata layer.
+    """
+
+    def __init__(self, cluster: HDFSCluster, name: str) -> None:
+        self.cluster = cluster
+        self.name = name
+
+    # -- ScannableDataset protocol ---------------------------------------------
+
+    def scan_blocks(self) -> Iterator[Tuple[int, Iterator[Tuple[str, int]]]]:
+        """Per-block ``(block_id, [(sub_id, nbytes), ...])`` streams."""
+        for bid in self.block_ids:
+            yield bid, self.block(bid).scan()
+
+    def placement(self) -> Dict[int, Tuple[int, ...]]:
+        """Block id → replica nodes."""
+        return self.cluster.namenode.placement(self.name)
+
+    @property
+    def nodes(self) -> List[int]:
+        """All cluster nodes (a dataset can be scheduled onto any of them)."""
+        return self.cluster.nodes
+
+    # -- block access -----------------------------------------------------------
+
+    @property
+    def block_ids(self) -> List[int]:
+        """Block ids in chronological (write) order."""
+        return self.cluster.namenode.blocks_of(self.name)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_ids)
+
+    def block(self, block_id: int) -> Block:
+        """Logical content of one block."""
+        return self.cluster.get_block(self.name, block_id)
+
+    def blocks(self) -> Iterator[Block]:
+        """Iterate all blocks in order."""
+        for bid in self.block_ids:
+            yield self.block(bid)
+
+    @property
+    def total_bytes(self) -> int:
+        """Logical dataset size (pre-replication)."""
+        return self.cluster.namenode.dataset_bytes(self.name)
+
+    # -- ground truth helpers ------------------------------------------------------
+
+    def subdataset_ids(self) -> List[str]:
+        """Every distinct sub-dataset id present, sorted."""
+        ids = set()
+        for block in self.blocks():
+            ids.update(block.subdataset_sizes())
+        return sorted(ids)
+
+    def subdataset_bytes_per_block(self, sub_id: str) -> Dict[int, int]:
+        """Exact ``|b ∩ s|`` for one sub-dataset over all blocks (0s omitted)."""
+        out: Dict[int, int] = {}
+        for block in self.blocks():
+            size = block.subdataset_sizes().get(sub_id, 0)
+            if size:
+                out[block.block_id] = size
+        return out
+
+    def subdataset_total_bytes(self, sub_id: str) -> int:
+        """Exact total bytes of one sub-dataset."""
+        return sum(self.subdataset_bytes_per_block(sub_id).values())
+
+    def subdataset_sizes(self) -> Dict[str, int]:
+        """Exact total bytes of *every* sub-dataset."""
+        out: Dict[str, int] = {}
+        for block in self.blocks():
+            for sid, size in block.subdataset_sizes().items():
+                out[sid] = out.get(sid, 0) + size
+        return out
+
+    def records_of(self, sub_id: str) -> List[Record]:
+        """All records of one sub-dataset, block order."""
+        out: List[Record] = []
+        for block in self.blocks():
+            out.extend(block.filter(sub_id))
+        return out

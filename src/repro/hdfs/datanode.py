@@ -1,0 +1,92 @@
+"""DataNode: per-node replica storage.
+
+Each cluster node stores the block replicas placed on it.  Block *content*
+is shared (one :class:`~repro.hdfs.block.Block` object per logical block);
+the DataNode records possession, mirroring how replication multiplies disk
+usage but not logical data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError, StorageError
+from .block import Block
+
+__all__ = ["DataNode"]
+
+
+class DataNode:
+    """One storage node in the cluster.
+
+    Args:
+        node_id: cluster-wide node index.
+        rack: rack index (used by rack-aware placement and, in the engine,
+            to price off-rack transfers higher than in-rack ones).
+    """
+
+    def __init__(self, node_id: int, *, rack: int = 0) -> None:
+        if node_id < 0:
+            raise ConfigError(f"node_id must be non-negative, got {node_id}")
+        self.node_id = node_id
+        self.rack = rack
+        self._replicas: Dict[Tuple[str, int], Block] = {}
+
+    # -- replica management -----------------------------------------------------
+
+    def store_replica(self, dataset: str, block: Block) -> None:
+        """Accept a replica of ``block`` for ``dataset``."""
+        key = (dataset, block.block_id)
+        if key in self._replicas:
+            raise StorageError(
+                f"node {self.node_id} already holds block {block.block_id} "
+                f"of {dataset!r}"
+            )
+        self._replicas[key] = block
+
+    def has_replica(self, dataset: str, block_id: int) -> bool:
+        return (dataset, block_id) in self._replicas
+
+    def drop_replica(self, dataset: str, block_id: int) -> None:
+        """Remove a replica from this node (balancer/decommission path).
+
+        Raises:
+            StorageError: if the node does not hold the replica.
+        """
+        if self._replicas.pop((dataset, block_id), None) is None:
+            raise StorageError(
+                f"node {self.node_id} holds no replica of block {block_id} "
+                f"of {dataset!r} to drop"
+            )
+
+    def get_replica(self, dataset: str, block_id: int) -> Block:
+        """Fetch a locally stored replica.
+
+        Raises:
+            StorageError: if this node holds no such replica (a remote read
+                must go through the cluster, which models the transfer).
+        """
+        try:
+            return self._replicas[(dataset, block_id)]
+        except KeyError:
+            raise StorageError(
+                f"node {self.node_id} holds no replica of block {block_id} "
+                f"of {dataset!r}"
+            ) from None
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self._replicas)
+
+    def stored_blocks(self, dataset: str) -> List[int]:
+        """Ids of this node's replicas belonging to ``dataset``, sorted."""
+        return sorted(bid for ds, bid in self._replicas if ds == dataset)
+
+    def used_bytes(self) -> int:
+        """Physical bytes consumed by replicas on this node."""
+        return sum(b.used_bytes for b in self._replicas.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataNode(id={self.node_id}, rack={self.rack}, replicas={len(self._replicas)})"

@@ -1,0 +1,155 @@
+"""DataNode failure and re-replication.
+
+HDFS tolerates node loss by re-replicating the dead node's blocks from
+surviving replicas.  This module adds that lifecycle to the substrate so
+scheduling can be exercised under churn: DataNet must keep balancing when
+replica sets shrink or move, and the bipartite graph must never point at a
+dead node.
+
+:class:`FailureManager` wraps a cluster; ``fail_node`` marks a node dead
+and (optionally, as HDFS does after a timeout) restores the replication
+factor by copying each under-replicated block to a live node chosen by the
+cluster's placement policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..errors import ConfigError, ReplicationError, StorageError
+from .cluster import HDFSCluster
+
+__all__ = ["FailureManager", "ReplicationEvent"]
+
+
+@dataclass(frozen=True)
+class ReplicationEvent:
+    """One re-replication: a block copied to restore its replica count."""
+
+    dataset: str
+    block_id: int
+    source: int
+    destination: int
+    nbytes: int
+
+
+class FailureManager:
+    """Tracks node liveness and restores replication after failures.
+
+    Args:
+        cluster: the cluster to manage.  The manager mutates the cluster's
+            NameNode catalog and DataNode stores in place (replica sets
+            change), mirroring a real NameNode's behaviour.
+    """
+
+    def __init__(self, cluster: HDFSCluster) -> None:
+        self.cluster = cluster
+        self._dead: Set[int] = set()
+        self.events: List[ReplicationEvent] = []
+
+    # -- liveness ------------------------------------------------------------------
+
+    @property
+    def dead_nodes(self) -> List[int]:
+        return sorted(self._dead)
+
+    @property
+    def live_nodes(self) -> List[int]:
+        return [n for n in self.cluster.nodes if n not in self._dead]
+
+    def is_alive(self, node: int) -> bool:
+        return node not in self._dead
+
+    # -- failure -------------------------------------------------------------------
+
+    def fail_node(self, node: int, *, re_replicate: bool = True) -> List[ReplicationEvent]:
+        """Mark ``node`` dead; optionally restore every affected block.
+
+        Returns the re-replication events performed.
+
+        Raises:
+            ConfigError: unknown or already-dead node.
+            ReplicationError: when a block would lose its last replica and
+                no live node can accept a copy.
+        """
+        if node not in self.cluster.datanodes:
+            raise ConfigError(f"unknown node {node}")
+        if node in self._dead:
+            raise ConfigError(f"node {node} is already dead")
+        self._dead.add(node)
+        if not re_replicate:
+            return []
+        return self._restore_replication(node)
+
+    def _restore_replication(self, dead_node: int) -> List[ReplicationEvent]:
+        namenode = self.cluster.namenode
+        performed: List[ReplicationEvent] = []
+        for dataset, block_id in namenode.blocks_on_node(dead_node):
+            meta = namenode.block_meta(dataset, block_id)
+            survivors = [n for n in meta.replicas if self.is_alive(n)]
+            if not survivors:
+                raise ReplicationError(
+                    f"block {block_id} of {dataset!r} lost its last replica"
+                )
+            candidates = [
+                n
+                for n in self.live_nodes
+                if n not in survivors
+            ]
+            if not candidates:
+                # cluster smaller than the replication factor now; accept
+                # the reduced replica set rather than fail.
+                self._replace_meta(dataset, block_id, survivors)
+                continue
+            destination = self._pick_destination(block_id, candidates)
+            block = self.cluster.get_block(dataset, block_id)
+            self.cluster.datanodes[destination].store_replica(dataset, block)
+            new_replicas = survivors + [destination]
+            self._replace_meta(dataset, block_id, new_replicas)
+            event = ReplicationEvent(
+                dataset=dataset,
+                block_id=block_id,
+                source=survivors[0],
+                destination=destination,
+                nbytes=block.used_bytes,
+            )
+            performed.append(event)
+            self.events.append(event)
+        return performed
+
+    def _pick_destination(self, block_id: int, candidates: List[int]) -> int:
+        """Delegate to the placement policy restricted to live candidates."""
+        placed = self.cluster.placement_policy.place(block_id, candidates)
+        return placed[0]
+
+    def _replace_meta(self, dataset: str, block_id: int, replicas: List[int]) -> None:
+        """Swap a block's replica set in the NameNode catalog."""
+        self.cluster.namenode.update_replicas(dataset, block_id, replicas)
+
+    # -- verification -----------------------------------------------------------------
+
+    def verify_replication(self, dataset: str) -> Dict[int, int]:
+        """Replica count per block, counting only live nodes.
+
+        Raises:
+            StorageError: if any catalog replica is missing from its
+                DataNode's store (catalog/storage divergence).
+        """
+        out: Dict[int, int] = {}
+        namenode = self.cluster.namenode
+        for block_id in namenode.blocks_of(dataset):
+            replicas = namenode.block_locations(dataset, block_id)
+            live = [n for n in replicas if self.is_alive(n)]
+            for node in live:
+                if not self.cluster.datanodes[node].has_replica(dataset, block_id):
+                    raise StorageError(
+                        f"catalog lists node {node} for block {block_id} "
+                        f"of {dataset!r} but the node lacks the replica"
+                    )
+            out[block_id] = len(live)
+        return out
+
+    def bytes_re_replicated(self) -> int:
+        """Total bytes copied across all failures handled so far."""
+        return sum(e.nbytes for e in self.events)

@@ -1,0 +1,117 @@
+"""NameNode: the cluster-wide dataset/block metadata catalog.
+
+Tracks which datasets exist, which blocks compose them, each block's size,
+and which DataNodes hold each block's replicas.  This is the information a
+real NameNode serves to the JobTracker for locality-driven scheduling —
+and, pointedly, it does *not* include sub-dataset distribution, which is
+why DataNet's ElasticMap has to exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import BlockNotFoundError, ConfigError, StorageError
+
+__all__ = ["BlockMeta", "NameNode"]
+
+
+@dataclass(frozen=True)
+class BlockMeta:
+    """Catalog entry for one block replica set."""
+
+    dataset: str
+    block_id: int
+    size_bytes: int
+    replicas: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ConfigError("block size must be non-negative")
+        if not self.replicas:
+            raise ConfigError("a block needs at least one replica")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise ConfigError("replicas must be distinct nodes")
+
+
+class NameNode:
+    """In-memory metadata service: dataset → blocks → replica locations."""
+
+    def __init__(self) -> None:
+        self._datasets: Dict[str, List[int]] = {}
+        self._blocks: Dict[Tuple[str, int], BlockMeta] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def register_block(
+        self, dataset: str, block_id: int, size_bytes: int, replicas: Sequence[int]
+    ) -> BlockMeta:
+        """Catalog a new block of ``dataset``; ids must be unique per dataset."""
+        key = (dataset, block_id)
+        if key in self._blocks:
+            raise StorageError(f"block {block_id} of {dataset!r} already registered")
+        meta = BlockMeta(dataset, block_id, size_bytes, tuple(replicas))
+        self._blocks[key] = meta
+        self._datasets.setdefault(dataset, []).append(block_id)
+        return meta
+
+    def update_replicas(
+        self, dataset: str, block_id: int, replicas: Sequence[int]
+    ) -> BlockMeta:
+        """Replace a block's replica set (re-replication after failures).
+
+        Returns the new catalog entry.
+        """
+        old = self.block_meta(dataset, block_id)
+        new = BlockMeta(dataset, block_id, old.size_bytes, tuple(replicas))
+        self._blocks[(dataset, block_id)] = new
+        return new
+
+    # -- lookups -----------------------------------------------------------------
+
+    @property
+    def datasets(self) -> List[str]:
+        """Names of all registered datasets."""
+        return sorted(self._datasets)
+
+    def has_dataset(self, dataset: str) -> bool:
+        return dataset in self._datasets
+
+    def blocks_of(self, dataset: str) -> List[int]:
+        """Block ids of a dataset in registration (i.e. chronological) order."""
+        try:
+            return list(self._datasets[dataset])
+        except KeyError:
+            raise BlockNotFoundError(f"unknown dataset {dataset!r}") from None
+
+    def block_meta(self, dataset: str, block_id: int) -> BlockMeta:
+        """Catalog entry for one block."""
+        try:
+            return self._blocks[(dataset, block_id)]
+        except KeyError:
+            raise BlockNotFoundError(
+                f"block {block_id} of dataset {dataset!r} not registered"
+            ) from None
+
+    def block_locations(self, dataset: str, block_id: int) -> Tuple[int, ...]:
+        """Nodes holding replicas of one block (what the JobTracker asks for)."""
+        return self.block_meta(dataset, block_id).replicas
+
+    def placement(self, dataset: str) -> Dict[int, Tuple[int, ...]]:
+        """Full block → replica-node mapping of a dataset."""
+        return {
+            bid: self.block_locations(dataset, bid) for bid in self.blocks_of(dataset)
+        }
+
+    def dataset_bytes(self, dataset: str) -> int:
+        """Total logical (pre-replication) bytes of a dataset."""
+        return sum(
+            self.block_meta(dataset, bid).size_bytes for bid in self.blocks_of(dataset)
+        )
+
+    def blocks_on_node(self, node: int) -> List[Tuple[str, int]]:
+        """Every ``(dataset, block_id)`` with a replica on ``node``."""
+        return sorted(
+            key for key, meta in self._blocks.items() if node in meta.replicas
+        )

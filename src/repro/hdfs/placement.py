@@ -1,0 +1,128 @@
+"""Replica placement policies.
+
+HDFS "randomly distribute[s]" block replicas (paper Section I); real
+Hadoop adds a rack-aware twist.  Three policies are provided — the random
+default used by the experiments, a deterministic round-robin (useful in
+tests), and a rack-aware policy modeling stock HDFS (first replica on the
+writer's node/rack, second on a different rack, third beside the second).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError, ReplicationError
+
+__all__ = [
+    "PlacementPolicy",
+    "RandomPlacement",
+    "RoundRobinPlacement",
+    "RackAwarePlacement",
+]
+
+
+class PlacementPolicy(ABC):
+    """Chooses which cluster nodes hold a block's replicas."""
+
+    def __init__(self, replication: int = 3) -> None:
+        if replication <= 0:
+            raise ConfigError(f"replication must be positive, got {replication}")
+        self.replication = replication
+
+    def _effective_replication(self, nodes: Sequence[int]) -> int:
+        """Replication clamped to the cluster size (HDFS does the same)."""
+        if not nodes:
+            raise ReplicationError("cannot place replicas on an empty cluster")
+        return min(self.replication, len(nodes))
+
+    @abstractmethod
+    def place(self, block_id: int, nodes: Sequence[int]) -> List[int]:
+        """Return the distinct nodes that will store ``block_id``'s replicas."""
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniformly random distinct nodes per block — the paper's HDFS model."""
+
+    def __init__(self, replication: int = 3, *, rng: np.random.Generator | None = None) -> None:
+        super().__init__(replication)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def place(self, block_id: int, nodes: Sequence[int]) -> List[int]:
+        r = self._effective_replication(nodes)
+        idx = self.rng.choice(len(nodes), size=r, replace=False)
+        return [nodes[i] for i in idx]
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Deterministic striping: block ``i`` on nodes ``i, i+1, ... (mod N)``.
+
+    Gives every node the same block count — useful as a perfectly
+    block-balanced control in tests and ablations.
+    """
+
+    def place(self, block_id: int, nodes: Sequence[int]) -> List[int]:
+        r = self._effective_replication(nodes)
+        n = len(nodes)
+        return [nodes[(block_id + k) % n] for k in range(r)]
+
+
+class RackAwarePlacement(PlacementPolicy):
+    """Stock HDFS policy on a cluster partitioned into racks.
+
+    Replica 1 lands on a random node; replica 2 on a random node of a
+    *different* rack; replica 3 on another node of replica 2's rack;
+    further replicas land uniformly at random.  With a single rack this
+    degrades to random placement.
+    """
+
+    def __init__(
+        self,
+        replication: int = 3,
+        *,
+        num_racks: int = 4,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(replication)
+        if num_racks <= 0:
+            raise ConfigError(f"num_racks must be positive, got {num_racks}")
+        self.num_racks = num_racks
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def rack_of(self, node: int, num_nodes: int) -> int:
+        """Rack index of a node (nodes striped over racks)."""
+        return node % min(self.num_racks, max(num_nodes, 1))
+
+    def place(self, block_id: int, nodes: Sequence[int]) -> List[int]:
+        r = self._effective_replication(nodes)
+        n = len(nodes)
+        racks: Dict[int, List[int]] = {}
+        for node in nodes:
+            racks.setdefault(self.rack_of(node, n), []).append(node)
+
+        chosen: List[int] = []
+        first = nodes[int(self.rng.integers(n))]
+        chosen.append(first)
+        if r >= 2:
+            other_racks = [
+                rk for rk in racks if rk != self.rack_of(first, n) and racks[rk]
+            ]
+            if other_racks:
+                rk = other_racks[int(self.rng.integers(len(other_racks)))]
+                pool = [x for x in racks[rk] if x not in chosen]
+                chosen.append(pool[int(self.rng.integers(len(pool)))])
+            else:  # single rack: fall back to any unused node
+                pool = [x for x in nodes if x not in chosen]
+                chosen.append(pool[int(self.rng.integers(len(pool)))])
+        if r >= 3:
+            rk = self.rack_of(chosen[1], n)
+            pool = [x for x in racks.get(rk, []) if x not in chosen]
+            if not pool:
+                pool = [x for x in nodes if x not in chosen]
+            chosen.append(pool[int(self.rng.integers(len(pool)))])
+        while len(chosen) < r:
+            pool = [x for x in nodes if x not in chosen]
+            chosen.append(pool[int(self.rng.integers(len(pool)))])
+        return chosen

@@ -1,0 +1,49 @@
+"""The paper's analysis applications (Section V-A) as MapReduce jobs.
+
+- :func:`moving_average_job` — trend analysis over time windows; iterate-
+  only, the lightest compute of the four.
+- :func:`word_count_job` — the canonical MapReduce benchmark.
+- :func:`histogram_job` — Aggregate Word Histogram, the framework's
+  aggregation plug-in.
+- :func:`top_k_search_job` — find the K records most similar to a query
+  sequence; compute-heavy (per-record similarity).
+- :func:`grep_job` — extra: pattern-match counting.
+- :func:`distinct_words_job` — extra: HyperLogLog distinct-token count.
+- :func:`sessionization_job` — extra: the intro's click-stream session
+  analysis.
+- :func:`inverted_index_job` — extra: shuffle-heavy index construction.
+
+Each factory returns a :class:`~repro.mapreduce.job.MapReduceJob` wired to
+its cost profile from :data:`repro.mapreduce.costmodel.PROFILES`.
+"""
+
+from .moving_average import moving_average_job, parse_rating
+from .word_count import word_count_job, tokenize
+from .histogram import histogram_job
+from .top_k_search import top_k_search_job, jaccard_similarity
+from .grep import grep_job
+from .distinct_words import distinct_words_job
+from .sessionization import sessionization_job
+from .inverted_index import inverted_index_job
+
+__all__ = [
+    "moving_average_job",
+    "parse_rating",
+    "word_count_job",
+    "tokenize",
+    "histogram_job",
+    "top_k_search_job",
+    "jaccard_similarity",
+    "grep_job",
+    "distinct_words_job",
+    "sessionization_job",
+    "inverted_index_job",
+]
+
+#: The four applications of the paper's Fig. 5a, in its presentation order.
+PAPER_APPS = (
+    "moving_average",
+    "word_count",
+    "histogram",
+    "top_k_search",
+)

@@ -1,0 +1,68 @@
+"""Distinct Words: approximate distinct-token count via HyperLogLog.
+
+The aggregation-shaped counterpart of WordCount: instead of shuffling a
+(word → count) table, each mapper folds its words into a HyperLogLog
+sketch, the combiner merges sketches per node, and the reducer merges the
+per-node sketches — a few KiB over the network regardless of vocabulary
+size.  A showcase for sketch-based analyses on top of the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ...core.hyperloglog import HyperLogLog
+from ...errors import ConfigError
+from ...hdfs.records import Record
+from ..costmodel import AppProfile
+from ..job import MapReduceJob
+from .word_count import tokenize
+
+__all__ = ["distinct_words_job"]
+
+_KEY = "distinct"
+
+#: Sketch folding costs about as much per byte as tokenising does.
+_PROFILE = AppProfile(
+    name="distinct_words",
+    cpu_cost_per_byte=9e-8,
+    cpu_cost_per_record=2e-7,
+    shuffle_selectivity=0.001,  # a fixed-size sketch leaves each mapper
+    reduce_cost_per_byte=1e-8,
+)
+
+
+def distinct_words_job(*, precision: int = 12, num_reducers: int = 1) -> MapReduceJob:
+    """Build the Distinct Words job.
+
+    Output: ``{"distinct": estimated_count}`` (float, HLL estimate;
+    relative error ≈ ``1.04 / sqrt(2**precision)``).
+    """
+    if not (4 <= precision <= 18):
+        raise ConfigError(f"precision must be in [4, 18], got {precision}")
+
+    def mapper(record: Record) -> Iterator[Tuple[str, HyperLogLog]]:
+        sketch = HyperLogLog(precision)
+        sketch.update(tokenize(record.payload))
+        yield _KEY, sketch
+
+    def _merge(values: List[HyperLogLog]) -> HyperLogLog:
+        merged = HyperLogLog(precision)
+        for sketch in values:
+            merged = merged.merge(sketch)
+        return merged
+
+    def combiner(key: str, values: List[HyperLogLog]) -> Iterator[Tuple[str, HyperLogLog]]:
+        yield key, _merge(values)
+
+    def reducer(key: str, values: List[HyperLogLog]) -> Iterator[Tuple[str, float]]:
+        yield key, _merge(values).estimate()
+
+    return MapReduceJob(
+        name="distinct_words",
+        mapper=mapper,
+        combiner=combiner,
+        reducer=reducer,
+        profile=_PROFILE,
+        num_reducers=num_reducers,
+    )

@@ -1,0 +1,50 @@
+"""Grep: count records whose payload matches a pattern.
+
+Not one of the paper's four evaluated applications, but the classic
+scan-only MapReduce example — useful as an even lighter-weight control
+point in the ablation benches (its gain should sit at or below
+MovingAverage's).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Tuple
+
+from ...errors import ConfigError
+from ...hdfs.records import Record
+from ..costmodel import PROFILES
+from ..job import MapReduceJob
+
+__all__ = ["grep_job"]
+
+
+def grep_job(pattern: str, *, num_reducers: int = 1) -> MapReduceJob:
+    """Build a grep job.  Output: ``{pattern: match_count}``.
+
+    Raises:
+        ConfigError: for an invalid regular expression.
+    """
+    try:
+        compiled = re.compile(pattern)
+    except re.error as exc:
+        raise ConfigError(f"invalid grep pattern {pattern!r}: {exc}") from exc
+
+    def mapper(record: Record) -> Iterator[Tuple[str, int]]:
+        if compiled.search(record.payload):
+            yield pattern, 1
+
+    def combiner(key: str, values: List[int]) -> Iterator[Tuple[str, int]]:
+        yield key, sum(values)
+
+    def reducer(key: str, values: List[int]) -> Iterator[Tuple[str, int]]:
+        yield key, sum(values)
+
+    return MapReduceJob(
+        name="grep",
+        mapper=mapper,
+        combiner=combiner,
+        reducer=reducer,
+        profile=PROFILES["grep"],
+        num_reducers=num_reducers,
+    )

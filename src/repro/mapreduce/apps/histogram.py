@@ -1,0 +1,80 @@
+"""Aggregate Word Histogram: "computing the histogram of the words in the
+input sub-dataset ... a fundamental plug-in operation in the MapReduce
+framework" (the Hadoop ``AggregateWordHistogram`` example).
+
+Implemented as a value-histogram aggregation over word lengths: mapper
+emits one observation per word, the reducer folds them into histogram
+statistics (count / min / max / mean per bucket), mirroring Hadoop's
+``ValueHistogram`` aggregator output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ...hdfs.records import Record
+from ..costmodel import PROFILES
+from ..job import MapReduceJob
+from .word_count import tokenize
+
+__all__ = ["histogram_job"]
+
+
+def histogram_job(*, num_reducers: int = 4) -> MapReduceJob:
+    """Build the Aggregate Word Histogram job.
+
+    Output: ``{word_length: (count, min_len, max_len, mean_len)}`` — the
+    per-bucket statistics a ``ValueHistogram`` aggregator reports.
+    """
+
+    def mapper(record: Record) -> Iterator[Tuple[int, int]]:
+        for word in tokenize(record.payload):
+            yield len(word), len(word)
+
+    def combiner(key: int, values: List[int]) -> Iterator[Tuple[int, Tuple]]:
+        count = 0
+        vmin = None
+        vmax = None
+        total = 0
+        for v in values:
+            if isinstance(v, tuple):
+                c, mn, mx, s = v
+                count += c
+                total += s
+                vmin = mn if vmin is None else min(vmin, mn)
+                vmax = mx if vmax is None else max(vmax, mx)
+            else:
+                count += 1
+                total += v
+                vmin = v if vmin is None else min(vmin, v)
+                vmax = v if vmax is None else max(vmax, v)
+        yield key, (count, vmin, vmax, total)
+
+    def reducer(key: int, values: List) -> Iterator[Tuple[int, Tuple]]:
+        count = 0
+        vmin = None
+        vmax = None
+        total = 0
+        for v in values:
+            if isinstance(v, tuple):
+                c, mn, mx, s = v
+                count += c
+                total += s
+                vmin = mn if vmin is None else min(vmin, mn)
+                vmax = mx if vmax is None else max(vmax, mx)
+            else:
+                count += 1
+                total += v
+                vmin = v if vmin is None else min(vmin, v)
+                vmax = v if vmax is None else max(vmax, v)
+        mean = total / count if count else 0.0
+        yield key, (count, vmin, vmax, mean)
+
+    return MapReduceJob(
+        name="histogram",
+        mapper=mapper,
+        combiner=combiner,
+        reducer=reducer,
+        profile=PROFILES["histogram"],
+        num_reducers=num_reducers,
+    )

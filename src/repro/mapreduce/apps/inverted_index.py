@@ -1,0 +1,76 @@
+"""Inverted Index: word → posting list of record tags.
+
+The other classic MapReduce workload (after WordCount): build a search
+index over a sub-dataset's text.  Heavy on shuffle volume — postings are
+much bigger than counts — so it is the stress case for the shuffle model
+and for aggregation-aware reducer placement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ...errors import ConfigError
+from ...hdfs.records import Record
+from ..costmodel import AppProfile
+from ..job import MapReduceJob
+from .word_count import tokenize
+
+__all__ = ["inverted_index_job"]
+
+_PROFILE = AppProfile(
+    name="inverted_index",
+    cpu_cost_per_byte=1.2e-7,
+    cpu_cost_per_record=3e-7,
+    shuffle_selectivity=0.9,  # postings nearly the size of the input
+    reduce_cost_per_byte=4e-8,
+)
+
+
+def inverted_index_job(
+    *, max_postings_per_word: int = 50, num_reducers: int = 8
+) -> MapReduceJob:
+    """Build the inverted-index job.
+
+    Args:
+        max_postings_per_word: cap per word (real indexes truncate hot
+            words' posting lists; also keeps output sizes sane).
+        num_reducers: reduce-task count.
+
+    Output: ``{word: [record_tag, ...]}`` with tags ``"sub_id@timestamp"``
+    sorted ascending, at most ``max_postings_per_word`` each.
+    """
+    if max_postings_per_word <= 0:
+        raise ConfigError("max_postings_per_word must be positive")
+
+    def mapper(record: Record) -> Iterator[Tuple[str, str]]:
+        tag = f"{record.sub_id}@{record.timestamp:.3f}"
+        for word in set(tokenize(record.payload)):
+            yield word, tag
+
+    def combiner(key: str, values: List) -> Iterator[Tuple[str, List[str]]]:
+        flat: List[str] = []
+        for v in values:
+            if isinstance(v, list):
+                flat.extend(v)
+            else:
+                flat.append(v)
+        yield key, sorted(set(flat))[:max_postings_per_word]
+
+    def reducer(key: str, values: List) -> Iterator[Tuple[str, List[str]]]:
+        flat: List[str] = []
+        for v in values:
+            if isinstance(v, list):
+                flat.extend(v)
+            else:
+                flat.append(v)
+        yield key, sorted(set(flat))[:max_postings_per_word]
+
+    return MapReduceJob(
+        name="inverted_index",
+        mapper=mapper,
+        combiner=combiner,
+        reducer=reducer,
+        profile=_PROFILE,
+        num_reducers=num_reducers,
+    )

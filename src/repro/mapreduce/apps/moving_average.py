@@ -1,0 +1,86 @@
+"""Moving Average: windowed rating averages over a sub-dataset.
+
+Paper: "analyzing data points by creating a series of averages over
+intervals of the full dataset ... can smooth out short-term fluctuations
+to highlight longer-term cycles."  Mapper buckets each record into a time
+window and emits its rating; the reducer averages per window.  Compute is
+a single float parse per record — the lightest of the four applications,
+which is why it benefits least from DataNet (Fig. 5a: ~20 %).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ...errors import ConfigError
+from ...hdfs.records import Record
+from ..costmodel import PROFILES
+from ..job import MapReduceJob
+
+__all__ = ["moving_average_job", "parse_rating"]
+
+
+def parse_rating(payload: str) -> float:
+    """Extract the leading numeric rating from a review payload.
+
+    MovieLens-style payloads are ``"<rating> <review text>"``; payloads
+    without a leading float rate as 0.0 (unrated).
+    """
+    head = payload.split(" ", 1)[0] if payload else ""
+    try:
+        return float(head)
+    except ValueError:
+        return 0.0
+
+
+def moving_average_job(
+    window_days: float = 7.0, *, num_reducers: int = 4
+) -> MapReduceJob:
+    """Build the Moving Average job.
+
+    Args:
+        window_days: averaging window width, in dataset time units.
+        num_reducers: reduce-task count.
+
+    Output: ``{window_index: (mean_rating, count)}``.
+    """
+    if window_days <= 0:
+        raise ConfigError("window_days must be positive")
+
+    def mapper(record: Record) -> Iterator[Tuple[int, float]]:
+        window = int(record.timestamp // window_days)
+        yield window, parse_rating(record.payload)
+
+    def combiner(key: int, values: List[float]) -> Iterator[Tuple[int, Tuple[float, int]]]:
+        # pre-aggregate to (sum, count) so the shuffle carries two numbers
+        flat_sum = 0.0
+        count = 0
+        for v in values:
+            if isinstance(v, tuple):  # already combined
+                flat_sum += v[0]
+                count += v[1]
+            else:
+                flat_sum += v
+                count += 1
+        yield key, (flat_sum, count)
+
+    def reducer(key: int, values: List) -> Iterator[Tuple[int, Tuple[float, int]]]:
+        total = 0.0
+        count = 0
+        for v in values:
+            if isinstance(v, tuple):
+                total += v[0]
+                count += v[1]
+            else:
+                total += v
+                count += 1
+        yield key, ((total / count if count else 0.0), count)
+
+    return MapReduceJob(
+        name="moving_average",
+        mapper=mapper,
+        combiner=combiner,
+        reducer=reducer,
+        profile=PROFILES["moving_average"],
+        num_reducers=num_reducers,
+    )

@@ -1,0 +1,343 @@
+"""The discrete-event MapReduce engine.
+
+Executes the paper's two-phase workflow (Section V-A):
+
+1. **Selection phase** (:meth:`MapReduceEngine.run_selection`) — map tasks
+   read assigned blocks, filter the target sub-dataset's records, and
+   store them on the node that ran the task.  Which node reads which block
+   is the *scheduling decision under study*: the baseline
+   :class:`~repro.mapreduce.scheduler.LocalityScheduler` vs DataNet's
+   Algorithm 1.
+2. **Analysis phase** (:meth:`MapReduceEngine.run_analysis`) — the actual
+   MapReduce job (map over each node's filtered records, combine, shuffle,
+   reduce).  Functions execute for real; time advances on per-node
+   simulated clocks from the cost model.
+
+:meth:`MapReduceEngine.run_job` chains both phases and returns a
+:class:`JobResult` carrying every quantity the paper plots: per-node map
+times (Fig. 6), shuffle min/avg/max (Fig. 7), per-node filtered workload
+(Fig. 5c) and the end-to-end makespan (Fig. 5a).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
+
+from ..core.scheduler import Assignment
+from ..errors import ConfigError, JobError
+from ..hdfs.cluster import DatasetView, HDFSCluster
+from ..hdfs.records import Record
+from .costmodel import AppProfile, ClusterCostModel
+from .job import MapReduceJob
+from .shuffle import ShuffleModel, ShuffleResult
+
+__all__ = ["MapReduceEngine", "PhaseResult", "SelectionResult", "JobResult"]
+
+NodeId = Hashable
+
+#: Serialized framing bytes per intermediate key/value pair.
+KV_OVERHEAD = 8
+
+
+def _kv_bytes(key: Any, value: Any) -> int:
+    """Approximate serialized size of one intermediate pair."""
+    return len(repr(key)) + len(repr(value)) + KV_OVERHEAD
+
+
+@dataclass
+class PhaseResult:
+    """Per-node timing of one parallel phase."""
+
+    node_times: Dict[NodeId, float]
+
+    @property
+    def makespan(self) -> float:
+        """Slowest node's duration — the phase's parallel completion time."""
+        return max(self.node_times.values(), default=0.0)
+
+    @property
+    def min(self) -> float:
+        return min(self.node_times.values(), default=0.0)
+
+    @property
+    def max(self) -> float:
+        return self.makespan
+
+    @property
+    def mean(self) -> float:
+        if not self.node_times:
+            return 0.0
+        return sum(self.node_times.values()) / len(self.node_times)
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of the filter/selection phase.
+
+    Attributes:
+        local_data: node → filtered records now stored on that node.
+        timing: per-node phase durations.
+        bytes_per_node: node → filtered sub-dataset bytes it holds
+            (the Fig. 5c quantity).
+        blocks_read: blocks actually scanned.
+        bytes_read: raw bytes read off disk/network.
+    """
+
+    local_data: Dict[NodeId, List[Record]]
+    timing: PhaseResult
+    bytes_per_node: Dict[NodeId, int]
+    blocks_read: int
+    bytes_read: int
+
+    @property
+    def makespan(self) -> float:
+        return self.timing.makespan
+
+
+@dataclass
+class JobResult:
+    """Everything the paper measures about one analysis job run."""
+
+    job_name: str
+    output: Dict[Any, Any]
+    map_times: Dict[NodeId, float]
+    shuffle: ShuffleResult
+    reduce_times: Dict[int, float]
+    total_time: float
+    selection: Optional[SelectionResult] = None
+
+    @property
+    def map_phase(self) -> PhaseResult:
+        """Per-node analysis map timings (Fig. 6)."""
+        return PhaseResult(dict(self.map_times))
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end simulated duration (selection included if chained)."""
+        return self.total_time
+
+
+class MapReduceEngine:
+    """Phase executor bound to a cluster and a cost model.
+
+    Args:
+        cluster: the HDFS substrate (topology + replicas).
+        cost: hardware cost parameters.
+        map_slots: concurrent map lanes per node (the testbed's nodes had
+            2 cores; 1 keeps per-node execution strictly sequential).
+    """
+
+    def __init__(
+        self,
+        cluster: HDFSCluster,
+        cost: Optional[ClusterCostModel] = None,
+        *,
+        map_slots: int = 1,
+    ) -> None:
+        if map_slots <= 0:
+            raise ConfigError("map_slots must be positive")
+        self.cluster = cluster
+        self.cost = cost or ClusterCostModel()
+        self.map_slots = map_slots
+        self.shuffle_model = ShuffleModel(self.cost)
+
+    # -- selection phase ----------------------------------------------------------
+
+    def _node_finish(self, task_durations: List[float]) -> float:
+        """Completion time of a task list on ``map_slots`` lanes (LPT order
+        is not used: Hadoop runs tasks in assignment order)."""
+        if not task_durations:
+            return 0.0
+        lanes = [0.0] * min(self.map_slots, len(task_durations))
+        heapq.heapify(lanes)
+        for d in task_durations:
+            t = heapq.heappop(lanes)
+            heapq.heappush(lanes, t + d)
+        return max(lanes)
+
+    def run_selection(
+        self,
+        dataset: DatasetView,
+        sub_id: str,
+        assignment: Assignment,
+        profile: AppProfile,
+    ) -> SelectionResult:
+        """Run the filter phase under a given block-task assignment.
+
+        Every assigned block is read (locally if the node holds a replica,
+        remotely otherwise), filtered for ``sub_id``, and the matching
+        records are written to the executing node's local store.
+        """
+        placement = dataset.placement()
+        local_data: Dict[NodeId, List[Record]] = {}
+        node_times: Dict[NodeId, float] = {}
+        bytes_per_node: Dict[NodeId, int] = {}
+        blocks_read = 0
+        bytes_read = 0
+        for node, block_ids in assignment.blocks_by_node.items():
+            durations: List[float] = []
+            filtered: List[Record] = []
+            for bid in block_ids:
+                if bid not in placement:
+                    raise JobError(
+                        f"assignment references unknown block {bid} "
+                        f"of dataset {dataset.name!r}"
+                    )
+                block = dataset.block(bid)
+                nbytes = block.used_bytes
+                blocks_read += 1
+                bytes_read += nbytes
+                read = (
+                    self.cost.read_local(nbytes)
+                    if node in placement[bid]
+                    else self.cost.read_remote(nbytes)
+                )
+                matched = block.filter(sub_id)
+                out_bytes = sum(r.nbytes for r in matched)
+                durations.append(
+                    self.cost.task_overhead_s
+                    + read
+                    + profile.filter_cpu_per_byte * nbytes * self.cost.data_scale
+                    + self.cost.write_local(out_bytes)
+                )
+                filtered.extend(matched)
+            local_data[node] = filtered
+            bytes_per_node[node] = sum(r.nbytes for r in filtered)
+            node_times[node] = self._node_finish(durations)
+        return SelectionResult(
+            local_data=local_data,
+            timing=PhaseResult(node_times),
+            bytes_per_node=bytes_per_node,
+            blocks_read=blocks_read,
+            bytes_read=bytes_read,
+        )
+
+    # -- analysis phase -------------------------------------------------------------
+
+    def run_analysis(
+        self,
+        job: MapReduceJob,
+        local_data: Mapping[NodeId, List[Record]],
+        *,
+        start_time: float = 0.0,
+        colocate_reducers: bool = False,
+    ) -> JobResult:
+        """Run the MapReduce job over per-node filtered data.
+
+        Map functions execute over each node's records (results are real);
+        the per-node map *time* comes from the cost model over that node's
+        filtered bytes — the quantity DataNet balanced (or didn't).
+
+        With ``colocate_reducers``, reduce tasks are placed on the nodes
+        already holding the largest share of their partitions
+        (:func:`repro.core.aggregation.plan_greedy`), so those bytes skip
+        the shuffle network — the paper's future-work transfer
+        optimization, wired end to end.
+        """
+        map_times: Dict[NodeId, float] = {}
+        map_finish: Dict[NodeId, float] = {}
+        # reducer -> key -> list of values
+        partitions: Dict[int, Dict[Any, List[Any]]] = {
+            r: {} for r in range(job.num_reducers)
+        }
+        partition_bytes: Dict[int, int] = {r: 0 for r in range(job.num_reducers)}
+        # node -> reducer -> intermediate bytes produced there
+        volumes: Dict[NodeId, Dict[int, int]] = {}
+
+        for node, records in local_data.items():
+            nbytes = sum(r.nbytes for r in records)
+            # execute map for real
+            emitted: Dict[Any, List[Any]] = {}
+            for record in records:
+                for k, v in job.run_mapper(record):
+                    emitted.setdefault(k, []).append(v)
+            # per-node combiner
+            combined: List[Tuple[Any, Any]] = []
+            for k, values in emitted.items():
+                combined.extend(job.run_combiner(k, values))
+            node_volumes = volumes.setdefault(node, {})
+            for k, v in combined:
+                r = job.partition(k)
+                partitions[r].setdefault(k, []).append(v)
+                size = _kv_bytes(k, v)
+                partition_bytes[r] += size
+                node_volumes[r] = node_volumes.get(r, 0) + size
+            scale = self.cost.data_scale
+            duration = (
+                self.cost.task_overhead_s
+                + self.cost.read_local(nbytes)
+                + job.profile.map_cpu_seconds(nbytes * scale, len(records) * scale)
+            )
+            map_times[node] = duration
+            map_finish[node] = start_time + duration
+
+        if not map_finish:
+            raise JobError("analysis phase received no input partitions")
+
+        colocated: Optional[Dict[int, int]] = None
+        if colocate_reducers and any(parts for parts in volumes.values()):
+            from ..core.aggregation import plan_greedy
+
+            plan = plan_greedy(volumes)
+            colocated = {
+                r: volumes.get(host, {}).get(r, 0)
+                for r, host in plan.placement.items()
+            }
+        shuffle = self.shuffle_model.run(
+            map_finish, partition_bytes, colocated_bytes=colocated
+        )
+
+        # reduce: real execution + modeled time
+        output: Dict[Any, Any] = {}
+        reduce_times: Dict[int, float] = {}
+        for r in range(job.num_reducers):
+            out_bytes = 0
+            for k, values in partitions[r].items():
+                for ok, ov in job.run_reducer(k, values):
+                    output[ok] = ov
+                    out_bytes += _kv_bytes(ok, ov)
+            reduce_times[r] = (
+                self.cost.task_overhead_s
+                + job.profile.reduce_cost_per_byte
+                * partition_bytes[r]
+                * self.cost.data_scale
+                + self.cost.write_local(out_bytes)
+            )
+
+        total = (
+            self.cost.job_overhead_s
+            + shuffle.end_time
+            + max(reduce_times.values(), default=0.0)
+        )
+        return JobResult(
+            job_name=job.name,
+            output=output,
+            map_times=map_times,
+            shuffle=shuffle,
+            reduce_times=reduce_times,
+            total_time=total,
+        )
+
+    # -- full pipeline ------------------------------------------------------------------
+
+    def run_job(
+        self,
+        dataset: DatasetView,
+        sub_id: str,
+        job: MapReduceJob,
+        assignment: Assignment,
+    ) -> JobResult:
+        """Selection then analysis, chained on the simulated clock.
+
+        The analysis phase starts when the selection phase's slowest node
+        finishes (the phases synchronize on the filtered dataset being
+        fully materialized, as in the paper's two-job workflow).
+        """
+        selection = self.run_selection(dataset, sub_id, assignment, job.profile)
+        result = self.run_analysis(
+            job, selection.local_data, start_time=selection.makespan
+        )
+        result.selection = selection
+        return result

@@ -1,0 +1,103 @@
+"""MapReduce job definition.
+
+A :class:`MapReduceJob` bundles the user functions (mapper, optional
+combiner, reducer) with the application's cost profile.  The engine runs
+the functions for real — job outputs are actual results, not mock data —
+and uses the profile only to advance the simulated clocks.
+
+Function contracts (classic Hadoop semantics):
+
+- ``mapper(record) -> iterable[(key, value)]``
+- ``combiner(key, values) -> iterable[(key, value)]`` — optional, runs
+  per-node over that node's map output.
+- ``reducer(key, values) -> iterable[(key, value)]`` — runs per key after
+  the shuffle groups values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigError, JobError
+from ..hdfs.records import Record
+from .costmodel import AppProfile
+
+__all__ = ["MapReduceJob"]
+
+KeyValue = Tuple[Any, Any]
+Mapper = Callable[[Record], Iterable[KeyValue]]
+Combiner = Callable[[Any, List[Any]], Iterable[KeyValue]]
+Reducer = Callable[[Any, List[Any]], Iterable[KeyValue]]
+
+
+@dataclass
+class MapReduceJob:
+    """A runnable analysis job.
+
+    Attributes:
+        name: human-readable job name.
+        mapper: per-record map function.
+        reducer: per-key reduce function.
+        combiner: optional per-node pre-aggregation.
+        profile: cost profile driving simulated time.
+        num_reducers: reduce-task count (partitions intermediate keys).
+    """
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer
+    profile: AppProfile
+    combiner: Optional[Combiner] = None
+    num_reducers: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("job name must be non-empty")
+        if self.num_reducers <= 0:
+            raise ConfigError("num_reducers must be positive")
+        if not callable(self.mapper) or not callable(self.reducer):
+            raise ConfigError("mapper and reducer must be callable")
+        if self.combiner is not None and not callable(self.combiner):
+            raise ConfigError("combiner must be callable when given")
+
+    # -- execution helpers (used by the engine) ------------------------------------
+
+    def run_mapper(self, record: Record) -> List[KeyValue]:
+        """Apply the mapper, normalizing its output to a list.
+
+        Raises:
+            JobError: wrapping any exception from user code, so engine
+                callers can attribute failures to the job.
+        """
+        try:
+            return list(self.mapper(record))
+        except Exception as exc:  # noqa: BLE001 - user code boundary
+            raise JobError(f"mapper of job {self.name!r} failed: {exc}") from exc
+
+    def run_combiner(self, key: Any, values: List[Any]) -> List[KeyValue]:
+        """Apply the combiner (identity if none is configured)."""
+        if self.combiner is None:
+            return [(key, v) for v in values]
+        try:
+            return list(self.combiner(key, values))
+        except Exception as exc:  # noqa: BLE001
+            raise JobError(f"combiner of job {self.name!r} failed: {exc}") from exc
+
+    def run_reducer(self, key: Any, values: List[Any]) -> List[KeyValue]:
+        """Apply the reducer."""
+        try:
+            return list(self.reducer(key, values))
+        except Exception as exc:  # noqa: BLE001
+            raise JobError(f"reducer of job {self.name!r} failed: {exc}") from exc
+
+    def partition(self, key: Any) -> int:
+        """Reducer index of ``key`` (stable hash partitioning).
+
+        Uses a content hash rather than built-in ``hash`` so partitions are
+        stable across processes (PYTHONHASHSEED-independent).
+        """
+        import hashlib
+
+        digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "little") % self.num_reducers

@@ -1,0 +1,123 @@
+"""Speculative execution: Hadoop's built-in straggler mitigation, as a model.
+
+Hadoop launches *backup* copies of tasks that run much slower than their
+siblings; the task completes when either copy finishes.  Speculation is
+the standard answer to stragglers — so a natural question for the paper's
+story is how much of DataNet's gain speculation would capture on its own.
+
+The answer (see the ablation bench): little.  Speculation helps when a
+straggler is *anomalous* (slow disk, hot node); sub-dataset imbalance
+makes a node slow because it holds more data, and the backup copy must
+reprocess the same oversized input — it only wins the (small) relocation
+benefit of a faster host, at the cost of duplicated work.
+
+:class:`SpeculativeExecutor` models exactly that: per-node map durations
+in, adjusted completion times + wasted duplicate work out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping
+
+from ..errors import ConfigError
+
+__all__ = ["SpeculativeExecutor", "SpeculationResult"]
+
+NodeId = Hashable
+
+
+@dataclass
+class SpeculationResult:
+    """Outcome of one speculative pass over a map phase.
+
+    Attributes:
+        finish_times: node → map completion after speculation.
+        backups_launched: node → host chosen for its backup copy.
+        wasted_seconds: duplicated compute across all backups (both copies
+            run to the winner's finish; the loser's progress is wasted).
+    """
+
+    finish_times: Dict[NodeId, float]
+    backups_launched: Dict[NodeId, NodeId]
+    wasted_seconds: float
+
+    @property
+    def makespan(self) -> float:
+        return max(self.finish_times.values(), default=0.0)
+
+
+class SpeculativeExecutor:
+    """Models Hadoop's backup-task policy over per-node map durations.
+
+    Args:
+        slowdown_threshold: a node is a straggler when its duration exceeds
+            ``threshold x median`` (Hadoop's progress-rate heuristic,
+            coarse-grained to whole nodes here).
+        relocation_speedup: how much faster the backup host processes the
+            same input (idle disk/CPU, no contention).  1.0 = no benefit.
+        launch_delay: seconds after the median finish before backups start
+            (speculation only triggers once most tasks are done).
+    """
+
+    def __init__(
+        self,
+        *,
+        slowdown_threshold: float = 1.5,
+        relocation_speedup: float = 1.2,
+        launch_delay: float = 0.5,
+    ) -> None:
+        if slowdown_threshold <= 1.0:
+            raise ConfigError("slowdown_threshold must exceed 1.0")
+        if relocation_speedup < 1.0:
+            raise ConfigError("relocation_speedup must be >= 1.0")
+        if launch_delay < 0:
+            raise ConfigError("launch_delay must be non-negative")
+        self.slowdown_threshold = slowdown_threshold
+        self.relocation_speedup = relocation_speedup
+        self.launch_delay = launch_delay
+
+    def run(self, map_durations: Mapping[NodeId, float]) -> SpeculationResult:
+        """Apply speculation to one map phase.
+
+        For each straggler, a backup starts on the currently
+        earliest-finishing node at ``median_finish + launch_delay`` and
+        takes ``duration / relocation_speedup``; the task finishes at the
+        earlier of the two copies.
+        """
+        if not map_durations:
+            raise ConfigError("map_durations must be non-empty")
+        durations = dict(map_durations)
+        if any(d < 0 for d in durations.values()):
+            raise ConfigError("map durations must be non-negative")
+        ordered = sorted(durations.values())
+        median = ordered[len(ordered) // 2]
+        threshold = self.slowdown_threshold * median
+
+        finish = dict(durations)
+        backups: Dict[NodeId, NodeId] = {}
+        wasted = 0.0
+        # Backup hosts: nodes that finish earliest have free slots first.
+        hosts = sorted(durations, key=lambda n: durations[n])
+        host_free_at = {n: durations[n] for n in hosts}
+
+        for node in sorted(durations, key=lambda n: -durations[n]):
+            duration = durations[node]
+            if duration <= threshold or median == 0:
+                continue
+            host = min(host_free_at, key=lambda n: (host_free_at[n], repr(n)))
+            if host == node:
+                continue
+            start = max(median + self.launch_delay, host_free_at[host])
+            backup_finish = start + duration / self.relocation_speedup
+            backups[node] = host
+            winner_finish = min(backup_finish, finish[node])
+            # the losing copy runs from the backup's start until the winner
+            # finishes and is then killed — pure duplicated work
+            wasted += max(winner_finish - start, 0.0)
+            if backup_finish < finish[node]:
+                finish[node] = backup_finish
+                host_free_at[host] = backup_finish
+        return SpeculationResult(
+            finish_times=finish, backups_launched=backups, wasted_seconds=wasted
+        )

@@ -1,0 +1,26 @@
+"""Workload-balance metrics and report formatting shared by experiments,
+benchmarks and tests."""
+
+from .balance import (
+    imbalance_ratio,
+    min_max_ratio,
+    coefficient_of_variation,
+    improvement,
+    speedup,
+    summarize,
+    BalanceSummary,
+)
+from .reporting import format_table, format_kv, series_to_rows
+
+__all__ = [
+    "imbalance_ratio",
+    "min_max_ratio",
+    "coefficient_of_variation",
+    "improvement",
+    "speedup",
+    "summarize",
+    "BalanceSummary",
+    "format_table",
+    "format_kv",
+    "series_to_rows",
+]

@@ -1,0 +1,110 @@
+"""Workload-balance metrics.
+
+The paper reports balance as max/min/avg workloads and standard deviation
+(Fig. 10), per-node times (Figs. 1b, 5c, 6) and relative improvements
+(Fig. 5a).  These helpers compute them uniformly from any sequence of
+per-node values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from ..errors import ConfigError
+
+__all__ = [
+    "imbalance_ratio",
+    "min_max_ratio",
+    "coefficient_of_variation",
+    "improvement",
+    "speedup",
+    "summarize",
+    "BalanceSummary",
+]
+
+
+def _as_list(values: Iterable[float]) -> List[float]:
+    out = list(values)
+    if not out:
+        raise ConfigError("metric requires at least one value")
+    return out
+
+
+def imbalance_ratio(values: Iterable[float]) -> float:
+    """``max / mean`` — 1.0 is perfect balance; the paper's headline skew."""
+    vals = _as_list(values)
+    mean = sum(vals) / len(vals)
+    if mean == 0:
+        return 1.0
+    return max(vals) / mean
+
+
+def min_max_ratio(values: Iterable[float]) -> float:
+    """``min / max`` in [0, 1]; 1.0 is perfect balance."""
+    vals = _as_list(values)
+    mx = max(vals)
+    return (min(vals) / mx) if mx else 1.0
+
+
+def coefficient_of_variation(values: Iterable[float]) -> float:
+    """Population std divided by mean (0 for a constant series)."""
+    vals = _as_list(values)
+    mean = sum(vals) / len(vals)
+    if mean == 0:
+        return 0.0
+    var = sum((v - mean) ** 2 for v in vals) / len(vals)
+    return math.sqrt(var) / mean
+
+
+def improvement(baseline: float, improved: float) -> float:
+    """The paper's improvement metric: ``1 - improved/baseline``.
+
+    Positive when ``improved`` is faster/smaller.  Raises on a
+    non-positive baseline (no meaningful ratio).
+    """
+    if baseline <= 0:
+        raise ConfigError("baseline must be positive")
+    return 1.0 - improved / baseline
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """``baseline / improved`` (e.g. the paper's 4-5x shuffle factor)."""
+    if improved <= 0:
+        raise ConfigError("improved must be positive")
+    return baseline / improved
+
+
+@dataclass(frozen=True)
+class BalanceSummary:
+    """min/avg/max/std of a per-node series — Fig. 10's four quantities."""
+
+    minimum: float
+    mean: float
+    maximum: float
+    std: float
+
+    @property
+    def imbalance(self) -> float:
+        """``max / mean`` (1.0 when mean is 0)."""
+        return self.maximum / self.mean if self.mean else 1.0
+
+    def normalized(self, by: float) -> "BalanceSummary":
+        """Scale all four statistics by ``1/by`` (Fig. 10 normalizes to the
+        largest workload)."""
+        if by <= 0:
+            raise ConfigError("normalization constant must be positive")
+        return BalanceSummary(
+            self.minimum / by, self.mean / by, self.maximum / by, self.std / by
+        )
+
+
+def summarize(values: Sequence[float]) -> BalanceSummary:
+    """Compute a :class:`BalanceSummary` over per-node values."""
+    vals = _as_list(values)
+    mean = sum(vals) / len(vals)
+    var = sum((v - mean) ** 2 for v in vals) / len(vals)
+    return BalanceSummary(
+        minimum=min(vals), mean=mean, maximum=max(vals), std=math.sqrt(var)
+    )

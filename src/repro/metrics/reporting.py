@@ -1,0 +1,70 @@
+"""Plain-text table formatting for benchmark/experiment output.
+
+The benchmark harness prints each reproduced table/figure as aligned text
+rows (the same rows/series the paper reports), so shapes can be eyeballed
+straight from ``pytest benchmarks/ --benchmark-only`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["format_table", "format_kv", "series_to_rows"]
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:,.0f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], *, title: str | None = None
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ---
+    1  2.5
+    """
+    str_rows: List[List[str]] = [[_fmt_cell(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, object], *, title: str | None = None) -> str:
+    """Render key/value pairs one per line, aligned on the colon."""
+    if not pairs:
+        raise ConfigError("format_kv requires at least one pair")
+    width = max(len(k) for k in pairs)
+    lines = [title] if title else []
+    for k, v in pairs.items():
+        lines.append(f"{k.ljust(width)} : {_fmt_cell(v)}")
+    return "\n".join(lines)
+
+
+def series_to_rows(
+    series: Mapping[object, object], key_name: str, value_name: str
+) -> Tuple[List[str], List[List[object]]]:
+    """Turn a ``{x: y}`` series into (headers, rows) for :func:`format_table`."""
+    headers = [key_name, value_name]
+    rows = [[k, v] for k, v in series.items()]
+    return headers, rows

@@ -1,0 +1,245 @@
+"""Build simulator task graphs from MapReduce workloads.
+
+Reuses the exact duration formulas of the analytical engine
+(:mod:`repro.mapreduce.engine`) so a single job's simulated timeline
+reproduces the engine's phase arithmetic, while the event loop adds what
+the closed form cannot express: slot contention between jobs that share
+the cluster.
+
+Graph shape per analysis job (classic Hadoop):
+
+- one **selection** task per assigned block (no deps);
+- one **map** task per node holding filtered data, depending on *all*
+  selection tasks (the phase barrier the engine models);
+- one **shuffle** task per reducer, depending on all maps; its duration
+  folds the engine's straggler-vs-fetch rule so single-job timings agree;
+- one **reduce** task per reducer, depending on its shuffle;
+- one **cleanup** task (the per-job overhead), depending on all reduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.scheduler import Assignment
+from ..errors import ConfigError
+from ..hdfs.cluster import DatasetView
+from ..hdfs.records import Record
+from ..mapreduce.costmodel import AppProfile, ClusterCostModel
+from ..mapreduce.engine import KV_OVERHEAD, _kv_bytes
+from ..mapreduce.job import MapReduceJob
+from ..mapreduce.shuffle import MERGE_COST_PER_BYTE
+from .tasks import SimTask
+
+__all__ = ["JobGraphBuilder", "build_job_graph"]
+
+NodeId = Hashable
+
+
+@dataclass
+class JobGraphBuilder:
+    """Accumulates tasks for one or many jobs over a shared cluster.
+
+    Args:
+        cost: the cost model pricing every task (same object the engine
+            uses, so durations line up).
+    """
+
+    cost: ClusterCostModel
+    tasks: List[SimTask] = field(default_factory=list)
+
+    # -- selection phase -------------------------------------------------------
+
+    def add_selection(
+        self,
+        label: str,
+        dataset: DatasetView,
+        sub_id: str,
+        assignment: Assignment,
+        profile: AppProfile,
+    ) -> Tuple[List[str], Dict[NodeId, List[Record]]]:
+        """One task per assigned block; returns (task ids, filtered data)."""
+        placement = dataset.placement()
+        task_ids: List[str] = []
+        local_data: Dict[NodeId, List[Record]] = {}
+        for node, block_ids in assignment.blocks_by_node.items():
+            filtered: List[Record] = []
+            for bid in block_ids:
+                if bid not in placement:
+                    raise ConfigError(
+                        f"assignment references unknown block {bid}"
+                    )
+                block = dataset.block(bid)
+                read = (
+                    self.cost.read_local(block.used_bytes)
+                    if node in placement[bid]
+                    else self.cost.read_remote(block.used_bytes)
+                )
+                matched = block.filter(sub_id)
+                out_bytes = sum(r.nbytes for r in matched)
+                duration = (
+                    self.cost.task_overhead_s
+                    + read
+                    + profile.filter_cpu_per_byte
+                    * block.used_bytes
+                    * self.cost.data_scale
+                    + self.cost.write_local(out_bytes)
+                )
+                task_id = f"{label}/sel/{bid}"
+                self.tasks.append(
+                    SimTask(
+                        task_id=task_id,
+                        node=node,
+                        duration=duration,
+                        kind="selection",
+                        job=label,
+                    )
+                )
+                task_ids.append(task_id)
+                filtered.extend(matched)
+            local_data[node] = filtered
+        return task_ids, local_data
+
+    # -- analysis phase -----------------------------------------------------------
+
+    def add_analysis(
+        self,
+        label: str,
+        job: MapReduceJob,
+        local_data: Mapping[NodeId, List[Record]],
+        *,
+        deps: Sequence[str] = (),
+        reducer_nodes: Optional[Sequence[NodeId]] = None,
+        release_time: float = 0.0,
+    ) -> List[str]:
+        """Map/shuffle/reduce/cleanup tasks for one analysis job.
+
+        Args:
+            label: job label (task-id prefix).
+            job: the MapReduce job (functions execute to size partitions).
+            local_data: per-node filtered input (from :meth:`add_selection`).
+            deps: task ids every map task must wait for (phase barrier).
+            reducer_nodes: hosts for reduce tasks; defaults to round-robin
+                over the data-holding nodes.
+            release_time: job submission time.
+
+        Returns all created task ids.
+        """
+        scale = self.cost.data_scale
+        dep_set = frozenset(deps)
+        map_ids: List[str] = []
+        map_durations: List[float] = []
+        partition_bytes: Dict[int, int] = {r: 0 for r in range(job.num_reducers)}
+
+        nodes = sorted(local_data.keys(), key=repr)
+        if not nodes:
+            raise ConfigError("analysis requires at least one input node")
+        for node in nodes:
+            records = local_data[node]
+            nbytes = sum(r.nbytes for r in records)
+            emitted: Dict[Any, List[Any]] = {}
+            for record in records:
+                for k, v in job.run_mapper(record):
+                    emitted.setdefault(k, []).append(v)
+            for k, values in emitted.items():
+                for ck, cv in job.run_combiner(k, values):
+                    partition_bytes[job.partition(ck)] += _kv_bytes(ck, cv)
+            duration = (
+                self.cost.task_overhead_s
+                + self.cost.read_local(nbytes)
+                + job.profile.map_cpu_seconds(nbytes * scale, len(records) * scale)
+            )
+            task_id = f"{label}/map/{node}"
+            self.tasks.append(
+                SimTask(
+                    task_id=task_id,
+                    node=node,
+                    duration=duration,
+                    deps=dep_set,
+                    kind="map",
+                    job=label,
+                    release_time=release_time,
+                )
+            )
+            map_ids.append(task_id)
+            map_durations.append(duration)
+
+        # engine-equivalent shuffle durations: shuffles dep on all maps, so
+        # they start at the LAST map; the engine starts them at the FIRST.
+        # Folding the difference into the duration keeps end times equal:
+        #   engine_end = first + max(straggler, fetch) + merge
+        #             = last + max(0, fetch - straggler) + merge
+        straggler = max(map_durations) - min(map_durations)
+        hosts = list(reducer_nodes) if reducer_nodes is not None else nodes
+        all_map_deps = frozenset(map_ids)
+        created = list(map_ids)
+        for r in range(job.num_reducers):
+            host = hosts[r % len(hosts)]
+            fetch = self.cost.transfer(partition_bytes[r])
+            merge = MERGE_COST_PER_BYTE * partition_bytes[r] * scale
+            shuffle_id = f"{label}/shuf/{r}"
+            self.tasks.append(
+                SimTask(
+                    task_id=shuffle_id,
+                    node=host,
+                    duration=max(0.0, fetch - straggler) + merge,
+                    deps=all_map_deps,
+                    kind="shuffle",
+                    job=label,
+                )
+            )
+            reduce_id = f"{label}/red/{r}"
+            # reduce output bytes approximated by the partition's
+            # post-combine volume (exact output needs the reducer run; the
+            # engine's write term is small either way)
+            out_bytes = int(partition_bytes[r] * 0.5) + KV_OVERHEAD
+            self.tasks.append(
+                SimTask(
+                    task_id=reduce_id,
+                    node=host,
+                    duration=(
+                        self.cost.task_overhead_s
+                        + job.profile.reduce_cost_per_byte
+                        * partition_bytes[r]
+                        * scale
+                        + self.cost.write_local(out_bytes)
+                    ),
+                    deps=frozenset({shuffle_id}),
+                    kind="reduce",
+                    job=label,
+                )
+            )
+            created.extend((shuffle_id, reduce_id))
+
+        cleanup_id = f"{label}/cleanup"
+        self.tasks.append(
+            SimTask(
+                task_id=cleanup_id,
+                node=hosts[0],
+                duration=self.cost.job_overhead_s,
+                deps=frozenset(
+                    f"{label}/red/{r}" for r in range(job.num_reducers)
+                ),
+                kind="cleanup",
+                job=label,
+            )
+        )
+        created.append(cleanup_id)
+        return created
+
+
+def build_job_graph(
+    cost: ClusterCostModel,
+    dataset: DatasetView,
+    sub_id: str,
+    job: MapReduceJob,
+    assignment: Assignment,
+) -> List[SimTask]:
+    """Single-job convenience: selection + analysis with the phase barrier."""
+    builder = JobGraphBuilder(cost)
+    sel_ids, local_data = builder.add_selection(
+        job.name, dataset, sub_id, assignment, job.profile
+    )
+    builder.add_analysis(job.name, job, local_data, deps=sel_ids)
+    return builder.tasks

@@ -1,0 +1,98 @@
+"""Text Gantt charts of simulated schedules.
+
+Renders a :class:`~repro.sim.tasks.TaskTimeline` as one row per node, time
+binned into fixed-width columns, each cell showing the kind of work the
+node was doing (``S`` selection, ``M`` map, ``s`` shuffle, ``R`` reduce,
+``c`` cleanup, ``.`` idle).  Multi-job timelines can color by job instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from ..errors import ConfigError
+from .tasks import TaskTimeline
+
+__all__ = ["render_gantt"]
+
+_KIND_GLYPHS = {
+    "selection": "S",
+    "map": "M",
+    "shuffle": "s",
+    "reduce": "R",
+    "cleanup": "c",
+    "task": "#",
+}
+
+
+def render_gantt(
+    timeline: TaskTimeline,
+    *,
+    width: int = 72,
+    nodes: Optional[Iterable[Hashable]] = None,
+    by_job: bool = False,
+) -> str:
+    """Render the timeline as monospace rows.
+
+    Args:
+        timeline: the simulated schedule.
+        width: number of time bins (columns).
+        nodes: row order; defaults to all nodes seen, sorted.
+        by_job: label cells by job (first letter/digit of the job label)
+            instead of by task kind.
+
+    Raises:
+        ConfigError: empty timeline or non-positive width.
+    """
+    if width <= 0:
+        raise ConfigError("width must be positive")
+    if not timeline.intervals:
+        raise ConfigError("cannot render an empty timeline")
+    horizon = timeline.makespan
+    if horizon <= 0:
+        raise ConfigError("timeline has zero duration")
+
+    if nodes is None:
+        nodes = sorted({t.node for t in timeline.tasks.values()}, key=repr)
+    node_list = list(nodes)
+
+    jobs = sorted({t.job for t in timeline.tasks.values()})
+    job_glyph: Dict[str, str] = {}
+    if by_job:
+        used: set = set()
+        for job in jobs:
+            glyph = job[:1].upper() if job else "?"
+            if glyph in used:  # disambiguate repeated initials with digits
+                glyph = str(len(used) % 10)
+            used.add(glyph)
+            job_glyph[job] = glyph
+
+    rows: List[str] = []
+    scale = width / horizon
+    label_width = max(len(str(n)) for n in node_list)
+    for node in node_list:
+        cells = ["."] * width
+        for tid, (start, end) in timeline.intervals.items():
+            task = timeline.tasks[tid]
+            if task.node != node or end <= start:
+                continue
+            glyph = (
+                job_glyph[task.job]
+                if by_job
+                else _KIND_GLYPHS.get(task.kind, "#")
+            )
+            lo = int(start * scale)
+            hi = max(lo + 1, int(end * scale))
+            for i in range(lo, min(hi, width)):
+                cells[i] = glyph
+        rows.append(f"{str(node).rjust(label_width)} |{''.join(cells)}|")
+    header = (
+        f"{' ' * label_width}  0{' ' * (width - len(f'{horizon:.1f}s') - 1)}"
+        f"{horizon:.1f}s"
+    )
+    legend = (
+        "legend: S=selection M=map s=shuffle R=reduce c=cleanup .=idle"
+        if not by_job
+        else "legend: one glyph per job, .=idle"
+    )
+    return "\n".join([header] + rows + [legend])

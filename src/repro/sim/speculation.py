@@ -1,0 +1,180 @@
+"""Dynamic speculative execution inside the event-driven simulator.
+
+The analytic model (:mod:`repro.mapreduce.speculative`) approximates
+Hadoop's backup-task policy with closed-form timings.  This module runs it
+*dynamically*: after simulating a task set once, stragglers are detected
+against their phase's median runtime, backup copies are injected on the
+least-loaded nodes, and the simulation is re-run with
+``min(original, backup)`` race semantics resolved by an extra
+post-processing pass.
+
+The two models agree on the qualitative conclusion (backups cannot undo
+data imbalance — they reprocess the same oversized input) but the dynamic
+version also accounts for slot contention caused by the backups
+themselves, which the closed form ignores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigError
+from .simulator import DiscreteEventSimulator
+from .tasks import SimTask, TaskTimeline
+
+__all__ = ["SpeculativeSimulator", "SpeculativeRun"]
+
+NodeId = Hashable
+
+
+@dataclass
+class SpeculativeRun:
+    """Outcome of a speculative simulation.
+
+    Attributes:
+        timeline: the realized schedule *with* backup tasks included.
+        effective_end: task id → completion time after racing originals
+            against their backups.
+        backups: original task id → backup task id.
+        wasted_seconds: slot time burned by losing copies.
+    """
+
+    timeline: TaskTimeline
+    effective_end: Dict[str, float]
+    backups: Dict[str, str]
+    wasted_seconds: float
+
+    @property
+    def makespan(self) -> float:
+        """Completion of the last *effective* task end."""
+        return max(self.effective_end.values(), default=0.0)
+
+
+class SpeculativeSimulator:
+    """Two-pass speculative simulation over a kind-filtered task set.
+
+    Args:
+        slowdown_threshold: duration multiple of the phase median above
+            which a task gets a backup.
+        relocation_speedup: backup-host speedup on the same input.
+        speculate_kinds: task kinds eligible for backups (maps by default;
+            Hadoop speculates maps and reduces, selection tasks are uniform
+            so backups never trigger for them).
+    """
+
+    def __init__(
+        self,
+        *,
+        slowdown_threshold: float = 1.5,
+        relocation_speedup: float = 1.2,
+        speculate_kinds: Tuple[str, ...] = ("map",),
+        slots_per_node: int = 1,
+    ) -> None:
+        if slowdown_threshold <= 1.0:
+            raise ConfigError("slowdown_threshold must exceed 1.0")
+        if relocation_speedup < 1.0:
+            raise ConfigError("relocation_speedup must be >= 1.0")
+        if not speculate_kinds:
+            raise ConfigError("speculate_kinds must be non-empty")
+        self.slowdown_threshold = slowdown_threshold
+        self.relocation_speedup = relocation_speedup
+        self.speculate_kinds = tuple(speculate_kinds)
+        self.simulator = DiscreteEventSimulator(slots_per_node=slots_per_node)
+
+    # -- straggler detection -----------------------------------------------------
+
+    def _stragglers(self, tasks: Dict[str, SimTask]) -> List[str]:
+        candidates = [
+            t for t in tasks.values() if t.kind in self.speculate_kinds
+        ]
+        if len(candidates) < 2:
+            return []
+        durations = sorted(t.duration for t in candidates)
+        median = durations[len(durations) // 2]
+        if median <= 0:
+            return []
+        return [
+            t.task_id
+            for t in candidates
+            if t.duration > self.slowdown_threshold * median
+        ]
+
+    # -- the two-pass run -----------------------------------------------------------
+
+    def run(self, tasks: Iterable[SimTask]) -> SpeculativeRun:
+        """Simulate with dynamically injected backup copies.
+
+        Pass 1 simulates the original graph to learn when stragglers would
+        finish and which nodes idle first.  Pass 2 adds one backup per
+        straggler — released when the phase median completes, placed on the
+        node with the least busy time — and re-simulates.  Effective
+        completion of a speculated task is the earlier of its two copies.
+        """
+        task_map = {t.task_id: t for t in tasks}
+        base = self.simulator.run(task_map.values())
+        stragglers = self._stragglers(task_map)
+        if not stragglers:
+            return SpeculativeRun(
+                timeline=base.timeline,
+                effective_end={
+                    tid: base.timeline.end_of(tid) for tid in task_map
+                },
+                backups={},
+                wasted_seconds=0.0,
+            )
+
+        spec_candidates = [
+            tid
+            for tid, t in task_map.items()
+            if t.kind in self.speculate_kinds
+        ]
+        median_end = sorted(
+            base.timeline.end_of(tid) for tid in spec_candidates
+        )[len(spec_candidates) // 2]
+        nodes = sorted(
+            {t.node for t in task_map.values()},
+            key=lambda n: (base.timeline.node_busy_time(n), repr(n)),
+        )
+
+        augmented: Dict[str, SimTask] = dict(task_map)
+        backups: Dict[str, str] = {}
+        for i, tid in enumerate(sorted(stragglers)):
+            original = task_map[tid]
+            host = nodes[i % len(nodes)]
+            if host == original.node and len(nodes) > 1:
+                host = nodes[(i + 1) % len(nodes)]
+            backup_id = f"{tid}#backup"
+            augmented[backup_id] = SimTask(
+                task_id=backup_id,
+                node=host,
+                duration=original.duration / self.relocation_speedup,
+                deps=original.deps,
+                kind=f"{original.kind}-backup",
+                job=original.job,
+                release_time=max(original.release_time, median_end),
+            )
+            backups[tid] = backup_id
+
+        rerun = self.simulator.run(augmented.values())
+        effective: Dict[str, float] = {}
+        wasted = 0.0
+        for tid in task_map:
+            end = rerun.timeline.end_of(tid)
+            if tid in backups:
+                backup_end = rerun.timeline.end_of(backups[tid])
+                winner = min(end, backup_end)
+                loser_start = (
+                    rerun.timeline.start_of(backups[tid])
+                    if backup_end > end
+                    else rerun.timeline.start_of(tid)
+                )
+                wasted += max(winner - loser_start, 0.0)
+                end = winner
+            effective[tid] = end
+        return SpeculativeRun(
+            timeline=rerun.timeline,
+            effective_end=effective,
+            backups=backups,
+            wasted_seconds=wasted,
+        )

@@ -1,0 +1,111 @@
+"""Task model for the discrete-event simulator.
+
+A :class:`SimTask` is a unit of work with a fixed duration, a fixed node
+(placement decisions happen *before* simulation — they are exactly what
+DataNet vs stock scheduling differ on), and dependency edges to other
+tasks.  The simulator turns a set of tasks into a :class:`TaskTimeline`
+of realized ``(start, end)`` intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["SimTask", "TaskTimeline"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One schedulable unit of work.
+
+    Attributes:
+        task_id: unique id within a simulation.
+        node: the node whose slot pool executes this task.
+        duration: seconds of slot time consumed.
+        deps: ids of tasks that must complete before this one may start.
+        kind: free-form label (``"map"``, ``"shuffle"``, ...) used by
+            reports and the Gantt renderer.
+        job: owning job label (multi-job workloads).
+        release_time: earliest allowed start (e.g. job submission time).
+    """
+
+    task_id: str
+    node: NodeId
+    duration: float
+    deps: FrozenSet[str] = frozenset()
+    kind: str = "task"
+    job: str = ""
+    release_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise ConfigError("task_id must be non-empty")
+        if self.duration < 0:
+            raise ConfigError(f"duration must be non-negative: {self.task_id}")
+        if self.release_time < 0:
+            raise ConfigError(f"release_time must be non-negative: {self.task_id}")
+        if self.task_id in self.deps:
+            raise ConfigError(f"task {self.task_id} depends on itself")
+
+
+@dataclass
+class TaskTimeline:
+    """Realized schedule: per-task ``(start, end)`` plus derived views."""
+
+    intervals: Dict[str, Tuple[float, float]]
+    tasks: Dict[str, SimTask] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last task (0 for an empty timeline)."""
+        return max((end for _s, end in self.intervals.values()), default=0.0)
+
+    def start_of(self, task_id: str) -> float:
+        return self.intervals[task_id][0]
+
+    def end_of(self, task_id: str) -> float:
+        return self.intervals[task_id][1]
+
+    def job_span(self, job: str) -> Tuple[float, float]:
+        """(first start, last end) over one job's tasks.
+
+        Raises:
+            ConfigError: when the job has no tasks in the timeline.
+        """
+        spans = [
+            self.intervals[tid]
+            for tid, task in self.tasks.items()
+            if task.job == job
+        ]
+        if not spans:
+            raise ConfigError(f"no tasks for job {job!r}")
+        return min(s for s, _e in spans), max(e for _s, e in spans)
+
+    def node_busy_time(self, node: NodeId) -> float:
+        """Total slot-seconds consumed on ``node``."""
+        return sum(
+            end - start
+            for tid, (start, end) in self.intervals.items()
+            if self.tasks[tid].node == node
+        )
+
+    def by_kind(self, kind: str) -> List[str]:
+        """Task ids of one kind, ordered by start time."""
+        ids = [tid for tid, t in self.tasks.items() if t.kind == kind]
+        return sorted(ids, key=lambda tid: self.intervals[tid][0])
+
+    def utilization(self, nodes: Iterable[NodeId], slots_per_node: int) -> float:
+        """Busy slot-seconds over available slot-seconds until the makespan."""
+        if slots_per_node <= 0:
+            raise ConfigError("slots_per_node must be positive")
+        node_list = list(nodes)
+        horizon = self.makespan
+        if horizon == 0 or not node_list:
+            return 0.0
+        busy = sum(self.node_busy_time(n) for n in node_list)
+        return busy / (horizon * len(node_list) * slots_per_node)

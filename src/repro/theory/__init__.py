@@ -1,0 +1,21 @@
+"""Section II-B: the probability analysis of imbalanced workload."""
+
+from .gamma_model import WorkloadModel, Fig2Point, fig2_curves
+from .planner import (
+    PlanningReport,
+    max_cluster_for_imbalance,
+    metadata_budget,
+    plan,
+    recommend_alpha,
+)
+
+__all__ = [
+    "WorkloadModel",
+    "Fig2Point",
+    "fig2_curves",
+    "PlanningReport",
+    "max_cluster_for_imbalance",
+    "metadata_budget",
+    "plan",
+    "recommend_alpha",
+]

@@ -1,0 +1,145 @@
+"""The paper's Section II-B probability analysis, reproduced exactly.
+
+Model: the amount of a sub-dataset in each block is
+``X ~ Gamma(k, theta)``, i.i.d. across blocks.  A cluster of ``m`` nodes
+splits ``n`` blocks evenly, so a node's workload is the sum of ``n/m``
+independent Gammas:
+
+    ``Z ~ Gamma(n*k/m, theta)``        (paper Eq. 2)
+
+As ``m`` grows, ``n/m`` shrinks, the sum concentrates less, and the
+probability of extreme per-node workloads rises — the paper's Figure 2.
+With the running example (k=1.2, theta=7, n=512, m=128) the text derives
+expected counts of 3.9 nodes below E(Z)/2, 1.5 below E(Z)/3 and 4.0 above
+2·E(Z); :meth:`WorkloadModel.expected_nodes_below` /
+:meth:`~WorkloadModel.expected_nodes_above` reproduce those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..errors import ConfigError
+
+__all__ = ["WorkloadModel", "Fig2Point", "fig2_curves"]
+
+
+class WorkloadModel:
+    """Gamma workload model over ``n`` blocks with per-block ``Γ(k, θ)``.
+
+    Args:
+        k: Gamma shape of the per-block sub-dataset amount.
+        theta: Gamma scale.
+        num_blocks: ``n``, total blocks holding the sub-dataset.
+    """
+
+    def __init__(self, k: float = 1.2, theta: float = 7.0, num_blocks: int = 512) -> None:
+        if k <= 0 or theta <= 0:
+            raise ConfigError("gamma parameters must be positive")
+        if num_blocks <= 0:
+            raise ConfigError("num_blocks must be positive")
+        self.k = k
+        self.theta = theta
+        self.num_blocks = num_blocks
+
+    # -- distributions ---------------------------------------------------------
+
+    def _check_m(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ConfigError("num_nodes must be positive")
+
+    def node_distribution(self, num_nodes: int) -> stats.rv_continuous:
+        """The frozen distribution of ``Z`` for an ``m``-node cluster (Eq. 2)."""
+        self._check_m(num_nodes)
+        shape = self.num_blocks * self.k / num_nodes
+        return stats.gamma(a=shape, scale=self.theta)
+
+    def expected_node_workload(self, num_nodes: int) -> float:
+        """``E(Z) = n*k*theta / m`` — the fair share."""
+        self._check_m(num_nodes)
+        return self.num_blocks * self.k * self.theta / num_nodes
+
+    def density(self, num_nodes: int, z: np.ndarray | float) -> np.ndarray:
+        """Eq. 2's density ``f(z; nk/m, theta)`` (the Fig. 2 inset)."""
+        return self.node_distribution(num_nodes).pdf(z)
+
+    # -- tail probabilities (Eqs. 3-4) ------------------------------------------
+
+    def prob_below(self, num_nodes: int, fraction: float) -> float:
+        """``P(Z < fraction * E(Z))`` (Eq. 3 with w = fraction*E)."""
+        if fraction <= 0:
+            raise ConfigError("fraction must be positive")
+        dist = self.node_distribution(num_nodes)
+        return float(dist.cdf(fraction * self.expected_node_workload(num_nodes)))
+
+    def prob_above(self, num_nodes: int, fraction: float) -> float:
+        """``P(Z > fraction * E(Z))`` (Eq. 4)."""
+        if fraction <= 0:
+            raise ConfigError("fraction must be positive")
+        dist = self.node_distribution(num_nodes)
+        return float(dist.sf(fraction * self.expected_node_workload(num_nodes)))
+
+    # -- expected extreme-node counts (the paper's 3.9 / 1.5 / 4.0) -----------------
+
+    def expected_nodes_below(self, num_nodes: int, fraction: float) -> float:
+        """``m * P(Z < fraction*E(Z))`` — expected under-loaded nodes."""
+        return num_nodes * self.prob_below(num_nodes, fraction)
+
+    def expected_nodes_above(self, num_nodes: int, fraction: float) -> float:
+        """``m * P(Z > fraction*E(Z))`` — expected over-loaded nodes."""
+        return num_nodes * self.prob_above(num_nodes, fraction)
+
+    # -- empirical validation -----------------------------------------------------
+
+    def sample_node_workloads(
+        self, num_nodes: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Monte-Carlo draw: deal ``n`` Gamma blocks evenly onto ``m`` nodes.
+
+        Unlike :meth:`node_distribution` this keeps the integer block
+        partition (``n/m`` rounded), which is how the theory is validated
+        against simulation in the tests.
+        """
+        self._check_m(num_nodes)
+        weights = rng.gamma(self.k, self.theta, size=self.num_blocks)
+        perm = rng.permutation(self.num_blocks)
+        loads = np.zeros(num_nodes)
+        for i, b in enumerate(perm):
+            loads[i % num_nodes] += weights[b]
+        return loads
+
+
+@dataclass(frozen=True)
+class Fig2Point:
+    """One point of a Figure 2 curve."""
+
+    num_nodes: int
+    probability: float
+
+
+def fig2_curves(
+    model: WorkloadModel | None = None,
+    cluster_sizes: Sequence[int] = tuple(range(2, 385, 2)),
+) -> Dict[str, List[Fig2Point]]:
+    """The four curves of Figure 2 (paper parameters by default).
+
+    Returns ``{label: [Fig2Point, ...]}`` for
+    ``P(Z < E/3)``, ``P(Z < E/2)``, ``P(Z > 2E)`` and ``P(Z > 3E)``.
+    """
+    m = model or WorkloadModel()
+    curves: Dict[str, List[Fig2Point]] = {
+        "P(Z < 1/3 E)": [],
+        "P(Z < 1/2 E)": [],
+        "P(Z > 2 E)": [],
+        "P(Z > 3 E)": [],
+    }
+    for size in cluster_sizes:
+        curves["P(Z < 1/3 E)"].append(Fig2Point(size, m.prob_below(size, 1 / 3)))
+        curves["P(Z < 1/2 E)"].append(Fig2Point(size, m.prob_below(size, 1 / 2)))
+        curves["P(Z > 2 E)"].append(Fig2Point(size, m.prob_above(size, 2.0)))
+        curves["P(Z > 3 E)"].append(Fig2Point(size, m.prob_above(size, 3.0)))
+    return curves

@@ -1,0 +1,182 @@
+"""Capacity planning on top of the Section II-B theory and Eq. 5.
+
+Turns the paper's analysis into operator-facing answers:
+
+* :func:`max_cluster_for_imbalance` — the largest cluster a workload can
+  use before the *expected* number of badly over-loaded nodes (under stock
+  scheduling) crosses a tolerance — i.e. when you start needing DataNet.
+* :func:`recommend_alpha` — the smallest hash-map fraction whose Eq. 5
+  metadata cost fits a memory budget, with the Fig. 10 guidance (≥ ~15 %)
+  as a floor.
+* :func:`metadata_budget` — total metadata bytes for a dataset shape at a
+  given α (capacity planning for the master / metadata store).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.elasticmap import MemoryModel
+from ..errors import ConfigError
+from .gamma_model import WorkloadModel
+
+__all__ = [
+    "max_cluster_for_imbalance",
+    "recommend_alpha",
+    "metadata_budget",
+    "PlanningReport",
+    "plan",
+]
+
+
+def max_cluster_for_imbalance(
+    model: WorkloadModel,
+    *,
+    overload_factor: float = 2.0,
+    expected_overloaded_nodes: float = 1.0,
+    max_nodes: int = 4096,
+) -> int:
+    """Largest ``m`` with ``E[#nodes > overload_factor · E(Z)]`` ≤ tolerance.
+
+    Monotone in ``m`` (Fig. 2), so a binary search suffices.  Returns
+    ``max_nodes`` if even that size stays within tolerance.
+    """
+    if overload_factor <= 1.0:
+        raise ConfigError("overload_factor must exceed 1.0")
+    if expected_overloaded_nodes <= 0:
+        raise ConfigError("expected_overloaded_nodes must be positive")
+    if max_nodes < 1:
+        raise ConfigError("max_nodes must be positive")
+
+    def ok(m: int) -> bool:
+        return (
+            model.expected_nodes_above(m, overload_factor)
+            <= expected_overloaded_nodes
+        )
+
+    if not ok(1):
+        return 1
+    lo, hi = 1, max_nodes
+    if ok(hi):
+        return hi
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if ok(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def metadata_budget(
+    num_blocks: int,
+    subdatasets_per_block: int,
+    alpha: float,
+    *,
+    memory_model: Optional[MemoryModel] = None,
+) -> float:
+    """Total Eq. 5 metadata bytes for a dataset shape at fraction ``alpha``."""
+    if num_blocks <= 0 or subdatasets_per_block <= 0:
+        raise ConfigError("num_blocks and subdatasets_per_block must be positive")
+    model = memory_model or MemoryModel()
+    return num_blocks * model.cost_bits(subdatasets_per_block, alpha) / 8.0
+
+
+def recommend_alpha(
+    num_blocks: int,
+    subdatasets_per_block: int,
+    budget_bytes: float,
+    *,
+    memory_model: Optional[MemoryModel] = None,
+    balance_floor: float = 0.15,
+) -> float:
+    """Largest α whose metadata fits ``budget_bytes``, floored at the
+    Fig. 10 guidance (≈15 % suffices for balance).
+
+    Raises:
+        ConfigError: when even ``balance_floor`` does not fit the budget —
+            the deployment needs more metadata memory (or a distributed
+            store; see :mod:`repro.core.metastore`).
+    """
+    if budget_bytes <= 0:
+        raise ConfigError("budget_bytes must be positive")
+    if not (0.0 <= balance_floor <= 1.0):
+        raise ConfigError("balance_floor must be in [0, 1]")
+    model = memory_model or MemoryModel()
+    floor_cost = metadata_budget(
+        num_blocks, subdatasets_per_block, balance_floor, memory_model=model
+    )
+    if floor_cost > budget_bytes:
+        raise ConfigError(
+            f"budget {budget_bytes:.0f} B cannot hold even alpha="
+            f"{balance_floor:.0%} ({floor_cost:.0f} B); use a distributed "
+            "metadata store or raise the budget"
+        )
+    lo, hi = balance_floor, 1.0
+    for _ in range(40):
+        mid = (lo + hi) / 2
+        cost = metadata_budget(
+            num_blocks, subdatasets_per_block, mid, memory_model=model
+        )
+        if cost <= budget_bytes:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+@dataclass
+class PlanningReport:
+    """One-shot capacity plan for a workload."""
+
+    recommended_alpha: float
+    metadata_bytes: float
+    stock_safe_cluster: int  # largest m before stock scheduling degrades
+    expected_overloaded_at_target: float
+
+    def format(self) -> str:
+        from ..metrics.reporting import format_kv
+        from ..units import format_size
+
+        return format_kv(
+            {
+                "recommended alpha": f"{self.recommended_alpha:.0%}",
+                "metadata footprint": format_size(self.metadata_bytes),
+                "stock scheduling safe up to": f"{self.stock_safe_cluster} nodes",
+                "expected overloaded nodes at target": f"{self.expected_overloaded_at_target:.1f}",
+            },
+            title="Capacity plan",
+        )
+
+
+def plan(
+    *,
+    num_blocks: int,
+    subdatasets_per_block: int,
+    target_nodes: int,
+    metadata_budget_bytes: float,
+    gamma_k: float = 1.2,
+    gamma_theta: float = 7.0,
+    memory_model: Optional[MemoryModel] = None,
+) -> PlanningReport:
+    """Produce a full plan for a workload shape and target cluster size."""
+    if target_nodes <= 0:
+        raise ConfigError("target_nodes must be positive")
+    model = WorkloadModel(k=gamma_k, theta=gamma_theta, num_blocks=num_blocks)
+    alpha = recommend_alpha(
+        num_blocks,
+        subdatasets_per_block,
+        metadata_budget_bytes,
+        memory_model=memory_model,
+    )
+    return PlanningReport(
+        recommended_alpha=alpha,
+        metadata_bytes=metadata_budget(
+            num_blocks, subdatasets_per_block, alpha, memory_model=memory_model
+        ),
+        stock_safe_cluster=max_cluster_for_imbalance(model),
+        expected_overloaded_at_target=model.expected_nodes_above(
+            target_nodes, 2.0
+        ),
+    )

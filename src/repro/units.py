@@ -1,0 +1,94 @@
+"""Byte-size units, parsing and formatting helpers.
+
+The paper speaks in KB/MB block and bucket sizes (64 MB blocks, 1 kb..34 kb
+buckets).  Internally everything in this library is plain integer *bytes*;
+these helpers exist so configuration and reports stay readable.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import ConfigError
+
+#: Number of bytes in one kibibyte/mebibyte/gibibyte (binary units, as HDFS uses).
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>b|kb|kib|mb|mib|gb|gib)?\s*$",
+    re.IGNORECASE,
+)
+
+_UNIT_FACTORS = {
+    None: 1,
+    "b": 1,
+    "kb": KiB,
+    "kib": KiB,
+    "mb": MiB,
+    "mib": MiB,
+    "gb": GiB,
+    "gib": GiB,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size like ``"64 MB"`` or ``"1kb"`` into bytes.
+
+    Integers and floats pass through (rounded to int).  Binary (1024-based)
+    factors are used for all units, matching HDFS conventions.
+
+    >>> parse_size("64 MB")
+    67108864
+    >>> parse_size(512)
+    512
+
+    Raises:
+        ConfigError: if the string cannot be interpreted as a size.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ConfigError(f"size must be non-negative, got {text!r}")
+        return int(round(text))
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ConfigError(f"cannot parse size: {text!r}")
+    num = float(m.group("num"))
+    unit = m.group("unit")
+    factor = _UNIT_FACTORS[unit.lower() if unit else None]
+    return int(round(num * factor))
+
+
+def format_size(num_bytes: int | float) -> str:
+    """Format a byte count with a binary unit suffix, e.g. ``"64.0 MiB"``.
+
+    >>> format_size(67108864)
+    '64.0 MiB'
+    """
+    n = float(num_bytes)
+    for unit, factor in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fibonacci_boundaries(base: int, count: int) -> list[int]:
+    """Return ``count`` increasing Fibonacci-scaled boundaries ``base*F_i``.
+
+    The paper's bucket series ``1kb, 2kb, 3kb, 5kb, 8kb, 13kb, 21kb, 34kb``
+    is ``fibonacci_boundaries(1024, 8)``.
+
+    Raises:
+        ConfigError: for a non-positive base or count.
+    """
+    if base <= 0:
+        raise ConfigError(f"base must be positive, got {base}")
+    if count <= 0:
+        raise ConfigError(f"count must be positive, got {count}")
+    out: list[int] = []
+    a, b = 1, 2
+    for _ in range(count):
+        out.append(base * a)
+        a, b = b, a + b
+    return out

@@ -1,0 +1,50 @@
+"""Synthetic workload generators.
+
+The paper evaluates on (a) a MovieLens/MovieTweetings-derived movie review
+log with randomly generated review text, stored chronologically, and (b)
+GitHub Archive event logs.  Neither raw testbed dataset ships with the
+paper, so these generators synthesize streams from the same statistical
+families the paper itself uses to describe them:
+
+- :mod:`repro.workloads.movielens` — Zipf movie popularity, per-movie
+  review times Gamma-distributed after release (the paper's content
+  clustering model, Section II-B).
+- :mod:`repro.workloads.github_events` — ~20 event types at stationary
+  but unequal rates: uneven distribution *without* temporal clustering
+  (the Fig. 8 regime).
+- :mod:`repro.workloads.worldcup` — WorldCup'98-style access logs with
+  bursts around match kickoffs (a third clustering shape, used in extra
+  benches).
+- :mod:`repro.workloads.text` — review-text/payload generation.
+- :mod:`repro.workloads.clustering` — arrival-time models shared by the
+  generators.
+"""
+
+from .text import TextGenerator
+from .clustering import (
+    ArrivalModel,
+    GammaArrivalModel,
+    UniformArrivalModel,
+    BurstArrivalModel,
+    zipf_weights,
+)
+from .movielens import MovieLensGenerator, most_popular
+from .github_events import GitHubEventsGenerator, GITHUB_EVENT_TYPES
+from .worldcup import WorldCupGenerator
+from .mixer import interleave, namespace
+
+__all__ = [
+    "TextGenerator",
+    "ArrivalModel",
+    "GammaArrivalModel",
+    "UniformArrivalModel",
+    "BurstArrivalModel",
+    "zipf_weights",
+    "MovieLensGenerator",
+    "most_popular",
+    "GitHubEventsGenerator",
+    "GITHUB_EVENT_TYPES",
+    "WorldCupGenerator",
+    "interleave",
+    "namespace",
+]

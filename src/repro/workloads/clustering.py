@@ -1,0 +1,129 @@
+"""Arrival-time (content clustering) models.
+
+Section II-B of the paper models the per-block amount of a sub-dataset as
+Gamma-distributed, motivated by event interest decaying after a release.
+These models generate the *record arrival times* that produce exactly that
+behaviour once records are stored chronologically in fixed-size blocks:
+
+- :class:`GammaArrivalModel` — offsets after an anchor (a movie release)
+  follow Γ(k, θ); most records land shortly after the anchor — the paper's
+  content-clustering regime.
+- :class:`UniformArrivalModel` — stationary arrivals over the dataset's
+  lifetime — the GitHub-events regime (Fig. 8: imbalance without temporal
+  clustering).
+- :class:`BurstArrivalModel` — Gaussian bursts around an anchor (WorldCup
+  match kickoffs).
+
+:func:`zipf_weights` provides the popularity skew that decides how *many*
+records each sub-dataset gets.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "ArrivalModel",
+    "GammaArrivalModel",
+    "UniformArrivalModel",
+    "BurstArrivalModel",
+    "zipf_weights",
+]
+
+
+def zipf_weights(num_items: int, s: float = 1.1) -> np.ndarray:
+    """Normalized Zipf popularity weights for ``num_items`` ranked items.
+
+    Rank 1 is the most popular; ``s`` controls skew (larger = more skew).
+
+    Raises:
+        ConfigError: non-positive ``num_items`` or negative ``s``.
+    """
+    if num_items <= 0:
+        raise ConfigError("num_items must be positive")
+    if s < 0:
+        raise ConfigError("zipf exponent must be non-negative")
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    w = ranks ** (-s)
+    return w / w.sum()
+
+
+class ArrivalModel(ABC):
+    """Generates record arrival times for one sub-dataset."""
+
+    @abstractmethod
+    def sample(
+        self, anchor: float, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``count`` arrival times for a sub-dataset anchored at ``anchor``.
+
+        Times are floats in dataset time units (days, by convention) and
+        may fall outside the dataset window when the anchor is near an
+        edge — generators filter to their window rather than clamping,
+        which would pile records up at the boundary.
+        """
+
+    def mean_offset(self) -> float:
+        """Expected arrival offset after the anchor (0 for anchor-free
+        models); used by generators to size their release burn-in."""
+        return 0.0
+
+
+class GammaArrivalModel(ArrivalModel):
+    """Arrivals at ``anchor + Γ(k, θ)`` offsets — the paper's model.
+
+    With the paper's running parameters ``k=1.2, θ=7`` (days), ~80 % of a
+    movie's reviews fall within a month of release, matching Figure 1(a)'s
+    concentration of one sub-dataset into a few chronological blocks.
+    """
+
+    def __init__(self, k: float = 1.2, theta: float = 7.0) -> None:
+        if k <= 0 or theta <= 0:
+            raise ConfigError("gamma parameters must be positive")
+        self.k = k
+        self.theta = theta
+
+    def mean_offset(self) -> float:
+        """``k * theta`` — the Gamma mean."""
+        return self.k * self.theta
+
+    def sample(self, anchor: float, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise ConfigError("count must be non-negative")
+        offsets = rng.gamma(self.k, self.theta, size=count)
+        return anchor + offsets
+
+
+class UniformArrivalModel(ArrivalModel):
+    """Stationary arrivals over ``[0, duration)`` — no temporal clustering."""
+
+    def __init__(self, duration: float) -> None:
+        if duration <= 0:
+            raise ConfigError("duration must be positive")
+        self.duration = duration
+
+    def sample(self, anchor: float, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise ConfigError("count must be non-negative")
+        return rng.uniform(0.0, self.duration, size=count)
+
+
+class BurstArrivalModel(ArrivalModel):
+    """Gaussian burst around the anchor (e.g. a match kickoff).
+
+    ``sigma`` controls burst width; times are clipped at 0.
+    """
+
+    def __init__(self, sigma: float = 0.25) -> None:
+        if sigma <= 0:
+            raise ConfigError("sigma must be positive")
+        self.sigma = sigma
+
+    def sample(self, anchor: float, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise ConfigError("count must be non-negative")
+        return rng.normal(anchor, self.sigma, size=count)

@@ -1,0 +1,93 @@
+"""Synthetic record payload text.
+
+The paper states "the text reviews are randomly generated"; WordCount and
+Aggregate Word Histogram still need realistic word-frequency structure, so
+payloads are sentences drawn from a fixed vocabulary with Zipf-distributed
+word frequencies (natural language's empirical distribution).
+
+Generation is vectorized: a pool of sentences is pre-sampled once and
+records draw from the pool, keeping multi-hundred-thousand-record
+workloads fast while preserving word statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["TextGenerator", "BASE_VOCABULARY"]
+
+#: Seed vocabulary; extended with synthetic tokens when a larger one is asked for.
+BASE_VOCABULARY: tuple = (
+    "the", "movie", "film", "great", "bad", "plot", "acting", "scene", "story",
+    "character", "director", "love", "hate", "watch", "time", "good", "best",
+    "worst", "amazing", "boring", "funny", "action", "drama", "comedy", "score",
+    "music", "visual", "effects", "cast", "role", "performance", "ending",
+    "twist", "classic", "sequel", "original", "remake", "series", "episode",
+    "season", "star", "award", "oscar", "review", "rating", "cinema", "screen",
+    "ticket", "popcorn", "theater", "release", "premiere", "trailer", "studio",
+    "budget", "box", "office", "hit", "flop", "masterpiece", "disaster",
+    "beautiful", "terrible", "wonderful", "awful", "brilliant", "dull",
+    "exciting", "slow", "fast", "long", "short", "deep", "shallow", "dark",
+    "light", "emotional", "cold", "warm", "real", "fake", "true", "false",
+)
+
+
+class TextGenerator:
+    """Zipf-weighted sentence generator over a fixed vocabulary.
+
+    Args:
+        vocab_size: number of distinct words (extends the base vocabulary
+            with ``tok<N>`` tokens when larger than it).
+        zipf_s: Zipf exponent for word frequencies (~1.0 for natural text).
+        pool_size: number of pre-generated sentences records sample from.
+        words_per_sentence: (low, high) uniform range of sentence length.
+        rng: NumPy generator (seed it for determinism).
+    """
+
+    def __init__(
+        self,
+        *,
+        vocab_size: int = 200,
+        zipf_s: float = 1.05,
+        pool_size: int = 512,
+        words_per_sentence: tuple = (6, 24),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if vocab_size <= 0:
+            raise ConfigError("vocab_size must be positive")
+        if pool_size <= 0:
+            raise ConfigError("pool_size must be positive")
+        lo, hi = words_per_sentence
+        if not (0 < lo <= hi):
+            raise ConfigError("words_per_sentence must satisfy 0 < low <= high")
+        self.rng = rng if rng is not None else np.random.default_rng()
+        vocab = list(BASE_VOCABULARY)
+        while len(vocab) < vocab_size:
+            vocab.append(f"tok{len(vocab):04d}")
+        self.vocabulary: List[str] = vocab[:vocab_size]
+        ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+        weights = ranks ** (-zipf_s)
+        self._probs = weights / weights.sum()
+        self._pool: List[str] = [
+            self._fresh_sentence(lo, hi) for _ in range(pool_size)
+        ]
+
+    def _fresh_sentence(self, lo: int, hi: int) -> str:
+        n = int(self.rng.integers(lo, hi + 1))
+        idx = self.rng.choice(len(self.vocabulary), size=n, p=self._probs)
+        return " ".join(self.vocabulary[i] for i in idx)
+
+    def sentence(self) -> str:
+        """One sentence sampled from the pre-generated pool."""
+        return self._pool[int(self.rng.integers(len(self._pool)))]
+
+    def sentences(self, count: int) -> List[str]:
+        """``count`` sentences, pool-sampled (fast path for bulk generation)."""
+        if count < 0:
+            raise ConfigError("count must be non-negative")
+        idx = self.rng.integers(0, len(self._pool), size=count)
+        return [self._pool[i] for i in idx]

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import HDFSCluster, Record
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator; reseeded per test."""
+    return np.random.default_rng(20160523)  # IPDPS 2016 conference date
+
+
+@pytest.fixture
+def small_cluster(rng) -> HDFSCluster:
+    """An 8-node cluster with tiny blocks for fast tests."""
+    return HDFSCluster(num_nodes=8, block_size=4096, replication=3, rng=rng)
+
+
+def make_records(spec: dict[str, int], payload_len: int = 40) -> list[Record]:
+    """Build ``count`` records per sub-dataset id, interleaved chronologically.
+
+    ``spec`` maps sub-dataset id -> record count.
+    """
+    out: list[Record] = []
+    t = 0.0
+    remaining = dict(spec)
+    while any(v > 0 for v in remaining.values()):
+        for sid in list(remaining):
+            if remaining[sid] > 0:
+                out.append(Record(sid, t, "x" * payload_len))
+                remaining[sid] -= 1
+                t += 1.0
+    return out
+
+
+@pytest.fixture
+def clustered_records() -> list[Record]:
+    """Records where sub-dataset 'hot' is concentrated early (content clustering)."""
+    recs: list[Record] = []
+    t = 0.0
+    for i in range(300):
+        recs.append(Record("hot", t, "h" * 60))
+        t += 1.0
+    for i in range(300):
+        sid = f"cold-{i % 30}"
+        recs.append(Record(sid, t, "c" * 60))
+        t += 1.0
+    return recs

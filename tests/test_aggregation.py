@@ -1,0 +1,122 @@
+"""Tests for aggregation-transfer planning (future-work feature)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregation import (
+    plan_greedy,
+    plan_optimal,
+    transfer_bytes,
+)
+from repro.errors import ConfigError
+
+
+def _volumes():
+    # node -> reducer -> bytes; reducer 0's data mostly on node "a", etc.
+    return {
+        "a": {0: 900, 1: 50, 2: 10},
+        "b": {0: 50, 1: 800, 2: 40},
+        "c": {0: 30, 1: 60, 2: 700},
+    }
+
+
+class TestTransferBytes:
+    def test_perfect_colocation(self):
+        placement = {0: "a", 1: "b", 2: "c"}
+        assert transfer_bytes(_volumes(), placement) == 50 + 10 + 50 + 40 + 30 + 60
+
+    def test_worst_case_fetches_everything_not_local(self):
+        placement = {0: "c", 1: "c", 2: "c"}
+        vols = _volumes()
+        total = sum(v for parts in vols.values() for v in parts.values())
+        on_c = sum(vols["c"].values())
+        assert transfer_bytes(vols, placement) == total - on_c
+
+    def test_missing_reducer_rejected(self):
+        with pytest.raises(ConfigError):
+            transfer_bytes(_volumes(), {0: "a"})
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ConfigError):
+            transfer_bytes({"a": {0: -1}}, {0: "a"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            transfer_bytes({}, {})
+        with pytest.raises(ConfigError):
+            transfer_bytes({"a": {}}, {})
+
+
+class TestGreedyPlan:
+    def test_finds_obvious_colocation(self):
+        plan = plan_greedy(_volumes())
+        assert plan.placement == {0: "a", 1: "b", 2: "c"}
+        assert plan.saved_bytes == 900 + 800 + 700
+        assert plan.saved_fraction > 0.8
+
+    def test_respects_slot_cap(self):
+        vols = {"a": {0: 100, 1: 100}, "b": {0: 1, 1: 1}}
+        plan = plan_greedy(vols, max_reducers_per_node=1)
+        assert sorted(plan.placement.values()) == ["a", "b"]
+
+    def test_insufficient_slots_raises(self):
+        vols = {"a": {0: 5, 1: 5, 2: 5}}
+        with pytest.raises(ConfigError):
+            plan_greedy(vols, max_reducers_per_node=2)
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ConfigError):
+            plan_greedy(_volumes(), max_reducers_per_node=0)
+
+    def test_never_worse_than_baseline(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            vols = {
+                f"n{i}": {r: int(rng.integers(0, 1000)) for r in range(6)}
+                for i in range(4)
+            }
+            plan = plan_greedy(vols)
+            assert plan.transfer <= plan.baseline_transfer
+
+
+class TestOptimalPlan:
+    def test_matches_greedy_on_separable_input(self):
+        greedy = plan_greedy(_volumes())
+        optimal = plan_optimal(_volumes())
+        assert optimal.transfer <= greedy.transfer
+
+    def test_spreads_when_more_reducers_than_nodes(self):
+        vols = {
+            "a": {0: 100, 1: 90, 2: 80, 3: 70},
+            "b": {0: 10, 1: 10, 2: 10, 3: 10},
+        }
+        plan = plan_optimal(vols)
+        counts = {}
+        for node in plan.placement.values():
+            counts[node] = counts.get(node, 0) + 1
+        assert max(counts.values()) <= 2  # ceil(4/2)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_optimal_no_worse_than_capped_greedy(self, seed):
+        """Under the same per-node slot cap, the Hungarian plan never moves
+        more bytes than the greedy plan (it is optimal for that cap)."""
+        rng = np.random.default_rng(seed)
+        vols = {
+            f"n{i}": {r: int(rng.integers(0, 500)) for r in range(5)}
+            for i in range(3)
+        }
+        if sum(v for p in vols.values() for v in p.values()) == 0:
+            return
+        cap = -(-5 // 3)  # ceil(R/N), the cap plan_optimal enforces
+        greedy = plan_greedy(vols, max_reducers_per_node=cap)
+        optimal = plan_optimal(vols)
+        assert optimal.transfer <= greedy.transfer + 1e-9
+
+    def test_saved_fraction_zero_when_no_data(self):
+        vols = {"a": {0: 0}}
+        plan = plan_optimal(vols)
+        assert plan.saved_fraction == 0.0

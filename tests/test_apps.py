@@ -1,0 +1,220 @@
+"""Correctness tests for the MapReduce applications (real execution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hdfs import Record
+from repro.mapreduce.apps import (
+    grep_job,
+    histogram_job,
+    jaccard_similarity,
+    moving_average_job,
+    parse_rating,
+    tokenize,
+    top_k_search_job,
+    word_count_job,
+)
+
+
+def _run_locally(job, records):
+    """Execute a job's map/combine/reduce chain without the engine."""
+    emitted = {}
+    for r in records:
+        for k, v in job.run_mapper(r):
+            emitted.setdefault(k, []).append(v)
+    combined = {}
+    for k, values in emitted.items():
+        for ck, cv in job.run_combiner(k, values):
+            combined.setdefault(ck, []).append(cv)
+    output = {}
+    for k, values in combined.items():
+        for ok, ov in job.run_reducer(k, values):
+            output[ok] = ov
+    return output
+
+
+class TestParseRating:
+    def test_leading_float(self):
+        assert parse_rating("4.5 nice film") == 4.5
+
+    def test_no_rating(self):
+        assert parse_rating("just words") == 0.0
+
+    def test_empty(self):
+        assert parse_rating("") == 0.0
+
+
+class TestMovingAverage:
+    def test_window_means(self):
+        recs = [
+            Record("m", 0.0, "4.0 a"),
+            Record("m", 1.0, "2.0 b"),
+            Record("m", 10.0, "5.0 c"),
+        ]
+        out = _run_locally(moving_average_job(window_days=7.0), recs)
+        assert out[0] == (pytest.approx(3.0), 2)
+        assert out[1] == (pytest.approx(5.0), 1)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigError):
+            moving_average_job(window_days=0)
+
+    def test_single_record(self):
+        out = _run_locally(moving_average_job(), [Record("m", 0.0, "3.5 x")])
+        assert out[0] == (pytest.approx(3.5), 1)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Great Movie") == ["great", "movie"]
+
+    def test_drops_leading_number(self):
+        assert tokenize("4.5 good") == ["good"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestWordCount:
+    def test_counts(self):
+        recs = [Record("m", 0.0, "good good bad"), Record("m", 1.0, "good")]
+        out = _run_locally(word_count_job(), recs)
+        assert out["good"] == 3
+        assert out["bad"] == 1
+
+    def test_matches_naive_count(self, clustered_records):
+        out = _run_locally(word_count_job(), clustered_records)
+        naive = {}
+        for r in clustered_records:
+            for w in tokenize(r.payload):
+                naive[w] = naive.get(w, 0) + 1
+        assert out == naive
+
+
+class TestHistogram:
+    def test_stats_per_length(self):
+        recs = [Record("m", 0.0, "ab abc ab")]
+        out = _run_locally(histogram_job(), recs)
+        count, vmin, vmax, mean = out[2]
+        assert count == 2 and vmin == 2 and vmax == 2 and mean == 2.0
+        assert out[3][0] == 1
+
+    def test_total_count_matches_words(self):
+        recs = [Record("m", float(i), "one two three four") for i in range(5)]
+        out = _run_locally(histogram_job(), recs)
+        assert sum(v[0] for v in out.values()) == 20
+
+
+class TestTopKSearch:
+    def test_jaccard(self):
+        a = frozenset({"x", "y"})
+        b = frozenset({"y", "z"})
+        assert jaccard_similarity(a, b) == pytest.approx(1 / 3)
+        assert jaccard_similarity(a, a) == 1.0
+        assert jaccard_similarity(frozenset(), frozenset()) == 0.0
+
+    def test_finds_most_similar(self):
+        recs = [
+            Record("m", 0.0, "alpha beta gamma"),
+            Record("m", 1.0, "alpha beta"),
+            Record("m", 2.0, "unrelated words here"),
+        ]
+        out = _run_locally(top_k_search_job("alpha beta gamma", k=2), recs)
+        top = out["topk"]
+        assert len(top) == 2
+        assert top[0][0] == pytest.approx(1.0)  # exact match first
+        assert top[0][1].startswith("m@0.000")
+
+    def test_k_bounds_results(self):
+        recs = [Record("m", float(i), f"word{i}") for i in range(10)]
+        out = _run_locally(top_k_search_job("word0", k=3), recs)
+        assert len(out["topk"]) == 3
+
+    def test_sorted_descending(self):
+        recs = [Record("m", float(i), "a " * (i + 1)) for i in range(5)]
+        out = _run_locally(top_k_search_job("a b c", k=5), recs)
+        sims = [s for s, _tag in out["topk"]]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigError):
+            top_k_search_job("q", k=0)
+
+
+class TestGrep:
+    def test_counts_matches(self):
+        recs = [
+            Record("m", 0.0, "hello world"),
+            Record("m", 1.0, "goodbye world"),
+            Record("m", 2.0, "nothing"),
+        ]
+        out = _run_locally(grep_job("world"), recs)
+        assert out["world"] == 2
+
+    def test_regex(self):
+        recs = [Record("m", 0.0, "cat"), Record("m", 1.0, "car")]
+        out = _run_locally(grep_job("ca[tr]"), recs)
+        assert out["ca[tr]"] == 2
+
+    def test_no_match_empty_output(self):
+        out = _run_locally(grep_job("zzz"), [Record("m", 0.0, "abc")])
+        assert out == {}
+
+    def test_rejects_bad_pattern(self):
+        with pytest.raises(ConfigError):
+            grep_job("([unclosed")
+
+
+class TestJobValidation:
+    def test_partition_stable_and_in_range(self):
+        job = word_count_job(num_reducers=5)
+        for key in ("alpha", "beta", 42, ("tuple", 1)):
+            r = job.partition(key)
+            assert 0 <= r < 5
+            assert job.partition(key) == r  # stable
+
+    def test_mapper_errors_wrapped(self):
+        from repro.errors import JobError
+        from repro.mapreduce.job import MapReduceJob
+        from repro.mapreduce.costmodel import PROFILES
+
+        def bad_mapper(record):
+            raise ValueError("boom")
+
+        job = MapReduceJob(
+            name="bad",
+            mapper=bad_mapper,
+            reducer=lambda k, v: [(k, v)],
+            profile=PROFILES["grep"],
+        )
+        with pytest.raises(JobError):
+            job.run_mapper(Record("m", 0.0, "x"))
+
+    def test_job_config_validation(self):
+        from repro.mapreduce.job import MapReduceJob
+        from repro.mapreduce.costmodel import PROFILES
+
+        with pytest.raises(ConfigError):
+            MapReduceJob(
+                name="",
+                mapper=lambda r: [],
+                reducer=lambda k, v: [],
+                profile=PROFILES["grep"],
+            )
+        with pytest.raises(ConfigError):
+            MapReduceJob(
+                name="x",
+                mapper=lambda r: [],
+                reducer=lambda k, v: [],
+                profile=PROFILES["grep"],
+                num_reducers=0,
+            )
+        with pytest.raises(ConfigError):
+            MapReduceJob(
+                name="x",
+                mapper="not callable",  # type: ignore[arg-type]
+                reducer=lambda k, v: [],
+                profile=PROFILES["grep"],
+            )

@@ -1,0 +1,138 @@
+"""Tests for the HDFS block balancer and the reducer-skew experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import HDFSCluster, Record
+from repro.errors import ConfigError, StorageError
+from repro.hdfs import BlockBalancer
+from repro.hdfs.placement import RandomPlacement
+
+
+class _BiasedPlacement(RandomPlacement):
+    """Puts every replica on the first two nodes — guaranteed lopsidedness."""
+
+    def place(self, block_id, nodes):
+        return [nodes[0], nodes[1]]
+
+
+def _lopsided_cluster(seed=3, num_nodes=8):
+    rng = np.random.default_rng(seed)
+    cluster = HDFSCluster(
+        num_nodes=num_nodes, block_size=2048, replication=2, rng=rng
+    )
+    cluster.write_dataset(
+        "d", [Record("s", float(i), "x" * 40) for i in range(1200)]
+    )
+    cluster.placement_policy = _BiasedPlacement(2, rng=rng)
+    cluster.append_records(
+        "d", [Record("s", 3000.0 + i, "y" * 40) for i in range(1800)]
+    )
+    return cluster
+
+
+class TestBlockBalancer:
+    def test_reduces_spread(self):
+        cluster = _lopsided_cluster()
+        balancer = BlockBalancer(cluster, threshold=0.1)
+        report = balancer.balance()
+        assert report.num_moves > 0
+        assert report.spread_after() < report.spread_before()
+
+    def test_converges_within_threshold(self):
+        cluster = _lopsided_cluster()
+        balancer = BlockBalancer(cluster, threshold=0.15)
+        balancer.balance()
+        usage = balancer.utilization()
+        mean = sum(usage.values()) / len(usage)
+        # every node within the band (or no legal move could fix it)
+        assert max(usage.values()) <= mean * 1.35
+
+    def test_total_bytes_conserved(self):
+        cluster = _lopsided_cluster()
+        balancer = BlockBalancer(cluster)
+        before = sum(balancer.utilization().values())
+        balancer.balance()
+        assert sum(balancer.utilization().values()) == before
+
+    def test_replica_invariants_preserved(self):
+        cluster = _lopsided_cluster()
+        BlockBalancer(cluster).balance()
+        namenode = cluster.namenode
+        for bid in namenode.blocks_of("d"):
+            replicas = namenode.block_locations("d", bid)
+            assert len(set(replicas)) == len(replicas) == 2
+            for node in replicas:
+                assert cluster.datanodes[node].has_replica("d", bid)
+
+    def test_balanced_cluster_noop(self):
+        rng = np.random.default_rng(0)
+        cluster = HDFSCluster(num_nodes=4, block_size=2048, rng=rng)
+        cluster.write_dataset(
+            "d", [Record("s", float(i), "x" * 40) for i in range(800)]
+        )
+        report = BlockBalancer(cluster, threshold=0.5).balance()
+        assert report.num_moves == 0
+
+    def test_max_moves_bounds_pass(self):
+        cluster = _lopsided_cluster()
+        report = BlockBalancer(cluster, threshold=0.05).balance(max_moves=3)
+        assert report.num_moves <= 3
+
+    def test_storage_balance_is_not_subdataset_balance(self):
+        """The paper's core point: byte-balanced nodes can still be
+        sub-dataset-imbalanced."""
+        from repro import DataNet
+        from repro.core.bucketizer import BucketSpec
+        from repro.mapreduce import LocalityScheduler
+
+        rng = np.random.default_rng(5)
+        cluster = HDFSCluster(num_nodes=8, block_size=2048, rng=rng)
+        # 'hot' clustered at the start, filler later: every block same size
+        records = [Record("hot", float(i), "h" * 40) for i in range(400)]
+        records += [Record(f"c{i % 40}", 400.0 + i, "c" * 40) for i in range(800)]
+        dataset = cluster.write_dataset("d", records)
+        BlockBalancer(cluster, threshold=0.05).balance()
+        datanet = DataNet.build(
+            dataset, alpha=0.5, spec=BucketSpec.for_block_size(2048)
+        )
+        stock = LocalityScheduler().schedule(
+            datanet.bipartite_graph("hot", skip_absent=False)
+        )
+        # storage is even, yet the hot sub-dataset's workload is not
+        assert stock.imbalance > 1.3
+
+    def test_validation(self):
+        cluster = _lopsided_cluster()
+        with pytest.raises(ConfigError):
+            BlockBalancer(cluster, threshold=0.0)
+        with pytest.raises(ConfigError):
+            BlockBalancer(cluster).balance(max_moves=0)
+
+
+class TestDropReplica:
+    def test_drop_and_missing(self):
+        rng = np.random.default_rng(1)
+        cluster = HDFSCluster(num_nodes=3, block_size=2048, rng=rng)
+        dataset = cluster.write_dataset(
+            "d", [Record("s", float(i), "x" * 30) for i in range(50)]
+        )
+        node = dataset.placement()[0][0]
+        cluster.datanodes[node].drop_replica("d", 0)
+        assert not cluster.datanodes[node].has_replica("d", 0)
+        with pytest.raises(StorageError):
+            cluster.datanodes[node].drop_replica("d", 0)
+
+
+class TestReducerSkew:
+    def test_sampling_flattens_reducers_only(self):
+        from repro.experiments import ReferenceConfig
+        from repro.experiments.reducer_skew import run_reducer_skew
+
+        r = run_reducer_skew(ReferenceConfig.small())
+        assert r.sampled_imbalance <= r.hash_imbalance + 0.05
+        # the map-side story is untouched by the partitioner
+        assert r.map_imbalance_without > r.map_imbalance_with - 0.05
+        assert "Reducer skew" in r.format()

@@ -1,0 +1,132 @@
+"""Tests for the comparison baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DefaultHadoopScheduler,
+    DynamicRebalancer,
+    SamplingPartitioner,
+)
+from repro.core.bipartite import BipartiteGraph
+from repro.errors import ConfigError
+from repro.hdfs import Record
+from repro.mapreduce.costmodel import ClusterCostModel
+
+
+def _records(node_loads: dict) -> dict:
+    """node -> list of records totaling roughly the requested bytes."""
+    out = {}
+    for node, nbytes in node_loads.items():
+        recs = []
+        while sum(r.nbytes for r in recs) < nbytes:
+            recs.append(Record("s", 0.0, "x" * 40))
+        out[node] = recs
+    return out
+
+
+class TestDefaultHadoopScheduler:
+    def test_is_locality_scheduler(self):
+        g = BipartiteGraph({0: [0, 1], 1: [1]}, {0: 5, 1: 7}, nodes=[0, 1])
+        a = DefaultHadoopScheduler().schedule(g)
+        assert a.num_tasks == 2
+
+
+class TestDynamicRebalancer:
+    def test_balances_within_tolerance(self):
+        data = _records({0: 10_000, 1: 1_000, 2: 1_000, 3: 1_000})
+        balanced, stats = DynamicRebalancer(tolerance=0.1).rebalance(data)
+        loads = [sum(r.nbytes for r in v) for v in balanced.values()]
+        mean = sum(loads) / len(loads)
+        assert max(loads) <= 1.25 * mean
+
+    def test_conserves_records(self):
+        data = _records({0: 8_000, 1: 500})
+        balanced, _ = DynamicRebalancer().rebalance(data)
+        before = sum(len(v) for v in data.values())
+        after = sum(len(v) for v in balanced.values())
+        assert before == after
+
+    def test_input_not_mutated(self):
+        data = _records({0: 8_000, 1: 500})
+        sizes_before = {n: len(v) for n, v in data.items()}
+        DynamicRebalancer().rebalance(data)
+        assert {n: len(v) for n, v in data.items()} == sizes_before
+
+    def test_migration_stats(self):
+        data = _records({0: 10_000, 1: 0})
+        _, stats = DynamicRebalancer().rebalance(data)
+        assert stats.migrated_bytes > 0
+        assert 0 < stats.migration_fraction < 1
+        assert stats.migration_time > 0
+        assert stats.overhead_time >= stats.migration_time
+        assert stats.nodes_touched == 2
+        assert all(nbytes > 0 for _s, _d, nbytes in stats.transfers)
+
+    def test_already_balanced_moves_nothing(self):
+        data = _records({0: 5_000, 1: 5_000})
+        _, stats = DynamicRebalancer(tolerance=0.1).rebalance(data)
+        assert stats.migrated_bytes == 0
+        assert stats.migration_time == 0.0
+
+    def test_migration_fraction_significant_under_heavy_skew(self):
+        """The paper's observation: heavy skew forces large migrations."""
+        rng = np.random.default_rng(0)
+        data = _records(
+            {n: int(w) for n, w in enumerate(rng.gamma(0.5, 4000.0, 16))}
+        )
+        _, stats = DynamicRebalancer(tolerance=0.05).rebalance(data)
+        assert stats.migration_fraction > 0.15
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DynamicRebalancer(tolerance=0.0)
+        with pytest.raises(ConfigError):
+            DynamicRebalancer(monitor_overhead_s=-1)
+        with pytest.raises(ConfigError):
+            DynamicRebalancer().rebalance({})
+
+
+class TestSamplingPartitioner:
+    def _pairs(self, rng, num_keys=50, skew=2.0, n=5000):
+        keys = rng.zipf(skew, size=n) % num_keys
+        return [(f"k{k}", 1) for k in keys]
+
+    def test_balances_skewed_keys_better_than_hash(self, rng):
+        pairs = self._pairs(rng)
+        part = SamplingPartitioner(4, sample_rate=0.5, rng=rng).fit(pairs)
+        loads = part.reducer_loads(pairs)
+        # hash partitioning for comparison
+        import hashlib
+
+        hash_loads = [0] * 4
+        for k, _v in pairs:
+            h = int.from_bytes(
+                hashlib.blake2b(repr(k).encode(), digest_size=8).digest(), "little"
+            )
+            hash_loads[h % 4] += 1
+        assert max(loads) <= max(hash_loads)
+
+    def test_full_sampling_near_perfect(self, rng):
+        pairs = [(f"k{i % 20}", 1) for i in range(2000)]
+        part = SamplingPartitioner(4, sample_rate=1.0, rng=rng).fit(pairs)
+        loads = part.reducer_loads(pairs)
+        assert max(loads) - min(loads) <= 150
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ConfigError):
+            SamplingPartitioner(4)("key")
+
+    def test_unsampled_keys_fall_back_to_hash(self, rng):
+        part = SamplingPartitioner(4, sample_rate=1.0, rng=rng).fit([("a", 1)])
+        assert 0 <= part("never-seen") < 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SamplingPartitioner(0)
+        with pytest.raises(ConfigError):
+            SamplingPartitioner(4, sample_rate=0.0)
+        with pytest.raises(ConfigError):
+            SamplingPartitioner(4, sample_rate=1.5)

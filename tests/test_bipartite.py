@@ -1,0 +1,99 @@
+"""Tests for the cluster-node/block bipartite graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bipartite import BipartiteGraph
+from repro.errors import ConfigError, SchedulingError
+
+
+def _graph() -> BipartiteGraph:
+    placement = {0: [0, 1, 2], 1: [1, 2, 3], 2: [0, 3]}
+    weights = {0: 100, 1: 50, 2: 0}
+    return BipartiteGraph(placement, weights, nodes=[0, 1, 2, 3, 4])
+
+
+class TestConstruction:
+    def test_nodes_include_explicit_universe(self):
+        g = _graph()
+        assert g.nodes == [0, 1, 2, 3, 4]
+        assert g.blocks_on(4) == set()
+
+    def test_nodes_inferred_from_placement(self):
+        g = BipartiteGraph({0: [5, 7]}, {0: 10})
+        assert g.nodes == [5, 7]
+
+    def test_missing_weight_defaults_to_zero(self):
+        g = BipartiteGraph({0: [1]}, {})
+        assert g.weight(0) == 0
+
+    def test_rejects_weight_without_placement(self):
+        with pytest.raises(ConfigError):
+            BipartiteGraph({0: [1]}, {0: 5, 9: 3})
+
+    def test_rejects_empty_replica_list(self):
+        with pytest.raises(ConfigError):
+            BipartiteGraph({0: []}, {0: 5})
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ConfigError):
+            BipartiteGraph({0: [1]}, {0: -5})
+
+
+class TestQueries:
+    def test_blocks_on(self):
+        g = _graph()
+        assert g.blocks_on(0) == {0, 2}
+        assert g.blocks_on(1) == {0, 1}
+
+    def test_nodes_of(self):
+        g = _graph()
+        assert g.nodes_of(1) == {1, 2, 3}
+
+    def test_is_local(self):
+        g = _graph()
+        assert g.is_local(0, 0)
+        assert not g.is_local(4, 0)
+
+    def test_weight_and_total(self):
+        g = _graph()
+        assert g.weight(0) == 100
+        assert g.total_weight() == 150
+
+    def test_counts(self):
+        g = _graph()
+        assert g.num_nodes == 5
+        assert g.num_blocks == 3
+
+    def test_unknown_lookups_raise(self):
+        g = _graph()
+        with pytest.raises(SchedulingError):
+            g.weight(99)
+        with pytest.raises(SchedulingError):
+            g.nodes_of(99)
+        with pytest.raises(SchedulingError):
+            g.blocks_on("nope")
+
+
+class TestMutation:
+    def test_remove_block_drops_edges(self):
+        g = _graph()
+        g.remove_block(0)
+        assert 0 not in g.blocks_on(1)
+        assert g.num_blocks == 2
+        assert g.total_weight() == 50
+
+    def test_remove_block_twice_raises(self):
+        g = _graph()
+        g.remove_block(0)
+        with pytest.raises(SchedulingError):
+            g.remove_block(0)
+
+    def test_copy_isolated_from_original(self):
+        g = _graph()
+        c = g.copy()
+        c.remove_block(0)
+        assert g.num_blocks == 3
+        assert c.num_blocks == 2
+        assert g.blocks_on(0) == {0, 2}

@@ -1,0 +1,184 @@
+"""Tests for the from-scratch Bloom filter."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bloom import (
+    BloomFilter,
+    bits_per_element,
+    optimal_num_bits,
+    optimal_num_hashes,
+)
+from repro.errors import ConfigError
+
+
+class TestSizing:
+    def test_bits_per_element_paper_figure(self):
+        # The paper quotes ~10 bits per sub-dataset under a typical
+        # configuration; eps=1% gives 9.6 bits.
+        assert bits_per_element(0.01) == pytest.approx(9.585, abs=0.01)
+
+    def test_lower_error_needs_more_bits(self):
+        assert bits_per_element(0.001) > bits_per_element(0.01) > bits_per_element(0.1)
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.1, 2.0])
+    def test_rejects_bad_error_rate(self, eps):
+        with pytest.raises(ConfigError):
+            bits_per_element(eps)
+
+    def test_optimal_bits_scale_linearly(self):
+        assert optimal_num_bits(2000, 0.01) == pytest.approx(
+            2 * optimal_num_bits(1000, 0.01), rel=0.01
+        )
+
+    def test_optimal_hashes_at_least_one(self):
+        assert optimal_num_hashes(8, 10**6) == 1
+
+    def test_optimal_hashes_typical(self):
+        m = optimal_num_bits(1000, 0.01)
+        assert 6 <= optimal_num_hashes(m, 1000) <= 8  # k = ln2 * m/n ~ 6.6
+
+
+class TestMembership:
+    def test_no_false_negatives_small(self):
+        bf = BloomFilter(capacity=100, error_rate=0.01)
+        items = [f"subdataset-{i}" for i in range(100)]
+        bf.update(items)
+        assert all(item in bf for item in items)
+
+    def test_empty_filter_contains_nothing(self):
+        bf = BloomFilter(capacity=10)
+        assert "anything" not in bf
+
+    def test_false_positive_rate_near_target(self):
+        eps = 0.02
+        n = 3000
+        bf = BloomFilter(capacity=n, error_rate=eps, seed=42)
+        bf.update(f"in-{i}" for i in range(n))
+        fp = sum(1 for i in range(20000) if f"out-{i}" in bf) / 20000
+        assert fp < 3 * eps  # generous bound, fp is ~eps in expectation
+
+    def test_accepts_bytes_keys(self):
+        bf = BloomFilter(capacity=10)
+        bf.add(b"raw-bytes-key")
+        assert b"raw-bytes-key" in bf
+
+    def test_seed_changes_false_positive_pattern(self):
+        n = 200
+        a = BloomFilter(capacity=n, error_rate=0.05, seed=1)
+        b = BloomFilter(capacity=n, error_rate=0.05, seed=2)
+        items = [f"k{i}" for i in range(n)]
+        a.update(items)
+        b.update(items)
+        probes = [f"probe-{i}" for i in range(20000)]
+        fp_a = {p for p in probes if p in a}
+        fp_b = {p for p in probes if p in b}
+        # Different salts should not produce identical FP sets
+        assert fp_a != fp_b or not fp_a
+
+    @given(st.lists(st.text(min_size=1, max_size=20), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_no_false_negatives(self, items):
+        bf = BloomFilter(capacity=max(len(items), 1), error_rate=0.01)
+        bf.update(items)
+        assert all(i in bf for i in items)
+
+
+class TestCounting:
+    def test_count_tracks_distinct_inserts(self):
+        bf = BloomFilter(capacity=100)
+        for i in range(50):
+            bf.add(f"x{i}")
+        assert 45 <= bf.approx_count <= 50  # collisions may undercount slightly
+        assert len(bf) == bf.approx_count
+
+    def test_duplicate_insert_not_double_counted(self):
+        bf = BloomFilter(capacity=100)
+        bf.add("same")
+        bf.add("same")
+        assert bf.approx_count == 1
+
+    def test_fill_ratio_monotonic(self):
+        bf = BloomFilter(capacity=50, error_rate=0.01)
+        assert bf.fill_ratio == 0.0
+        bf.add("a")
+        r1 = bf.fill_ratio
+        bf.update(f"b{i}" for i in range(30))
+        assert bf.fill_ratio >= r1 > 0
+
+    def test_current_error_rate_grows_with_fill(self):
+        bf = BloomFilter(capacity=20, error_rate=0.01)
+        assert bf.current_error_rate() == 0.0
+        bf.update(f"x{i}" for i in range(20))
+        assert 0.0 < bf.current_error_rate() < 1.0
+
+
+class TestAlgebra:
+    def test_union_contains_both(self):
+        a = BloomFilter(capacity=100, seed=7)
+        b = BloomFilter(capacity=100, seed=7)
+        a.update(["left-1", "left-2"])
+        b.update(["right-1"])
+        u = a.union(b)
+        for item in ("left-1", "left-2", "right-1"):
+            assert item in u
+
+    def test_union_rejects_mismatched_geometry(self):
+        a = BloomFilter(capacity=100)
+        b = BloomFilter(capacity=5000)
+        with pytest.raises(ConfigError):
+            a.union(b)
+
+    def test_union_rejects_mismatched_seed(self):
+        a = BloomFilter(capacity=100, seed=1)
+        b = BloomFilter(capacity=100, seed=2)
+        with pytest.raises(ConfigError):
+            a.union(b)
+
+    def test_copy_is_independent(self):
+        a = BloomFilter(capacity=10)
+        a.add("x")
+        c = a.copy()
+        c.add("y")
+        assert "y" in c and "y" not in a
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        bf = BloomFilter(capacity=64, error_rate=0.02, seed=5)
+        bf.update(f"m{i}" for i in range(64))
+        back = BloomFilter.from_bytes(bf.to_bytes())
+        assert back.num_bits == bf.num_bits
+        assert back.num_hashes == bf.num_hashes
+        assert back.seed == bf.seed
+        assert all(f"m{i}" in back for i in range(64))
+        assert back.approx_count == bf.approx_count
+
+    def test_rejects_truncated_blob(self):
+        with pytest.raises(ConfigError):
+            BloomFilter.from_bytes(b"tiny")
+
+    def test_rejects_corrupt_length(self):
+        bf = BloomFilter(capacity=64)
+        blob = bf.to_bytes()[:-2]
+        with pytest.raises(ConfigError):
+            BloomFilter.from_bytes(blob)
+
+    def test_memory_accounting(self):
+        bf = BloomFilter(capacity=1000, error_rate=0.01)
+        assert bf.memory_bytes == (bf.num_bits + 7) // 8
+        # ~10 bits per element at 1% (the paper's headline number)
+        assert 9 <= bf.memory_bits / 1000 <= 11
+
+
+class TestValidation:
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ConfigError):
+            BloomFilter(capacity=-1)
+
+    def test_zero_capacity_is_usable(self):
+        bf = BloomFilter(capacity=0)
+        bf.add("x")
+        assert "x" in bf

@@ -1,0 +1,249 @@
+"""Tests for the linear-time dominant sub-dataset separation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bucketizer import BucketSeparator, BucketSpec
+from repro.errors import ConfigError
+from repro.units import KiB
+
+
+class TestBucketSpec:
+    def test_fibonacci_matches_paper(self):
+        spec = BucketSpec.fibonacci()
+        assert spec.boundaries == (1024, 2048, 3072, 5120, 8192, 13312, 21504, 34816)
+        assert spec.num_buckets == 9
+
+    def test_bucket_of_below_first_boundary(self):
+        spec = BucketSpec.fibonacci()
+        assert spec.bucket_of(0) == 0
+        assert spec.bucket_of(1023) == 0
+
+    def test_bucket_of_boundary_is_inclusive_above(self):
+        spec = BucketSpec.fibonacci()
+        assert spec.bucket_of(1024) == 1
+        assert spec.bucket_of(2048) == 2
+
+    def test_bucket_of_top_open_ended(self):
+        spec = BucketSpec.fibonacci()
+        assert spec.bucket_of(34816) == 8
+        assert spec.bucket_of(10**9) == 8
+
+    def test_bucket_of_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            BucketSpec.fibonacci().bucket_of(-1)
+
+    def test_lower_bound_inverse_of_bucket_of(self):
+        spec = BucketSpec.fibonacci()
+        for bucket in range(spec.num_buckets):
+            lb = spec.lower_bound(bucket)
+            assert spec.bucket_of(lb) == bucket
+
+    def test_lower_bound_range_check(self):
+        with pytest.raises(ConfigError):
+            BucketSpec.fibonacci().lower_bound(99)
+
+    def test_uniform_spec(self):
+        spec = BucketSpec.uniform(step=10, count=3)
+        assert spec.boundaries == (10, 20, 30)
+
+    def test_geometric_spec(self):
+        spec = BucketSpec.geometric(base=100, ratio=2.0, count=4)
+        assert spec.boundaries == (100, 200, 400, 800)
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ConfigError):
+            BucketSpec((10, 10))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            BucketSpec(())
+
+    def test_rejects_nonpositive_boundary(self):
+        with pytest.raises(ConfigError):
+            BucketSpec((0, 5))
+
+
+class TestObserve:
+    def test_single_observation(self):
+        sep = BucketSeparator()
+        sep.observe("a", 500)
+        assert sep.num_subdatasets == 1
+        assert sep.total_bytes == 500
+        assert sep.histogram()[0] == 1
+
+    def test_accumulation_moves_buckets(self):
+        sep = BucketSeparator()
+        sep.observe("a", 900)
+        assert sep.histogram()[0] == 1
+        sep.observe("a", 900)  # total 1800 -> bucket 1
+        hist = sep.histogram()
+        assert hist[0] == 0 and hist[1] == 1
+
+    def test_histogram_counts_all_subdatasets(self):
+        sep = BucketSeparator()
+        for i in range(10):
+            sep.observe(f"s{i}", 100)
+        assert sum(sep.histogram()) == 10
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ConfigError):
+            BucketSeparator().observe("a", -1)
+
+    def test_observe_many(self):
+        sep = BucketSeparator()
+        sep.observe_many([("a", 10), ("b", 20), ("a", 30)])
+        assert sep.sizes() == {"a": 40, "b": 20}
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcde"), st.integers(0, 5000)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_histogram_consistent_with_sizes(self, obs):
+        """Histogram always equals recomputing buckets from final sizes."""
+        sep = BucketSeparator()
+        sep.observe_many(obs)
+        sizes = sep.sizes()
+        expected = [0] * sep.spec.num_buckets
+        for size in sizes.values():
+            expected[sep.spec.bucket_of(size)] += 1
+        assert sep.histogram() == expected
+
+
+class TestSeparation:
+    def _loaded_separator(self) -> BucketSeparator:
+        sep = BucketSeparator()
+        # 2 dominant (40 KiB, 36 KiB), 8 small (<1 KiB)
+        sep.observe("big-1", 40 * KiB)
+        sep.observe("big-2", 36 * KiB)
+        for i in range(8):
+            sep.observe(f"small-{i}", 100 + i)
+        return sep
+
+    def test_separate_by_alpha_puts_large_in_dominant(self):
+        res = self._loaded_separator().separate(alpha=0.2)
+        assert set(res.dominant) == {"big-1", "big-2"}
+        assert len(res.tail) == 8
+
+    def test_alpha_one_admits_everything(self):
+        res = self._loaded_separator().separate(alpha=1.0)
+        assert len(res.dominant) == 10
+        assert not res.tail
+
+    def test_alpha_zero_admits_nothing(self):
+        res = self._loaded_separator().separate(alpha=0.0)
+        assert not res.dominant
+        assert len(res.tail) == 10
+
+    def test_separation_is_partition(self):
+        sep = self._loaded_separator()
+        res = sep.separate(alpha=0.5)
+        assert set(res.dominant) | set(res.tail) == set(sep.sizes())
+        assert not (set(res.dominant) & set(res.tail))
+
+    def test_dominant_all_at_least_as_large_as_tail(self):
+        """Bucket cutoff never puts a smaller-bucket item above a larger one."""
+        sep = self._loaded_separator()
+        res = sep.separate(alpha=0.2)
+        if res.dominant and res.tail:
+            min_dominant_bucket = min(
+                sep.spec.bucket_of(v) for v in res.dominant.values()
+            )
+            max_tail_bucket = max(sep.spec.bucket_of(v) for v in res.tail.values())
+            assert min_dominant_bucket >= max_tail_bucket or (
+                min_dominant_bucket >= res.cutoff_bucket > max_tail_bucket
+            )
+
+    def test_realized_alpha_recorded(self):
+        res = self._loaded_separator().separate(alpha=0.2)
+        assert res.alpha == pytest.approx(0.2)
+
+    def test_explicit_cutoff_bucket(self):
+        sep = self._loaded_separator()
+        res = sep.separate(cutoff_bucket=sep.spec.num_buckets - 1)
+        assert set(res.dominant) == {"big-1", "big-2"}
+
+    def test_requires_exactly_one_mode(self):
+        sep = self._loaded_separator()
+        with pytest.raises(ConfigError):
+            sep.separate()
+        with pytest.raises(ConfigError):
+            sep.separate(alpha=0.5, cutoff_bucket=2)
+
+    def test_alpha_out_of_range(self):
+        with pytest.raises(ConfigError):
+            self._loaded_separator().separate(alpha=1.5)
+
+    def test_empty_separator(self):
+        res = BucketSeparator().separate(alpha=0.5)
+        assert not res.dominant and not res.tail
+        assert res.alpha == 0.0
+
+    def test_cutoff_for_budget_zero_admits_nothing(self):
+        sep = self._loaded_separator()
+        cutoff = sep.cutoff_for_budget(0)
+        res = sep.separate(cutoff_bucket=cutoff)
+        assert not res.dominant
+
+    def test_cutoff_for_budget_large_admits_all(self):
+        sep = self._loaded_separator()
+        cutoff = sep.cutoff_for_budget(10**6)
+        res = sep.separate(cutoff_bucket=cutoff)
+        assert len(res.dominant) == 10
+
+    def test_cutoff_for_budget_partial(self):
+        sep = self._loaded_separator()
+        # budget of 2 entries: only the top bucket (2 items) fits
+        cutoff = sep.cutoff_for_budget(2)
+        res = sep.separate(cutoff_bucket=cutoff)
+        assert set(res.dominant) == {"big-1", "big-2"}
+
+    @given(
+        st.lists(
+            st.tuples(st.text(min_size=1, max_size=4), st.integers(0, 100 * KiB)),
+            max_size=100,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_alpha_closest_whole_bucket(self, obs, alpha):
+        """separate(alpha) admits the whole-bucket count closest to alpha*m."""
+        sep = BucketSeparator()
+        sep.observe_many(obs)
+        res = sep.separate(alpha=alpha)
+        m = sep.num_subdatasets
+        if not m or alpha == 0.0:
+            assert not res.dominant
+            return
+        # All achievable admitted-counts: cumulative suffix sums of buckets.
+        hist = sep.histogram()
+        achievable = {0}
+        acc = 0
+        for bucket in range(len(hist) - 1, -1, -1):
+            acc += hist[bucket]
+            achievable.add(acc)
+        target = alpha * m
+        best = min(abs(c - target) for c in achievable)
+        assert abs(len(res.dominant) - target) <= best + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("pqrs"), st.integers(0, 100 * KiB)), max_size=60
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_dominant_never_smaller_bucket_than_tail(self, obs, alpha):
+        """No tail sub-dataset sits in a strictly higher bucket than a dominant one."""
+        sep = BucketSeparator()
+        sep.observe_many(obs)
+        res = sep.separate(alpha=alpha)
+        if res.dominant and res.tail:
+            min_dom = min(sep.spec.bucket_of(v) for v in res.dominant.values())
+            max_tail = max(sep.spec.bucket_of(v) for v in res.tail.values())
+            assert min_dom > max_tail

@@ -1,0 +1,123 @@
+"""Tests for the single-scan ElasticMap builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import ElasticMapBuilder, build_elasticmap_array
+from repro.core.bucketizer import BucketSpec
+from repro.core.elasticmap import MemoryModel
+from repro.errors import ConfigError
+from repro.units import KiB
+
+
+def _blocks():
+    """Two blocks: block 0 dominated by 'hot', block 1 by 'other'."""
+    return [
+        (0, [("hot", 20 * KiB), ("a", 100), ("b", 200), ("c", 50)]),
+        (1, [("other", 36 * KiB), ("hot", 150), ("a", 80)]),
+    ]
+
+
+class TestBuilderConfig:
+    def test_requires_exactly_one_sizing_mode(self):
+        with pytest.raises(ConfigError):
+            ElasticMapBuilder(alpha=0.3, budget_bits_per_block=100.0)
+        with pytest.raises(ConfigError):
+            ElasticMapBuilder(alpha=None, budget_bits_per_block=None)
+
+    def test_alpha_range_checked(self):
+        with pytest.raises(ConfigError):
+            ElasticMapBuilder(alpha=-0.1)
+        with pytest.raises(ConfigError):
+            ElasticMapBuilder(alpha=1.1)
+
+    def test_budget_range_checked(self):
+        with pytest.raises(ConfigError):
+            ElasticMapBuilder(alpha=None, budget_bits_per_block=-5.0)
+
+
+class TestBuildByAlpha:
+    def test_dominant_recorded_exactly(self):
+        arr = build_elasticmap_array(_blocks(), alpha=0.25)
+        assert arr[0].query("hot") == (20 * KiB, "exact")
+        assert arr[1].query("other") == (36 * KiB, "exact")
+
+    def test_tail_in_bloom(self):
+        arr = build_elasticmap_array(_blocks(), alpha=0.25)
+        size, kind = arr[0].query("a")
+        assert kind == "approx"
+
+    def test_alpha_one_stores_everything_exactly(self):
+        arr = build_elasticmap_array(_blocks(), alpha=1.0)
+        assert arr[0].query("c") == (50, "exact")
+        assert arr.estimate_total_size("hot") == 20 * KiB + 150
+
+    def test_estimate_close_to_truth(self):
+        arr = build_elasticmap_array(_blocks(), alpha=0.25)
+        est = arr.estimate_total_size("hot")
+        true = 20 * KiB + 150
+        # approximate for block 1 (bloom), exact for block 0
+        assert est >= 20 * KiB
+        assert abs(est - true) < 40 * KiB
+
+    def test_custom_bucket_spec(self):
+        arr = build_elasticmap_array(
+            _blocks(), alpha=0.25, spec=BucketSpec.uniform(step=KiB, count=4)
+        )
+        assert arr[0].query("hot")[1] == "exact"
+
+
+class TestBuildByBudget:
+    def test_generous_budget_stores_all(self):
+        builder = ElasticMapBuilder(alpha=None, budget_bits_per_block=10**9)
+        arr = builder.build(_blocks())
+        assert arr[0].query("c")[1] == "exact"
+
+    def test_tight_budget_stores_only_top(self):
+        model = MemoryModel()
+        # budget for ~1 hashmap entry on a 4-subdataset block
+        budget = model.cost_bits(4, 0.25) + 1
+        builder = ElasticMapBuilder(
+            alpha=None, budget_bits_per_block=budget, memory_model=model
+        )
+        arr = builder.build(_blocks())
+        assert arr[0].query("hot")[1] == "exact"
+        assert arr[0].query("a")[1] == "approx"
+
+    def test_zero_budget_uses_bloom_only(self):
+        builder = ElasticMapBuilder(alpha=None, budget_bits_per_block=0.0)
+        arr = builder.build(_blocks())
+        assert arr[0].num_dominant == 0
+        assert arr[0].query("hot")[1] == "approx"
+
+
+class TestBuildStats:
+    def test_stats_counts(self):
+        builder = ElasticMapBuilder(alpha=0.25)
+        builder.build(_blocks())
+        assert builder.stats.blocks_built == 2
+        assert builder.stats.records_scanned == 7
+        assert builder.stats.subdatasets_per_block == [4, 3]
+
+    def test_mean_alpha(self):
+        builder = ElasticMapBuilder(alpha=0.25)
+        builder.build(_blocks())
+        assert 0.0 < builder.stats.mean_alpha <= 1.0
+
+    def test_mean_alpha_empty(self):
+        builder = ElasticMapBuilder(alpha=0.25)
+        assert builder.stats.mean_alpha == 0.0
+
+    def test_single_scan_complexity(self):
+        """The builder touches each record exactly once (paper: O(m*n))."""
+        seen = []
+
+        def tracked(block_id):
+            for item in [("x", 10), ("y", 20)]:
+                seen.append((block_id, item))
+                yield item
+
+        builder = ElasticMapBuilder(alpha=0.5)
+        builder.build([(0, tracked(0)), (1, tracked(1))])
+        assert len(seen) == 4  # 2 records x 2 blocks, no re-reads

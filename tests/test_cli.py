@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_experiment_id_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_all_experiment_ids_accepted(self):
+        parser = build_parser()
+        for exp_id in list(EXPERIMENTS) + ["all"]:
+            args = parser.parse_args(["experiment", exp_id])
+            assert args.id == exp_id
+
+
+class TestInfo:
+    def test_lists_experiments(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in out
+
+
+class TestTheory:
+    def test_prints_fig2(self, capsys):
+        assert main(["theory", "--trials", "5"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+
+class TestGenerateAndIndex:
+    def test_roundtrip(self, tmp_path, capsys):
+        tsv = tmp_path / "data.tsv"
+        assert main(
+            ["generate", "movielens", "-n", "2000", "-k", "50", "-o", str(tsv)]
+        ) == 0
+        assert tsv.exists()
+        lines = tsv.read_text().strip().splitlines()
+        assert len(lines) > 1000
+        assert lines[0].count("\t") == 2
+
+        assert main(["index", str(tsv), "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ElasticMap" in out
+        assert "representation ratio" in out
+
+    def test_index_with_query(self, tmp_path, capsys):
+        tsv = tmp_path / "data.tsv"
+        main(["generate", "movielens", "-n", "1000", "-k", "20", "-o", str(tsv)])
+        assert main(
+            ["index", str(tsv), "--nodes", "4", "--query", "movie-00000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "movie-00000" in out
+        assert "Eq. 6" in out
+
+    def test_generate_github(self, tmp_path):
+        tsv = tmp_path / "gh.tsv"
+        assert main(["generate", "github", "-n", "500", "-o", str(tsv)]) == 0
+        assert "Event" in tsv.read_text()
+
+    def test_generate_worldcup(self, tmp_path):
+        tsv = tmp_path / "wc.tsv"
+        assert main(["generate", "worldcup", "-n", "500", "-k", "8", "-o", str(tsv)]) == 0
+        assert "match-" in tsv.read_text()
+
+    def test_index_missing_file_errors(self, capsys):
+        assert main(["index", "/nonexistent/file.tsv"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_small_fig1_runs_and_saves(self, tmp_path, capsys):
+        assert main(
+            ["experiment", "fig1", "--small", "--out", str(tmp_path)]
+        ) == 0
+        assert "Figure 1" in capsys.readouterr().out
+        assert (tmp_path / "fig1.txt").exists()
+
+    def test_small_table2(self, capsys):
+        assert main(["experiment", "table2", "--small"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+
+class TestSimulateAndPlan:
+    def test_simulate_small(self, capsys):
+        assert main(["simulate", "--small", "--rows", "3", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Concurrent batch" in out
+        assert "legend" in out
+
+    def test_plan(self, capsys):
+        assert main(
+            ["plan", "--blocks", "64", "--subdatasets", "500",
+             "--nodes", "32", "--budget", "4mb"]
+        ) == 0
+        assert "Capacity plan" in capsys.readouterr().out
+
+    def test_plan_impossible_budget_errors(self, capsys):
+        assert main(
+            ["plan", "--blocks", "5000", "--subdatasets", "5000",
+             "--nodes", "32", "--budget", "1kb"]
+        ) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,76 @@
+"""Tests for the cluster cost model and application profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mapreduce.costmodel import PROFILES, AppProfile, ClusterCostModel
+
+
+class TestClusterCostModel:
+    def test_read_local_linear(self):
+        c = ClusterCostModel(disk_read_bps=100e6)
+        assert c.read_local(100e6) == pytest.approx(1.0)
+        assert c.read_local(50e6) == pytest.approx(0.5)
+
+    def test_remote_read_slower_than_local(self):
+        c = ClusterCostModel()
+        assert c.read_remote(1_000_000) > c.read_local(1_000_000)
+
+    def test_transfer(self):
+        c = ClusterCostModel(network_bps=100e6)
+        assert c.transfer(100e6) == pytest.approx(1.0)
+
+    def test_data_scale_multiplies_all_io(self):
+        base = ClusterCostModel(data_scale=1.0)
+        scaled = ClusterCostModel(data_scale=1024.0)
+        for method in ("read_local", "read_remote", "write_local", "transfer"):
+            assert getattr(scaled, method)(1000) == pytest.approx(
+                1024 * getattr(base, method)(1000)
+            )
+
+    def test_write_local(self):
+        c = ClusterCostModel(disk_write_bps=60e6)
+        assert c.write_local(60e6) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(disk_read_bps=0),
+            dict(disk_write_bps=-1),
+            dict(network_bps=0),
+            dict(remote_read_penalty=0.5),
+            dict(task_overhead_s=-1),
+            dict(job_overhead_s=-0.1),
+            dict(data_scale=0),
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ConfigError):
+            ClusterCostModel(**kw)
+
+
+class TestAppProfile:
+    def test_map_cpu_seconds(self):
+        p = AppProfile(name="x", cpu_cost_per_byte=1e-6, cpu_cost_per_record=1e-3)
+        assert p.map_cpu_seconds(1_000_000, 100) == pytest.approx(1.0 + 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AppProfile(name="", cpu_cost_per_byte=1e-6)
+        with pytest.raises(ConfigError):
+            AppProfile(name="x", cpu_cost_per_byte=-1.0)
+
+    def test_paper_app_ordering(self):
+        """Compute weights must preserve Fig. 5a's improvement ordering:
+        moving_average < word_count <= histogram < top_k_search."""
+        mavg = PROFILES["moving_average"].cpu_cost_per_byte
+        wc = PROFILES["word_count"].cpu_cost_per_byte
+        hist = PROFILES["histogram"].cpu_cost_per_byte
+        topk = PROFILES["top_k_search"].cpu_cost_per_byte
+        assert mavg < wc <= hist < topk
+
+    def test_all_profiles_named_consistently(self):
+        for key, profile in PROFILES.items():
+            assert profile.name == key

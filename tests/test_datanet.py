@@ -1,0 +1,186 @@
+"""Integration tests for the DataNet facade over the HDFS substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataNet, HDFSCluster
+from repro.core.bucketizer import BucketSpec
+from repro.errors import ConfigError
+from tests.conftest import make_records
+
+
+@pytest.fixture
+def indexed(small_cluster):
+    recs = make_records({"hot": 150, "warm": 60, "cold": 10}, payload_len=40)
+    dataset = small_cluster.write_dataset("d", recs)
+    datanet = DataNet.build(
+        dataset, alpha=0.5, spec=BucketSpec.for_block_size(small_cluster.block_size)
+    )
+    return dataset, datanet
+
+
+class TestBuild:
+    def test_covers_all_blocks(self, indexed):
+        dataset, datanet = indexed
+        assert datanet.num_blocks == dataset.num_blocks
+
+    def test_build_stats_attached(self, indexed):
+        _, datanet = indexed
+        stats = datanet.build_stats
+        assert stats.blocks_built == datanet.num_blocks
+        assert stats.records_scanned == 220
+
+    def test_estimate_close_to_ground_truth(self, indexed):
+        dataset, datanet = indexed
+        for sid in ("hot", "warm"):
+            true = dataset.subdataset_total_bytes(sid)
+            est = datanet.estimate_total_size(sid)
+            assert est == pytest.approx(true, rel=0.5)
+
+    def test_blocks_containing_superset_of_truth(self, indexed):
+        dataset, datanet = indexed
+        truth = set(dataset.subdataset_bytes_per_block("hot"))
+        # no false negatives: every block truly holding data is reported
+        assert truth <= set(datanet.blocks_containing("hot"))
+
+    def test_budget_mode(self, small_cluster):
+        recs = make_records({"a": 50, "b": 50}, payload_len=30)
+        dataset = small_cluster.write_dataset("d2", recs)
+        datanet = DataNet.build(dataset, alpha=None, budget_bits_per_block=10**6)
+        assert datanet.estimate_total_size("a") > 0
+
+    def test_placement_mismatch_rejected(self, indexed):
+        dataset, datanet = indexed
+        with pytest.raises(ConfigError):
+            DataNet(datanet.elasticmap, placement={})
+
+
+class TestBipartiteGraphConstruction:
+    def test_skip_absent_drops_empty_blocks(self, indexed):
+        dataset, datanet = indexed
+        g_all = datanet.bipartite_graph("cold", skip_absent=False)
+        g_skip = datanet.bipartite_graph("cold", skip_absent=True)
+        assert g_all.num_blocks == dataset.num_blocks
+        assert g_skip.num_blocks <= g_all.num_blocks
+
+    def test_weights_match_metadata(self, indexed):
+        _, datanet = indexed
+        g = datanet.bipartite_graph("hot", skip_absent=True)
+        weights = datanet.elasticmap.block_weights("hot")
+        for b in g.blocks:
+            assert g.weight(b) == weights[b]
+
+    def test_all_cluster_nodes_present(self, indexed):
+        _, datanet = indexed
+        g = datanet.bipartite_graph("hot", skip_absent=True)
+        assert g.num_nodes == 8
+
+
+class TestSchedule:
+    def test_greedy_assignment_complete(self, indexed):
+        dataset, datanet = indexed
+        a = datanet.schedule("hot", skip_absent=False)
+        assert a.num_tasks == dataset.num_blocks
+
+    def test_greedy_beats_nothing_scheduled(self, indexed):
+        _, datanet = indexed
+        a = datanet.schedule("hot")
+        assert a.max_workload > 0
+
+    def test_optimal_method(self, indexed):
+        _, datanet = indexed
+        a = datanet.schedule("hot", method="optimal")
+        assert a.remote_assignments == 0
+
+    def test_optimal_rejects_capacities(self, indexed):
+        _, datanet = indexed
+        with pytest.raises(ConfigError):
+            datanet.schedule("hot", method="optimal", capacities={0: 1.0})
+
+    def test_unknown_method(self, indexed):
+        _, datanet = indexed
+        with pytest.raises(ConfigError):
+            datanet.schedule("hot", method="magic")
+
+    def test_heterogeneous_capacities(self, indexed):
+        _, datanet = indexed
+        caps = {n: 1.0 for n in datanet.nodes}
+        caps[0] = 4.0
+        a = datanet.schedule("hot", capacities=caps, skip_absent=False)
+        assert a.num_tasks > 0
+
+    def test_balanced_vs_truth(self, indexed):
+        """Scheduling with metadata weights is no worse on *true* bytes
+        than the weight-blind stock scheduler (at this toy scale the
+        sub-dataset spans fewer blocks than there are nodes, so perfect
+        balance is impossible for anyone)."""
+        from repro.mapreduce.scheduler import LocalityScheduler
+
+        dataset, datanet = indexed
+        truth = dataset.subdataset_bytes_per_block("hot")
+
+        def true_max(assignment):
+            return max(
+                sum(truth.get(b, 0) for b in blocks)
+                for blocks in assignment.blocks_by_node.values()
+            )
+
+        aware = datanet.schedule("hot", skip_absent=False)
+        stock = LocalityScheduler().schedule(
+            datanet.bipartite_graph("hot", skip_absent=False)
+        )
+        assert true_max(aware) <= true_max(stock) + max(truth.values())
+
+
+class TestAccounting:
+    def test_memory_positive(self, indexed):
+        _, datanet = indexed
+        assert datanet.memory_bytes() > 0
+
+    def test_representation_ratio(self, indexed):
+        dataset, datanet = indexed
+        ratio = datanet.representation_ratio(dataset.total_bytes)
+        assert ratio > 1  # metadata far smaller than data
+
+    def test_accuracy_reasonable(self, indexed):
+        dataset, datanet = indexed
+        chi = datanet.accuracy(dataset.subdataset_ids(), dataset.total_bytes)
+        assert 0.5 < chi <= 1.0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, indexed, tmp_path):
+        dataset, datanet = indexed
+        path = str(tmp_path / "meta.datanet")
+        written = datanet.save(path)
+        assert written > 0
+        restored = DataNet.load(path)
+        assert restored.num_blocks == datanet.num_blocks
+        for sid in ("hot", "warm", "cold"):
+            assert restored.estimate_total_size(sid) == datanet.estimate_total_size(sid)
+            assert restored.blocks_containing(sid) == datanet.blocks_containing(sid)
+
+    def test_restored_instance_schedules(self, indexed, tmp_path):
+        dataset, datanet = indexed
+        path = str(tmp_path / "meta.datanet")
+        datanet.save(path)
+        restored = DataNet.load(path)
+        a = restored.schedule("hot", skip_absent=False)
+        b = datanet.schedule("hot", skip_absent=False)
+        assert a.blocks_by_node == b.blocks_by_node
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.bin"
+        bad.write_bytes(b"not a datanet file at all")
+        with pytest.raises(ConfigError):
+            DataNet.load(str(bad))
+
+    def test_load_rejects_truncation(self, indexed, tmp_path):
+        _dataset, datanet = indexed
+        path = tmp_path / "meta.datanet"
+        datanet.save(str(path))
+        path.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(Exception):
+            DataNet.load(str(path))

@@ -1,0 +1,34 @@
+"""Execute the doctests embedded in public-API docstrings.
+
+Keeps the documentation honest: every ``>>>`` example in these modules is
+run as part of the suite.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.bloom
+import repro.core.bucketizer
+import repro.core.builder
+import repro.metrics.reporting
+import repro.units
+import repro.workloads.mixer
+
+MODULES = [
+    repro.units,
+    repro.core.bloom,
+    repro.core.bucketizer,
+    repro.core.builder,
+    repro.metrics.reporting,
+    repro.workloads.mixer,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

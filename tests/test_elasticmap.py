@@ -1,0 +1,249 @@
+"""Tests for BlockElasticMap / ElasticMapArray (paper Section III, Eqs. 5-6)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bloom import BloomFilter, bits_per_element
+from repro.core.bucketizer import BucketSeparator
+from repro.core.elasticmap import BlockElasticMap, ElasticMapArray, MemoryModel
+from repro.errors import ConfigError, MetadataError
+from repro.units import KiB
+
+
+def _block_map(block_id: int, dominant: dict, tail: list, **kw) -> BlockElasticMap:
+    bloom = BloomFilter(capacity=max(len(tail), 1), error_rate=0.01, seed=block_id)
+    bloom.update(tail)
+    return BlockElasticMap(block_id, dominant, bloom, **kw)
+
+
+class TestMemoryModel:
+    def test_eq5_all_in_bloom(self):
+        model = MemoryModel(hashmap_bits_per_entry=85, load_factor=1.0, bloom_error_rate=0.01)
+        # alpha=0: every sub-dataset pays only the bloom cost
+        assert model.cost_bits(1000, 0.0) == pytest.approx(
+            1000 * bits_per_element(0.01)
+        )
+
+    def test_eq5_all_in_hashmap(self):
+        model = MemoryModel(hashmap_bits_per_entry=85, load_factor=0.5)
+        assert model.cost_bits(100, 1.0) == pytest.approx(100 * 85 / 0.5)
+
+    def test_eq5_mixture_monotonic_in_alpha(self):
+        model = MemoryModel()
+        costs = [model.cost_bits(1000, a / 10) for a in range(11)]
+        assert all(a < b for a, b in zip(costs, costs[1:]))
+
+    def test_paper_bits_example(self):
+        """Paper: hash map ~85 bits vs bloom ~10 bits per sub-dataset."""
+        model = MemoryModel(hashmap_bits_per_entry=85, load_factor=1.0, bloom_error_rate=0.01)
+        hash_only = model.cost_bits(1, 1.0)
+        bloom_only = model.cost_bits(1, 0.0)
+        assert hash_only == pytest.approx(85)
+        assert bloom_only == pytest.approx(9.585, abs=0.01)
+
+    def test_max_hashmap_entries_inverts_cost(self):
+        model = MemoryModel()
+        m = 500
+        for alpha in (0.1, 0.3, 0.7):
+            budget = model.cost_bits(m, alpha)
+            got = model.max_hashmap_entries(budget, m)
+            assert got == pytest.approx(alpha * m, abs=2)
+
+    def test_max_hashmap_entries_clamped(self):
+        model = MemoryModel()
+        assert model.max_hashmap_entries(10**12, 50) == 50
+        assert model.max_hashmap_entries(0.0, 50) == 0
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(hashmap_bits_per_entry=0),
+            dict(load_factor=0.0),
+            dict(load_factor=1.5),
+            dict(bloom_error_rate=0.0),
+            dict(bloom_error_rate=1.0),
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ConfigError):
+            MemoryModel(**kw)
+
+    def test_cost_bits_validates_inputs(self):
+        model = MemoryModel()
+        with pytest.raises(ConfigError):
+            model.cost_bits(-1, 0.5)
+        with pytest.raises(ConfigError):
+            model.cost_bits(10, 1.5)
+
+
+class TestBlockElasticMap:
+    def test_exact_query(self):
+        bm = _block_map(0, {"big": 5000}, ["small-1", "small-2"])
+        assert bm.query("big") == (5000, "exact")
+
+    def test_approx_query_returns_delta(self):
+        bm = _block_map(0, {"big": 5000}, ["small-1"])
+        size, kind = bm.query("small-1")
+        assert kind == "approx"
+        assert size == bm.delta == 5000  # delta = min hashmap value
+
+    def test_absent_query(self):
+        bm = _block_map(0, {"big": 5000}, ["small-1"])
+        size, kind = bm.query("never-stored-xyz")
+        # absent, or (rarely) a bloom false positive
+        assert kind in ("absent", "approx")
+
+    def test_contains(self):
+        bm = _block_map(0, {"big": 5000}, ["small-1"])
+        assert "big" in bm and "small-1" in bm
+
+    def test_delta_defaults_without_hashmap(self):
+        bm = _block_map(0, {}, ["a", "b"])
+        assert bm.delta == BlockElasticMap.DEFAULT_DELTA
+
+    def test_explicit_delta(self):
+        bm = _block_map(0, {"big": 5000}, ["a"], delta=42)
+        assert bm.query("a") == (42, "approx")
+
+    def test_from_separation(self):
+        sep = BucketSeparator()
+        sep.observe("huge", 40 * KiB)
+        for i in range(5):
+            sep.observe(f"tiny-{i}", 50)
+        res = sep.separate(alpha=0.2)
+        bm = BlockElasticMap.from_separation(3, res)
+        assert bm.block_id == 3
+        assert bm.query("huge") == (40 * KiB, "exact")
+        assert bm.query("tiny-0")[1] == "approx"
+
+    def test_memory_bits_accounts_both_parts(self):
+        bm = _block_map(0, {"a": 100, "b": 200}, ["c", "d", "e"])
+        model = bm.memory_model
+        expected_hash = 2 * model.hashmap_bits_per_entry / model.load_factor
+        assert bm.memory_bits() == pytest.approx(expected_hash + bm.bloom.memory_bits)
+
+    def test_modeled_memory_bits(self):
+        bm = _block_map(0, {"a": 100}, ["b", "c", "d"])
+        got = bm.modeled_memory_bits(4)
+        assert got == pytest.approx(bm.memory_model.cost_bits(4, 0.25))
+
+    def test_modeled_memory_rejects_undercount(self):
+        bm = _block_map(0, {"a": 1, "b": 2}, [])
+        with pytest.raises(MetadataError):
+            bm.modeled_memory_bits(1)
+
+    def test_dominant_stats(self):
+        bm = _block_map(0, {"a": 100, "b": 200}, ["c"])
+        assert bm.num_dominant == 2
+        assert bm.dominant_bytes == 300
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            _block_map(-1, {}, [])
+        with pytest.raises(ConfigError):
+            _block_map(0, {"a": 5}, [], delta=0)
+
+
+class TestElasticMapArray:
+    def _array(self) -> ElasticMapArray:
+        return ElasticMapArray(
+            [
+                _block_map(0, {"hot": 10_000, "warm": 2_000}, ["cold-1", "cold-2"]),
+                _block_map(1, {"hot": 8_000}, ["warm", "cold-1"]),
+                _block_map(2, {"other": 3_000}, []),
+            ]
+        )
+
+    def test_len_and_iteration(self):
+        arr = self._array()
+        assert len(arr) == 3
+        assert arr.block_ids == [0, 1, 2]
+        assert [b.block_id for b in arr] == [0, 1, 2]
+
+    def test_getitem(self):
+        arr = self._array()
+        assert arr[1].block_id == 1
+        with pytest.raises(MetadataError):
+            arr[99]
+
+    def test_rejects_duplicate_block_ids(self):
+        with pytest.raises(MetadataError):
+            ElasticMapArray([_block_map(0, {}, []), _block_map(0, {}, [])])
+
+    def test_distribution_mixes_exact_and_approx(self):
+        arr = self._array()
+        dist = arr.distribution("warm")
+        assert dist[0] == (2_000, "exact")
+        assert dist[1][1] == "approx"
+
+    def test_distribution_omits_absent_blocks(self):
+        arr = self._array()
+        dist = arr.distribution("other")
+        assert 2 in dist
+        # blocks 0,1 should usually be absent (modulo bloom false positives)
+        assert len(dist) <= 2
+
+    def test_blocks_containing(self):
+        arr = self._array()
+        assert set(arr.blocks_containing("hot")) >= {0, 1}
+
+    def test_block_weights(self):
+        arr = self._array()
+        w = arr.block_weights("hot")
+        assert w[0] == 10_000 and w[1] == 8_000
+
+    def test_global_delta_is_min_hashmap_value(self):
+        arr = self._array()
+        assert arr.global_delta() == 2_000
+
+    def test_global_delta_fallback(self):
+        arr = ElasticMapArray([_block_map(0, {}, ["a"])])
+        assert arr.global_delta() == BlockElasticMap.DEFAULT_DELTA
+
+    def test_estimate_total_size_eq6(self):
+        arr = self._array()
+        # hot: exact 10k + 8k = 18k; warm: exact 2k + delta(2k) for block 1
+        assert arr.estimate_total_size("hot") >= 18_000
+        warm = arr.estimate_total_size("warm")
+        assert warm == pytest.approx(2_000 + 2_000, abs=2_000)  # + possible FP
+
+    def test_estimate_exact_only_for_dominant_everywhere(self):
+        arr = ElasticMapArray([_block_map(0, {"x": 500}, []), _block_map(1, {"x": 700}, [])])
+        assert arr.estimate_total_size("x") == 1200
+
+    def test_accuracy_perfect_when_all_exact(self):
+        arr = ElasticMapArray([_block_map(0, {"x": 500, "y": 300}, [])])
+        assert arr.accuracy(["x", "y"], 800) == pytest.approx(1.0)
+
+    def test_accuracy_degrades_with_bloom_approximation(self):
+        exact = ElasticMapArray([_block_map(0, {"x": 5000, "y": 10}, [])])
+        lossy = ElasticMapArray([_block_map(0, {"x": 5000}, ["y"])])
+        raw = 5010
+        assert exact.accuracy(["x", "y"], raw) > lossy.accuracy(["x", "y"], raw) - 1e-9
+
+    def test_accuracy_requires_positive_raw(self):
+        with pytest.raises(MetadataError):
+            self._array().accuracy(["hot"], 0)
+
+    def test_memory_and_representation_ratio(self):
+        arr = self._array()
+        assert arr.memory_bytes() > 0
+        ratio = arr.representation_ratio(10**6)
+        assert ratio == pytest.approx(10**6 / arr.memory_bytes())
+
+    def test_representation_ratio_empty_array_fails(self):
+        arr = ElasticMapArray([])
+        with pytest.raises(MetadataError):
+            arr.representation_ratio(100)
+
+    @given(st.integers(1, 50), st.integers(0, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_property_estimate_at_least_exact_part(self, n_exact, n_tail):
+        """Eq. 6 estimate is never below the sum of exact entries."""
+        dominant = {f"d{i}": 1000 + i for i in range(n_exact)}
+        tail = [f"t{i}" for i in range(n_tail)]
+        arr = ElasticMapArray([_block_map(0, dominant, tail)])
+        for sid, size in dominant.items():
+            assert arr.estimate_total_size(sid) >= size

@@ -1,0 +1,196 @@
+"""Tests for the discrete-event MapReduce engine and shuffle model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataNet, HDFSCluster
+from repro.errors import ConfigError, JobError
+from repro.mapreduce import (
+    ClusterCostModel,
+    LocalityScheduler,
+    MapReduceEngine,
+    ShuffleModel,
+)
+from repro.mapreduce.apps import tokenize, top_k_search_job, word_count_job
+from tests.conftest import make_records
+
+
+@pytest.fixture
+def env(small_cluster):
+    recs = make_records({"hot": 200, "cold-a": 60, "cold-b": 60}, payload_len=40)
+    dataset = small_cluster.write_dataset("d", recs)
+    datanet = DataNet.build(dataset, alpha=0.5)
+    engine = MapReduceEngine(small_cluster, ClusterCostModel(data_scale=64.0))
+    return small_cluster, dataset, datanet, engine
+
+
+class TestSelectionPhase:
+    def test_filtered_records_complete(self, env):
+        cluster, dataset, datanet, engine = env
+        assignment = datanet.schedule("hot", skip_absent=False)
+        sel = engine.run_selection(
+            dataset, "hot", assignment, word_count_job().profile
+        )
+        got = sum(len(v) for v in sel.local_data.values())
+        assert got == len(dataset.records_of("hot")) == 200
+
+    def test_bytes_per_node_matches_records(self, env):
+        _c, dataset, datanet, engine = env
+        assignment = datanet.schedule("hot", skip_absent=False)
+        sel = engine.run_selection(dataset, "hot", assignment, word_count_job().profile)
+        for node, records in sel.local_data.items():
+            assert sel.bytes_per_node[node] == sum(r.nbytes for r in records)
+
+    def test_all_blocks_read_when_not_skipping(self, env):
+        _c, dataset, datanet, engine = env
+        assignment = datanet.schedule("hot", skip_absent=False)
+        sel = engine.run_selection(dataset, "hot", assignment, word_count_job().profile)
+        assert sel.blocks_read == dataset.num_blocks
+        assert sel.bytes_read == dataset.total_bytes
+
+    def test_skipping_reads_fewer_blocks(self, env):
+        _c, dataset, datanet, engine = env
+        full = engine.run_selection(
+            dataset, "cold-a",
+            datanet.schedule("cold-a", skip_absent=False),
+            word_count_job().profile,
+        )
+        skipped = engine.run_selection(
+            dataset, "cold-a",
+            datanet.schedule("cold-a", skip_absent=True),
+            word_count_job().profile,
+        )
+        assert skipped.blocks_read <= full.blocks_read
+        # both must still find every record
+        assert sum(len(v) for v in skipped.local_data.values()) == 60
+
+    def test_positive_node_times(self, env):
+        _c, dataset, datanet, engine = env
+        assignment = datanet.schedule("hot", skip_absent=False)
+        sel = engine.run_selection(dataset, "hot", assignment, word_count_job().profile)
+        busy = [t for n, t in sel.timing.node_times.items() if assignment.blocks_by_node[n]]
+        assert all(t > 0 for t in busy)
+        assert sel.makespan == max(sel.timing.node_times.values())
+
+    def test_unknown_block_raises(self, env):
+        from repro.core.scheduler import Assignment
+
+        _c, dataset, _dn, engine = env
+        bogus = Assignment({0: [9999]}, {0: 0})
+        with pytest.raises(JobError):
+            engine.run_selection(dataset, "hot", bogus, word_count_job().profile)
+
+
+class TestAnalysisPhase:
+    def test_output_matches_direct_execution(self, env):
+        _c, dataset, datanet, engine = env
+        assignment = datanet.schedule("hot", skip_absent=False)
+        result = engine.run_job(dataset, "hot", word_count_job(), assignment)
+        naive = {}
+        for r in dataset.records_of("hot"):
+            for w in tokenize(r.payload):
+                naive[w] = naive.get(w, 0) + 1
+        assert result.output == naive
+
+    def test_output_independent_of_scheduling(self, env):
+        _c, dataset, datanet, engine = env
+        a1 = datanet.schedule("hot", skip_absent=False)
+        a2 = LocalityScheduler().schedule(
+            datanet.bipartite_graph("hot", skip_absent=False)
+        )
+        r1 = engine.run_job(dataset, "hot", word_count_job(), a1)
+        r2 = engine.run_job(dataset, "hot", word_count_job(), a2)
+        assert r1.output == r2.output
+
+    def test_map_times_scale_with_data(self, env):
+        _c, dataset, datanet, engine = env
+        assignment = datanet.schedule("hot", skip_absent=False)
+        sel = engine.run_selection(dataset, "hot", assignment, word_count_job().profile)
+        result = engine.run_analysis(word_count_job(), sel.local_data)
+        # node with most data should have the longest map
+        heaviest = max(sel.bytes_per_node, key=sel.bytes_per_node.get)
+        assert result.map_times[heaviest] == max(result.map_times.values())
+
+    def test_total_includes_job_overhead(self, env):
+        _c, dataset, datanet, engine = env
+        assignment = datanet.schedule("hot", skip_absent=False)
+        sel = engine.run_selection(dataset, "hot", assignment, word_count_job().profile)
+        result = engine.run_analysis(word_count_job(), sel.local_data)
+        assert result.total_time >= engine.cost.job_overhead_s
+
+    def test_chained_run_job_includes_selection(self, env):
+        _c, dataset, datanet, engine = env
+        assignment = datanet.schedule("hot", skip_absent=False)
+        chained = engine.run_job(dataset, "hot", word_count_job(), assignment)
+        sel = chained.selection
+        assert sel is not None
+        analysis_only = engine.run_analysis(word_count_job(), sel.local_data)
+        assert chained.total_time >= analysis_only.total_time
+
+    def test_empty_input_raises(self, env):
+        _c, _d, _dn, engine = env
+        with pytest.raises(JobError):
+            engine.run_analysis(word_count_job(), {})
+
+    def test_topk_through_engine(self, env):
+        _c, dataset, datanet, engine = env
+        assignment = datanet.schedule("hot", skip_absent=False)
+        result = engine.run_job(
+            dataset, "hot", top_k_search_job("x" * 10, k=5), assignment
+        )
+        assert len(result.output["topk"]) == 5
+
+    def test_map_slots_shorten_node_time(self, small_cluster):
+        recs = make_records({"hot": 200}, payload_len=40)
+        dataset = small_cluster.write_dataset("d2", recs)
+        datanet = DataNet.build(dataset, alpha=1.0)
+        assignment = datanet.schedule("hot", skip_absent=False)
+        cost = ClusterCostModel(data_scale=64.0)
+        serial = MapReduceEngine(small_cluster, cost, map_slots=1)
+        parallel = MapReduceEngine(small_cluster, cost, map_slots=2)
+        prof = word_count_job().profile
+        s1 = serial.run_selection(dataset, "hot", assignment, prof)
+        s2 = parallel.run_selection(dataset, "hot", assignment, prof)
+        assert s2.makespan <= s1.makespan
+
+    def test_engine_validation(self, small_cluster):
+        with pytest.raises(ConfigError):
+            MapReduceEngine(small_cluster, map_slots=0)
+
+
+class TestShuffleModel:
+    def test_straggler_dominates_when_maps_imbalanced(self):
+        model = ShuffleModel(ClusterCostModel())
+        res = model.run({0: 10.0, 1: 50.0}, {0: 1000})
+        assert res.durations[0] >= 40.0  # waits for the straggler
+        assert res.start_time == 10.0
+
+    def test_fetch_dominates_when_maps_balanced(self):
+        cost = ClusterCostModel(network_bps=1e6)
+        model = ShuffleModel(cost)
+        res = model.run({0: 10.0, 1: 10.0}, {0: 5_000_000})
+        assert res.durations[0] == pytest.approx(
+            5.0 + 1.5e-8 * 5_000_000, rel=0.01
+        )
+
+    def test_min_max_mean(self):
+        model = ShuffleModel(ClusterCostModel())
+        res = model.run({0: 0.0, 1: 4.0}, {0: 0, 1: 10**9})
+        assert res.min <= res.mean <= res.max
+
+    def test_empty_map_times_raises(self):
+        model = ShuffleModel(ClusterCostModel())
+        with pytest.raises(ConfigError):
+            model.run({}, {0: 100})
+
+    def test_negative_partition_rejected(self):
+        model = ShuffleModel(ClusterCostModel())
+        with pytest.raises(ConfigError):
+            model.run({0: 1.0}, {0: -5})
+
+    def test_end_time_covers_all_reducers(self):
+        model = ShuffleModel(ClusterCostModel())
+        res = model.run({0: 5.0, 1: 9.0}, {0: 100, 1: 200})
+        assert res.end_time >= max(res.start_time + d for d in res.durations.values())

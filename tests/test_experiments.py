@@ -1,0 +1,292 @@
+"""Tests for the experiment drivers (run on the fast small config).
+
+These validate the *shape* claims each paper figure makes, at reduced
+scale; the full-scale numbers live in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import ReferenceConfig, build_movie_environment
+from repro.experiments import ablations
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.migration import run_migration
+from repro.experiments.pipeline import run_reference_pipeline
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+#: Shared across this module: one small environment, one pipeline run.
+SMALL = ReferenceConfig.small()
+
+
+class TestConfig:
+    def test_small_is_fast_variant(self):
+        assert SMALL.num_nodes < ReferenceConfig().num_nodes
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ReferenceConfig(num_nodes=0)
+        with pytest.raises(ConfigError):
+            ReferenceConfig(alpha=2.0)
+
+    def test_environment_cached(self):
+        a = build_movie_environment(SMALL)
+        b = build_movie_environment(SMALL)
+        assert a is b
+
+    def test_target_policy_int(self):
+        cfg = ReferenceConfig.small(target_policy=0)
+        env = build_movie_environment(cfg, use_cache=False)
+        # rank 0 = the movie with the most stored records
+        counts = {
+            sid: len(env.dataset.records_of(sid))
+            for sid in env.dataset.subdataset_ids()
+        }
+        assert counts[env.target] == max(counts.values())
+
+    def test_target_policy_invalid(self):
+        cfg = ReferenceConfig.small(target_policy="nonsense")
+        with pytest.raises(ConfigError):
+            build_movie_environment(cfg, use_cache=False)
+
+    def test_environment_consistency(self):
+        env = build_movie_environment(SMALL)
+        assert env.dataset.num_blocks == env.datanet.num_blocks
+        assert env.target in env.dataset.subdataset_ids()
+        assert env.target_total_bytes > 0
+
+
+class TestPipeline:
+    def test_both_methods_run_all_apps(self):
+        pipe = run_reference_pipeline(SMALL)
+        for run in (pipe.without_datanet, pipe.with_datanet):
+            assert set(run.jobs) == {
+                "moving_average",
+                "word_count",
+                "histogram",
+                "top_k_search",
+            }
+
+    def test_identical_outputs_across_methods(self):
+        pipe = run_reference_pipeline(SMALL)
+        for app in pipe.without_datanet.jobs:
+            assert (
+                pipe.without_datanet.jobs[app].output
+                == pipe.with_datanet.jobs[app].output
+            )
+
+    def test_datanet_no_slower_on_compute_heavy_apps(self):
+        pipe = run_reference_pipeline(SMALL)
+        imp = pipe.improvements()
+        assert imp["top_k_search"] > 0
+
+    def test_improvement_ordering_light_vs_heavy(self):
+        """Fig. 5a's qualitative claim: compute-heavy apps gain more."""
+        pipe = run_reference_pipeline(SMALL)
+        imp = pipe.improvements()
+        assert imp["top_k_search"] >= imp["moving_average"] - 0.05
+
+    def test_datanet_workload_more_balanced(self):
+        pipe = run_reference_pipeline(SMALL)
+        from repro.metrics import imbalance_ratio
+
+        base = imbalance_ratio(pipe.without_datanet.selection.bytes_per_node.values())
+        aware = imbalance_ratio(pipe.with_datanet.selection.bytes_per_node.values())
+        assert aware <= base + 0.05
+
+
+class TestFig1:
+    def test_clustering_and_imbalance(self):
+        r = run_fig1(SMALL)
+        assert r.concentration_30 > 0.3  # densest 30 blocks hold a big share
+        assert r.workload_imbalance > 1.0
+        assert len(r.node_workloads) == SMALL.num_nodes
+        assert "Figure 1" in r.format()
+
+
+class TestFig2:
+    def test_paper_numbers(self):
+        r = run_fig2(mc_trials=50)
+        assert r.expected_counts_m128["E[#nodes > 2E] (paper's 4.0)"] == pytest.approx(
+            4.0, abs=0.1
+        )
+        assert r.expected_counts_m128[
+            "E[#nodes < E/3] (paper's 3.9)"
+        ] == pytest.approx(3.9, abs=0.1)
+
+    def test_monte_carlo_close_to_analytic(self):
+        r = run_fig2(mc_trials=150)
+        for label, analytic in r.expected_counts_m128.items():
+            assert r.monte_carlo_counts_m128[label] == pytest.approx(
+                analytic, rel=0.5, abs=0.5
+            )
+
+    def test_format(self):
+        assert "Figure 2" in run_fig2(mc_trials=10).format()
+
+
+class TestTable1:
+    def test_rows_sorted_by_count(self):
+        r = run_table1(SMALL)
+        counts = [c for _sid, c, _b in r.rows]
+        assert counts == sorted(counts, reverse=True)
+        assert r.num_movies > 1
+        assert "Table I" in r.format()
+
+    def test_bytes_sum_to_block(self):
+        r = run_table1(SMALL)
+        env = build_movie_environment(SMALL)
+        block = env.dataset.block(r.block_id)
+        assert sum(b for _s, _c, b in r.rows) == block.used_bytes
+
+
+class TestFig5:
+    def test_all_apps_reported(self):
+        r = run_fig5(SMALL)
+        assert set(r.overall) == {
+            "moving_average",
+            "word_count",
+            "histogram",
+            "top_k_search",
+        }
+        for app, row in r.overall.items():
+            assert row["without"] > 0 and row["with"] > 0
+
+    def test_block_series_covers_dataset(self):
+        r = run_fig5(SMALL)
+        env = build_movie_environment(SMALL)
+        assert len(r.block_series) == env.dataset.num_blocks
+
+    def test_format(self):
+        assert "Figure 5a" in run_fig5(SMALL).format()
+
+
+class TestFig6:
+    def test_map_times_per_node(self):
+        r = run_fig6(SMALL)
+        assert len(r.topk_map_times_without) == SMALL.num_nodes
+
+    def test_gap_widens_with_compute(self):
+        """Fig. 6b/c: WordCount's min-max gap exceeds MovingAverage's."""
+        r = run_fig6(SMALL)
+        assert r.gap("word_count", "without") >= r.gap("moving_average", "without")
+
+    def test_datanet_narrows_topk_gap(self):
+        r = run_fig6(SMALL)
+        assert r.gap("top_k_search", "with") <= r.gap("top_k_search", "without")
+
+    def test_format(self):
+        assert "Figure 6a" in run_fig6(SMALL).format()
+
+
+class TestFig7:
+    def test_shuffle_faster_with_datanet(self):
+        r = run_fig7(SMALL)
+        for app in ("word_count", "top_k_search"):
+            assert r.stats[app]["with"]["avg"] <= r.stats[app]["without"]["avg"]
+
+    def test_speedups_positive(self):
+        r = run_fig7(SMALL)
+        assert r.speedup_of("word_count") >= 1.0
+
+    def test_format(self):
+        assert "Figure 7" in run_fig7(SMALL).format()
+
+
+class TestFig8:
+    def test_github_experiment(self):
+        r = run_fig8(SMALL, total_events=20_000)
+        # at toy scale DataNet is within noise of stock; the reference-
+        # scale comparison lives in the fig8 benchmark
+        assert r.longest_map_with <= r.longest_map_without * 1.25
+        assert r.block_imbalance > 1.0
+        assert "Figure 8" in r.format()
+
+
+class TestMigration:
+    def test_migration_happens_and_datanet_wins(self):
+        r = run_migration(SMALL)
+        assert r.stats.migration_fraction > 0.0
+        assert r.time_datanet <= r.time_dynamic
+        assert "dynamic" in r.format()
+
+
+class TestTable2:
+    def test_tradeoff_direction(self):
+        r = run_table2(SMALL, alphas=(0.5, 0.2))
+        hi, lo = r.rows
+        assert hi.realized_alpha >= lo.realized_alpha
+        assert hi.accuracy >= lo.accuracy - 0.02
+        assert hi.representation_ratio <= lo.representation_ratio
+        assert "Table II" in r.format()
+
+    def test_accuracy_below_one(self):
+        r = run_table2(SMALL, alphas=(0.3,))
+        assert 0.0 < r.rows[0].accuracy <= 1.0
+
+
+class TestFig9:
+    def test_large_subdatasets_more_accurate(self):
+        r = run_fig9(SMALL)
+        small_err = r.mean_abs_error_below(r.small_threshold)
+        large_err = r.mean_abs_error_above(r.small_threshold)
+        assert large_err <= small_err
+        assert "Figure 9" in r.format()
+
+    def test_points_sorted_by_size(self):
+        r = run_fig9(SMALL)
+        sizes = [p.actual_bytes for p in r.points]
+        assert sizes == sorted(sizes)
+
+
+class TestFig10:
+    def test_balance_stabilizes(self):
+        r = run_fig10(SMALL, alphas=(0.05, 0.15, 0.5, 1.0))
+        assert r.stable_after(0.15, tol=0.25)
+        assert "Figure 10" in r.format()
+
+    def test_normalized_max_is_one_somewhere(self):
+        r = run_fig10(SMALL, alphas=(0.05, 1.0))
+        assert max(s.maximum for s in r.summaries.values()) == pytest.approx(1.0)
+
+
+class TestAblations:
+    def test_bucket_ablation_has_three_specs(self):
+        t = ablations.run_bucket_ablation(SMALL)
+        assert len(t.rows) == 3
+        assert "fibonacci" in t.column("spec")
+
+    def test_scheduler_ablation_ordering(self):
+        t = ablations.run_scheduler_ablation(SMALL)
+        by_name = {row[0]: float(row[1]) for row in t.rows}
+        assert (
+            by_name["fractional lower bound"]
+            <= by_name["Ford-Fulkerson (optimal)"] + 0.1
+        )
+
+    def test_io_skip_reads_less(self):
+        t = ablations.run_io_skip_ablation(SMALL)
+        scan_all, skip = t.rows
+        assert skip[1] <= scan_all[1]
+
+    def test_bloom_eps_memory_monotone(self):
+        t = ablations.run_bloom_eps_ablation(SMALL, error_rates=(0.001, 0.1))
+        mem = [float(r[1]) for r in t.rows]
+        assert mem[0] >= mem[1]
+
+    def test_format_methods(self):
+        assert "ablation" in ablations.run_bucket_ablation(SMALL).format().lower()
+
+    def test_column_lookup_error(self):
+        t = ablations.run_bucket_ablation(SMALL)
+        with pytest.raises(ValueError):
+            t.column("nope")

@@ -1,0 +1,92 @@
+"""Correctness tests for the extra applications (distinct words,
+sessionization, inverted index)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hdfs import Record
+from repro.mapreduce.apps import (
+    distinct_words_job,
+    inverted_index_job,
+    sessionization_job,
+    tokenize,
+)
+from tests.test_apps import _run_locally
+
+
+class TestDistinctWords:
+    def test_estimate_close_to_truth(self):
+        recs = [
+            Record("m", float(i), " ".join(f"word{j}" for j in range(i, i + 5)))
+            for i in range(100)
+        ]
+        truth = len({w for r in recs for w in tokenize(r.payload)})
+        out = _run_locally(distinct_words_job(), recs)
+        assert out["distinct"] == pytest.approx(truth, rel=0.1, abs=5)
+
+    def test_duplicates_collapse(self):
+        recs = [Record("m", float(i), "same words every time") for i in range(50)]
+        out = _run_locally(distinct_words_job(), recs)
+        assert out["distinct"] == pytest.approx(4, abs=2)
+
+    def test_precision_validated(self):
+        with pytest.raises(ConfigError):
+            distinct_words_job(precision=2)
+
+
+class TestSessionization:
+    def test_single_session(self):
+        recs = [Record("u", float(i) * 0.1, "x") for i in range(10)]
+        out = _run_locally(sessionization_job(gap_timeout=1.0), recs)
+        count, mean_len, max_len = out["u"]
+        assert count == 1 and max_len == 10
+
+    def test_gap_splits_sessions(self):
+        times = [0.0, 0.1, 0.2, 10.0, 10.1, 30.0]
+        recs = [Record("u", t, "x") for t in times]
+        out = _run_locally(sessionization_job(gap_timeout=1.0), recs)
+        count, mean_len, max_len = out["u"]
+        assert count == 3
+        assert max_len == 3
+        assert mean_len == pytest.approx(2.0)
+
+    def test_per_subdataset_keys(self):
+        recs = [Record("u1", 0.0, "x"), Record("u2", 5.0, "x")]
+        out = _run_locally(sessionization_job(), recs)
+        assert set(out) == {"u1", "u2"}
+
+    def test_unsorted_input_handled(self):
+        recs = [Record("u", t, "x") for t in (5.0, 0.0, 5.1, 0.2)]
+        out = _run_locally(sessionization_job(gap_timeout=1.0), recs)
+        assert out["u"][0] == 2  # two sessions regardless of arrival order
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            sessionization_job(gap_timeout=0)
+
+
+class TestInvertedIndex:
+    def test_postings_point_at_records(self):
+        recs = [
+            Record("m", 1.0, "alpha beta"),
+            Record("m", 2.0, "alpha gamma"),
+        ]
+        out = _run_locally(inverted_index_job(), recs)
+        assert out["alpha"] == ["m@1.000", "m@2.000"]
+        assert out["beta"] == ["m@1.000"]
+
+    def test_word_emitted_once_per_record(self):
+        recs = [Record("m", 1.0, "dup dup dup")]
+        out = _run_locally(inverted_index_job(), recs)
+        assert out["dup"] == ["m@1.000"]
+
+    def test_postings_capped(self):
+        recs = [Record("m", float(i), "hot") for i in range(100)]
+        out = _run_locally(inverted_index_job(max_postings_per_word=10), recs)
+        assert len(out["hot"]) == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            inverted_index_job(max_postings_per_word=0)

@@ -1,0 +1,128 @@
+"""Failure-injection tests: node loss, re-replication, scheduling under churn."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DataNet, HDFSCluster
+from repro.core.bipartite import BipartiteGraph
+from repro.core.scheduler import DistributionAwareScheduler
+from repro.errors import ConfigError, ReplicationError
+from repro.hdfs import FailureManager
+from tests.conftest import make_records
+
+
+def _cluster_with_data(num_nodes=8, replication=3, seed=1):
+    cluster = HDFSCluster(
+        num_nodes=num_nodes,
+        block_size=2048,
+        replication=replication,
+        rng=np.random.default_rng(seed),
+    )
+    recs = make_records({"hot": 120, "cold": 40}, payload_len=30)
+    dataset = cluster.write_dataset("d", recs)
+    return cluster, dataset
+
+
+class TestFailNode:
+    def test_replication_restored(self):
+        cluster, dataset = _cluster_with_data()
+        fm = FailureManager(cluster)
+        affected = {bid for _ds, bid in cluster.namenode.blocks_on_node(0)}
+        events = fm.fail_node(0)
+        counts = fm.verify_replication("d")
+        assert all(c == 3 for c in counts.values())
+        # only blocks that actually lived on node 0 were copied
+        assert {e.block_id for e in events} <= affected
+
+    def test_no_re_replication_option(self):
+        cluster, dataset = _cluster_with_data()
+        fm = FailureManager(cluster)
+        events = fm.fail_node(0, re_replicate=False)
+        assert events == []
+        counts = fm.verify_replication("d")
+        assert any(c == 2 for c in counts.values()) or all(c == 3 for c in counts.values())
+
+    def test_destination_is_live_and_new(self):
+        cluster, dataset = _cluster_with_data()
+        fm = FailureManager(cluster)
+        events = fm.fail_node(3)
+        for e in events:
+            assert fm.is_alive(e.destination)
+            assert e.destination != 3
+
+    def test_double_failure_rejected(self):
+        cluster, _ = _cluster_with_data()
+        fm = FailureManager(cluster)
+        fm.fail_node(0)
+        with pytest.raises(ConfigError):
+            fm.fail_node(0)
+
+    def test_unknown_node_rejected(self):
+        cluster, _ = _cluster_with_data()
+        with pytest.raises(ConfigError):
+            FailureManager(cluster).fail_node(99)
+
+    def test_sequential_failures_keep_invariant(self):
+        cluster, dataset = _cluster_with_data(num_nodes=10)
+        fm = FailureManager(cluster)
+        for node in (0, 1, 2):
+            fm.fail_node(node)
+            counts = fm.verify_replication("d")
+            assert all(c >= 3 for c in counts.values())
+
+    def test_bytes_re_replicated_accounted(self):
+        cluster, dataset = _cluster_with_data()
+        fm = FailureManager(cluster)
+        events = fm.fail_node(0)
+        assert fm.bytes_re_replicated() == sum(e.nbytes for e in events)
+
+    def test_small_cluster_degrades_gracefully(self):
+        """When fewer live nodes than the replication factor remain, the
+        replica set shrinks instead of erroring."""
+        cluster, dataset = _cluster_with_data(num_nodes=3, replication=3)
+        fm = FailureManager(cluster)
+        fm.fail_node(0)
+        counts = fm.verify_replication("d")
+        assert all(c == 2 for c in counts.values())
+
+    def test_losing_all_replicas_raises(self):
+        cluster, dataset = _cluster_with_data(num_nodes=3, replication=1)
+        fm = FailureManager(cluster)
+        # replication=1: each block has exactly one home; killing it
+        # without survivors must raise for any block it owned.
+        owned = cluster.namenode.blocks_on_node(0)
+        if owned:
+            with pytest.raises(ReplicationError):
+                fm.fail_node(0)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_invariant_after_one_failure(self, seed):
+        cluster, dataset = _cluster_with_data(num_nodes=8, seed=seed)
+        fm = FailureManager(cluster)
+        victim = int(np.random.default_rng(seed).integers(8))
+        fm.fail_node(victim)
+        counts = fm.verify_replication("d")
+        assert all(c >= 3 for c in counts.values())
+
+
+class TestSchedulingAfterFailure:
+    def test_schedule_excludes_dead_node(self):
+        cluster, dataset = _cluster_with_data()
+        fm = FailureManager(cluster)
+        fm.fail_node(0)
+        datanet = DataNet.build(dataset, alpha=0.5)
+        weights = datanet.elasticmap.block_weights("hot")
+        placement = {
+            bid: [n for n in nodes if fm.is_alive(n)]
+            for bid, nodes in dataset.placement().items()
+        }
+        graph = BipartiteGraph(placement, {b: weights.get(b, 0) for b in placement},
+                               nodes=fm.live_nodes)
+        assignment = DistributionAwareScheduler().schedule(graph)
+        assert 0 not in assignment.blocks_by_node
+        assigned = sorted(b for bs in assignment.blocks_by_node.values() for b in bs)
+        assert assigned == sorted(placement)

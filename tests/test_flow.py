@@ -1,0 +1,175 @@
+"""Tests for the Ford-Fulkerson max-flow solver and optimal assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bipartite import BipartiteGraph
+from repro.core.flow import MaxFlowSolver, fractional_optimum, optimal_assignment
+from repro.core.scheduler import DistributionAwareScheduler
+from repro.errors import ConfigError, SchedulingError
+
+
+class TestMaxFlowSolver:
+    def test_single_edge(self):
+        solver = MaxFlowSolver({"s": {"t": 5.0}})
+        assert solver.max_flow("s", "t") == 5.0
+        assert solver.flow_on("s", "t") == 5.0
+
+    def test_series_bottleneck(self):
+        solver = MaxFlowSolver({"s": {"a": 10}, "a": {"t": 3}})
+        assert solver.max_flow("s", "t") == 3
+
+    def test_parallel_paths(self):
+        solver = MaxFlowSolver({"s": {"a": 4, "b": 6}, "a": {"t": 4}, "b": {"t": 6}})
+        assert solver.max_flow("s", "t") == 10
+
+    def test_classic_clrs_network(self):
+        # CLRS figure 26.6-style network with a known max flow of 23
+        caps = {
+            "s": {"v1": 16, "v2": 13},
+            "v1": {"v3": 12},
+            "v2": {"v1": 4, "v4": 14},
+            "v3": {"v2": 9, "t": 20},
+            "v4": {"v3": 7, "t": 4},
+        }
+        assert MaxFlowSolver(caps).max_flow("s", "t") == 23
+
+    def test_cross_check_against_networkx(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(11)
+        nodes = list(range(8))
+        caps: dict = {}
+        G = nx.DiGraph()
+        for _ in range(24):
+            u, v = rng.choice(nodes, size=2, replace=False)
+            c = float(rng.integers(1, 20))
+            caps.setdefault(int(u), {})[int(v)] = caps.get(int(u), {}).get(int(v), 0) + c
+            if G.has_edge(int(u), int(v)):
+                G[int(u)][int(v)]["capacity"] += c
+            else:
+                G.add_edge(int(u), int(v), capacity=c)
+        ours = MaxFlowSolver(caps).max_flow(0, 7)
+        theirs = nx.maximum_flow_value(G, 0, 7) if G.has_node(0) and G.has_node(7) else 0.0
+        assert ours == pytest.approx(theirs)
+
+    def test_disconnected_sink(self):
+        solver = MaxFlowSolver({"s": {"a": 5}})
+        assert solver.max_flow("s", "t") == 0.0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ConfigError):
+            MaxFlowSolver({"s": {"t": -1}})
+
+    def test_rejects_same_source_sink(self):
+        with pytest.raises(ConfigError):
+            MaxFlowSolver({"s": {"t": 1}}).max_flow("s", "s")
+
+    def test_flow_conservation(self):
+        caps = {
+            "s": {"a": 8, "b": 5},
+            "a": {"b": 3, "t": 4},
+            "b": {"t": 9},
+        }
+        solver = MaxFlowSolver(caps)
+        total = solver.max_flow("s", "t")
+        for mid in ("a", "b"):
+            inflow = sum(solver.flow_on(u, mid) for u in ("s", "a", "b"))
+            outflow = sum(solver.flow_on(mid, v) for v in ("a", "b", "t"))
+            assert inflow == pytest.approx(outflow)
+        assert total == pytest.approx(
+            solver.flow_on("s", "a") + solver.flow_on("s", "b")
+        )
+
+
+def _clustered_graph(seed: int, num_nodes=8, num_blocks=48) -> BipartiteGraph:
+    rng = np.random.default_rng(seed)
+    placement = {
+        b: list(rng.choice(num_nodes, size=min(3, num_nodes), replace=False))
+        for b in range(num_blocks)
+    }
+    weights = {b: int(w) for b, w in enumerate(rng.gamma(1.2, 7.0, num_blocks) * 50)}
+    return BipartiteGraph(placement, weights, nodes=list(range(num_nodes)))
+
+
+class TestFractionalOptimum:
+    def test_bounded_by_mean_and_total(self):
+        g = _clustered_graph(0)
+        opt = fractional_optimum(g)
+        assert g.total_weight() / g.num_nodes - 1 <= opt <= g.total_weight()
+
+    def test_perfectly_splittable_reaches_mean(self):
+        # every block on every node -> fractional optimum == mean
+        placement = {b: [0, 1, 2, 3] for b in range(8)}
+        weights = {b: 100 for b in range(8)}
+        g = BipartiteGraph(placement, weights)
+        assert fractional_optimum(g, tol=0.01) == pytest.approx(200, abs=1)
+
+    def test_forced_concentration(self):
+        # all blocks only on node 0 -> optimum is the full total
+        placement = {b: [0] for b in range(4)}
+        weights = {b: 25 for b in range(4)}
+        g = BipartiteGraph(placement, weights, nodes=[0, 1])
+        assert fractional_optimum(g, tol=0.01) == pytest.approx(100, abs=1)
+
+    def test_zero_weight_graph(self):
+        g = BipartiteGraph({0: [0]}, {0: 0}, nodes=[0, 1])
+        assert fractional_optimum(g) == 0.0
+
+    def test_empty_nodes_raises(self):
+        g = BipartiteGraph({}, {}, nodes=[])
+        with pytest.raises(SchedulingError):
+            fractional_optimum(g)
+
+
+class TestOptimalAssignment:
+    def test_all_blocks_assigned_locally(self):
+        g = _clustered_graph(1)
+        a = optimal_assignment(g)
+        assigned = sorted(b for bs in a.blocks_by_node.values() for b in bs)
+        assert assigned == g.blocks
+        for node, blocks in a.blocks_by_node.items():
+            for b in blocks:
+                assert g.is_local(node, b)  # flow assignment is replica-local
+
+    def test_close_to_fractional_bound(self):
+        g = _clustered_graph(2)
+        a = optimal_assignment(g)
+        bound = fractional_optimum(g)
+        max_w = max(g.weight(b) for b in g.blocks)
+        # rounding can exceed the bound by at most ~one block's weight
+        assert a.max_workload <= bound + max_w + 1
+
+    def test_at_least_as_good_as_greedy_when_greedy_local(self):
+        g = _clustered_graph(3)
+        greedy = DistributionAwareScheduler().schedule(g)
+        opt = optimal_assignment(g)
+        assert opt.max_workload <= greedy.max_workload + max(
+            g.weight(b) for b in g.blocks
+        )
+
+    def test_zero_weight_blocks_spread(self):
+        placement = {b: [0, 1] for b in range(10)}
+        g = BipartiteGraph(placement, {b: 0 for b in range(10)})
+        a = optimal_assignment(g)
+        assert a.num_tasks == 10
+        counts = [len(v) for v in a.blocks_by_node.values()]
+        assert max(counts) - min(counts) <= 1
+
+    def test_workload_sums_preserved(self):
+        g = _clustered_graph(4)
+        a = optimal_assignment(g)
+        assert sum(a.workload_by_node.values()) == g.total_weight()
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_complete_local_assignment(self, seed):
+        g = _clustered_graph(seed, num_nodes=5, num_blocks=20)
+        a = optimal_assignment(g)
+        assigned = sorted(b for bs in a.blocks_by_node.values() for b in bs)
+        assert assigned == g.blocks
+        for node, blocks in a.blocks_by_node.items():
+            assert all(g.is_local(node, b) for b in blocks)

@@ -1,0 +1,126 @@
+"""Tests for incremental ingest: dataset appends + DataNet.extend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataNet, HDFSCluster, Record
+from repro.core.bucketizer import BucketSpec
+from repro.errors import BlockNotFoundError, ConfigError, MetadataError
+from tests.conftest import make_records
+
+
+@pytest.fixture
+def growing(small_cluster):
+    first = make_records({"hot": 80, "cold": 20}, payload_len=40)
+    dataset = small_cluster.write_dataset("logs", first)
+    datanet = DataNet.build(
+        dataset, alpha=0.5, spec=BucketSpec.for_block_size(small_cluster.block_size)
+    )
+    return small_cluster, dataset, datanet
+
+
+class TestAppendRecords:
+    def test_block_ids_continue(self, growing):
+        cluster, dataset, _ = growing
+        before = dataset.block_ids
+        cluster.append_records("logs", make_records({"hot": 40}, payload_len=40))
+        after = dataset.block_ids
+        assert after[: len(before)] == before
+        assert min(after[len(before):]) > max(before)
+
+    def test_appended_records_visible(self, growing):
+        cluster, dataset, _ = growing
+        cluster.append_records("logs", make_records({"new-topic": 30}, payload_len=40))
+        assert dataset.subdataset_total_bytes("new-topic") > 0
+
+    def test_existing_blocks_untouched(self, growing):
+        cluster, dataset, _ = growing
+        sizes_before = {bid: dataset.block(bid).used_bytes for bid in dataset.block_ids}
+        cluster.append_records("logs", make_records({"hot": 40}, payload_len=40))
+        for bid, size in sizes_before.items():
+            assert dataset.block(bid).used_bytes == size
+
+    def test_replication_on_new_blocks(self, growing):
+        cluster, dataset, _ = growing
+        before = set(dataset.block_ids)
+        cluster.append_records("logs", make_records({"hot": 40}, payload_len=40))
+        for bid in set(dataset.block_ids) - before:
+            assert len(dataset.placement()[bid]) == 3
+
+    def test_empty_append_noop(self, growing):
+        cluster, dataset, _ = growing
+        before = dataset.num_blocks
+        cluster.append_records("logs", [])
+        assert dataset.num_blocks == before
+
+    def test_unknown_dataset(self, small_cluster):
+        with pytest.raises(BlockNotFoundError):
+            small_cluster.append_records("ghost", [])
+
+
+class TestDataNetExtend:
+    def test_extend_indexes_only_new_blocks(self, growing):
+        cluster, dataset, datanet = growing
+        n_before = datanet.num_blocks
+        cluster.append_records("logs", make_records({"hot": 60}, payload_len=40))
+        added = datanet.extend(dataset)
+        assert added == dataset.num_blocks - n_before
+        assert datanet.num_blocks == dataset.num_blocks
+
+    def test_extend_twice_idempotent(self, growing):
+        cluster, dataset, datanet = growing
+        cluster.append_records("logs", make_records({"hot": 60}, payload_len=40))
+        datanet.extend(dataset)
+        assert datanet.extend(dataset) == 0
+
+    def test_estimates_include_appended_data(self, growing):
+        cluster, dataset, datanet = growing
+        est_before = datanet.estimate_total_size("hot")
+        cluster.append_records("logs", make_records({"hot": 80}, payload_len=40))
+        datanet.extend(dataset)
+        est_after = datanet.estimate_total_size("hot")
+        assert est_after > est_before
+        truth = dataset.subdataset_total_bytes("hot")
+        assert est_after == pytest.approx(truth, rel=0.4)
+
+    def test_scheduling_covers_new_blocks(self, growing):
+        cluster, dataset, datanet = growing
+        cluster.append_records("logs", make_records({"hot": 60}, payload_len=40))
+        datanet.extend(dataset)
+        assignment = datanet.schedule("hot", skip_absent=False)
+        assert assignment.num_tasks == dataset.num_blocks
+
+    def test_extend_requires_built_instance(self, growing):
+        _, dataset, datanet = growing
+        manual = DataNet(datanet.elasticmap, dataset.placement())
+        with pytest.raises(ConfigError):
+            manual.extend(dataset)
+
+    def test_add_block_rejects_duplicates(self, growing):
+        _, _, datanet = growing
+        first = next(iter(datanet.elasticmap))
+        with pytest.raises(MetadataError):
+            datanet.elasticmap.add_block(first)
+
+    def test_single_scan_preserved(self, growing):
+        """Extend never rescans blocks that already have metadata."""
+        cluster, dataset, datanet = growing
+        scanned: list = []
+        original = dataset.scan_blocks
+
+        cluster.append_records("logs", make_records({"hot": 60}, payload_len=40))
+        covered = set(datanet.elasticmap.block_ids)
+
+        def tracking_scan():
+            for bid, obs in original():
+                def tracked(bid=bid, obs=obs):
+                    for item in obs:
+                        scanned.append(bid)
+                        yield item
+                yield bid, tracked()
+
+        dataset.scan_blocks = tracking_scan  # type: ignore[method-assign]
+        datanet.extend(dataset)
+        assert covered.isdisjoint(scanned)

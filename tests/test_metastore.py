@@ -1,0 +1,245 @@
+"""Tests for the distributed ElasticMap metadata store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bloom import BloomFilter
+from repro.core.builder import build_elasticmap_array
+from repro.core.elasticmap import BlockElasticMap, ElasticMapArray
+from repro.core.metastore import DistributedMetaStore, MetaNode, ShardMap
+from repro.errors import ConfigError, MetadataError
+
+
+def _block_map(block_id: int, dominant: dict, tail: list) -> BlockElasticMap:
+    bloom = BloomFilter(capacity=max(len(tail), 1), error_rate=0.01, seed=block_id)
+    bloom.update(tail)
+    return BlockElasticMap(block_id, dominant, bloom)
+
+
+def _array() -> ElasticMapArray:
+    return build_elasticmap_array(
+        [
+            (0, [("hot", 40_000), ("a", 100), ("b", 120)]),
+            (1, [("hot", 35_000), ("c", 90)]),
+            (2, [("other", 50_000), ("hot", 200)]),
+            (3, [("d", 80)]),
+        ],
+        alpha=0.4,
+    )
+
+
+class TestBlockSerialization:
+    def test_roundtrip(self):
+        bm = _block_map(7, {"big": 5000, "mid": 900}, ["t1", "t2", "t3"])
+        back = BlockElasticMap.from_bytes(bm.to_bytes())
+        assert back.block_id == 7
+        assert back.hash_map == bm.hash_map
+        assert back.delta == bm.delta
+        assert "t1" in back.bloom and "t2" in back.bloom
+
+    def test_rejects_truncated(self):
+        bm = _block_map(0, {"x": 10}, [])
+        with pytest.raises(MetadataError):
+            BlockElasticMap.from_bytes(bm.to_bytes()[:-3])
+        with pytest.raises(MetadataError):
+            BlockElasticMap.from_bytes(b"short")
+
+    def test_rejects_corrupt_json(self):
+        bm = _block_map(0, {"x": 10}, [])
+        blob = bytearray(bm.to_bytes())
+        blob[33] ^= 0xFF  # flip a byte inside the hash-map payload
+        with pytest.raises(MetadataError):
+            BlockElasticMap.from_bytes(bytes(blob))
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=8), st.integers(1, 10**6), max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip_hashmap(self, hash_map):
+        bm = _block_map(1, hash_map, ["tail-x"])
+        back = BlockElasticMap.from_bytes(bm.to_bytes())
+        assert back.hash_map == hash_map
+
+
+class TestMetaNode:
+    def test_put_get(self):
+        n = MetaNode("m0")
+        n.put(1, b"abc")
+        assert n.get(1) == b"abc"
+        assert n.has(1)
+        assert n.stored_blocks == [1]
+        assert n.used_bytes() == 3
+
+    def test_missing_block(self):
+        with pytest.raises(MetadataError):
+            MetaNode("m0").get(9)
+
+    def test_failure_blocks_access(self):
+        n = MetaNode("m0")
+        n.put(1, b"x")
+        n.fail()
+        assert not n.alive
+        with pytest.raises(MetadataError):
+            n.get(1)
+        n.recover()
+        assert n.get(1) == b"x"
+
+    def test_drop(self):
+        n = MetaNode("m0")
+        n.put(1, b"x")
+        n.drop(1)
+        assert not n.has(1)
+        n.drop(1)  # idempotent
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MetaNode("")
+
+
+class TestShardMap:
+    def test_owner_count(self):
+        sm = ShardMap(["a", "b", "c"], replication=2)
+        for bid in range(50):
+            owners = sm.owners(bid)
+            assert len(owners) == 2
+            assert len(set(owners)) == 2
+
+    def test_deterministic(self):
+        sm = ShardMap(["a", "b", "c"])
+        assert sm.owners(5) == sm.owners(5)
+
+    def test_replication_clamped(self):
+        sm = ShardMap(["a"], replication=3)
+        assert sm.owners(0) == ["a"]
+
+    def test_spread_over_nodes(self):
+        sm = ShardMap([f"n{i}" for i in range(4)], replication=1)
+        primaries = {sm.owners(bid)[0] for bid in range(200)}
+        assert len(primaries) == 4  # every node is primary for something
+
+    def test_minimal_remapping_on_growth(self):
+        """Rendezvous hashing: adding a node moves only ~1/(n+1) of blocks."""
+        old = ShardMap([f"n{i}" for i in range(4)], replication=1)
+        new = old.with_nodes([f"n{i}" for i in range(5)])
+        moved = sum(
+            1 for bid in range(400) if old.owners(bid)[0] != new.owners(bid)[0]
+        )
+        assert moved < 0.4 * 400  # ~20% expected, generous bound
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ShardMap([])
+        with pytest.raises(ConfigError):
+            ShardMap(["a", "a"])
+        with pytest.raises(ConfigError):
+            ShardMap(["a"], replication=0)
+
+
+class TestDistributedMetaStore:
+    def test_load_and_query_matches_local_array(self):
+        array = _array()
+        store = DistributedMetaStore(num_nodes=3, replication=2)
+        store.load_array(array)
+        assert store.block_ids == array.block_ids
+        assert store.estimate_total_size("hot") == array.estimate_total_size("hot")
+        assert store.block_weights("hot") == array.block_weights("hot")
+        assert store.distribution("other") == array.distribution("other")
+
+    def test_data_spread_across_nodes(self):
+        store = DistributedMetaStore(num_nodes=3, replication=1)
+        store.load_array(_array())
+        usage = store.storage_by_node()
+        assert sum(1 for v in usage.values() if v > 0) >= 2
+
+    def test_failover_on_node_failure(self):
+        array = _array()
+        store = DistributedMetaStore(num_nodes=3, replication=2)
+        store.load_array(array)
+        store.fail_node("meta-0")
+        # all queries still answer identically via replicas
+        assert store.estimate_total_size("hot") == array.estimate_total_size("hot")
+
+    def test_all_replicas_down_raises(self):
+        store = DistributedMetaStore(num_nodes=2, replication=2)
+        store.load_array(_array())
+        store.fail_node("meta-0")
+        store.fail_node("meta-1")
+        with pytest.raises(MetadataError):
+            store.get_block(0)
+
+    def test_recover_resyncs(self):
+        array = _array()
+        store = DistributedMetaStore(num_nodes=2, replication=2)
+        store.fail_node("meta-0")
+        store.load_array(array)  # written only to meta-1
+        store.recover_node("meta-0")
+        store.fail_node("meta-1")
+        # meta-0 must now hold everything it owns
+        assert store.estimate_total_size("hot") == array.estimate_total_size("hot")
+
+    def test_unknown_block(self):
+        store = DistributedMetaStore(num_nodes=2)
+        with pytest.raises(MetadataError):
+            store.get_block(123)
+
+    def test_write_with_all_owners_down_raises(self):
+        store = DistributedMetaStore(num_nodes=1, replication=1)
+        store.fail_node("meta-0")
+        with pytest.raises(MetadataError):
+            store.put_block(_block_map(0, {"x": 5}, []))
+
+    def test_unknown_node_operations(self):
+        store = DistributedMetaStore(num_nodes=1)
+        with pytest.raises(ConfigError):
+            store.fail_node("nope")
+        with pytest.raises(ConfigError):
+            store.recover_node("nope")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DistributedMetaStore(num_nodes=0)
+
+
+class TestAddNode:
+    def test_queries_unchanged_after_growth(self):
+        array = _array()
+        store = DistributedMetaStore(num_nodes=2, replication=1)
+        store.load_array(array)
+        before = {sid: store.estimate_total_size(sid) for sid in ("hot", "other")}
+        new_id = store.add_node()
+        assert new_id in store.nodes
+        after = {sid: store.estimate_total_size(sid) for sid in ("hot", "other")}
+        assert before == after
+
+    def test_new_node_receives_some_blocks_eventually(self):
+        store = DistributedMetaStore(num_nodes=2, replication=1)
+        # many blocks so the new node statistically owns a few
+        blocks = [(i, [(f"s{i}", 1000 + i)]) for i in range(40)]
+        store.load_array(build_elasticmap_array(blocks, alpha=1.0))
+        new_id = store.add_node()
+        assert store.nodes[new_id].used_bytes() > 0
+
+    def test_dropped_blobs_leave_old_nodes(self):
+        store = DistributedMetaStore(num_nodes=2, replication=1)
+        blocks = [(i, [(f"s{i}", 1000 + i)]) for i in range(40)]
+        store.load_array(build_elasticmap_array(blocks, alpha=1.0))
+        store.add_node()
+        # with replication 1, every block lives on exactly one node
+        total_copies = sum(
+            1
+            for node in store.nodes.values()
+            for _bid in node.stored_blocks
+        )
+        assert total_copies == 40
+
+    def test_explicit_name_and_duplicates(self):
+        store = DistributedMetaStore(num_nodes=1, replication=1)
+        store.add_node("meta-extra")
+        with pytest.raises(ConfigError):
+            store.add_node("meta-extra")
+
+    def test_auto_names_never_collide(self):
+        store = DistributedMetaStore(num_nodes=2)
+        a = store.add_node()
+        b = store.add_node()
+        assert a != b and len(store.nodes) == 4

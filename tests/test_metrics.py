@@ -1,0 +1,113 @@
+"""Tests for balance metrics and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.metrics import (
+    BalanceSummary,
+    coefficient_of_variation,
+    format_kv,
+    format_table,
+    imbalance_ratio,
+    improvement,
+    min_max_ratio,
+    series_to_rows,
+    speedup,
+    summarize,
+)
+
+
+class TestBalanceMetrics:
+    def test_imbalance_ratio(self):
+        assert imbalance_ratio([10, 10, 10]) == 1.0
+        assert imbalance_ratio([30, 10, 20]) == pytest.approx(1.5)
+
+    def test_imbalance_all_zero(self):
+        assert imbalance_ratio([0, 0]) == 1.0
+
+    def test_min_max_ratio(self):
+        assert min_max_ratio([5, 10]) == 0.5
+        assert min_max_ratio([0, 0]) == 1.0
+
+    def test_cv(self):
+        assert coefficient_of_variation([10, 10]) == 0.0
+        assert coefficient_of_variation([0, 20]) == pytest.approx(1.0)
+
+    def test_improvement(self):
+        assert improvement(100, 58) == pytest.approx(0.42)
+        assert improvement(10, 12) == pytest.approx(-0.2)
+        with pytest.raises(ConfigError):
+            improvement(0, 5)
+
+    def test_speedup(self):
+        assert speedup(50, 10) == 5.0
+        with pytest.raises(ConfigError):
+            speedup(10, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            imbalance_ratio([])
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert (s.minimum, s.mean, s.maximum) == (1.0, 2.0, 3.0)
+        assert s.std == pytest.approx(0.8165, abs=1e-3)
+        assert s.imbalance == 1.5
+
+    def test_summary_normalized(self):
+        s = summarize([2.0, 4.0]).normalized(4.0)
+        assert s.maximum == 1.0 and s.minimum == 0.5
+        with pytest.raises(ConfigError):
+            s.normalized(0)
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=50))
+    def test_property_summary_orders(self, values):
+        s = summarize(values)
+        eps = 1e-9 * max(values)  # mean can drift an ulp past max/min
+        assert s.minimum - eps <= s.mean <= s.maximum + eps
+        assert s.std >= 0
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=50))
+    def test_property_imbalance_at_least_one(self, values):
+        assert imbalance_ratio(values) >= 1.0 - 1e-9
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert "long-name" in lines[3]
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ConfigError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_format_kv(self):
+        out = format_kv({"alpha": 0.3, "nodes": 32})
+        assert "alpha" in out and ": 32" in out.replace("  ", " ")
+
+    def test_format_kv_empty(self):
+        with pytest.raises(ConfigError):
+            format_kv({})
+
+    def test_series_to_rows(self):
+        headers, rows = series_to_rows({1: "a", 2: "b"}, "k", "v")
+        assert headers == ["k", "v"]
+        assert rows == [[1, "a"], [2, "b"]]
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1234567.0]])
+        assert "1,234,567" in out

@@ -1,0 +1,183 @@
+"""Tests for capacity planning and the speculative simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.elasticmap import MemoryModel
+from repro.errors import ConfigError
+from repro.sim import SimTask
+from repro.sim.speculation import SpeculativeSimulator
+from repro.theory import WorkloadModel
+from repro.theory.planner import (
+    max_cluster_for_imbalance,
+    metadata_budget,
+    plan,
+    recommend_alpha,
+)
+
+
+class TestMaxCluster:
+    def test_monotone_in_tolerance(self):
+        model = WorkloadModel()
+        strict = max_cluster_for_imbalance(model, expected_overloaded_nodes=0.5)
+        loose = max_cluster_for_imbalance(model, expected_overloaded_nodes=4.0)
+        assert strict <= loose
+
+    def test_boundary_is_tight(self):
+        model = WorkloadModel()
+        m = max_cluster_for_imbalance(model, expected_overloaded_nodes=1.0)
+        assert model.expected_nodes_above(m, 2.0) <= 1.0
+        assert model.expected_nodes_above(m + 1, 2.0) > 1.0
+
+    def test_paper_regime(self):
+        """At the paper's parameters, 128 nodes expect ~4 overloaded nodes —
+        well past the 1-node tolerance boundary."""
+        model = WorkloadModel(k=1.2, theta=7.0, num_blocks=512)
+        m = max_cluster_for_imbalance(model, expected_overloaded_nodes=1.0)
+        assert m < 128
+
+    def test_caps_at_max_nodes(self):
+        model = WorkloadModel(k=50.0, theta=1.0, num_blocks=100_000)
+        assert (
+            max_cluster_for_imbalance(model, max_nodes=256) == 256
+        )  # huge shape: never imbalanced in range
+
+    def test_validation(self):
+        model = WorkloadModel()
+        with pytest.raises(ConfigError):
+            max_cluster_for_imbalance(model, overload_factor=1.0)
+        with pytest.raises(ConfigError):
+            max_cluster_for_imbalance(model, expected_overloaded_nodes=0)
+
+
+class TestMetadataBudget:
+    def test_matches_eq5(self):
+        model = MemoryModel()
+        got = metadata_budget(10, 100, 0.3, memory_model=model)
+        assert got == pytest.approx(10 * model.cost_bits(100, 0.3) / 8.0)
+
+    def test_monotone_in_alpha(self):
+        costs = [metadata_budget(10, 100, a / 10) for a in range(11)]
+        assert all(a <= b for a, b in zip(costs, costs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            metadata_budget(0, 10, 0.3)
+
+
+class TestRecommendAlpha:
+    def test_generous_budget_gives_full_alpha(self):
+        alpha = recommend_alpha(10, 100, 10**9)
+        assert alpha == pytest.approx(1.0, abs=0.01)
+
+    def test_tight_budget_near_floor(self):
+        model = MemoryModel()
+        floor_cost = metadata_budget(10, 100, 0.15, memory_model=model)
+        alpha = recommend_alpha(10, 100, floor_cost * 1.05, memory_model=model)
+        assert 0.15 <= alpha < 0.3
+
+    def test_result_fits_budget(self):
+        budget = 5000.0
+        alpha = recommend_alpha(10, 100, budget)
+        assert metadata_budget(10, 100, alpha) <= budget * 1.01
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ConfigError):
+            recommend_alpha(1000, 1000, 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            recommend_alpha(10, 100, 0.0)
+        with pytest.raises(ConfigError):
+            recommend_alpha(10, 100, 100.0, balance_floor=2.0)
+
+
+class TestPlan:
+    def test_full_report(self):
+        report = plan(
+            num_blocks=256,
+            subdatasets_per_block=2000,
+            target_nodes=128,
+            metadata_budget_bytes=10**7,
+        )
+        assert 0.15 <= report.recommended_alpha <= 1.0
+        assert report.metadata_bytes <= 10**7 * 1.01
+        assert report.stock_safe_cluster >= 1
+        assert report.expected_overloaded_at_target > 0
+        assert "Capacity plan" in report.format()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            plan(
+                num_blocks=10,
+                subdatasets_per_block=10,
+                target_nodes=0,
+                metadata_budget_bytes=1000.0,
+            )
+
+
+def _task(tid, node=0, dur=1.0, deps=(), kind="map"):
+    return SimTask(
+        task_id=tid, node=node, duration=dur, deps=frozenset(deps), kind=kind
+    )
+
+
+class TestSpeculativeSimulator:
+    def test_no_stragglers_passthrough(self):
+        sim = SpeculativeSimulator()
+        run = sim.run([_task(f"t{i}", node=i, dur=10.0) for i in range(4)])
+        assert run.backups == {}
+        assert run.makespan == 10.0
+        assert run.wasted_seconds == 0.0
+
+    def test_straggler_gets_backup(self):
+        tasks = [_task(f"t{i}", node=i, dur=10.0) for i in range(4)]
+        tasks.append(_task("slow", node=4, dur=40.0))
+        run = SpeculativeSimulator(relocation_speedup=2.0).run(tasks)
+        assert "slow" in run.backups
+        assert run.effective_end["slow"] < 40.0
+        assert run.wasted_seconds > 0.0
+
+    def test_backup_on_other_node(self):
+        tasks = [_task(f"t{i}", node=i, dur=10.0) for i in range(4)]
+        tasks.append(_task("slow", node=4, dur=40.0))
+        run = SpeculativeSimulator(relocation_speedup=2.0).run(tasks)
+        backup = run.timeline.tasks[run.backups["slow"]]
+        assert backup.node != 4
+
+    def test_weak_relocation_barely_helps(self):
+        """The DataNet argument, dynamically: a data-heavy straggler keeps
+        nearly its full duration even with a backup."""
+        tasks = [_task(f"t{i}", node=i, dur=10.0) for i in range(4)]
+        tasks.append(_task("slow", node=4, dur=40.0))
+        run = SpeculativeSimulator(relocation_speedup=1.2).run(tasks)
+        assert run.makespan > 30.0
+
+    def test_only_configured_kinds_speculated(self):
+        tasks = [
+            _task(f"t{i}", node=i, dur=10.0, kind="selection") for i in range(4)
+        ]
+        tasks.append(_task("slow", node=4, dur=40.0, kind="selection"))
+        run = SpeculativeSimulator().run(tasks)
+        assert run.backups == {}
+
+    def test_dependencies_respected_by_backups(self):
+        tasks = [
+            _task("pre", node=0, dur=5.0, kind="selection"),
+            _task("m0", node=0, dur=10.0, deps={"pre"}),
+            _task("m1", node=1, dur=10.0, deps={"pre"}),
+            _task("m2", node=2, dur=10.0, deps={"pre"}),
+            _task("slow", node=3, dur=50.0, deps={"pre"}),
+        ]
+        run = SpeculativeSimulator(relocation_speedup=3.0).run(tasks)
+        backup_id = run.backups["slow"]
+        assert run.timeline.start_of(backup_id) >= run.timeline.end_of("pre")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SpeculativeSimulator(slowdown_threshold=1.0)
+        with pytest.raises(ConfigError):
+            SpeculativeSimulator(relocation_speedup=0.5)
+        with pytest.raises(ConfigError):
+            SpeculativeSimulator(speculate_kinds=())

@@ -1,0 +1,45 @@
+"""Tests for the scaling and heterogeneous experiment drivers (small scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ReferenceConfig
+from repro.experiments.heterogeneous import run_heterogeneous
+from repro.experiments.scaling import run_scaling
+
+SMALL = ReferenceConfig.small()
+
+
+class TestScaling:
+    def test_points_cover_requested_sizes(self):
+        r = run_scaling(SMALL, cluster_sizes=(4, 8))
+        assert [p.num_nodes for p in r.points] == [4, 8]
+
+    def test_datanet_never_less_balanced(self):
+        r = run_scaling(SMALL, cluster_sizes=(4, 8))
+        for p in r.points:
+            assert p.imbalance_with <= p.imbalance_without + 0.05
+
+    def test_format(self):
+        r = run_scaling(SMALL, cluster_sizes=(4,))
+        assert "scaling" in r.format().lower()
+
+    def test_accessors(self):
+        r = run_scaling(SMALL, cluster_sizes=(4, 8))
+        assert len(r.imbalances_without()) == 2
+        assert len(r.improvements()) == 2
+
+
+class TestHeterogeneous:
+    def test_capacity_aware_wins(self):
+        r = run_heterogeneous(SMALL)
+        ms = r.makespans
+        assert ms["Algorithm 1 (capacity-aware)"] <= ms["Algorithm 1 (capacity-blind)"] * 1.05
+
+    def test_fast_nodes_take_more(self):
+        r = run_heterogeneous(SMALL, speed_ratio=3.0)
+        assert r.fast_fraction_aware > 0.5
+
+    def test_format(self):
+        assert "Heterogeneous" in run_heterogeneous(SMALL).format()

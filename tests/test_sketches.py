@@ -1,0 +1,175 @@
+"""Tests for the Count-Min sketch and HyperLogLog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.countmin import CountMinSketch
+from repro.core.hyperloglog import HyperLogLog
+from repro.errors import ConfigError
+
+
+class TestCountMin:
+    def test_never_undercounts(self):
+        cm = CountMinSketch(epsilon=0.01, delta=0.01)
+        truth = {f"k{i}": (i + 1) * 10 for i in range(200)}
+        cm.update(truth.items())
+        for key, count in truth.items():
+            assert cm.estimate(key) >= count
+
+    def test_error_within_bound(self):
+        cm = CountMinSketch(epsilon=0.005, delta=0.01, seed=3)
+        rng = np.random.default_rng(0)
+        truth = {f"k{i}": int(rng.integers(1, 1000)) for i in range(500)}
+        cm.update(truth.items())
+        bound = cm.error_bound()
+        violations = sum(
+            1 for k, c in truth.items() if cm.estimate(k) - c > bound
+        )
+        assert violations <= max(1, int(0.05 * len(truth)))  # delta slack
+
+    def test_absent_key_usually_zero(self):
+        cm = CountMinSketch(epsilon=0.001, delta=0.01)
+        cm.update((f"k{i}", 5) for i in range(50))
+        zeros = sum(1 for i in range(200) if cm.estimate(f"absent{i}") == 0)
+        assert zeros > 150
+
+    def test_contains(self):
+        cm = CountMinSketch()
+        cm.add("x", 3)
+        assert "x" in cm
+
+    def test_total_exact(self):
+        cm = CountMinSketch()
+        cm.add("a", 10)
+        cm.add("b", 5)
+        cm.add("a", 1)
+        assert cm.total == 16
+
+    def test_zero_amount_noop(self):
+        cm = CountMinSketch()
+        cm.add("a", 0)
+        assert cm.total == 0
+
+    def test_conservative_update_tightens(self):
+        """Conservative update estimates are never looser than plain CM's
+        lower bound (the true count)."""
+        cm = CountMinSketch(epsilon=0.2, delta=0.5, seed=1)  # tiny, collision-prone
+        for i in range(100):
+            cm.add(f"k{i}", 1)
+        cm.add("target", 7)
+        assert cm.estimate("target") >= 7
+
+    def test_serialization_roundtrip(self):
+        cm = CountMinSketch(epsilon=0.02, delta=0.05, seed=9)
+        cm.update((f"k{i}", i + 1) for i in range(50))
+        back = CountMinSketch.from_bytes(cm.to_bytes())
+        assert back.width == cm.width and back.depth == cm.depth
+        assert back.total == cm.total
+        for i in range(50):
+            assert back.estimate(f"k{i}") == cm.estimate(f"k{i}")
+
+    def test_serialization_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            CountMinSketch.from_bytes(b"xx")
+        cm = CountMinSketch()
+        with pytest.raises(ConfigError):
+            CountMinSketch.from_bytes(cm.to_bytes()[:-4])
+
+    def test_memory_accounting(self):
+        cm = CountMinSketch(epsilon=0.01, delta=0.01)
+        assert cm.memory_bytes == cm.width * cm.depth * 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CountMinSketch(epsilon=0.0)
+        with pytest.raises(ConfigError):
+            CountMinSketch(delta=1.0)
+        with pytest.raises(ConfigError):
+            CountMinSketch().add("x", -1)
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=6), st.integers(1, 1000), max_size=60
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_lower_bounded(self, truth):
+        cm = CountMinSketch(epsilon=0.01, delta=0.05)
+        cm.update(truth.items())
+        for key, count in truth.items():
+            assert cm.estimate(key) >= count
+
+
+class TestHyperLogLog:
+    def test_small_range_exactish(self):
+        hll = HyperLogLog(precision=12)
+        hll.update(f"item{i}" for i in range(100))
+        assert len(hll) == pytest.approx(100, abs=5)
+
+    def test_large_range_within_error(self):
+        hll = HyperLogLog(precision=12)
+        n = 50_000
+        hll.update(f"item{i}" for i in range(n))
+        assert hll.estimate() == pytest.approx(n, rel=4 * hll.relative_error)
+
+    def test_duplicates_not_counted(self):
+        hll = HyperLogLog()
+        for _ in range(10):
+            hll.update(f"x{i}" for i in range(50))
+        assert len(hll) == pytest.approx(50, abs=4)
+
+    def test_empty(self):
+        assert HyperLogLog().estimate() == 0.0
+
+    def test_merge_equals_union(self):
+        a = HyperLogLog(precision=11, seed=2)
+        b = HyperLogLog(precision=11, seed=2)
+        a.update(f"a{i}" for i in range(1000))
+        b.update(f"b{i}" for i in range(1000))
+        both = a.merge(b)
+        assert both.estimate() == pytest.approx(2000, rel=0.15)
+
+    def test_merge_idempotent_on_same_data(self):
+        a = HyperLogLog(seed=1)
+        a.update(f"x{i}" for i in range(500))
+        merged = a.merge(a)
+        assert merged.estimate() == pytest.approx(a.estimate(), rel=1e-9)
+
+    def test_merge_rejects_mismatched(self):
+        with pytest.raises(ConfigError):
+            HyperLogLog(precision=10).merge(HyperLogLog(precision=12))
+        with pytest.raises(ConfigError):
+            HyperLogLog(seed=1).merge(HyperLogLog(seed=2))
+
+    def test_precision_controls_memory(self):
+        assert HyperLogLog(precision=10).memory_bytes == 1024
+        assert HyperLogLog(precision=14).memory_bytes == 16384
+
+    def test_serialization_roundtrip(self):
+        hll = HyperLogLog(precision=10, seed=4)
+        hll.update(f"k{i}" for i in range(3000))
+        back = HyperLogLog.from_bytes(hll.to_bytes())
+        assert back.estimate() == hll.estimate()
+
+    def test_serialization_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            HyperLogLog.from_bytes(b"z")
+        hll = HyperLogLog(precision=8)
+        with pytest.raises(ConfigError):
+            HyperLogLog.from_bytes(hll.to_bytes()[:-1])
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HyperLogLog(precision=3)
+        with pytest.raises(ConfigError):
+            HyperLogLog(precision=19)
+
+    @given(st.integers(50, 3000), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_property_estimate_tracks_cardinality(self, n, seed):
+        hll = HyperLogLog(precision=12, seed=seed)
+        hll.update(f"key-{seed}-{i}" for i in range(n))
+        assert hll.estimate() == pytest.approx(n, rel=0.12, abs=10)

@@ -1,0 +1,103 @@
+"""Tests for the Count-Min-backed ElasticMap variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import ElasticMapBuilder
+from repro.core.bucketizer import BucketSeparator, BucketSpec
+from repro.core.sketchmap import SketchBlockElasticMap
+from repro.errors import ConfigError
+from repro.units import KiB
+
+
+def _blocks():
+    return [
+        (0, [("hot", 40 * KiB), ("a", 900), ("b", 400), ("c", 120)]),
+        (1, [("hot", 20 * KiB), ("a", 700), ("d", 200)]),
+    ]
+
+
+def _spec():
+    return BucketSpec.for_block_size(64 * KiB)
+
+
+class TestSketchBlock:
+    def _built(self) -> SketchBlockElasticMap:
+        sep = BucketSeparator(_spec())
+        sep.observe_many([("hot", 40 * KiB), ("a", 900), ("b", 400), ("c", 120)])
+        result = sep.separate(alpha=0.25)
+        return SketchBlockElasticMap.from_separation(0, result)
+
+    def test_reports_tail_sizes_flag(self):
+        assert SketchBlockElasticMap.reports_tail_sizes
+        block = self._built()
+        assert block.reports_tail_sizes
+
+    def test_exact_for_dominant(self):
+        block = self._built()
+        assert block.query("hot") == (40 * KiB, "exact")
+
+    def test_tail_estimate_at_least_truth(self):
+        block = self._built()
+        size, kind = block.query("a")
+        assert kind == "approx"
+        assert size >= 900  # CM never undercounts
+
+    def test_absent_usually_zero(self):
+        block = self._built()
+        absent = sum(
+            1 for i in range(100) if block.query(f"ghost{i}")[1] == "absent"
+        )
+        assert absent > 90
+
+    def test_contains(self):
+        block = self._built()
+        assert "hot" in block and "a" in block
+
+    def test_memory_includes_sketch(self):
+        block = self._built()
+        assert block.memory_bits() >= block.sketch.memory_bits
+
+
+class TestBuilderIntegration:
+    def test_countmin_estimates_beat_bloom_for_midsized(self):
+        true_a = 900 + 700
+        bloom = ElasticMapBuilder(alpha=0.25, spec=_spec()).build(iter(_blocks()))
+        sketch = ElasticMapBuilder(
+            alpha=0.25, spec=_spec(), tail_store="countmin"
+        ).build(iter(_blocks()))
+        err_bloom = abs(bloom.estimate_total_size("a") - true_a)
+        err_sketch = abs(sketch.estimate_total_size("a") - true_a)
+        assert err_sketch <= err_bloom
+
+    def test_dominant_estimates_identical(self):
+        true_hot = 60 * KiB
+        for store in ("bloom", "countmin"):
+            arr = ElasticMapBuilder(
+                alpha=0.25, spec=_spec(), tail_store=store
+            ).build(iter(_blocks()))
+            assert arr.estimate_total_size("hot") == true_hot
+
+    def test_sketch_memory_higher_than_bloom(self):
+        bloom = ElasticMapBuilder(alpha=0.25, spec=_spec()).build(iter(_blocks()))
+        sketch = ElasticMapBuilder(
+            alpha=0.25, spec=_spec(), tail_store="countmin"
+        ).build(iter(_blocks()))
+        assert sketch.memory_bytes() > bloom.memory_bytes()
+
+    def test_unknown_store_rejected(self):
+        with pytest.raises(ConfigError):
+            ElasticMapBuilder(alpha=0.3, tail_store="magic")
+
+    def test_scheduling_works_with_sketch_weights(self):
+        from repro.core.bipartite import BipartiteGraph
+        from repro.core.scheduler import DistributionAwareScheduler
+
+        arr = ElasticMapBuilder(
+            alpha=0.25, spec=_spec(), tail_store="countmin"
+        ).build(iter(_blocks()))
+        weights = arr.block_weights("a")
+        graph = BipartiteGraph({0: [0, 1], 1: [1, 2]}, weights, nodes=[0, 1, 2])
+        assignment = DistributionAwareScheduler().schedule(graph)
+        assert assignment.num_tasks == 2

@@ -1,0 +1,87 @@
+"""Tests for the speculative-execution model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mapreduce import SpeculativeExecutor
+
+
+class TestSpeculation:
+    def test_no_stragglers_no_backups(self):
+        ex = SpeculativeExecutor()
+        res = ex.run({0: 10.0, 1: 11.0, 2: 10.5})
+        assert res.backups_launched == {}
+        assert res.wasted_seconds == 0.0
+        assert res.makespan == 11.0
+
+    def test_anomalous_straggler_rescued(self):
+        """A straggler slow for *transient* reasons is helped: the backup
+        reruns the same input faster on an idle host."""
+        ex = SpeculativeExecutor(relocation_speedup=2.0)
+        res = ex.run({0: 10.0, 1: 10.0, 2: 10.0, 3: 40.0})
+        assert 3 in res.backups_launched
+        assert res.finish_times[3] < 40.0
+        assert res.makespan < 40.0
+        assert res.wasted_seconds > 0.0
+
+    def test_data_imbalance_barely_helped(self):
+        """The DataNet story: when the straggler's input is simply bigger,
+        a backup still has to process it all — speculation recovers only
+        the relocation speedup, not the imbalance."""
+        ex = SpeculativeExecutor(relocation_speedup=1.2)
+        durations = {0: 10.0, 1: 10.0, 2: 10.0, 3: 40.0}
+        res = ex.run(durations)
+        # backup: starts ~10.5, runs 40/1.2 = 33.3 -> finishes ~43.8 > 40
+        assert res.finish_times[3] >= 40.0 * 0.85
+        assert res.makespan > 30.0  # nowhere near the balanced 10s
+
+    def test_non_straggler_untouched(self):
+        ex = SpeculativeExecutor(relocation_speedup=3.0)
+        res = ex.run({0: 10.0, 1: 12.0, 2: 50.0})
+        assert res.finish_times[0] == 10.0
+        assert res.finish_times[1] == 12.0
+
+    def test_backup_host_is_fastest_finisher(self):
+        ex = SpeculativeExecutor(relocation_speedup=2.0)
+        res = ex.run({0: 5.0, 1: 10.0, 2: 10.0, 3: 60.0})
+        assert res.backups_launched.get(3) == 0
+
+    def test_multiple_stragglers(self):
+        ex = SpeculativeExecutor(relocation_speedup=2.0)
+        res = ex.run({0: 10.0, 1: 10.0, 2: 10.0, 3: 50.0, 4: 45.0})
+        assert res.makespan < 50.0
+
+    def test_all_zero_durations(self):
+        ex = SpeculativeExecutor()
+        res = ex.run({0: 0.0, 1: 0.0})
+        assert res.makespan == 0.0
+        assert res.backups_launched == {}
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SpeculativeExecutor(slowdown_threshold=1.0)
+        with pytest.raises(ConfigError):
+            SpeculativeExecutor(relocation_speedup=0.9)
+        with pytest.raises(ConfigError):
+            SpeculativeExecutor(launch_delay=-1)
+        with pytest.raises(ConfigError):
+            SpeculativeExecutor().run({})
+        with pytest.raises(ConfigError):
+            SpeculativeExecutor().run({0: -1.0})
+
+
+class TestSchedulingVsSpeculation:
+    def test_datanet_beats_speculation_on_imbalanced_input(self):
+        """End-to-end: apply speculation to the imbalanced (stock) map
+        phase and compare with DataNet's balanced phase — proactive
+        balancing should win."""
+        from repro.experiments import ReferenceConfig
+        from repro.experiments.pipeline import run_reference_pipeline
+
+        pipe = run_reference_pipeline(ReferenceConfig.small())
+        base_maps = pipe.without_datanet.jobs["top_k_search"].map_times
+        aware_maps = pipe.with_datanet.jobs["top_k_search"].map_times
+        spec = SpeculativeExecutor().run(base_maps)
+        assert max(aware_maps.values()) <= spec.makespan * 1.1

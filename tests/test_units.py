@@ -1,0 +1,94 @@
+"""Tests for repro.units: size parsing/formatting and Fibonacci boundaries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    fibonacci_boundaries,
+    format_size,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("512") == 512
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_float_rounds(self):
+        assert parse_size(10.6) == 11
+
+    def test_kb(self):
+        assert parse_size("1kb") == 1024
+
+    def test_mb_with_space(self):
+        assert parse_size("64 MB") == 64 * MiB
+
+    def test_gb_case_insensitive(self):
+        assert parse_size("2GB") == 2 * GiB
+
+    def test_fractional(self):
+        assert parse_size("1.5 KB") == 1536
+
+    def test_explicit_b_suffix(self):
+        assert parse_size("100b") == 100
+
+    def test_kib_alias(self):
+        assert parse_size("3 KiB") == 3 * KiB
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12 XB", "-5", "1 2 kb"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ConfigError):
+            parse_size(bad)
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(100) == "100 B"
+
+    def test_kib(self):
+        assert format_size(2048) == "2.0 KiB"
+
+    def test_mib(self):
+        assert format_size(64 * MiB) == "64.0 MiB"
+
+    def test_gib(self):
+        assert format_size(3 * GiB) == "3.0 GiB"
+
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_roundtrip_magnitude(self, n):
+        """Formatted size parses back to within 5% of the original value."""
+        text = format_size(n)
+        back = parse_size(text.replace(" ", ""))
+        assert abs(back - n) <= max(0.05 * n, 1024)
+
+
+class TestFibonacciBoundaries:
+    def test_paper_series(self):
+        # The paper's bucket series: 1kb, 2kb, 3kb, 5kb, 8kb, 13kb, 21kb, 34kb
+        got = fibonacci_boundaries(1024, 8)
+        assert got == [1024, 2048, 3072, 5120, 8192, 13312, 21504, 34816]
+
+    def test_strictly_increasing(self):
+        got = fibonacci_boundaries(10, 20)
+        assert all(a < b for a, b in zip(got, got[1:]))
+
+    def test_count_respected(self):
+        assert len(fibonacci_boundaries(1, 5)) == 5
+
+    @pytest.mark.parametrize("base,count", [(0, 3), (-1, 3), (1, 0), (1, -2)])
+    def test_rejects_bad_args(self, base, count):
+        with pytest.raises(ConfigError):
+            fibonacci_boundaries(base, count)

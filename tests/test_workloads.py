@@ -1,0 +1,339 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.hdfs import pack_records
+from repro.workloads import (
+    BurstArrivalModel,
+    GammaArrivalModel,
+    GitHubEventsGenerator,
+    GITHUB_EVENT_TYPES,
+    MovieLensGenerator,
+    TextGenerator,
+    UniformArrivalModel,
+    WorldCupGenerator,
+    most_popular,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        w = zipf_weights(100, 1.1)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        w = zipf_weights(50, 1.0)
+        assert all(a >= b for a, b in zip(w, w[1:]))
+
+    def test_zero_exponent_uniform(self):
+        w = zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            zipf_weights(0)
+        with pytest.raises(ConfigError):
+            zipf_weights(10, -1.0)
+
+
+class TestArrivalModels:
+    def test_gamma_offsets_positive(self, rng):
+        m = GammaArrivalModel(1.2, 7.0)
+        t = m.sample(100.0, 1000, rng)
+        assert (t > 100.0).all()
+
+    def test_gamma_mean_offset(self, rng):
+        m = GammaArrivalModel(2.0, 5.0)
+        assert m.mean_offset() == 10.0
+        t = m.sample(0.0, 20000, rng)
+        assert t.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_gamma_clusters_near_anchor(self, rng):
+        m = GammaArrivalModel(1.2, 7.0)
+        t = m.sample(50.0, 10000, rng)
+        # ~80% of arrivals within ~2 means of the anchor
+        within = ((t >= 50.0) & (t <= 50.0 + 2 * m.mean_offset())).mean()
+        assert within > 0.7
+
+    def test_uniform_covers_duration(self, rng):
+        m = UniformArrivalModel(30.0)
+        t = m.sample(999.0, 5000, rng)  # anchor ignored
+        assert t.min() >= 0 and t.max() <= 30.0
+        assert np.histogram(t, bins=3)[0].std() < 200  # roughly flat
+
+    def test_burst_centered_on_anchor(self, rng):
+        m = BurstArrivalModel(sigma=0.5)
+        t = m.sample(10.0, 5000, rng)
+        assert abs(t.mean() - 10.0) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GammaArrivalModel(0, 1)
+        with pytest.raises(ConfigError):
+            UniformArrivalModel(0)
+        with pytest.raises(ConfigError):
+            BurstArrivalModel(0)
+        with pytest.raises(ConfigError):
+            GammaArrivalModel().sample(0.0, -1, np.random.default_rng())
+
+
+class TestTextGenerator:
+    def test_sentences_nonempty(self, rng):
+        g = TextGenerator(rng=rng)
+        out = g.sentences(100)
+        assert len(out) == 100
+        assert all(out)
+
+    def test_zipf_word_frequencies(self, rng):
+        g = TextGenerator(vocab_size=50, zipf_s=1.2, pool_size=2000, rng=rng)
+        words = " ".join(g.sentences(3000)).split()
+        counts = Counter(words)
+        common = counts.most_common()
+        # most frequent word much more common than the median word
+        assert common[0][1] > 5 * common[len(common) // 2][1]
+
+    def test_vocab_extension(self, rng):
+        g = TextGenerator(vocab_size=500, rng=rng)
+        assert len(g.vocabulary) == 500
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TextGenerator(vocab_size=0)
+        with pytest.raises(ConfigError):
+            TextGenerator(pool_size=0)
+        with pytest.raises(ConfigError):
+            TextGenerator(words_per_sentence=(5, 2))
+        with pytest.raises(ConfigError):
+            TextGenerator().sentences(-1)
+
+
+class TestMovieLensGenerator:
+    def _gen(self, rng, **kw):
+        defaults = dict(num_movies=100, total_reviews=5000, duration_days=60.0)
+        defaults.update(kw)
+        return MovieLensGenerator(rng=rng, **defaults)
+
+    def test_chronological_order(self, rng):
+        recs = self._gen(rng).generate()
+        assert all(a.timestamp <= b.timestamp for a, b in zip(recs, recs[1:]))
+
+    def test_timestamps_in_window(self, rng):
+        recs = self._gen(rng).generate()
+        assert all(0.0 <= r.timestamp <= 60.0 for r in recs)
+
+    def test_popularity_skew(self, rng):
+        recs = self._gen(rng, zipf_s=1.1).generate()
+        counts = Counter(r.sub_id for r in recs)
+        top = counts.most_common(1)[0][1]
+        assert top > 5 * (len(recs) / 100)  # top movie ≫ average
+
+    def test_content_clustering_in_blocks(self, rng):
+        """The paper's core premise: a movie's bytes concentrate in a
+        minority of chronological blocks."""
+        recs = self._gen(
+            rng, num_movies=200, total_reviews=20000, duration_days=120.0
+        ).generate()
+        blocks = pack_records(recs, 16 * 1024)
+        target = most_popular(recs)
+        per_block = sorted(
+            (b.subdataset_sizes().get(target, 0) for b in blocks), reverse=True
+        )
+        total = sum(per_block)
+        quarter = max(1, len(blocks) // 4)
+        assert sum(per_block[:quarter]) > 0.5 * total
+
+    def test_payload_has_rating_prefix(self, rng):
+        recs = self._gen(rng).generate()
+        rating = float(recs[0].payload.split(" ", 1)[0])
+        assert 1.0 <= rating <= 5.0
+
+    def test_deterministic_with_seed(self):
+        a = MovieLensGenerator(100, 2000, rng=np.random.default_rng(5)).generate()
+        b = MovieLensGenerator(100, 2000, rng=np.random.default_rng(5)).generate()
+        assert a == b
+
+    def test_most_popular_rank(self, rng):
+        recs = self._gen(rng).generate()
+        counts = Counter(r.sub_id for r in recs)
+        assert counts[most_popular(recs, 0)] >= counts[most_popular(recs, 1)]
+        with pytest.raises(ConfigError):
+            most_popular(recs, rank=10**6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MovieLensGenerator(num_movies=0)
+        with pytest.raises(ConfigError):
+            MovieLensGenerator(total_reviews=-1)
+        with pytest.raises(ConfigError):
+            MovieLensGenerator(duration_days=0)
+        with pytest.raises(ConfigError):
+            MovieLensGenerator(rating_levels=())
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_property_all_records_valid(self, seed):
+        recs = MovieLensGenerator(
+            num_movies=20, total_reviews=500, duration_days=30.0,
+            rng=np.random.default_rng(seed),
+        ).generate()
+        for r in recs:
+            assert r.sub_id.startswith("movie-")
+            assert 0.0 <= r.timestamp <= 30.0
+
+
+class TestGitHubEventsGenerator:
+    def test_event_types_from_table(self, rng):
+        recs = GitHubEventsGenerator(5000, rng=rng).generate()
+        names = {name for name, _rate in GITHUB_EVENT_TYPES}
+        assert {r.sub_id for r in recs} <= names
+
+    def test_push_dominates(self, rng):
+        recs = GitHubEventsGenerator(20000, rng=rng).generate()
+        counts = Counter(r.sub_id for r in recs)
+        assert counts["PushEvent"] == max(counts.values())
+
+    def test_no_temporal_clustering(self, rng):
+        """IssuesEvent arrivals are roughly stationary over time."""
+        recs = GitHubEventsGenerator(
+            40000, duration_days=30.0, rate_noise=0.0, rng=rng
+        ).generate()
+        times = [r.timestamp for r in recs if r.sub_id == "IssuesEvent"]
+        hist, _ = np.histogram(times, bins=6, range=(0, 30.0))
+        assert hist.max() < 2.5 * max(hist.min(), 1)
+
+    def test_chronological(self, rng):
+        recs = GitHubEventsGenerator(2000, rng=rng).generate()
+        assert all(a.timestamp <= b.timestamp for a, b in zip(recs, recs[1:]))
+
+    def test_zero_events(self, rng):
+        assert GitHubEventsGenerator(0, rng=rng).generate() == []
+
+    def test_custom_event_table(self, rng):
+        recs = GitHubEventsGenerator(
+            500, event_types=[("A", 1.0), ("B", 1.0)], rng=rng
+        ).generate()
+        assert {r.sub_id for r in recs} <= {"A", "B"}
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GitHubEventsGenerator(-1)
+        with pytest.raises(ConfigError):
+            GitHubEventsGenerator(10, duration_days=0)
+        with pytest.raises(ConfigError):
+            GitHubEventsGenerator(10, rate_noise=-1)
+        with pytest.raises(ConfigError):
+            GitHubEventsGenerator(10, event_types=[])
+        with pytest.raises(ConfigError):
+            GitHubEventsGenerator(10, event_types=[("A", 0.0)])
+
+
+class TestWorldCupGenerator:
+    def test_bursts_around_kickoffs(self, rng):
+        gen = WorldCupGenerator(
+            num_matches=8, total_requests=8000, burst_sigma_days=0.1,
+            background_fraction=0.0, rng=rng,
+        )
+        recs = gen.generate()
+        by_match = {}
+        for r in recs:
+            by_match.setdefault(r.sub_id, []).append(r.timestamp)
+        for times in by_match.values():
+            if len(times) > 50:
+                assert np.std(times) < 0.5  # tight burst
+
+    def test_chronological(self, rng):
+        recs = WorldCupGenerator(total_requests=2000, rng=rng).generate()
+        assert all(a.timestamp <= b.timestamp for a, b in zip(recs, recs[1:]))
+
+    def test_zero_requests(self, rng):
+        assert WorldCupGenerator(total_requests=0, rng=rng).generate() == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WorldCupGenerator(num_matches=0)
+        with pytest.raises(ConfigError):
+            WorldCupGenerator(background_fraction=1.5)
+
+
+class TestMixer:
+    def test_namespace(self, rng):
+        from repro.hdfs import Record
+        from repro.workloads import namespace
+
+        out = namespace([Record("m1", 0.0, "x")], "movies")
+        assert out[0].sub_id == "movies/m1"
+        with pytest.raises(ConfigError):
+            namespace([], "")
+
+    def test_interleave_merges_chronologically(self, rng):
+        from repro.hdfs import Record
+        from repro.workloads import interleave
+
+        a = [Record("a", float(t), "x") for t in (0, 2, 4)]
+        b = [Record("b", float(t), "x") for t in (1, 3, 5)]
+        merged = interleave(a, b)
+        times = [r.timestamp for r in merged]
+        assert times == sorted(times)
+        assert len(merged) == 6
+
+    def test_interleave_preserves_within_stream_order(self, rng):
+        from repro.hdfs import Record
+        from repro.workloads import interleave
+
+        a = [Record("a", 1.0, "first"), Record("a", 1.0, "second")]
+        merged = interleave(a, [])
+        assert [r.payload for r in merged] == ["first", "second"]
+
+    def test_interleave_rejects_unsorted(self, rng):
+        from repro.hdfs import Record
+        from repro.workloads import interleave
+
+        bad = [Record("a", 5.0, "x"), Record("a", 1.0, "x")]
+        with pytest.raises(ConfigError):
+            interleave(bad)
+        with pytest.raises(ConfigError):
+            interleave()
+
+    def test_mixed_dataset_end_to_end(self, rng):
+        """Movie and event streams share blocks; DataNet still balances the
+        movie sub-dataset against the mixed background traffic."""
+        import numpy as np
+
+        from repro import DataNet, HDFSCluster
+        from repro.core.bucketizer import BucketSpec
+        from repro.workloads import (
+            GitHubEventsGenerator,
+            MovieLensGenerator,
+            interleave,
+            most_popular,
+            namespace,
+        )
+
+        movies = MovieLensGenerator(
+            num_movies=100, total_reviews=5000, duration_days=30.0,
+            rng=np.random.default_rng(1),
+        ).generate()
+        events = GitHubEventsGenerator(
+            5000, duration_days=30.0, rng=np.random.default_rng(2)
+        ).generate()
+        mixed = interleave(namespace(movies, "mv"), namespace(events, "gh"))
+        cluster = HDFSCluster(num_nodes=8, block_size=8192,
+                              rng=np.random.default_rng(3))
+        dataset = cluster.write_dataset("mixed", mixed)
+        datanet = DataNet.build(
+            dataset, alpha=0.3, spec=BucketSpec.for_block_size(8192)
+        )
+        target = most_popular(movies)
+        assignment = datanet.schedule(f"mv/{target}", skip_absent=False)
+        assert assignment.num_tasks == dataset.num_blocks
+        est = datanet.estimate_total_size(f"mv/{target}")
+        truth = dataset.subdataset_total_bytes(f"mv/{target}")
+        assert est == pytest.approx(truth, rel=0.5)

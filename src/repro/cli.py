@@ -302,6 +302,87 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_node_at(value: str, what: str) -> tuple:
+    """Parse ``NODE@X`` (e.g. ``2@1.5``) into ``(int node, float x)``."""
+    node_s, sep, x_s = value.partition("@")
+    try:
+        if not sep:
+            return int(node_s), None
+        return int(node_s), float(x_s)
+    except ValueError:
+        raise ReproError(f"bad --{what} value {value!r}, expected NODE@NUMBER")
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .core.metastore import DistributedMetaStore
+    from .faults import (
+        ChaosRunner,
+        FaultPlan,
+        MetaOutage,
+        NodeCrash,
+        RetryPolicy,
+        SlowNode,
+        TransientFaults,
+    )
+    from .hdfs.cluster import HDFSCluster
+    from .mapreduce.apps.word_count import word_count_job
+    from .units import parse_size
+    from .workloads import MovieLensGenerator
+
+    rng = np.random.default_rng(args.seed)
+    records = MovieLensGenerator(
+        num_movies=args.keys, total_reviews=args.records, rng=rng
+    ).generate()
+    cluster = HDFSCluster(
+        num_nodes=args.nodes, block_size=parse_size(args.block_size), rng=rng
+    )
+    dataset = cluster.write_dataset("chaos", records)
+    sub_id = args.sub or max(
+        dataset.subdataset_ids(), key=dataset.subdataset_total_bytes
+    )
+
+    crashes = tuple(
+        NodeCrash(node, time=0.0 if t is None else t)
+        for node, t in (_parse_node_at(v, "kill") for v in args.kill)
+    )
+    slow = tuple(
+        SlowNode(node, factor=2.0 if f is None else f)
+        for node, f in (_parse_node_at(v, "slow") for v in args.slow)
+    )
+    transient = (
+        TransientFaults(probability=args.flaky) if args.flaky > 0 else None
+    )
+    outages = tuple(MetaOutage(node_id) for node_id in args.meta_down)
+    plan = FaultPlan(
+        seed=args.seed,
+        crashes=crashes,
+        slow_nodes=slow,
+        transient=transient,
+        meta_outages=outages,
+    )
+
+    metastore = None
+    if args.meta_nodes or outages:
+        metastore = DistributedMetaStore(
+            num_nodes=max(args.meta_nodes, 1), replication=args.meta_replication
+        )
+    runner = ChaosRunner(
+        cluster,
+        plan,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        metastore=metastore,
+        alpha=args.alpha,
+    )
+    report = runner.run(dataset, sub_id, word_count_job())
+    print(f"chaos run over sub-dataset {sub_id!r} ({args.nodes} nodes)")
+    print()
+    print(report.format())
+    if not report.output_matches_baseline:  # pragma: no cover - invariant
+        print("error: output diverged from the failure-free run", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_theory(args: argparse.Namespace) -> int:
     from .experiments.fig2 import run_fig2
 
@@ -374,6 +455,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--gamma-k", type=float, default=1.2)
     p_plan.add_argument("--gamma-theta", type=float, default=7.0)
     p_plan.set_defaults(func=_cmd_plan)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run an analysis job under an injected fault plan"
+    )
+    p_chaos.add_argument("--nodes", type=int, default=8)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("-n", "--records", type=int, default=20_000)
+    p_chaos.add_argument("-k", "--keys", type=int, default=200, help="movies")
+    p_chaos.add_argument("--block-size", default="64kb")
+    p_chaos.add_argument("--alpha", type=float, default=0.3)
+    p_chaos.add_argument("--sub", help="sub-dataset id (default: the hottest)")
+    p_chaos.add_argument(
+        "--kill", action="append", default=[], metavar="NODE@TIME",
+        help="crash NODE at TIME seconds (repeatable), e.g. --kill 2@0.5",
+    )
+    p_chaos.add_argument(
+        "--slow", action="append", default=[], metavar="NODE@FACTOR",
+        help="slow NODE down by FACTOR (repeatable), e.g. --slow 1@2.5",
+    )
+    p_chaos.add_argument(
+        "--flaky", type=float, default=0.0,
+        help="per-attempt transient failure probability",
+    )
+    p_chaos.add_argument("--max-attempts", type=int, default=4)
+    p_chaos.add_argument(
+        "--meta-nodes", type=int, default=0,
+        help="run metadata from a sharded metastore with this many nodes",
+    )
+    p_chaos.add_argument("--meta-replication", type=int, default=1)
+    p_chaos.add_argument(
+        "--meta-down", action="append", default=[], metavar="META_NODE",
+        help="take a metastore shard down (repeatable), e.g. --meta-down meta-0",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_sim = sub.add_parser(
         "simulate", help="event-driven multi-job batch + gantt charts"

@@ -178,8 +178,36 @@ class DataNet:
 
     # -- scheduling -------------------------------------------------------------------
 
+    def refresh_placement(self, placement: Mapping[int, Sequence[NodeId]]) -> int:
+        """Resync replica locations after cluster churn.
+
+        Re-replication moves replicas without touching sub-dataset
+        contents, so the ElasticMap stays valid — only the block → node
+        edges go stale.  Feeding the NameNode's current placement back in
+        keeps the bipartite graph truthful mid-job.  Blocks unknown to the
+        metadata are ignored (they are :meth:`extend`'s job); returns the
+        number of blocks whose replica set changed.
+        """
+        changed = 0
+        for bid, nodes in placement.items():
+            if bid not in self._placement:
+                continue
+            fresh = list(nodes)
+            if fresh != self._placement[bid]:
+                self._placement[bid] = fresh
+                changed += 1
+            for node in fresh:
+                if node not in self._nodes:
+                    self._nodes.append(node)
+        return changed
+
     def bipartite_graph(
-        self, sub_dataset_id: str, *, skip_absent: bool = True
+        self,
+        sub_dataset_id: str,
+        *,
+        skip_absent: bool = True,
+        exclude: Sequence[NodeId] = (),
+        only_blocks: Optional[Iterable[int]] = None,
     ) -> BipartiteGraph:
         """Section IV-A graph for the sub-dataset.
 
@@ -187,14 +215,44 @@ class DataNet:
         hit become tasks — the paper's I/O saving: "we don't need to
         process blocks that don't contain our target data".  Disable it to
         schedule every block (weights 0 for absent ones).
+
+        ``exclude`` drops nodes (dead or blacklisted) from both the node
+        universe and every replica list — the mid-job recovery rebuild.
+        ``only_blocks`` restricts the graph to the given block ids (all of
+        them, weight 0 when the metadata reports absence), which is how
+        lost work is rescheduled without re-planning completed tasks.
+
+        Raises:
+            ConfigError: when an excluded-node filter leaves a block with
+                no replica holder, or ``only_blocks`` names unknown blocks.
         """
         weights = self.elasticmap.block_weights(sub_dataset_id)
-        if skip_absent:
+        if only_blocks is not None:
+            wanted = list(only_blocks)
+            unknown = [b for b in wanted if b not in self._placement]
+            if unknown:
+                raise ConfigError(f"unknown blocks requested: {unknown[:5]}")
+            placement = {b: self._placement[b] for b in wanted}
+            weights = {b: weights.get(b, 0) for b in placement}
+        elif skip_absent:
             placement = {b: self._placement[b] for b in weights}
         else:
             placement = self._placement
             weights = {b: weights.get(b, 0) for b in placement}
-        return BipartiteGraph(placement, weights, nodes=self._nodes)
+        nodes = self._nodes
+        if exclude:
+            barred = set(exclude)
+            filtered: Dict[int, List[NodeId]] = {}
+            for b, ns in placement.items():
+                live = [n for n in ns if n not in barred]
+                if not live:
+                    raise ConfigError(
+                        f"block {b} has no replica outside the excluded nodes"
+                    )
+                filtered[b] = live
+            placement = filtered
+            nodes = [n for n in nodes if n not in barred]
+        return BipartiteGraph(placement, weights, nodes=nodes)
 
     def schedule(
         self,

@@ -39,3 +39,28 @@ class SchedulingError(ReproError):
 
 class JobError(ReproError):
     """Raised by the MapReduce engine for malformed or failed jobs."""
+
+
+class FaultError(ReproError):
+    """Raised by the fault-injection subsystem (``repro.faults``)."""
+
+
+class TaskAttemptError(FaultError):
+    """A task exhausted its retry budget (every attempt failed).
+
+    Carries the task/node/attempt context so callers can attribute the
+    failure without parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task_id: object = None,
+        node: object = None,
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.task_id = task_id
+        self.node = node
+        self.attempts = attempts

@@ -1,0 +1,49 @@
+"""Fault injection, task retries, and mid-job recovery.
+
+The paper evaluates DataNet on a healthy cluster; this package makes the
+reproduction survive an unhealthy one.  It is organized as four layers:
+
+- :mod:`repro.faults.plan` — declarative, seed-driven fault scripts
+  (:class:`FaultPlan`): node crashes at fixed times, hash-drawn transient
+  task failures, slow nodes, metadata-shard outages.
+- :mod:`repro.faults.injector` — :class:`FaultInjector`, the deterministic
+  oracle the engine and the discrete-event simulator consult at event
+  boundaries.
+- :mod:`repro.faults.retry` — the task-attempt lifecycle: exponential
+  backoff, retry budgets, heartbeat-delayed crash detection, per-node
+  blacklisting, and the :class:`AttemptLog` ledger behind the recovery
+  metrics.
+- :mod:`repro.faults.runner` / :mod:`repro.faults.degrade` — whole-job
+  recovery: :class:`ChaosRunner` replays a job under a plan, re-replicates
+  after crashes, reschedules lost work on a rebuilt bipartite graph, and
+  degrades metadata-less blocks to locality-only scheduling instead of
+  failing.
+
+Determinism is the design invariant throughout: the same plan over the
+same seeded cluster produces an identical job result, and recovery never
+changes the analysis output.
+"""
+
+from .degrade import degraded_schedule, merge_assignments
+from .injector import FaultInjector
+from .plan import FaultPlan, MetaOutage, NodeCrash, SlowNode, TransientFaults
+from .retry import AttemptLog, AttemptRecord, NodeBlacklist, RetryPolicy, run_attempts
+from .runner import ChaosReport, ChaosRunner
+
+__all__ = [
+    "FaultPlan",
+    "NodeCrash",
+    "SlowNode",
+    "TransientFaults",
+    "MetaOutage",
+    "FaultInjector",
+    "RetryPolicy",
+    "AttemptRecord",
+    "AttemptLog",
+    "NodeBlacklist",
+    "run_attempts",
+    "degraded_schedule",
+    "merge_assignments",
+    "ChaosRunner",
+    "ChaosReport",
+]

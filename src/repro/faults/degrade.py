@@ -1,0 +1,155 @@
+"""Graceful degradation: metadata-free scheduling for unreachable blocks.
+
+DataNet's whole advantage rides on per-block ElasticMap metadata.  When a
+:class:`~repro.core.metastore.DistributedMetaStore` shard is down past its
+failover depth, some blocks simply have no reachable ``|b ∩ s|`` weight —
+and the job must not fail because of it.  :func:`degraded_schedule` splits
+the block set:
+
+* **healthy** blocks (metadata reachable) go through Algorithm 1 with
+  their true sub-dataset weights;
+* **degraded** blocks fall back to the stock locality scheduler, weighted
+  by raw block size — exactly what a metadata-free Hadoop would do.
+
+The merged assignment covers every block, and the degraded ids are
+reported so the observability layer can show what ran blind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.bipartite import BipartiteGraph
+from ..core.metastore import DistributedMetaStore
+from ..core.scheduler import Assignment, DistributionAwareScheduler
+from ..errors import MetadataError, SchedulingError
+from ..hdfs.cluster import DatasetView
+from ..mapreduce.scheduler import LocalityScheduler
+
+__all__ = ["degraded_schedule", "merge_assignments"]
+
+NodeId = Hashable
+
+
+def merge_assignments(*parts: Assignment) -> Assignment:
+    """Combine disjoint partial assignments into one.
+
+    Raises:
+        SchedulingError: if two parts assign the same block.
+    """
+    blocks_by_node: Dict[NodeId, List[int]] = {}
+    workload: Dict[NodeId, int] = {}
+    local = remote = 0
+    seen: set = set()
+    for part in parts:
+        for node, blocks in part.blocks_by_node.items():
+            dup = seen.intersection(blocks)
+            if dup:
+                raise SchedulingError(
+                    f"blocks assigned twice across merged parts: {sorted(dup)[:5]}"
+                )
+            seen.update(blocks)
+            blocks_by_node.setdefault(node, []).extend(blocks)
+        for node, w in part.workload_by_node.items():
+            workload[node] = workload.get(node, 0) + w
+        local += part.local_assignments
+        remote += part.remote_assignments
+    return Assignment(
+        blocks_by_node=blocks_by_node,
+        workload_by_node=workload,
+        local_assignments=local,
+        remote_assignments=remote,
+    )
+
+
+def degraded_schedule(
+    store: DistributedMetaStore,
+    dataset: DatasetView,
+    sub_dataset_id: str,
+    *,
+    live_nodes: Optional[Sequence[NodeId]] = None,
+    exclude_nodes: Sequence[NodeId] = (),
+) -> Tuple[Assignment, List[int], List[int]]:
+    """Schedule one sub-dataset's selection with per-block metadata fallback.
+
+    Every block whose metadata is reachable is weighted and balanced by
+    Algorithm 1; every block whose metadata lookup raises
+    :class:`~repro.errors.MetadataError` (all replica shards down) joins
+    the locality-scheduled fallback pool instead of failing the job.
+
+    Args:
+        store: the distributed metadata fleet (possibly with dead shards).
+        dataset: provides current replica placement and raw block sizes.
+        sub_dataset_id: the target sub-dataset.
+        live_nodes: cluster nodes eligible to run tasks; defaults to all
+            nodes in the dataset's cluster.
+        exclude_nodes: additionally barred nodes (e.g. blacklisted ones).
+
+    Returns:
+        ``(assignment, healthy_blocks, degraded_blocks)``.  Healthy blocks
+        where the metadata reports the sub-dataset absent are skipped
+        entirely (the paper's I/O saving); degraded blocks are *always*
+        scanned, since without metadata absence cannot be proven.
+
+    Raises:
+        SchedulingError: when a block has no replica on an eligible node
+            (re-replicate before scheduling) or no eligible nodes remain.
+    """
+    barred = set(exclude_nodes)
+    universe = list(dataset.nodes if live_nodes is None else live_nodes)
+    eligible = [n for n in universe if n not in barred]
+    if not eligible:
+        raise SchedulingError("no eligible nodes left to schedule on")
+    eligible_set = set(eligible)
+
+    placement: Dict[int, List[NodeId]] = {}
+    for bid, replicas in dataset.placement().items():
+        live_replicas = [n for n in replicas if n in eligible_set]
+        if not live_replicas:
+            raise SchedulingError(
+                f"block {bid} has no replica on an eligible node; "
+                "re-replicate before scheduling"
+            )
+        placement[bid] = live_replicas
+
+    healthy_weights: Dict[int, int] = {}
+    degraded: List[int] = []
+    stored = set(store.block_ids)
+    for bid in sorted(placement):
+        if bid not in stored:
+            degraded.append(bid)
+            continue
+        try:
+            size, kind = store.get_block(bid).query(sub_dataset_id)
+        except MetadataError:
+            degraded.append(bid)
+            continue
+        if kind != "absent":
+            healthy_weights[bid] = size
+
+    parts: List[Assignment] = []
+    if healthy_weights:
+        graph = BipartiteGraph(
+            {b: placement[b] for b in healthy_weights},
+            healthy_weights,
+            nodes=eligible,
+        )
+        parts.append(DistributionAwareScheduler().schedule(graph))
+    if degraded:
+        # metadata-free pool: weight by raw block bytes, balance block
+        # counts with locality preference — stock Hadoop behaviour.
+        fallback_weights = {b: dataset.block(b).used_bytes for b in degraded}
+        graph = BipartiteGraph(
+            {b: placement[b] for b in degraded}, fallback_weights, nodes=eligible
+        )
+        parts.append(LocalityScheduler().schedule(graph))
+    if not parts:
+        # nothing to do: the sub-dataset is provably absent everywhere
+        parts.append(
+            Assignment(
+                blocks_by_node={n: [] for n in eligible},
+                workload_by_node={n: 0 for n in eligible},
+            )
+        )
+    merged = merge_assignments(*parts)
+    return merged, sorted(healthy_weights), degraded

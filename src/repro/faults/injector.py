@@ -1,0 +1,77 @@
+"""The fault oracle execution layers consult at event boundaries.
+
+:class:`FaultInjector` turns a declarative :class:`~repro.faults.plan.FaultPlan`
+into point queries: *does this attempt fail?*, *is this node dead yet?*,
+*how slow is this node right now?*  Every answer is a pure function of the
+plan — transient decisions hash ``(seed, task, attempt, node)`` through
+BLAKE2b — so the engine and the discrete-event simulator stay fully
+deterministic under injection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Hashable, List, Optional
+
+from .plan import FaultPlan, NodeCrash, SlowNode
+
+__all__ = ["FaultInjector"]
+
+NodeId = Hashable
+
+
+class FaultInjector:
+    """Stateless fault oracle over one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._crash_time: Dict[NodeId, float] = {c.node: c.time for c in plan.crashes}
+        self._slow: Dict[NodeId, SlowNode] = {s.node: s for s in plan.slow_nodes}
+
+    # -- transient task failures ---------------------------------------------------
+
+    @staticmethod
+    def _uniform(*parts: object) -> float:
+        """Deterministic U[0, 1) from the given identity tuple."""
+        payload = "/".join(repr(p) for p in parts).encode("utf-8")
+        digest = hashlib.blake2b(payload, digest_size=8).digest()
+        return int.from_bytes(digest, "little") / 2.0**64
+
+    def attempt_fails(self, task_key: str, attempt: int, node: NodeId) -> bool:
+        """Whether attempt ``attempt`` of ``task_key`` on ``node`` dies."""
+        t = self.plan.transient
+        if t is None or t.probability <= 0.0:
+            return False
+        return (
+            self._uniform(self.plan.seed, task_key, attempt, node) < t.probability
+        )
+
+    @property
+    def waste_fraction(self) -> float:
+        """Fraction of an attempt's duration burned before a transient death."""
+        t = self.plan.transient
+        return t.waste_fraction if t is not None else 0.5
+
+    # -- crashes ------------------------------------------------------------------
+
+    def crash_time(self, node: NodeId) -> Optional[float]:
+        """When ``node`` dies, or ``None`` if the plan spares it."""
+        return self._crash_time.get(node)
+
+    def is_crashed(self, node: NodeId, time: float) -> bool:
+        """Whether ``node`` is already dead at simulated ``time``."""
+        t = self._crash_time.get(node)
+        return t is not None and time >= t
+
+    def crashes_chronological(self) -> List[NodeCrash]:
+        """All planned crashes, earliest first (ties broken by node repr)."""
+        return sorted(self.plan.crashes, key=lambda c: (c.time, repr(c.node)))
+
+    # -- slowdowns ----------------------------------------------------------------
+
+    def slowdown(self, node: NodeId, time: float = 0.0) -> float:
+        """Duration multiplier for work starting on ``node`` at ``time``."""
+        s = self._slow.get(node)
+        if s is None or time < s.start:
+            return 1.0
+        return s.factor

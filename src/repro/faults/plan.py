@@ -1,0 +1,182 @@
+"""Declarative, seed-driven fault plans.
+
+A :class:`FaultPlan` is a frozen description of everything that will go
+wrong during a run: node crashes at fixed simulated times, per-attempt
+transient task failures drawn from a seeded hash, slow-node degradations,
+and metadata-shard outages.  Because the plan is pure data and every
+random decision derives from ``(seed, task, attempt, node)`` hashes, two
+runs with the same plan are bit-for-bit identical — the property the
+chaos acceptance tests rely on.
+
+Construct plans explicitly, or sample one with :meth:`FaultPlan.random`
+for soak-style chaos experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "NodeCrash",
+    "SlowNode",
+    "TransientFaults",
+    "MetaOutage",
+    "FaultPlan",
+]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """One node dies permanently at simulated time ``time``.
+
+    Everything the node produced (selection outputs, running tasks) is
+    lost; HDFS re-replication restores its block replicas elsewhere.
+    """
+
+    node: NodeId
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"crash time must be non-negative: {self.time}")
+
+
+@dataclass(frozen=True)
+class SlowNode:
+    """From ``start`` onward, tasks on ``node`` take ``factor``× longer.
+
+    Models thermal throttling / noisy neighbours — the degradation that
+    speculative execution exists to mask.
+    """
+
+    node: NodeId
+    factor: float
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ConfigError(f"slowdown factor must be >= 1, got {self.factor}")
+        if self.start < 0:
+            raise ConfigError("slowdown start must be non-negative")
+
+
+@dataclass(frozen=True)
+class TransientFaults:
+    """Per-attempt failure coin: each task attempt fails with ``probability``.
+
+    ``waste_fraction`` is how far into its duration an attempt gets before
+    dying (the wasted work charged to the run).  Decisions are drawn from
+    the plan seed, never from global randomness.
+    """
+
+    probability: float
+    waste_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability < 1.0:
+            raise ConfigError(
+                f"failure probability must be in [0, 1), got {self.probability}"
+            )
+        if not 0.0 <= self.waste_fraction <= 1.0:
+            raise ConfigError("waste_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class MetaOutage:
+    """One :class:`~repro.core.metastore.MetaNode` is unreachable for the run."""
+
+    node_id: str
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ConfigError("meta-node id must be non-empty")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full failure script for one chaos run.
+
+    Attributes:
+        seed: drives every hash-based decision (transient coin flips).
+        crashes: permanent node deaths, at most one per node.
+        slow_nodes: slow-node degradations, at most one per node.
+        transient: per-attempt transient failure model (``None`` disables).
+        meta_outages: metadata shards down for the whole run.
+    """
+
+    seed: int = 0
+    crashes: Tuple[NodeCrash, ...] = ()
+    slow_nodes: Tuple[SlowNode, ...] = ()
+    transient: Optional[TransientFaults] = None
+    meta_outages: Tuple[MetaOutage, ...] = ()
+
+    def __post_init__(self) -> None:
+        crash_nodes = [c.node for c in self.crashes]
+        if len(set(crash_nodes)) != len(crash_nodes):
+            raise ConfigError("a node can only crash once per plan")
+        slow = [s.node for s in self.slow_nodes]
+        if len(set(slow)) != len(slow):
+            raise ConfigError("at most one slowdown per node")
+        outs = [o.node_id for o in self.meta_outages]
+        if len(set(outs)) != len(outs):
+            raise ConfigError("duplicate meta-node outage")
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def crashed_nodes(self) -> Tuple[NodeId, ...]:
+        """Nodes the plan kills, in crash-time order."""
+        return tuple(c.node for c in sorted(self.crashes, key=lambda c: (c.time, repr(c.node))))
+
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not (self.crashes or self.slow_nodes or self.transient or self.meta_outages)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        nodes: Sequence[NodeId],
+        *,
+        crash_count: int = 1,
+        crash_horizon_s: float = 10.0,
+        flaky_probability: float = 0.05,
+        slow_count: int = 0,
+        slow_factor: float = 2.0,
+    ) -> "FaultPlan":
+        """Sample a plan from a seed — the soak-test entry point.
+
+        Crash victims and times, slow nodes, and the transient probability
+        all come from ``numpy``'s seeded generator, so the same seed over
+        the same node list yields the same plan.
+        """
+        universe = list(nodes)
+        if crash_count + slow_count > len(universe):
+            raise ConfigError(
+                f"cannot pick {crash_count} crashes + {slow_count} slow nodes "
+                f"from {len(universe)} nodes"
+            )
+        if crash_horizon_s < 0:
+            raise ConfigError("crash_horizon_s must be non-negative")
+        rng = np.random.default_rng(seed)
+        picks = list(rng.choice(len(universe), size=crash_count + slow_count, replace=False))
+        crashes = tuple(
+            NodeCrash(universe[int(i)], float(rng.uniform(0.0, crash_horizon_s)))
+            for i in picks[:crash_count]
+        )
+        slow = tuple(
+            SlowNode(universe[int(i)], slow_factor) for i in picks[crash_count:]
+        )
+        transient = (
+            TransientFaults(flaky_probability) if flaky_probability > 0 else None
+        )
+        return cls(seed=seed, crashes=crashes, slow_nodes=slow, transient=transient)

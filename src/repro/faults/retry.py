@@ -1,0 +1,202 @@
+"""Task-attempt lifecycle: retry budgets, backoff, blacklists, accounting.
+
+Replaces the run-once task model: a task is now a sequence of *attempts*.
+Each attempt either succeeds, dies to a transient fault (retried on the
+same node after exponential backoff), or is lost to a node crash (retried
+elsewhere after the heartbeat timeout detects the death).  A node that
+keeps killing attempts gets blacklisted, mirroring Hadoop's per-job
+TaskTracker blacklist.
+
+:class:`AttemptLog` is the shared ledger — the attempts histogram and
+wasted-work totals surfaced by :mod:`repro.metrics.recovery` come from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Set, Tuple
+
+from ..errors import ConfigError, TaskAttemptError
+from .injector import FaultInjector
+
+__all__ = ["RetryPolicy", "AttemptRecord", "AttemptLog", "NodeBlacklist", "run_attempts"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the attempt lifecycle.
+
+    Attributes:
+        max_attempts: total tries per task before the job fails.
+        backoff_base_s: delay before the second attempt.
+        backoff_factor: multiplier per subsequent retry (exponential).
+        heartbeat_timeout_s: how long a crash goes undetected — lost tasks
+            are only rescheduled this long after the node died.
+        blacklist_after: transient failures on one node before it stops
+            receiving new work.
+    """
+
+    max_attempts: int = 4
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    heartbeat_timeout_s: float = 2.0
+    blacklist_after: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise ConfigError("max_attempts must be positive")
+        if self.backoff_base_s < 0 or self.heartbeat_timeout_s < 0:
+            raise ConfigError("backoff and heartbeat timeout must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if self.blacklist_after <= 0:
+            raise ConfigError("blacklist_after must be positive")
+
+    def backoff(self, failed_attempts: int) -> float:
+        """Delay after ``failed_attempts`` consecutive failures (>= 1)."""
+        if failed_attempts <= 0:
+            raise ConfigError("backoff needs at least one failed attempt")
+        return self.backoff_base_s * self.backoff_factor ** (failed_attempts - 1)
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt's outcome: ``ok``, ``fault`` (transient) or ``crash``."""
+
+    task_key: str
+    node: NodeId
+    attempt: int
+    outcome: str
+    wasted_s: float = 0.0
+
+
+class AttemptLog:
+    """Append-only ledger of every attempt across a run."""
+
+    def __init__(self) -> None:
+        self.records: List[AttemptRecord] = []
+
+    def record(
+        self,
+        task_key: str,
+        node: NodeId,
+        attempt: int,
+        outcome: str,
+        wasted_s: float = 0.0,
+    ) -> None:
+        if outcome not in ("ok", "fault", "crash"):
+            raise ConfigError(f"unknown attempt outcome {outcome!r}")
+        self.records.append(AttemptRecord(task_key, node, attempt, outcome, wasted_s))
+
+    # -- aggregate views -----------------------------------------------------------
+
+    def attempts_of(self, task_key: str) -> int:
+        """Total attempts charged to one task so far."""
+        return sum(1 for r in self.records if r.task_key == task_key)
+
+    def histogram(self) -> Dict[int, int]:
+        """``attempts needed -> task count`` over completed tasks.
+
+        A failure-free run is ``{1: num_tasks}``; anything at 2+ is
+        recovery work.
+        """
+        per_task: Dict[str, int] = {}
+        completed: Set[str] = set()
+        for r in self.records:
+            per_task[r.task_key] = per_task.get(r.task_key, 0) + 1
+            if r.outcome == "ok":
+                completed.add(r.task_key)
+        out: Dict[int, int] = {}
+        for task_key in completed:
+            n = per_task[task_key]
+            out[n] = out.get(n, 0) + 1
+        return dict(sorted(out.items()))
+
+    @property
+    def wasted_seconds(self) -> float:
+        """Simulated seconds burned by attempts that did not complete."""
+        return sum(r.wasted_s for r in self.records)
+
+    @property
+    def num_failures(self) -> int:
+        """Attempts that ended in a transient fault or crash."""
+        return sum(1 for r in self.records if r.outcome != "ok")
+
+
+class NodeBlacklist:
+    """Per-run node blacklist: too many failures and a node is benched."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold <= 0:
+            raise ConfigError("blacklist threshold must be positive")
+        self.threshold = threshold
+        self._failures: Dict[NodeId, int] = {}
+        self._blacklisted: Set[NodeId] = set()
+
+    def record_failure(self, node: NodeId) -> bool:
+        """Charge one failure to ``node``; True when this newly benches it."""
+        count = self._failures.get(node, 0) + 1
+        self._failures[node] = count
+        if count >= self.threshold and node not in self._blacklisted:
+            self._blacklisted.add(node)
+            return True
+        return False
+
+    def is_blacklisted(self, node: NodeId) -> bool:
+        return node in self._blacklisted
+
+    def failures_on(self, node: NodeId) -> int:
+        return self._failures.get(node, 0)
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        """Currently blacklisted nodes, sorted."""
+        return sorted(self._blacklisted, key=repr)
+
+
+def run_attempts(
+    base_duration: float,
+    node: NodeId,
+    task_key: str,
+    injector: FaultInjector,
+    policy: RetryPolicy,
+    log: AttemptLog,
+    blacklist: NodeBlacklist,
+    *,
+    start_time: float = 0.0,
+    first_attempt: int = 1,
+) -> Tuple[float, int]:
+    """Drive one task through the attempt lifecycle on a fixed node.
+
+    Returns ``(elapsed_seconds, attempts_used)`` where ``elapsed_seconds``
+    includes wasted partial attempts and backoff waits, ending at the
+    successful completion.
+
+    Raises:
+        TaskAttemptError: when the retry budget is exhausted.
+    """
+    elapsed = 0.0
+    attempt = first_attempt
+    failures_here = 0
+    while attempt <= policy.max_attempts:
+        duration = base_duration * injector.slowdown(node, start_time + elapsed)
+        if injector.attempt_fails(task_key, attempt, node):
+            wasted = duration * injector.waste_fraction
+            log.record(task_key, node, attempt, "fault", wasted)
+            blacklist.record_failure(node)
+            failures_here += 1
+            elapsed += wasted + policy.backoff(failures_here)
+            attempt += 1
+            continue
+        elapsed += duration
+        log.record(task_key, node, attempt, "ok")
+        return elapsed, attempt - first_attempt + 1
+    raise TaskAttemptError(
+        f"task {task_key!r} failed {policy.max_attempts} attempts "
+        f"(last node {node!r})",
+        task_id=task_key,
+        node=node,
+        attempts=policy.max_attempts,
+    )

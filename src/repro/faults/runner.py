@@ -1,0 +1,362 @@
+"""Mid-job fault recovery: run a whole analysis job under a fault plan.
+
+:class:`ChaosRunner` executes the paper's two-phase workflow while the
+:class:`~repro.faults.injector.FaultInjector` fires: selection tasks run
+through the retry lifecycle, planned node crashes kill everything their
+node produced, HDFS re-replication restores replica counts, and the lost
+work is rescheduled onto live replicas by rebuilding the DataNet
+bipartite graph without the dead/blacklisted nodes.  When a distributed
+metadata shard is down, affected blocks degrade to locality-only
+scheduling instead of failing the job (:mod:`repro.faults.degrade`).
+
+Guarantees (covered by the chaos test suite):
+
+* **Determinism** — the same plan over the same seeded cluster yields an
+  identical :class:`~repro.mapreduce.engine.JobResult`, byte for byte.
+* **Output safety** — the analysis output equals the failure-free run's
+  output: recovery reschedules work, it never drops or double-counts a
+  block.
+
+Timing model: per-node sequential execution (the engine's default
+``map_slots=1``), a crash loses every selection output the node held,
+detection lags by the heartbeat timeout, and recovered tasks join the
+back of their new node's queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..core.datanet import DataNet
+from ..core.metastore import DistributedMetaStore
+from ..core.scheduler import Assignment, DistributionAwareScheduler
+from ..errors import ConfigError, FaultError
+from ..hdfs.cluster import DatasetView, HDFSCluster
+from ..hdfs.failure import FailureManager
+from ..hdfs.records import Record
+from ..mapreduce.costmodel import ClusterCostModel
+from ..mapreduce.engine import JobResult, MapReduceEngine, PhaseResult, SelectionResult
+from ..mapreduce.job import MapReduceJob
+from ..metrics.recovery import RecoverySummary
+from .degrade import degraded_schedule
+from .injector import FaultInjector
+from .plan import FaultPlan
+from .retry import AttemptLog, NodeBlacklist, RetryPolicy, run_attempts
+
+__all__ = ["ChaosRunner", "ChaosReport"]
+
+NodeId = Hashable
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run produced, fault-free reference included."""
+
+    job: JobResult
+    baseline: JobResult
+    plan: FaultPlan
+    attempts_histogram: Dict[int, int]
+    wasted_seconds: float
+    re_replicated_bytes: int
+    dead_nodes: List[NodeId]
+    blacklisted_nodes: List[NodeId]
+    degraded_blocks: List[int]
+    rescheduled_blocks: List[int]
+
+    @property
+    def makespan(self) -> float:
+        return self.job.makespan
+
+    @property
+    def recovery_overhead(self) -> float:
+        """Extra makespan paid for surviving the plan, as a fraction."""
+        base = self.baseline.makespan
+        return (self.job.makespan - base) / base if base > 0 else 0.0
+
+    @property
+    def output_matches_baseline(self) -> bool:
+        """Recovery must never change the analysis answer."""
+        return self.job.output == self.baseline.output
+
+    def summary(self) -> RecoverySummary:
+        """The observability record for :mod:`repro.metrics`."""
+        return RecoverySummary(
+            attempts_histogram=dict(self.attempts_histogram),
+            wasted_seconds=self.wasted_seconds,
+            re_replicated_bytes=self.re_replicated_bytes,
+            baseline_makespan=self.baseline.makespan,
+            makespan=self.job.makespan,
+            dead_nodes=len(self.dead_nodes),
+            blacklisted_nodes=len(self.blacklisted_nodes),
+            degraded_blocks=len(self.degraded_blocks),
+            rescheduled_blocks=len(self.rescheduled_blocks),
+        )
+
+    def format(self) -> str:
+        return self.summary().format()
+
+
+class ChaosRunner:
+    """Fault-tolerant job executor bound to one cluster and one plan.
+
+    Args:
+        cluster: the HDFS substrate.  The runner *mutates* it on crashes
+            (re-replication moves replicas), so use a fresh cluster per
+            run — which is also what determinism tests do.
+        plan: the fault script.
+        cost: hardware cost parameters (engine defaults when omitted).
+        retry: attempt lifecycle knobs (defaults per :class:`RetryPolicy`).
+        metastore: optional distributed metadata fleet.  When given, the
+            schedule is built through it with per-block degradation; plan
+            meta-outages are applied to it before scheduling.
+        alpha: ElasticMap sizing for the metadata build.
+    """
+
+    def __init__(
+        self,
+        cluster: HDFSCluster,
+        plan: FaultPlan,
+        *,
+        cost: Optional[ClusterCostModel] = None,
+        retry: Optional[RetryPolicy] = None,
+        metastore: Optional[DistributedMetaStore] = None,
+        alpha: float = 0.3,
+    ) -> None:
+        for crash in plan.crashes:
+            if crash.node not in cluster.datanodes:
+                raise ConfigError(f"plan crashes unknown node {crash.node!r}")
+        self.cluster = cluster
+        self.plan = plan
+        self.injector = FaultInjector(plan)
+        self.retry = retry or RetryPolicy()
+        self.engine = MapReduceEngine(cluster, cost)
+        self.metastore = metastore
+        self.alpha = alpha
+        self.failures = FailureManager(cluster)
+
+    # -- the full pipeline --------------------------------------------------------
+
+    def run(self, dataset: DatasetView, sub_id: str, job: MapReduceJob) -> ChaosReport:
+        """Execute ``job`` over ``sub_id`` while the plan fires.
+
+        The failure-free baseline is computed first, on the untouched
+        cluster, so overhead and output-equality are measured against the
+        exact run the faults perturb.
+        """
+        datanet = DataNet.build(dataset, alpha=self.alpha)
+        baseline = self.engine.run_job(dataset, sub_id, job, datanet.schedule(sub_id))
+
+        degraded: List[int] = []
+        if self.metastore is not None:
+            if not self.metastore.block_ids:
+                self.metastore.load_array(datanet.elasticmap)
+            for outage in self.plan.meta_outages:
+                self.metastore.fail_node(outage.node_id)
+            assignment, _healthy, degraded = degraded_schedule(
+                self.metastore, dataset, sub_id, live_nodes=self.failures.live_nodes
+            )
+        else:
+            assignment = datanet.schedule(sub_id)
+
+        log = AttemptLog()
+        blacklist = NodeBlacklist(self.retry.blacklist_after)
+        selection, crash_waste, rescheduled = self._selection_with_recovery(
+            dataset, sub_id, assignment, job.profile, datanet, log, blacklist
+        )
+        analysis = self.engine.run_analysis(
+            job, selection.local_data, start_time=selection.makespan
+        )
+        analysis.selection = selection
+        return ChaosReport(
+            job=analysis,
+            baseline=baseline,
+            plan=self.plan,
+            attempts_histogram=log.histogram(),
+            wasted_seconds=log.wasted_seconds + crash_waste,
+            re_replicated_bytes=self.failures.bytes_re_replicated(),
+            dead_nodes=self.failures.dead_nodes,
+            blacklisted_nodes=blacklist.nodes,
+            degraded_blocks=degraded,
+            rescheduled_blocks=sorted(set(rescheduled)),
+        )
+
+    # -- fault-tolerant selection -------------------------------------------------
+
+    def _selection_with_recovery(
+        self,
+        dataset: DatasetView,
+        sub_id: str,
+        assignment: Assignment,
+        profile,
+        datanet: DataNet,
+        log: AttemptLog,
+        blacklist: NodeBlacklist,
+    ) -> Tuple[SelectionResult, float, List[int]]:
+        """Drive selection to completion through crashes and retries.
+
+        Returns ``(selection, crash_wasted_seconds, rescheduled_blocks)``.
+        """
+        injector, policy = self.injector, self.retry
+        clock: Dict[NodeId, float] = {n: 0.0 for n in dataset.nodes}
+        pending: Dict[NodeId, List[int]] = {n: [] for n in dataset.nodes}
+        # node -> bid -> (records, attempts so far); insertion order = completion order
+        outputs: Dict[NodeId, Dict[int, List[Record]]] = {n: {} for n in dataset.nodes}
+        spans: Dict[NodeId, List[Tuple[float, float, int]]] = {n: [] for n in dataset.nodes}
+        attempts_used: Dict[int, int] = {}
+        blocks_read = 0
+        bytes_read = 0
+        crash_waste = 0.0
+        rescheduled: List[int] = []
+
+        for node, bids in assignment.blocks_by_node.items():
+            pending[node] = list(bids)
+
+        def drain(node: NodeId) -> None:
+            """Run a node's queue until empty — or until its crash time."""
+            nonlocal blocks_read, bytes_read
+            crash_at = injector.crash_time(node)
+            placement = dataset.placement()
+            queue = pending[node]
+            while queue:
+                if crash_at is not None and clock[node] >= crash_at:
+                    break  # the rest dies with the node
+                bid = queue.pop(0)
+                base, matched, nbytes = self.engine.selection_task_cost(
+                    dataset, sub_id, placement, node, bid, profile
+                )
+                first_attempt = attempts_used.get(bid, 0) + 1
+                checkpoint = len(log.records)
+                elapsed, used = run_attempts(
+                    base,
+                    node,
+                    f"sel/{dataset.name}/{bid}",
+                    injector,
+                    policy,
+                    log,
+                    blacklist,
+                    start_time=clock[node],
+                    first_attempt=first_attempt,
+                )
+                start = clock[node]
+                end = start + elapsed
+                if crash_at is not None and end > crash_at:
+                    # the attempt churn straddles the crash: roll the
+                    # ledger back and charge a single crash loss instead.
+                    del log.records[checkpoint:]
+                    log.record(
+                        f"sel/{dataset.name}/{bid}",
+                        node,
+                        first_attempt,
+                        "crash",
+                        crash_at - start,
+                    )
+                    attempts_used[bid] = first_attempt
+                    clock[node] = crash_at
+                    queue.insert(0, bid)
+                    break
+                attempts_used[bid] = first_attempt + used - 1
+                clock[node] = end
+                spans[node].append((start, end, bid))
+                outputs[node][bid] = matched
+                blocks_read += 1
+                bytes_read += nbytes
+
+        crashes = injector.crashes_chronological()
+        processed = 0
+        while True:
+            for node in sorted(clock, key=repr):
+                drain(node)
+            if processed >= len(crashes):
+                break
+            crash = crashes[processed]
+            processed += 1
+            victim = crash.node
+            # HDFS notices the death and restores replication
+            self.failures.fail_node(victim)
+            # everything the node produced or still owed is lost
+            lost = sorted(set(outputs[victim]) | set(pending[victim]))
+            busy_before = sum(
+                max(0.0, min(end, crash.time) - min(start, crash.time))
+                for start, end, _bid in spans[victim]
+            )
+            crash_waste += busy_before
+            for bid in sorted(outputs[victim]):
+                attempts_used[bid] = attempts_used.get(bid, 0) + 1
+                log.record(
+                    f"sel/{dataset.name}/{bid}",
+                    victim,
+                    attempts_used[bid],
+                    "crash",
+                    0.0,
+                )
+            outputs[victim] = {}
+            pending[victim] = []
+            spans[victim] = []
+            if not lost:
+                continue
+            # reschedule onto live replicas, metadata refreshed post-churn
+            recovery = self._reschedule(lost, dataset, sub_id, datanet, blacklist)
+            detection = crash.time + policy.heartbeat_timeout_s
+            for node, bids in recovery.blocks_by_node.items():
+                if not bids:
+                    continue
+                pending[node].extend(bids)
+                clock[node] = max(clock[node], detection)
+            rescheduled.extend(lost)
+
+        local_data: Dict[NodeId, List[Record]] = {}
+        bytes_per_node: Dict[NodeId, int] = {}
+        node_times: Dict[NodeId, float] = {}
+        assigned_nodes = set(assignment.blocks_by_node)
+        for node in sorted(clock, key=repr):
+            if not self.failures.is_alive(node):
+                continue
+            if node not in assigned_nodes and not outputs[node]:
+                continue
+            records: List[Record] = []
+            for bid in outputs[node]:
+                records.extend(outputs[node][bid])
+            local_data[node] = records
+            bytes_per_node[node] = sum(r.nbytes for r in records)
+            node_times[node] = clock[node]
+        selection = SelectionResult(
+            local_data=local_data,
+            timing=PhaseResult(node_times),
+            bytes_per_node=bytes_per_node,
+            blocks_read=blocks_read,
+            bytes_read=bytes_read,
+        )
+        return selection, crash_waste, rescheduled
+
+    def _reschedule(
+        self,
+        blocks: List[int],
+        dataset: DatasetView,
+        sub_id: str,
+        datanet: DataNet,
+        blacklist: NodeBlacklist,
+    ) -> Assignment:
+        """Balance the lost blocks over live, non-blacklisted nodes.
+
+        The DataNet placement is refreshed from the NameNode first, so the
+        rebuilt bipartite graph reflects post-re-replication replica
+        locations and never references a dead node.
+        """
+        datanet.refresh_placement(dataset.placement())
+        exclude = set(self.failures.dead_nodes) | set(blacklist.nodes)
+        if exclude >= set(dataset.nodes):
+            raise FaultError("no live nodes remain to recover onto")
+        try:
+            graph = datanet.bipartite_graph(
+                sub_id, only_blocks=blocks, exclude=sorted(exclude, key=repr)
+            )
+        except ConfigError:
+            # a block's only live replicas sit on blacklisted nodes:
+            # relax the blacklist rather than fail the job
+            graph = datanet.bipartite_graph(
+                sub_id,
+                only_blocks=blocks,
+                exclude=self.failures.dead_nodes,
+            )
+        return DistributionAwareScheduler().schedule(graph)

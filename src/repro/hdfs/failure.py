@@ -103,6 +103,7 @@ class FailureManager:
                 self._replace_meta(dataset, block_id, survivors)
                 continue
             destination = self._pick_destination(block_id, candidates)
+            source = self._pick_source(survivors)
             block = self.cluster.get_block(dataset, block_id)
             self.cluster.datanodes[destination].store_replica(dataset, block)
             new_replicas = survivors + [destination]
@@ -110,7 +111,7 @@ class FailureManager:
             event = ReplicationEvent(
                 dataset=dataset,
                 block_id=block_id,
-                source=survivors[0],
+                source=source,
                 destination=destination,
                 nbytes=block.used_bytes,
             )
@@ -122,6 +123,15 @@ class FailureManager:
         """Delegate to the placement policy restricted to live candidates."""
         placed = self.cluster.placement_policy.place(block_id, candidates)
         return placed[0]
+
+    def _pick_source(self, survivors: List[int]) -> int:
+        """The least-loaded surviving replica holder serves the copy, so
+        re-replication traffic spreads instead of hammering whichever
+        survivor the catalog happens to list first."""
+        return min(
+            survivors,
+            key=lambda n: (self.cluster.datanodes[n].used_bytes(), n),
+        )
 
     def _replace_meta(self, dataset: str, block_id: int, replicas: List[int]) -> None:
         """Swap a block's replica set in the NameNode catalog."""

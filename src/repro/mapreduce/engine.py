@@ -23,7 +23,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoids a cycle)
+    from ..faults.injector import FaultInjector
+    from ..faults.retry import AttemptLog, NodeBlacklist, RetryPolicy
 
 from ..core.scheduler import Assignment
 from ..errors import ConfigError, JobError
@@ -157,19 +161,85 @@ class MapReduceEngine:
             heapq.heappush(lanes, t + d)
         return max(lanes)
 
+    def selection_task_cost(
+        self,
+        dataset: DatasetView,
+        sub_id: str,
+        placement: Mapping[int, Any],
+        node: NodeId,
+        bid: int,
+        profile: AppProfile,
+    ) -> Tuple[float, List[Record], int]:
+        """Price one selection task: read + filter + write for one block.
+
+        Returns ``(duration, matched_records, block_bytes)``.  Shared by
+        the closed-form phase runner and the chaos runner so fault-free
+        and fault-injected timings come from the same formula.
+
+        Raises:
+            JobError: when the block is not part of the dataset placement.
+        """
+        if bid not in placement:
+            raise JobError(
+                f"assignment references unknown block {bid} "
+                f"of dataset {dataset.name!r}"
+            )
+        block = dataset.block(bid)
+        nbytes = block.used_bytes
+        read = (
+            self.cost.read_local(nbytes)
+            if node in placement[bid]
+            else self.cost.read_remote(nbytes)
+        )
+        matched = block.filter(sub_id)
+        out_bytes = sum(r.nbytes for r in matched)
+        duration = (
+            self.cost.task_overhead_s
+            + read
+            + profile.filter_cpu_per_byte * nbytes * self.cost.data_scale
+            + self.cost.write_local(out_bytes)
+        )
+        return duration, matched, nbytes
+
     def run_selection(
         self,
         dataset: DatasetView,
         sub_id: str,
         assignment: Assignment,
         profile: AppProfile,
+        *,
+        injector: Optional["FaultInjector"] = None,
+        retry: Optional["RetryPolicy"] = None,
+        attempt_log: Optional["AttemptLog"] = None,
+        blacklist: Optional["NodeBlacklist"] = None,
     ) -> SelectionResult:
         """Run the filter phase under a given block-task assignment.
 
         Every assigned block is read (locally if the node holds a replica,
         remotely otherwise), filtered for ``sub_id``, and the matching
         records are written to the executing node's local store.
+
+        With an ``injector`` (see :mod:`repro.faults`), every task runs
+        through the attempt lifecycle instead of exactly once: transient
+        failures burn partial work, back off exponentially, and retry up
+        to ``retry.max_attempts``; slow-node degradations stretch
+        durations.  Node *crashes* need cross-node rescheduling and are
+        handled one level up by :class:`repro.faults.ChaosRunner`.
+
+        Raises:
+            TaskAttemptError: a task exhausted its retry budget.
         """
+        faulty = injector is not None
+        if faulty:
+            from ..faults.retry import AttemptLog, NodeBlacklist, RetryPolicy, run_attempts
+
+            retry = retry or RetryPolicy()
+            attempt_log = attempt_log if attempt_log is not None else AttemptLog()
+            blacklist = (
+                blacklist
+                if blacklist is not None
+                else NodeBlacklist(retry.blacklist_after)
+            )
         placement = dataset.placement()
         local_data: Dict[NodeId, List[Record]] = {}
         node_times: Dict[NodeId, float] = {}
@@ -179,29 +249,28 @@ class MapReduceEngine:
         for node, block_ids in assignment.blocks_by_node.items():
             durations: List[float] = []
             filtered: List[Record] = []
+            node_elapsed = 0.0
             for bid in block_ids:
-                if bid not in placement:
-                    raise JobError(
-                        f"assignment references unknown block {bid} "
-                        f"of dataset {dataset.name!r}"
-                    )
-                block = dataset.block(bid)
-                nbytes = block.used_bytes
+                base, matched, nbytes = self.selection_task_cost(
+                    dataset, sub_id, placement, node, bid, profile
+                )
                 blocks_read += 1
                 bytes_read += nbytes
-                read = (
-                    self.cost.read_local(nbytes)
-                    if node in placement[bid]
-                    else self.cost.read_remote(nbytes)
-                )
-                matched = block.filter(sub_id)
-                out_bytes = sum(r.nbytes for r in matched)
-                durations.append(
-                    self.cost.task_overhead_s
-                    + read
-                    + profile.filter_cpu_per_byte * nbytes * self.cost.data_scale
-                    + self.cost.write_local(out_bytes)
-                )
+                if faulty:
+                    elapsed, _attempts = run_attempts(
+                        base,
+                        node,
+                        f"sel/{dataset.name}/{bid}",
+                        injector,
+                        retry,
+                        attempt_log,
+                        blacklist,
+                        start_time=node_elapsed,
+                    )
+                    durations.append(elapsed)
+                    node_elapsed += elapsed
+                else:
+                    durations.append(base)
                 filtered.extend(matched)
             local_data[node] = filtered
             bytes_per_node[node] = sum(r.nbytes for r in filtered)

@@ -10,9 +10,12 @@ from .balance import (
     summarize,
     BalanceSummary,
 )
-from .reporting import format_table, format_kv, series_to_rows
+from .recovery import RecoverySummary
+from .reporting import format_table, format_kv, format_histogram, series_to_rows
 
 __all__ = [
+    "RecoverySummary",
+    "format_histogram",
     "imbalance_ratio",
     "min_max_ratio",
     "coefficient_of_variation",

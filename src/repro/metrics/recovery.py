@@ -1,0 +1,108 @@
+"""Recovery observability: what surviving a fault plan actually cost.
+
+A chaos run is only credible if its price is visible.  This module is the
+reporting end of :mod:`repro.faults`: the attempts histogram (how many
+tries each task needed), wasted simulated seconds (partial attempts and
+work lost to crashes), re-replicated bytes, and the recovery-makespan
+overhead against the failure-free baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import ConfigError
+from .reporting import format_histogram, format_kv
+
+__all__ = ["RecoverySummary"]
+
+
+@dataclass(frozen=True)
+class RecoverySummary:
+    """Aggregated cost of one fault-injected run.
+
+    Attributes:
+        attempts_histogram: ``attempts needed -> task count`` over tasks
+            that eventually completed (``{1: n}`` means a clean run).
+        wasted_seconds: simulated seconds burned by attempts that did not
+            complete (transient partial work + work lost to crashes).
+        re_replicated_bytes: bytes HDFS copied to restore replication.
+        baseline_makespan: the failure-free run's makespan.
+        makespan: the chaos run's makespan.
+        dead_nodes: nodes the plan killed.
+        blacklisted_nodes: nodes benched for repeated failures.
+        degraded_blocks: blocks scheduled without metadata (locality-only
+            fallback).
+        rescheduled_blocks: distinct blocks whose work was redone on a
+            different node after a crash.
+    """
+
+    attempts_histogram: Dict[int, int] = field(default_factory=dict)
+    wasted_seconds: float = 0.0
+    re_replicated_bytes: int = 0
+    baseline_makespan: float = 0.0
+    makespan: float = 0.0
+    dead_nodes: int = 0
+    blacklisted_nodes: int = 0
+    degraded_blocks: int = 0
+    rescheduled_blocks: int = 0
+
+    def __post_init__(self) -> None:
+        if any(k <= 0 or v < 0 for k, v in self.attempts_histogram.items()):
+            raise ConfigError("attempts histogram needs positive keys and counts")
+        if self.wasted_seconds < 0 or self.re_replicated_bytes < 0:
+            raise ConfigError("recovery costs must be non-negative")
+
+    # -- derived ------------------------------------------------------------------
+
+    @property
+    def total_tasks(self) -> int:
+        """Tasks that completed (histogram mass)."""
+        return sum(self.attempts_histogram.values())
+
+    @property
+    def retried_tasks(self) -> int:
+        """Tasks that needed more than one attempt."""
+        return sum(v for k, v in self.attempts_histogram.items() if k > 1)
+
+    @property
+    def total_attempts(self) -> int:
+        """All attempts charged across completed tasks."""
+        return sum(k * v for k, v in self.attempts_histogram.items())
+
+    @property
+    def recovery_overhead(self) -> float:
+        """``(chaos - baseline) / baseline`` makespan fraction."""
+        if self.baseline_makespan <= 0:
+            return 0.0
+        return (self.makespan - self.baseline_makespan) / self.baseline_makespan
+
+    # -- rendering ----------------------------------------------------------------
+
+    def format(self) -> str:
+        """Human-readable recovery report."""
+        pairs = {
+            "tasks completed": self.total_tasks,
+            "tasks retried": self.retried_tasks,
+            "total attempts": self.total_attempts,
+            "wasted work (s)": self.wasted_seconds,
+            "re-replicated bytes": self.re_replicated_bytes,
+            "dead nodes": self.dead_nodes,
+            "blacklisted nodes": self.blacklisted_nodes,
+            "degraded blocks": self.degraded_blocks,
+            "rescheduled blocks": self.rescheduled_blocks,
+            "baseline makespan (s)": self.baseline_makespan,
+            "chaos makespan (s)": self.makespan,
+            "recovery overhead": f"{self.recovery_overhead:+.1%}",
+        }
+        parts = [format_kv(pairs, title="Recovery summary")]
+        if self.attempts_histogram:
+            parts.append(
+                format_histogram(
+                    self.attempts_histogram,
+                    title="attempts per task",
+                    key_name="attempts",
+                )
+            )
+        return "\n\n".join(parts)

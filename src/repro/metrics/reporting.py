@@ -11,7 +11,7 @@ from typing import Iterable, List, Mapping, Sequence, Tuple
 
 from ..errors import ConfigError
 
-__all__ = ["format_table", "format_kv", "series_to_rows"]
+__all__ = ["format_table", "format_kv", "format_histogram", "series_to_rows"]
 
 
 def _fmt_cell(value) -> str:
@@ -59,6 +59,34 @@ def format_kv(pairs: Mapping[str, object], *, title: str | None = None) -> str:
     for k, v in pairs.items():
         lines.append(f"{k.ljust(width)} : {_fmt_cell(v)}")
     return "\n".join(lines)
+
+
+def format_histogram(
+    counts: Mapping[int, int],
+    *,
+    title: str | None = None,
+    key_name: str = "value",
+    width: int = 24,
+) -> str:
+    """Render an integer histogram with proportional text bars.
+
+    >>> print(format_histogram({1: 4, 2: 1}, key_name="attempts", width=8))
+    attempts  count  bar
+    --------  -----  --------
+    1         4      ########
+    2         1      ##
+    """
+    if not counts:
+        raise ConfigError("format_histogram requires at least one bucket")
+    if width <= 0:
+        raise ConfigError("width must be positive")
+    peak = max(counts.values())
+    rows = []
+    for key in sorted(counts):
+        n = counts[key]
+        bar = "#" * max(1 if n else 0, round(width * n / peak)) if peak else ""
+        rows.append([key, n, bar])
+    return format_table([key_name, "count", "bar"], rows, title=title)
 
 
 def series_to_rows(

@@ -11,15 +11,26 @@ Semantics:
 
 The loop is a classic priority-queue simulation: O((T + E) log T) for T
 tasks and E dependency edges.
+
+With a :class:`~repro.faults.injector.FaultInjector` the run-once model
+becomes an attempt lifecycle: transient failures burn partial work and
+retry after exponential backoff, planned node crashes kill running and
+queued work (detected one heartbeat timeout later, then re-routed to a
+live node), and nodes that keep failing attempts are blacklisted.  The
+fault-free path is byte-identical to the original loop.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
-from ..errors import ConfigError
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoids a cycle)
+    from ..faults.injector import FaultInjector
+    from ..faults.retry import RetryPolicy
+
+from ..errors import ConfigError, FaultError, TaskAttemptError
 from .tasks import SimTask, TaskTimeline
 
 __all__ = ["DiscreteEventSimulator", "SimulationResult"]
@@ -29,10 +40,19 @@ NodeId = Hashable
 
 @dataclass
 class SimulationResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    The fault-accounting fields stay at their zero values for fault-free
+    runs; under injection they mirror :class:`repro.metrics.RecoverySummary`.
+    """
 
     timeline: TaskTimeline
     events_processed: int
+    attempts_histogram: Dict[int, int] = field(default_factory=dict)
+    wasted_seconds: float = 0.0
+    dead_nodes: List[NodeId] = field(default_factory=list)
+    blacklisted_nodes: List[NodeId] = field(default_factory=list)
+    migrated_tasks: List[str] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -81,11 +101,24 @@ class DiscreteEventSimulator:
 
     # -- the event loop ---------------------------------------------------------------
 
-    def run(self, tasks: Iterable[SimTask]) -> SimulationResult:
+    def run(
+        self,
+        tasks: Iterable[SimTask],
+        *,
+        injector: Optional["FaultInjector"] = None,
+        policy: Optional["RetryPolicy"] = None,
+    ) -> SimulationResult:
         """Simulate all tasks; returns the realized timeline.
+
+        Args:
+            injector: optional fault oracle; enables the attempt lifecycle.
+            policy: retry/backoff/blacklist knobs (defaults when omitted;
+                only meaningful together with ``injector``).
 
         Raises:
             ConfigError: duplicate ids, unknown dependencies, or cycles.
+            TaskAttemptError: a task exhausted its retry budget.
+            FaultError: no live node remains to run a task.
         """
         task_map: Dict[str, SimTask] = {}
         for task in tasks:
@@ -93,6 +126,8 @@ class DiscreteEventSimulator:
                 raise ConfigError(f"duplicate task id {task.task_id!r}")
             task_map[task.task_id] = task
         self._validate(task_map)
+        if injector is not None:
+            return self._run_with_faults(task_map, injector, policy)
 
         remaining_deps: Dict[str, Set[str]] = {
             tid: set(t.deps) for tid, t in task_map.items()
@@ -155,4 +190,189 @@ class DiscreteEventSimulator:
         return SimulationResult(
             timeline=TaskTimeline(intervals=intervals, tasks=task_map),
             events_processed=processed,
+        )
+
+    # -- the fault-aware event loop ------------------------------------------------
+
+    def _run_with_faults(
+        self,
+        task_map: Dict[str, SimTask],
+        injector: "FaultInjector",
+        policy: Optional["RetryPolicy"],
+    ) -> SimulationResult:
+        """The attempt-lifecycle event loop (see module docstring)."""
+        from ..faults.retry import AttemptLog, NodeBlacklist, RetryPolicy
+
+        policy = policy or RetryPolicy()
+        log = AttemptLog()
+        blacklist = NodeBlacklist(policy.blacklist_after)
+
+        remaining_deps: Dict[str, Set[str]] = {
+            tid: set(t.deps) for tid, t in task_map.items()
+        }
+        successors: Dict[str, List[str]] = {tid: [] for tid in task_map}
+        for tid, task in task_map.items():
+            for dep in task.deps:
+                successors[dep].append(tid)
+
+        free_slots: Dict[NodeId, int] = {}
+        ready: Dict[NodeId, List[Tuple[float, str]]] = {}
+        for task in task_map.values():
+            free_slots.setdefault(task.node, self.slots_per_node)
+            ready.setdefault(task.node, [])
+
+        dead: Set[NodeId] = set()
+        attempt_no: Dict[str, int] = {tid: 1 for tid in task_map}
+        failures_of: Dict[str, int] = {tid: 0 for tid in task_map}
+        token: Dict[str, int] = {tid: 0 for tid in task_map}
+        # tid -> (node, start time, token of the live attempt)
+        running: Dict[str, Tuple[NodeId, float, int]] = {}
+        final_node: Dict[str, NodeId] = {}
+        intervals: Dict[str, Tuple[float, float]] = {}
+        migrated: List[str] = []
+
+        # event heap: (time, seq, kind, payload, attempt token)
+        events: List[Tuple[float, int, str, object, int]] = []
+        seq = 0
+
+        def push(time: float, kind: str, payload: object, tok: int = 0) -> None:
+            nonlocal seq
+            heapq.heappush(events, (time, seq, kind, payload, tok))
+            seq += 1
+
+        # crash events first so a crash at time t precedes same-time starts
+        for crash in injector.crashes_chronological():
+            if crash.node in free_slots:
+                push(crash.time, "crash", crash.node)
+        for tid, task in task_map.items():
+            if not task.deps:
+                push(task.release_time, "ready", tid)
+
+        def usable(node: NodeId) -> bool:
+            return node not in dead and not blacklist.is_blacklisted(node)
+
+        def route(tid: str) -> NodeId:
+            """The node this task runs on next: home node while it is
+            usable, else the live node with the shortest queue."""
+            home = task_map[tid].node
+            if usable(home):
+                return home
+            candidates = [n for n in free_slots if usable(n)]
+            if not candidates:
+                raise FaultError(
+                    f"no live node left to run task {tid!r} "
+                    f"(dead={sorted(dead, key=repr)}, "
+                    f"blacklisted={blacklist.nodes})"
+                )
+            chosen = min(
+                candidates,
+                key=lambda n: (
+                    len(ready[n]) + sum(1 for _t, (rn, _s, _k) in running.items() if rn == n),
+                    repr(n),
+                ),
+            )
+            migrated.append(tid)
+            return chosen
+
+        def exhaust(tid: str, node: NodeId) -> TaskAttemptError:
+            return TaskAttemptError(
+                f"task {tid!r} failed {policy.max_attempts} attempts",
+                task_id=tid,
+                node=node,
+                attempts=policy.max_attempts,
+            )
+
+        def evacuate(node: NodeId, time: float) -> None:
+            """Re-route every queued (not yet started) task off a node."""
+            for _rt, qtid in ready[node]:
+                push(time, "ready", qtid)
+            ready[node] = []
+
+        def start_available(node: NodeId, time: float) -> None:
+            if not usable(node):
+                return
+            while free_slots[node] > 0 and ready[node]:
+                _rt, tid = heapq.heappop(ready[node])
+                free_slots[node] -= 1
+                attempt = attempt_no[tid]
+                duration = task_map[tid].duration * injector.slowdown(node, time)
+                token[tid] += 1
+                running[tid] = (node, time, token[tid])
+                if injector.attempt_fails(tid, attempt, node):
+                    push(time + duration * injector.waste_fraction, "fail", tid, token[tid])
+                else:
+                    push(time + duration, "finish", tid, token[tid])
+
+        processed = 0
+        while events:
+            now, _s, kind, payload, tok = heapq.heappop(events)
+            processed += 1
+            if kind == "crash":
+                node = payload
+                if node in dead:
+                    continue
+                dead.add(node)
+                for tid in sorted(t for t, (n, _s2, _k) in running.items() if n == node):
+                    _n, start, _tk = running.pop(tid)
+                    log.record(tid, node, attempt_no[tid], "crash", now - start)
+                    attempt_no[tid] += 1
+                    if attempt_no[tid] > policy.max_attempts:
+                        raise exhaust(tid, node)
+                    # the JobTracker only learns of the death a heartbeat later
+                    push(now + policy.heartbeat_timeout_s, "ready", tid)
+                evacuate(node, now)
+                continue
+            tid = payload
+            if kind == "ready":
+                node = route(tid)
+                heapq.heappush(ready[node], (now, tid))
+                start_available(node, now)
+                continue
+            # finish / fail of one attempt
+            entry = running.get(tid)
+            if entry is None or entry[2] != tok:
+                continue  # stale event: the attempt died with its node
+            node, start, _tk = entry
+            del running[tid]
+            free_slots[node] += 1
+            if kind == "fail":
+                log.record(tid, node, attempt_no[tid], "fault", now - start)
+                newly_benched = blacklist.record_failure(node)
+                attempt_no[tid] += 1
+                failures_of[tid] += 1
+                if attempt_no[tid] > policy.max_attempts:
+                    raise exhaust(tid, node)
+                push(now + policy.backoff(failures_of[tid]), "ready", tid)
+                if newly_benched:
+                    evacuate(node, now)
+                else:
+                    start_available(node, now)
+                continue
+            # finish
+            log.record(tid, node, attempt_no[tid], "ok")
+            intervals[tid] = (start, now)
+            final_node[tid] = node
+            for succ in successors[tid]:
+                remaining_deps[succ].discard(tid)
+                if not remaining_deps[succ]:
+                    push(max(now, task_map[succ].release_time), "ready", succ)
+            start_available(node, now)
+
+        if len(intervals) != len(task_map):  # pragma: no cover - defensive
+            missing = sorted(set(task_map) - set(intervals))[:3]
+            raise ConfigError(f"tasks never ran (scheduler bug?): {missing}")
+        realized = {
+            tid: (
+                task if final_node[tid] == task.node else replace(task, node=final_node[tid])
+            )
+            for tid, task in task_map.items()
+        }
+        return SimulationResult(
+            timeline=TaskTimeline(intervals=intervals, tasks=realized),
+            events_processed=processed,
+            attempts_histogram=log.histogram(),
+            wasted_seconds=log.wasted_seconds,
+            dead_nodes=sorted(dead, key=repr),
+            blacklisted_nodes=blacklist.nodes,
+            migrated_tasks=sorted(set(migrated)),
         )

@@ -109,6 +109,67 @@ class TestFailNode:
         assert all(c >= 3 for c in counts.values())
 
 
+class TestSourceSelection:
+    def test_copy_source_is_least_loaded_survivor(self):
+        cluster, dataset = _cluster_with_data()
+        fm = FailureManager(cluster)
+        survivors = [n for n in cluster.nodes if n != 0]
+        expected = min(
+            survivors, key=lambda n: (cluster.datanodes[n].used_bytes(), n)
+        )
+        # before any copies land, the first event must name the globally
+        # least-loaded survivor whenever it holds the block
+        events = fm.fail_node(0)
+        assert events
+        first = events[0]
+        holders = cluster.namenode.block_locations("d", first.block_id)
+        if expected in holders:
+            assert first.source == expected
+
+    def test_sources_are_live_replica_holders(self):
+        cluster, dataset = _cluster_with_data()
+        fm = FailureManager(cluster)
+        events = fm.fail_node(2)
+        for e in events:
+            assert fm.is_alive(e.source)
+            assert e.source != e.destination
+            assert e.source in cluster.namenode.block_locations("d", e.block_id)
+
+    def test_sources_spread_under_churn(self):
+        """The least-loaded rule must not funnel every copy through one
+        survivor once loads diverge."""
+        cluster, dataset = _cluster_with_data(num_nodes=10)
+        fm = FailureManager(cluster)
+        sources = set()
+        for node in (0, 1, 2):
+            sources.update(e.source for e in fm.fail_node(node))
+        assert len(sources) > 1
+
+
+class TestFailureSequencesProperty:
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=3, unique=True))
+    @settings(max_examples=20, deadline=None)
+    def test_graph_never_references_dead_node(self, victims):
+        """After any fail_node sequence, the rebuilt bipartite graph only
+        points at live nodes and replication is verifiably restored."""
+        cluster, dataset = _cluster_with_data(num_nodes=8)
+        datanet = DataNet.build(dataset, alpha=0.5)
+        fm = FailureManager(cluster)
+        for node in victims:
+            fm.fail_node(node)
+        counts = fm.verify_replication("d")
+        assert all(c >= min(3, len(fm.live_nodes)) for c in counts.values())
+        datanet.refresh_placement(dataset.placement())
+        graph = datanet.bipartite_graph("hot", exclude=fm.dead_nodes)
+        assert not set(graph.nodes) & set(fm.dead_nodes)
+        for bid in graph.blocks:
+            holders = graph._nodes_of[bid]
+            assert holders and not holders & set(fm.dead_nodes)
+        assignment = DistributionAwareScheduler().schedule(graph)
+        for node in assignment.blocks_by_node:
+            assert fm.is_alive(node)
+
+
 class TestSchedulingAfterFailure:
     def test_schedule_excludes_dead_node(self):
         cluster, dataset = _cluster_with_data()

@@ -1,0 +1,335 @@
+"""Unit tests for the fault-injection subsystem: plans, the deterministic
+injector oracle, the attempt lifecycle, blacklisting, degraded scheduling,
+and the fault-aware discrete-event simulator path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    ConfigError,
+    FaultError,
+    ReproError,
+    SchedulingError,
+    TaskAttemptError,
+)
+from repro.faults import (
+    AttemptLog,
+    FaultInjector,
+    FaultPlan,
+    MetaOutage,
+    NodeBlacklist,
+    NodeCrash,
+    RetryPolicy,
+    SlowNode,
+    TransientFaults,
+    run_attempts,
+)
+from repro.sim.simulator import DiscreteEventSimulator
+from repro.sim.tasks import SimTask
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty()
+        assert plan.crashed_nodes == ()
+
+    def test_duplicate_crash_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(crashes=(NodeCrash(1), NodeCrash(1, time=2.0)))
+
+    def test_duplicate_slow_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(slow_nodes=(SlowNode(1, 2.0), SlowNode(1, 3.0)))
+
+    def test_duplicate_outage_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(meta_outages=(MetaOutage("m0"), MetaOutage("m0")))
+
+    def test_validation_of_components(self):
+        with pytest.raises(ConfigError):
+            NodeCrash(1, time=-1.0)
+        with pytest.raises(ConfigError):
+            SlowNode(1, factor=0.5)
+        with pytest.raises(ConfigError):
+            TransientFaults(probability=1.0)
+        with pytest.raises(ConfigError):
+            TransientFaults(probability=0.1, waste_fraction=2.0)
+        with pytest.raises(ConfigError):
+            MetaOutage("")
+
+    def test_random_is_deterministic(self):
+        nodes = list(range(8))
+        a = FaultPlan.random(7, nodes, crash_count=2, slow_count=1)
+        b = FaultPlan.random(7, nodes, crash_count=2, slow_count=1)
+        assert a == b
+        assert len(a.crashes) == 2 and len(a.slow_nodes) == 1
+        assert not set(a.crashed_nodes) & {s.node for s in a.slow_nodes}
+
+    def test_random_rejects_oversubscription(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.random(0, [1, 2], crash_count=2, slow_count=1)
+
+
+class TestFaultInjector:
+    def test_no_transient_never_fails(self):
+        inj = FaultInjector(FaultPlan())
+        assert not any(
+            inj.attempt_fails(f"t{i}", 1, 0) for i in range(50)
+        )
+
+    def test_transient_rate_roughly_matches(self):
+        inj = FaultInjector(FaultPlan(transient=TransientFaults(0.3)))
+        fails = sum(inj.attempt_fails(f"t{i}", 1, i % 4) for i in range(2000))
+        assert 0.25 < fails / 2000 < 0.35
+
+    def test_decisions_are_deterministic_and_keyed(self):
+        plan = FaultPlan(seed=5, transient=TransientFaults(0.5))
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        draws_a = [a.attempt_fails("t", k, 0) for k in range(1, 20)]
+        draws_b = [b.attempt_fails("t", k, 0) for k in range(1, 20)]
+        assert draws_a == draws_b
+        # a different seed flips at least one decision
+        other = FaultInjector(FaultPlan(seed=6, transient=TransientFaults(0.5)))
+        assert draws_a != [other.attempt_fails("t", k, 0) for k in range(1, 20)]
+
+    def test_crash_queries(self):
+        inj = FaultInjector(
+            FaultPlan(crashes=(NodeCrash(2, 1.5), NodeCrash(0, 0.5)))
+        )
+        assert inj.crash_time(2) == 1.5
+        assert inj.crash_time(7) is None
+        assert inj.is_crashed(2, 2.0) and not inj.is_crashed(2, 1.0)
+        assert [c.node for c in inj.crashes_chronological()] == [0, 2]
+
+    def test_slowdown_applies_after_start(self):
+        inj = FaultInjector(
+            FaultPlan(slow_nodes=(SlowNode(1, factor=3.0, start=5.0),))
+        )
+        assert inj.slowdown(1, 1.0) == 1.0
+        assert inj.slowdown(1, 6.0) == 3.0
+        assert inj.slowdown(0, 6.0) == 1.0
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        p = RetryPolicy(backoff_base_s=1.0, backoff_factor=2.0)
+        assert [p.backoff(n) for n in (1, 2, 3)] == [1.0, 2.0, 4.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(blacklist_after=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy().backoff(0)
+
+
+class TestAttemptLog:
+    def test_histogram_counts_only_completed(self):
+        log = AttemptLog()
+        log.record("a", 0, 1, "fault", 0.2)
+        log.record("a", 0, 2, "ok")
+        log.record("b", 1, 1, "ok")
+        log.record("c", 2, 1, "fault", 0.1)  # never completed
+        assert log.histogram() == {1: 1, 2: 1}
+        assert log.attempts_of("a") == 2
+        assert log.wasted_seconds == pytest.approx(0.3)
+        assert log.num_failures == 2
+
+    def test_rejects_unknown_outcome(self):
+        with pytest.raises(ConfigError):
+            AttemptLog().record("a", 0, 1, "meh")
+
+
+class TestNodeBlacklist:
+    def test_benches_at_threshold(self):
+        bl = NodeBlacklist(2)
+        assert not bl.record_failure(3)
+        assert not bl.is_blacklisted(3)
+        assert bl.record_failure(3)  # newly benched exactly once
+        assert bl.is_blacklisted(3)
+        assert not bl.record_failure(3)
+        assert bl.nodes == [3]
+        assert bl.failures_on(3) == 3
+
+
+class TestRunAttempts:
+    def _flaky(self, p):
+        return FaultInjector(FaultPlan(seed=1, transient=TransientFaults(p)))
+
+    def test_clean_run_is_one_attempt(self):
+        log = AttemptLog()
+        elapsed, used = run_attempts(
+            2.0, 0, "t", FaultInjector(FaultPlan()), RetryPolicy(), log,
+            NodeBlacklist(3),
+        )
+        assert (elapsed, used) == (2.0, 1)
+        assert log.histogram() == {1: 1}
+
+    def test_retries_charge_waste_and_backoff(self):
+        inj = self._flaky(0.9)
+        policy = RetryPolicy(max_attempts=50, backoff_base_s=0.25)
+        log = AttemptLog()
+        elapsed, used = run_attempts(
+            1.0, 0, "t", inj, policy, log, NodeBlacklist(1000)
+        )
+        assert used > 1
+        wasted = (used - 1) * inj.waste_fraction
+        backoffs = sum(policy.backoff(n) for n in range(1, used))
+        assert elapsed == pytest.approx(1.0 + wasted + backoffs)
+
+    def test_exhaustion_raises_with_context(self):
+        inj = FaultInjector(
+            FaultPlan(transient=TransientFaults(0.999999))
+        )
+        with pytest.raises(TaskAttemptError) as exc:
+            run_attempts(
+                1.0, 4, "t", inj, RetryPolicy(max_attempts=3),
+                AttemptLog(), NodeBlacklist(1000),
+            )
+        assert exc.value.task_id == "t"
+        assert exc.value.node == 4
+        assert exc.value.attempts == 3
+        assert isinstance(exc.value, ReproError)
+
+
+def _chain(n=9, nodes=3):
+    tasks = [
+        SimTask(task_id=f"t{i}", node=i % nodes, duration=1.0 + 0.1 * i)
+        for i in range(n)
+    ]
+    tasks.append(
+        SimTask(
+            task_id="agg", node=0, duration=0.5,
+            deps=frozenset(f"t{i}" for i in range(n)),
+        )
+    )
+    return tasks
+
+
+class TestSimulatorFaultPath:
+    def test_none_injector_matches_plain_run(self):
+        sim = DiscreteEventSimulator()
+        a = sim.run(_chain())
+        b = sim.run(_chain(), injector=None)
+        assert a.timeline.intervals == b.timeline.intervals
+        assert a.attempts_histogram == {} and a.dead_nodes == []
+
+    def test_empty_plan_reproduces_fault_free_timeline(self):
+        sim = DiscreteEventSimulator()
+        plain = sim.run(_chain())
+        injected = sim.run(_chain(), injector=FaultInjector(FaultPlan()))
+        assert injected.timeline.intervals == plain.timeline.intervals
+        assert injected.attempts_histogram == {1: 10}
+        assert injected.wasted_seconds == 0.0
+
+    def test_deterministic_under_faults(self):
+        plan = FaultPlan(
+            seed=7,
+            crashes=(NodeCrash(1, time=1.5),),
+            slow_nodes=(SlowNode(2, factor=1.5),),
+            transient=TransientFaults(0.2),
+        )
+        sim = DiscreteEventSimulator()
+        a = sim.run(_chain(), injector=FaultInjector(plan))
+        b = sim.run(_chain(), injector=FaultInjector(plan))
+        assert a.timeline.intervals == b.timeline.intervals
+        assert a.attempts_histogram == b.attempts_histogram
+        assert a.migrated_tasks == b.migrated_tasks
+
+    def test_crash_migrates_work_off_dead_node(self):
+        plan = FaultPlan(crashes=(NodeCrash(1, time=1.5),))
+        sim = DiscreteEventSimulator()
+        res = sim.run(_chain(), injector=FaultInjector(plan))
+        assert res.dead_nodes == [1]
+        assert sorted(res.timeline.intervals) == sorted(
+            t.task_id for t in _chain()
+        )
+        for task in res.timeline.tasks.values():
+            # every task's realized node is live
+            assert task.node != 1 or res.timeline.intervals[task.task_id][1] <= 1.5
+
+    def test_heartbeat_delays_crash_requeue(self):
+        policy = RetryPolicy(heartbeat_timeout_s=3.0)
+        plan = FaultPlan(crashes=(NodeCrash(0, time=0.5),))
+        tasks = [
+            SimTask(task_id="victim", node=0, duration=2.0),
+            SimTask(task_id="filler", node=1, duration=0.1),
+        ]
+        res = DiscreteEventSimulator().run(
+            tasks, injector=FaultInjector(plan), policy=policy
+        )
+        start, _end = res.timeline.intervals["victim"]
+        # detected one heartbeat after the 0.5 s crash, then re-run on node 1
+        assert start == pytest.approx(3.5)
+        assert res.timeline.tasks["victim"].node == 1
+
+    def test_slow_node_stretches_duration(self):
+        plan = FaultPlan(slow_nodes=(SlowNode(0, factor=4.0),))
+        tasks = [SimTask(task_id="only", node=0, duration=1.0)]
+        res = DiscreteEventSimulator().run(tasks, injector=FaultInjector(plan))
+        assert res.makespan == pytest.approx(4.0)
+
+    def test_all_nodes_dead_raises(self):
+        plan = FaultPlan(crashes=(NodeCrash(0, time=0.1),))
+        tasks = [SimTask(task_id="only", node=0, duration=2.0)]
+        with pytest.raises(FaultError):
+            DiscreteEventSimulator().run(tasks, injector=FaultInjector(plan))
+
+    def test_retry_budget_exhaustion_raises(self):
+        plan = FaultPlan(transient=TransientFaults(0.999999))
+        with pytest.raises(TaskAttemptError):
+            DiscreteEventSimulator().run(
+                _chain(), injector=FaultInjector(plan),
+                policy=RetryPolicy(max_attempts=2, blacklist_after=1000),
+            )
+
+    def test_everything_blacklisted_raises_fault_error(self):
+        plan = FaultPlan(transient=TransientFaults(0.999999))
+        with pytest.raises(FaultError):
+            DiscreteEventSimulator().run(
+                _chain(), injector=FaultInjector(plan),
+                policy=RetryPolicy(max_attempts=50, blacklist_after=1),
+            )
+
+    def test_blacklisted_node_stops_receiving_work(self):
+        # node 0 fails every attempt; after the threshold it is benched and
+        # its tasks complete elsewhere
+        class AlwaysFailOnZero(FaultInjector):
+            def attempt_fails(self, task_key, attempt, node):
+                return node == 0
+
+        inj = AlwaysFailOnZero(FaultPlan(transient=TransientFaults(0.5)))
+        policy = RetryPolicy(max_attempts=10, blacklist_after=2)
+        res = DiscreteEventSimulator().run(
+            _chain(), injector=inj, policy=policy
+        )
+        assert res.blacklisted_nodes == [0]
+        for task in res.timeline.tasks.values():
+            assert task.node != 0
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_all_tasks_complete_once(self, seed):
+        plan = FaultPlan.random(
+            seed, [0, 1, 2], crash_count=1, crash_horizon_s=4.0,
+            flaky_probability=0.15,
+        )
+        res = DiscreteEventSimulator().run(
+            _chain(), injector=FaultInjector(plan),
+            policy=RetryPolicy(max_attempts=25),
+        )
+        assert sorted(res.timeline.intervals) == sorted(
+            t.task_id for t in _chain()
+        )
+        for node in res.dead_nodes:
+            crash_at = FaultInjector(plan).crash_time(node)
+            for tid, task in res.timeline.tasks.items():
+                if task.node == node:
+                    assert res.timeline.intervals[tid][1] <= crash_at

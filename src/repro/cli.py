@@ -313,15 +313,107 @@ def _parse_node_at(value: str, what: str) -> tuple:
         raise ReproError(f"bad --{what} value {value!r}, expected NODE@NUMBER")
 
 
+def _parse_node_block(value: str, what: str) -> tuple:
+    """Parse ``NODE@BLOCK`` (e.g. ``2@5``) into ``(int node, int block)``."""
+    node_s, sep, block_s = value.partition("@")
+    try:
+        if not sep:
+            raise ValueError
+        return int(node_s), int(block_s)
+    except ValueError:
+        raise ReproError(f"bad --{what} value {value!r}, expected NODE@BLOCK")
+
+
+def _corrupt_replicas(cluster, dataset, rots, corrupt_count, rng, what) -> int:
+    """Plant bit rot for the scrub/chaos CLI; returns replicas corrupted.
+
+    Explicit ``NODE@BLOCK`` rots fall back to the block's first replica
+    when the named node holds none (placement is seeded; users cannot
+    know it).  ``corrupt_count`` rots are drawn from the seeded RNG over
+    all replicas, so the same seed corrupts the same copies.
+    """
+    placement = dataset.placement()
+    corrupted = set()
+    for value in rots:
+        node, block = _parse_node_block(value, what)
+        if block not in placement:
+            raise ReproError(f"--{what}: dataset has no block {block}")
+        replicas = placement[block]
+        target = node if node in replicas else replicas[0]
+        corrupted.add((target, block))
+    if corrupt_count:
+        pairs = [(n, b) for b in sorted(placement) for n in placement[b]]
+        count = min(corrupt_count, len(pairs))
+        for i in sorted(int(j) for j in rng.choice(len(pairs), size=count, replace=False)):
+            corrupted.add(pairs[i])
+    for node, block in sorted(corrupted, key=lambda p: (p[1], p[0])):
+        cluster.corrupt_replica(dataset.name, node, block)
+    return len(corrupted)
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    from .hdfs import Scrubber
+    from .hdfs.cluster import HDFSCluster
+    from .units import parse_size
+    from .workloads import MovieLensGenerator
+
+    rng = np.random.default_rng(args.seed)
+    records = MovieLensGenerator(
+        num_movies=args.keys, total_reviews=args.records, rng=rng
+    ).generate()
+    cluster = HDFSCluster(
+        num_nodes=args.nodes, block_size=parse_size(args.block_size), rng=rng
+    )
+    dataset = cluster.write_dataset("scrub", records)
+    rotted = _corrupt_replicas(
+        cluster, dataset, args.rot, args.corrupt, rng, "rot"
+    )
+    report = Scrubber(cluster, strict=False).scrub(dataset.name)
+    print(
+        f"scrubbed dataset of {dataset.num_blocks} blocks on {args.nodes} nodes "
+        f"({rotted} replicas rotted)"
+    )
+    print()
+    from .metrics.reporting import format_kv
+
+    print(
+        format_kv(
+            {
+                "replicas scanned": report.replicas_scanned,
+                "bytes scanned": report.bytes_scanned,
+                "corrupt found": report.corrupt_found,
+                "repaired": report.repaired,
+                "repaired bytes": report.repaired_bytes,
+                "unrepairable": len(report.unrepairable),
+            },
+            title="Scrub report",
+        )
+    )
+    for event in report.events:
+        print(
+            f"  repaired block {event.block_id} on node {event.destination} "
+            f"from node {event.source} ({event.nbytes} B)"
+        )
+    if report.unrepairable:
+        for ds, block in report.unrepairable:
+            print(f"error: no verified replica left for block {block} of {ds!r}",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .core.metastore import DistributedMetaStore
     from .faults import (
+        BitRot,
         ChaosRunner,
+        DriverRestart,
         FaultPlan,
         MetaOutage,
         NodeCrash,
         RetryPolicy,
         SlowNode,
+        StaleMetadata,
         TransientFaults,
     )
     from .hdfs.cluster import HDFSCluster
@@ -353,12 +445,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         TransientFaults(probability=args.flaky) if args.flaky > 0 else None
     )
     outages = tuple(MetaOutage(node_id) for node_id in args.meta_down)
+    bit_rots = tuple(
+        BitRot(node, block)
+        for node, block in (_parse_node_block(v, "bitrot") for v in args.bitrot)
+    )
+    stale = tuple(StaleMetadata(block) for block in args.stale)
+    restarts = tuple(DriverRestart(wave) for wave in sorted(args.restart_wave))
     plan = FaultPlan(
         seed=args.seed,
         crashes=crashes,
         slow_nodes=slow,
         transient=transient,
         meta_outages=outages,
+        bit_rots=bit_rots,
+        stale_metadata=stale,
+        driver_restarts=restarts,
     )
 
     metastore = None
@@ -488,7 +589,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--meta-down", action="append", default=[], metavar="META_NODE",
         help="take a metastore shard down (repeatable), e.g. --meta-down meta-0",
     )
+    p_chaos.add_argument(
+        "--bitrot", action="append", default=[], metavar="NODE@BLOCK",
+        help="rot the replica of BLOCK on NODE (repeatable), e.g. --bitrot 2@0",
+    )
+    p_chaos.add_argument(
+        "--stale", action="append", type=int, default=[], metavar="BLOCK",
+        help="diverge BLOCK's metadata entry (repeatable); validation rebuilds it",
+    )
+    p_chaos.add_argument(
+        "--restart-wave", action="append", type=int, default=[], metavar="WAVE",
+        help="kill the driver during WAVE and resume from the checkpoint "
+        "(repeatable; incompatible with --kill)",
+    )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_scrub = sub.add_parser(
+        "scrub", help="plant replica bit rot and repair it with the scrubber"
+    )
+    p_scrub.add_argument("--nodes", type=int, default=8)
+    p_scrub.add_argument("--seed", type=int, default=0)
+    p_scrub.add_argument("-n", "--records", type=int, default=20_000)
+    p_scrub.add_argument("-k", "--keys", type=int, default=200, help="movies")
+    p_scrub.add_argument("--block-size", default="64kb")
+    p_scrub.add_argument(
+        "--rot", action="append", default=[], metavar="NODE@BLOCK",
+        help="rot the replica of BLOCK on NODE (repeatable), e.g. --rot 2@0",
+    )
+    p_scrub.add_argument(
+        "--corrupt", type=int, default=0, metavar="N",
+        help="additionally rot N seeded-random replicas",
+    )
+    p_scrub.set_defaults(func=_cmd_scrub)
 
     p_sim = sub.add_parser(
         "simulate", help="event-driven multi-job batch + gantt charts"

@@ -91,9 +91,18 @@ class ElasticMapBuilder:
         self.stats = BuildStats()
 
     def build_block(
-        self, block_id: int, observations: Iterable[Tuple[str, int]]
+        self,
+        block_id: int,
+        observations: Iterable[Tuple[str, int]],
+        *,
+        fingerprint: Optional[int] = None,
     ) -> BlockElasticMap:
-        """Scan one block's ``(sub_dataset_id, nbytes)`` stream into metadata."""
+        """Scan one block's ``(sub_dataset_id, nbytes)`` stream into metadata.
+
+        ``fingerprint`` stamps the entry with the content fingerprint of the
+        block it was built from, enabling later staleness detection
+        (:meth:`repro.core.datanet.DataNet.validate_integrity`).
+        """
         separator = BucketSeparator(self.spec)
         n = 0
         for sid, nbytes in observations:
@@ -116,10 +125,13 @@ class ElasticMapBuilder:
             from .sketchmap import SketchBlockElasticMap
 
             return SketchBlockElasticMap.from_separation(
-                block_id, result, memory_model=self.memory_model
+                block_id,
+                result,
+                memory_model=self.memory_model,
+                fingerprint=fingerprint,
             )
         return BlockElasticMap.from_separation(
-            block_id, result, memory_model=self.memory_model
+            block_id, result, memory_model=self.memory_model, fingerprint=fingerprint
         )
 
     def build(self, blocks: Iterable[BlockObservations]) -> ElasticMapArray:

@@ -20,6 +20,7 @@ is the in-repo provider.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 from ..errors import ConfigError
@@ -30,9 +31,31 @@ from .elasticmap import ElasticMapArray, MemoryModel, QueryKind
 from .flow import optimal_assignment
 from .scheduler import Assignment, DistributionAwareScheduler
 
-__all__ = ["DataNet", "ScannableDataset"]
+__all__ = ["DataNet", "ScannableDataset", "IntegrityValidation"]
 
 NodeId = Hashable
+
+
+@dataclass
+class IntegrityValidation:
+    """Outcome of :meth:`DataNet.validate_integrity`.
+
+    ``stale`` lists entries whose fingerprint disagreed with the stored
+    block; ``unverified`` lists entries that carried no fingerprint at all
+    (legacy metadata — treated as stale, since freshness cannot be
+    proven).  Both sets were quarantined and rebuilt.
+    """
+
+    checked: int = 0
+    verified: int = 0
+    stale: List[int] = field(default_factory=list)
+    unverified: List[int] = field(default_factory=list)
+    rebuilt: List[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Whether every entry verified without a rebuild."""
+        return not self.stale and not self.unverified
 
 
 class ScannableDataset(Protocol):
@@ -108,7 +131,19 @@ class DataNet:
             spec=spec,
             memory_model=memory_model,
         )
-        array = builder.build(dataset.scan_blocks())
+        fingerprint_of = getattr(dataset, "block_fingerprint", None)
+        array = ElasticMapArray(
+            [
+                builder.build_block(
+                    bid,
+                    obs,
+                    fingerprint=(
+                        fingerprint_of(bid) if fingerprint_of is not None else None
+                    ),
+                )
+                for bid, obs in dataset.scan_blocks()
+            ]
+        )
         dn = cls(array, dataset.placement(), nodes=list(dataset.nodes))
         dn.build_stats = builder.stats  # type: ignore[attr-defined]
         dn._builder_config = dict(
@@ -139,11 +174,18 @@ class DataNet:
         covered = set(self.elasticmap.block_ids)
         placement = dataset.placement()
         builder = ElasticMapBuilder(**config)
+        fingerprint_of = getattr(dataset, "block_fingerprint", None)
         added = 0
         for block_id, observations in dataset.scan_blocks():
             if block_id in covered:
                 continue
-            block_map = builder.build_block(block_id, observations)
+            block_map = builder.build_block(
+                block_id,
+                observations,
+                fingerprint=(
+                    fingerprint_of(block_id) if fingerprint_of is not None else None
+                ),
+            )
             self.elasticmap.add_block(block_map)
             self._placement[block_id] = list(placement[block_id])
             added += 1
@@ -151,6 +193,74 @@ class DataNet:
             if node not in self._nodes:
                 self._nodes.append(node)
         return added
+
+    # -- integrity ------------------------------------------------------------------
+
+    def validate_integrity(self, dataset: ScannableDataset) -> IntegrityValidation:
+        """Fingerprint-check every metadata entry; quarantine + rebuild stale ones.
+
+        Runs before scheduling trusts the metadata (the bipartite graph is
+        only as good as the Eq. 5 entries behind it).  Each entry's stored
+        fingerprint is compared against the current content fingerprint of
+        the block it claims to describe; a mismatch — or a missing
+        fingerprint, which cannot prove freshness — evicts the entry and
+        triggers a *single-block* single-scan rebuild through the original
+        builder configuration.  Only stale blocks are rescanned; the rest
+        of the array is untouched, so validation cost is proportional to
+        damage, not dataset size.
+
+        Requires a dataset exposing ``block_fingerprint`` and an instance
+        created via :meth:`build` (the builder configuration drives the
+        rebuild).
+
+        Raises:
+            ConfigError: when the instance has no builder configuration or
+                the dataset cannot produce fingerprints.
+        """
+        config = getattr(self, "_builder_config", None)
+        if config is None:
+            raise ConfigError(
+                "validate_integrity() requires a DataNet created by DataNet.build()"
+            )
+        fingerprint_of = getattr(dataset, "block_fingerprint", None)
+        if fingerprint_of is None:
+            raise ConfigError(
+                "dataset does not expose block_fingerprint(); cannot validate"
+            )
+        report = IntegrityValidation()
+        expected: Dict[int, int] = {}
+        for entry in self.elasticmap:
+            report.checked += 1
+            truth = fingerprint_of(entry.block_id)
+            if entry.fingerprint is None:
+                report.unverified.append(entry.block_id)
+                expected[entry.block_id] = truth
+            elif entry.fingerprint != truth:
+                report.stale.append(entry.block_id)
+                expected[entry.block_id] = truth
+            else:
+                report.verified += 1
+        if not expected:
+            return report
+        for block_id in expected:
+            self.elasticmap.remove_block(block_id)
+        builder = ElasticMapBuilder(**config)
+        for block_id, observations in dataset.scan_blocks():
+            if block_id not in expected:
+                continue  # lazy per-block streams: skipping costs no scan
+            self.elasticmap.add_block(
+                builder.build_block(
+                    block_id, observations, fingerprint=expected[block_id]
+                )
+            )
+            report.rebuilt.append(block_id)
+        still_missing = set(expected) - set(report.rebuilt)
+        if still_missing:
+            raise ConfigError(
+                f"quarantined blocks missing from the dataset scan: "
+                f"{sorted(still_missing)[:5]}"
+            )
+        return report
 
     # -- metadata queries -----------------------------------------------------------
 

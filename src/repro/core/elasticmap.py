@@ -104,9 +104,17 @@ class BlockElasticMap:
             only in the Bloom filter (the paper uses the smallest hash-map
             value).
         memory_model: Eq. 5 parameters used for cost accounting.
+        fingerprint: content fingerprint of the block this entry describes
+            (:attr:`repro.hdfs.block.Block.fingerprint`).  ``None`` means
+            unverifiable legacy metadata; DataNet's integrity validation
+            treats it the same as a mismatch and rebuilds the entry.
     """
 
-    __slots__ = ("block_id", "hash_map", "bloom", "delta", "memory_model")
+    __slots__ = ("block_id", "hash_map", "bloom", "delta", "memory_model", "fingerprint")
+
+    #: Upper bound (exclusive) on a fingerprint: it must fit the 8-byte
+    #: trailer of the serialized form.
+    FINGERPRINT_LIMIT = 1 << 64
 
     #: Fallback ``delta`` when a block has an empty hash map (bytes).
     DEFAULT_DELTA = 512
@@ -124,6 +132,7 @@ class BlockElasticMap:
         *,
         delta: Optional[int] = None,
         memory_model: Optional[MemoryModel] = None,
+        fingerprint: Optional[int] = None,
     ) -> None:
         if block_id < 0:
             raise ConfigError(f"block_id must be non-negative, got {block_id}")
@@ -136,6 +145,13 @@ class BlockElasticMap:
             raise ConfigError(f"delta must be positive, got {delta}")
         self.delta = int(delta)
         self.memory_model = memory_model or MemoryModel()
+        if fingerprint is not None and not (
+            0 <= fingerprint < self.FINGERPRINT_LIMIT
+        ):
+            raise ConfigError(
+                f"fingerprint must fit in 64 bits, got {fingerprint}"
+            )
+        self.fingerprint = fingerprint
 
     @classmethod
     def from_separation(
@@ -145,12 +161,15 @@ class BlockElasticMap:
         *,
         memory_model: Optional[MemoryModel] = None,
         bloom_seed: Optional[int] = None,
+        fingerprint: Optional[int] = None,
     ) -> "BlockElasticMap":
         """Construct from a dominant/tail separation of one block's contents.
 
         The Bloom filter is sized for the tail population at the memory
         model's error rate, salted per block so false positives do not
-        repeat across blocks.
+        repeat across blocks.  Because the salt defaults to the block id,
+        rebuilding an entry from the same block content reproduces it
+        bit-for-bit — the property integrity rebuilds rely on.
         """
         model = memory_model or MemoryModel()
         bloom = BloomFilter(
@@ -174,6 +193,7 @@ class BlockElasticMap:
             bloom,
             delta=max(delta, 1) if delta is not None else None,
             memory_model=model,
+            fingerprint=fingerprint,
         )
 
     # -- queries -------------------------------------------------------------
@@ -231,6 +251,9 @@ class BlockElasticMap:
         This is the wire/storage format used when metadata does not fit in
         one master's memory and is spread over a metadata store (the
         paper's future-work direction; see :mod:`repro.core.metastore`).
+        An entry carrying a content fingerprint appends it as an 8-byte
+        little-endian trailer; fingerprint-less entries keep the original
+        layout, so old blobs stay readable.
         """
         import json
 
@@ -242,7 +265,12 @@ class BlockElasticMap:
             + len(hash_blob).to_bytes(8, "little")
             + len(bloom_blob).to_bytes(8, "little")
         )
-        return header + hash_blob + bloom_blob
+        trailer = (
+            self.fingerprint.to_bytes(8, "little")
+            if self.fingerprint is not None
+            else b""
+        )
+        return header + hash_blob + bloom_blob + trailer
 
     @classmethod
     def from_bytes(
@@ -261,18 +289,28 @@ class BlockElasticMap:
         delta = int.from_bytes(blob[8:16], "little")
         hash_len = int.from_bytes(blob[16:24], "little")
         bloom_len = int.from_bytes(blob[24:32], "little")
-        if len(blob) != 32 + hash_len + bloom_len:
+        base = 32 + hash_len + bloom_len
+        if len(blob) == base:
+            fingerprint = None
+        elif len(blob) == base + 8:
+            fingerprint = int.from_bytes(blob[base:], "little")
+        else:
             raise MetadataError("BlockElasticMap blob length mismatch")
         try:
             hash_map = json.loads(blob[32 : 32 + hash_len].decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
             raise MetadataError(f"corrupt hash-map payload: {exc}") from exc
         try:
-            bloom = BloomFilter.from_bytes(blob[32 + hash_len :])
+            bloom = BloomFilter.from_bytes(blob[32 + hash_len : base])
         except ConfigError as exc:
             raise MetadataError(f"corrupt bloom payload: {exc}") from exc
         return cls(
-            block_id, hash_map, bloom, delta=delta, memory_model=memory_model
+            block_id,
+            hash_map,
+            bloom,
+            delta=delta,
+            memory_model=memory_model,
+            fingerprint=fingerprint,
         )
 
 
@@ -331,6 +369,20 @@ class ElasticMapArray:
             [b.block_id for b in self._blocks], block_map.block_id
         )
         self._blocks.insert(idx, block_map)
+
+    def remove_block(self, block_id: int) -> BlockElasticMap:
+        """Quarantine a block's metadata (integrity validation path).
+
+        Returns the removed entry so callers can report what was evicted.
+
+        Raises:
+            MetadataError: if the block has no metadata.
+        """
+        entry = self._by_id.pop(block_id, None)
+        if entry is None:
+            raise MetadataError(f"no ElasticMap for block {block_id}")
+        self._blocks.remove(entry)
+        return entry
 
     # -- sub-dataset queries -----------------------------------------------------
 

@@ -103,7 +103,7 @@ class ShardMap:
     membership changes reshuffle only the affected blocks.
     """
 
-    def __init__(self, node_ids: Iterable[str], *, replication: int = 2) -> None:
+    def __init__(self, node_ids: Iterable[str], *, replication: int = 3) -> None:
         ids = list(node_ids)
         if not ids:
             raise ConfigError("ShardMap needs at least one meta-node")
@@ -151,7 +151,7 @@ class DistributedMetaStore:
         self,
         num_nodes: int = 4,
         *,
-        replication: int = 2,
+        replication: int = 3,
         memory_model: Optional[MemoryModel] = None,
     ) -> None:
         if num_nodes <= 0:

@@ -46,6 +46,7 @@ class SketchBlockElasticMap(BlockElasticMap):
         bloom=None,
         delta: Optional[int] = None,
         memory_model: Optional[MemoryModel] = None,
+        fingerprint: Optional[int] = None,
     ) -> None:
         from .bloom import BloomFilter
 
@@ -60,6 +61,7 @@ class SketchBlockElasticMap(BlockElasticMap):
             bloom,
             delta=delta,
             memory_model=model,
+            fingerprint=fingerprint,
         )
         self.sketch = sketch
 
@@ -72,6 +74,7 @@ class SketchBlockElasticMap(BlockElasticMap):
         memory_model: Optional[MemoryModel] = None,
         epsilon: float = 0.02,
         sketch_delta: float = 0.05,
+        fingerprint: Optional[int] = None,
     ) -> "SketchBlockElasticMap":
         """Build from a dominant/tail separation, sketching the tail sizes."""
         from .bloom import BloomFilter
@@ -99,6 +102,7 @@ class SketchBlockElasticMap(BlockElasticMap):
             bloom=bloom,
             delta=max(delta, 1) if delta is not None else None,
             memory_model=model,
+            fingerprint=fingerprint,
         )
 
     # -- queries --------------------------------------------------------------

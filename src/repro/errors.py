@@ -29,6 +29,15 @@ class ReplicationError(StorageError):
     """Replica placement could not satisfy the requested replication factor."""
 
 
+class IntegrityError(ReproError):
+    """Data failed a checksum/fingerprint check and could not be repaired.
+
+    Raised by the verified read path, the replica scrubber and DataNet's
+    metadata validation when every copy of a piece of state is corrupt —
+    the cases where the only honest outcome is to refuse to produce output.
+    """
+
+
 class MetadataError(ReproError):
     """Raised by the ElasticMap / DataNet metadata layer (``repro.core``)."""
 

@@ -5,7 +5,8 @@ reproduction survive an unhealthy one.  It is organized as four layers:
 
 - :mod:`repro.faults.plan` — declarative, seed-driven fault scripts
   (:class:`FaultPlan`): node crashes at fixed times, hash-drawn transient
-  task failures, slow nodes, metadata-shard outages.
+  task failures, slow nodes, metadata-shard outages, replica bit rot,
+  stale metadata entries, and mid-job driver restarts.
 - :mod:`repro.faults.injector` — :class:`FaultInjector`, the deterministic
   oracle the engine and the discrete-event simulator consult at event
   boundaries.
@@ -26,7 +27,16 @@ changes the analysis output.
 
 from .degrade import degraded_schedule, merge_assignments
 from .injector import FaultInjector
-from .plan import FaultPlan, MetaOutage, NodeCrash, SlowNode, TransientFaults
+from .plan import (
+    BitRot,
+    DriverRestart,
+    FaultPlan,
+    MetaOutage,
+    NodeCrash,
+    SlowNode,
+    StaleMetadata,
+    TransientFaults,
+)
 from .retry import AttemptLog, AttemptRecord, NodeBlacklist, RetryPolicy, run_attempts
 from .runner import ChaosReport, ChaosRunner
 
@@ -36,6 +46,9 @@ __all__ = [
     "SlowNode",
     "TransientFaults",
     "MetaOutage",
+    "BitRot",
+    "StaleMetadata",
+    "DriverRestart",
     "FaultInjector",
     "RetryPolicy",
     "AttemptRecord",

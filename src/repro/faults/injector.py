@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, Hashable, List, Optional
 
-from .plan import FaultPlan, NodeCrash, SlowNode
+from .plan import BitRot, DriverRestart, FaultPlan, NodeCrash, SlowNode
 
 __all__ = ["FaultInjector"]
 
@@ -75,3 +75,19 @@ class FaultInjector:
         if s is None or time < s.start:
             return 1.0
         return s.factor
+
+    # -- integrity faults ----------------------------------------------------------
+
+    def bit_rots_chronological(self) -> List[BitRot]:
+        """All planned replica corruptions, earliest first (stable order)."""
+        return sorted(
+            self.plan.bit_rots, key=lambda r: (r.time, repr(r.node), r.block)
+        )
+
+    def stale_blocks(self) -> List[int]:
+        """Block ids whose metadata entry the plan marks stale, sorted."""
+        return sorted(s.block for s in self.plan.stale_metadata)
+
+    def driver_restarts(self) -> List[DriverRestart]:
+        """All planned driver restarts, earliest wave first."""
+        return sorted(self.plan.driver_restarts, key=lambda r: r.wave)

@@ -26,6 +26,9 @@ __all__ = [
     "SlowNode",
     "TransientFaults",
     "MetaOutage",
+    "BitRot",
+    "StaleMetadata",
+    "DriverRestart",
     "FaultPlan",
 ]
 
@@ -100,6 +103,69 @@ class MetaOutage:
 
 
 @dataclass(frozen=True)
+class BitRot:
+    """One replica of ``block`` on ``node`` silently rots at ``time``.
+
+    Only that node's copy diverges; the logical block and its other
+    replicas stay intact, exactly like an undetected disk bit flip under
+    HDFS replication.  ``time`` orders rot events; the chaos runner
+    injects them before the job's first read (rot is latent by nature —
+    it happened whenever the disk decayed, and is only *observable* at
+    read or scrub time).
+    """
+
+    node: NodeId
+    block: int
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.block < 0:
+            raise ConfigError(f"block id must be non-negative, got {self.block}")
+        if self.time < 0:
+            raise ConfigError(f"rot time must be non-negative: {self.time}")
+
+
+@dataclass(frozen=True)
+class StaleMetadata:
+    """The ElasticMap entry for ``block`` no longer matches the block.
+
+    Models a metadata update lost or applied out of order: the entry
+    describes an older version of the block, so its fingerprint disagrees
+    with the stored content.  Detected by
+    :meth:`repro.core.datanet.DataNet.validate_integrity`.
+    """
+
+    block: int
+
+    def __post_init__(self) -> None:
+        if self.block < 0:
+            raise ConfigError(f"block id must be non-negative, got {self.block}")
+
+
+@dataclass(frozen=True)
+class DriverRestart:
+    """The job driver dies mid-wave ``wave`` and restarts from checkpoint.
+
+    Work in flight during that wave is lost (``waste_fraction`` of each
+    task's duration) and the restarted driver resumes from the last
+    durable wave checkpoint after ``restart_delay_s``.  Output must be
+    byte-identical to an uninterrupted run; only time is lost.
+    """
+
+    wave: int
+    waste_fraction: float = 0.5
+    restart_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.wave < 0:
+            raise ConfigError(f"wave must be non-negative, got {self.wave}")
+        if not 0.0 <= self.waste_fraction <= 1.0:
+            raise ConfigError("waste_fraction must be in [0, 1]")
+        if self.restart_delay_s < 0:
+            raise ConfigError("restart_delay_s must be non-negative")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full failure script for one chaos run.
 
@@ -109,6 +175,10 @@ class FaultPlan:
         slow_nodes: slow-node degradations, at most one per node.
         transient: per-attempt transient failure model (``None`` disables).
         meta_outages: metadata shards down for the whole run.
+        bit_rots: silent replica corruptions, at most one per (node, block).
+        stale_metadata: ElasticMap entries diverged from their blocks, at
+            most one per block.
+        driver_restarts: mid-job driver deaths, at most one per wave.
     """
 
     seed: int = 0
@@ -116,6 +186,9 @@ class FaultPlan:
     slow_nodes: Tuple[SlowNode, ...] = ()
     transient: Optional[TransientFaults] = None
     meta_outages: Tuple[MetaOutage, ...] = ()
+    bit_rots: Tuple[BitRot, ...] = ()
+    stale_metadata: Tuple[StaleMetadata, ...] = ()
+    driver_restarts: Tuple[DriverRestart, ...] = ()
 
     def __post_init__(self) -> None:
         crash_nodes = [c.node for c in self.crashes]
@@ -127,6 +200,15 @@ class FaultPlan:
         outs = [o.node_id for o in self.meta_outages]
         if len(set(outs)) != len(outs):
             raise ConfigError("duplicate meta-node outage")
+        rots = [(r.node, r.block) for r in self.bit_rots]
+        if len(set(rots)) != len(rots):
+            raise ConfigError("at most one bit rot per (node, block) replica")
+        stale = [s.block for s in self.stale_metadata]
+        if len(set(stale)) != len(stale):
+            raise ConfigError("at most one stale-metadata entry per block")
+        waves = [r.wave for r in self.driver_restarts]
+        if len(set(waves)) != len(waves):
+            raise ConfigError("at most one driver restart per wave")
 
     # -- queries -----------------------------------------------------------------
 
@@ -137,7 +219,15 @@ class FaultPlan:
 
     def is_empty(self) -> bool:
         """True when the plan injects nothing at all."""
-        return not (self.crashes or self.slow_nodes or self.transient or self.meta_outages)
+        return not (
+            self.crashes
+            or self.slow_nodes
+            or self.transient
+            or self.meta_outages
+            or self.bit_rots
+            or self.stale_metadata
+            or self.driver_restarts
+        )
 
     # -- construction ------------------------------------------------------------
 
@@ -152,12 +242,17 @@ class FaultPlan:
         flaky_probability: float = 0.05,
         slow_count: int = 0,
         slow_factor: float = 2.0,
+        bitrot_count: int = 0,
+        num_blocks: Optional[int] = None,
     ) -> "FaultPlan":
         """Sample a plan from a seed — the soak-test entry point.
 
-        Crash victims and times, slow nodes, and the transient probability
-        all come from ``numpy``'s seeded generator, so the same seed over
-        the same node list yields the same plan.
+        Crash victims and times, slow nodes, bit-rot targets and the
+        transient probability all come from ``numpy``'s seeded generator,
+        so the same seed over the same node list yields the same plan.
+        ``bitrot_count`` requires ``num_blocks`` (the sampled (node, block)
+        pairs must land on real blocks); the chaos runner resolves a pair
+        whose node holds no replica to the block's primary replica.
         """
         universe = list(nodes)
         if crash_count + slow_count > len(universe):
@@ -179,4 +274,26 @@ class FaultPlan:
         transient = (
             TransientFaults(flaky_probability) if flaky_probability > 0 else None
         )
-        return cls(seed=seed, crashes=crashes, slow_nodes=slow, transient=transient)
+        bit_rots: Tuple[BitRot, ...] = ()
+        if bitrot_count > 0:
+            if num_blocks is None or num_blocks <= 0:
+                raise ConfigError(
+                    "bitrot_count requires a positive num_blocks to sample from"
+                )
+            cells = len(universe) * num_blocks
+            if bitrot_count > cells:
+                raise ConfigError(
+                    f"cannot pick {bitrot_count} bit rots from {cells} replicas"
+                )
+            flat = rng.choice(cells, size=bitrot_count, replace=False)
+            bit_rots = tuple(
+                BitRot(universe[int(i) // num_blocks], int(i) % num_blocks)
+                for i in sorted(int(i) for i in flat)
+            )
+        return cls(
+            seed=seed,
+            crashes=crashes,
+            slow_nodes=slow,
+            transient=transient,
+            bit_rots=bit_rots,
+        )

@@ -29,15 +29,19 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..core.datanet import DataNet
+from ..core.elasticmap import BlockElasticMap
 from ..core.metastore import DistributedMetaStore
 from ..core.scheduler import Assignment, DistributionAwareScheduler
 from ..errors import ConfigError, FaultError
 from ..hdfs.cluster import DatasetView, HDFSCluster
 from ..hdfs.failure import FailureManager
 from ..hdfs.records import Record
+from ..hdfs.scrubber import ReadVerifier, Scrubber
+from ..mapreduce.checkpoint import WaveCheckpoint
 from ..mapreduce.costmodel import ClusterCostModel
 from ..mapreduce.engine import JobResult, MapReduceEngine, PhaseResult, SelectionResult
 from ..mapreduce.job import MapReduceJob
+from ..metrics.integrity import IntegritySummary
 from ..metrics.recovery import RecoverySummary
 from .degrade import degraded_schedule
 from .injector import FaultInjector
@@ -63,6 +67,7 @@ class ChaosReport:
     blacklisted_nodes: List[NodeId]
     degraded_blocks: List[int]
     rescheduled_blocks: List[int]
+    integrity: IntegritySummary
 
     @property
     def makespan(self) -> float:
@@ -91,10 +96,18 @@ class ChaosReport:
             blacklisted_nodes=len(self.blacklisted_nodes),
             degraded_blocks=len(self.degraded_blocks),
             rescheduled_blocks=len(self.rescheduled_blocks),
+            scrub_bytes=self.integrity.scrub_bytes,
+            repaired_replicas=self.integrity.corruptions_repaired,
+            rebuilt_blocks=self.integrity.rebuilt_blocks,
+            driver_restarts=self.integrity.driver_restarts,
+            resume_wasted_seconds=self.integrity.resume_wasted_seconds,
         )
 
     def format(self) -> str:
-        return self.summary().format()
+        parts = [self.summary().format()]
+        if self.integrity.corruptions_injected or self.integrity.stale_entries:
+            parts.append(self.integrity.format())
+        return "\n\n".join(parts)
 
 
 class ChaosRunner:
@@ -126,6 +139,15 @@ class ChaosRunner:
         for crash in plan.crashes:
             if crash.node not in cluster.datanodes:
                 raise ConfigError(f"plan crashes unknown node {crash.node!r}")
+        for rot in plan.bit_rots:
+            if rot.node not in cluster.datanodes:
+                raise ConfigError(f"plan rots replica on unknown node {rot.node!r}")
+        if plan.driver_restarts and plan.crashes:
+            raise ConfigError(
+                "driver restarts cannot be combined with node crashes: "
+                "checkpointed waves and crash rescheduling assume different "
+                "execution orders"
+            )
         self.cluster = cluster
         self.plan = plan
         self.injector = FaultInjector(plan)
@@ -147,6 +169,15 @@ class ChaosRunner:
         datanet = DataNet.build(dataset, alpha=self.alpha)
         baseline = self.engine.run_job(dataset, sub_id, job, datanet.schedule(sub_id))
 
+        # Integrity faults strike after the baseline is captured: stale
+        # metadata is diverged and then caught by standing validation
+        # (before anything downstream trusts the array), and bit rot is
+        # planted latent in the replicas the selection phase will read.
+        stale = self._tamper_stale_entries(datanet, dataset)
+        validation = datanet.validate_integrity(dataset)
+        injected = self._inject_bit_rots(dataset)
+        verifier = ReadVerifier(self.cluster)
+
         degraded: List[int] = []
         if self.metastore is not None:
             if not self.metastore.block_ids:
@@ -161,13 +192,37 @@ class ChaosRunner:
 
         log = AttemptLog()
         blacklist = NodeBlacklist(self.retry.blacklist_after)
-        selection, crash_waste, rescheduled = self._selection_with_recovery(
-            dataset, sub_id, assignment, job.profile, datanet, log, blacklist
-        )
+        resume_wasted = 0.0
+        restarts_survived = 0
+        if self.plan.driver_restarts:
+            selection, resume_wasted, restarts_survived = self._selection_with_restarts(
+                dataset, sub_id, assignment, job.profile, log, blacklist, verifier
+            )
+            crash_waste, rescheduled = 0.0, []
+        else:
+            selection, crash_waste, rescheduled = self._selection_with_recovery(
+                dataset, sub_id, assignment, job.profile, datanet, log, blacklist,
+                verifier,
+            )
+        # Background scrub: repair rot the read path never touched (replicas
+        # of unselected blocks, or copies a task skipped over).  Off the job
+        # clock, like HDFS's block scanner.
+        scrub = Scrubber(self.cluster, failures=self.failures).scrub(dataset.name)
         analysis = self.engine.run_analysis(
             job, selection.local_data, start_time=selection.makespan
         )
         analysis.selection = selection
+        integrity = IntegritySummary(
+            corruptions_injected=injected,
+            corruptions_detected=verifier.detected + scrub.corrupt_found,
+            corruptions_repaired=verifier.repaired + scrub.repaired,
+            scrubbed_replicas=scrub.replicas_scanned,
+            scrub_bytes=scrub.bytes_scanned,
+            stale_entries=len(stale),
+            rebuilt_blocks=len(validation.rebuilt),
+            driver_restarts=restarts_survived,
+            resume_wasted_seconds=resume_wasted,
+        )
         return ChaosReport(
             job=analysis,
             baseline=baseline,
@@ -179,7 +234,123 @@ class ChaosRunner:
             blacklisted_nodes=blacklist.nodes,
             degraded_blocks=degraded,
             rescheduled_blocks=sorted(set(rescheduled)),
+            integrity=integrity,
         )
+
+    # -- integrity fault application ----------------------------------------------
+
+    def _tamper_stale_entries(
+        self, datanet: DataNet, dataset: DatasetView
+    ) -> List[int]:
+        """Apply the plan's ``StaleMetadata`` faults to the live array.
+
+        Models metadata written against an older version of the block:
+        the recorded sub-dataset sizes are off and the stored fingerprint
+        no longer matches the block content, which is exactly what
+        validation quarantines on.
+        """
+        stale = self.injector.stale_blocks()
+        if not stale:
+            return []
+        known = set(datanet.elasticmap.block_ids)
+        unknown = [b for b in stale if b not in known]
+        if unknown:
+            raise ConfigError(f"plan stales unknown blocks {unknown[:5]}")
+        for block_id in stale:
+            old = datanet.elasticmap.remove_block(block_id)
+            halved = {sid: max(1, size // 2) for sid, size in old.hash_map.items()}
+            datanet.elasticmap.add_block(
+                BlockElasticMap(
+                    block_id,
+                    halved,
+                    old.bloom,
+                    delta=old.delta,
+                    memory_model=old.memory_model,
+                    fingerprint=dataset.block_fingerprint(block_id) ^ 1,
+                )
+            )
+        return stale
+
+    def _inject_bit_rots(self, dataset: DatasetView) -> int:
+        """Corrupt the planned replicas; returns how many were rotted.
+
+        Rot is latent — planted now, noticed only when a verified read or
+        the scrub touches the replica.  A plan may name a node that holds
+        no replica of the block (placement is seeded and callers cannot
+        know it); such rots fall back to the block's first replica, so a
+        plan always corrupts *something* deterministically.
+        """
+        placement = dataset.placement()
+        applied: set = set()
+        for rot in self.injector.bit_rots_chronological():
+            if rot.block not in placement:
+                raise ConfigError(
+                    f"plan rots unknown block {rot.block} of {dataset.name!r}"
+                )
+            replicas = placement[rot.block]
+            node = rot.node if rot.node in replicas else replicas[0]
+            if (node, rot.block) in applied:
+                continue  # two fallbacks collapsed onto the same replica
+            self.cluster.corrupt_replica(dataset.name, node, rot.block)
+            applied.add((node, rot.block))
+        return len(applied)
+
+    # -- checkpointed selection ---------------------------------------------------
+
+    def _selection_with_restarts(
+        self,
+        dataset: DatasetView,
+        sub_id: str,
+        assignment: Assignment,
+        profile,
+        log: AttemptLog,
+        blacklist: NodeBlacklist,
+        verifier: ReadVerifier,
+    ) -> Tuple[SelectionResult, float, int]:
+        """Checkpointed selection surviving every planned driver restart.
+
+        Returns ``(selection, resume_wasted_seconds, restarts_survived)``.
+        Each restart round-trips the checkpoint through its durable byte
+        form: resume must work from what survives a driver death, not from
+        in-memory state.
+        """
+        checkpoint = None
+        resume_wasted = 0.0
+        survived = 0
+        selection = None
+        for restart in self.injector.driver_restarts():
+            selection, checkpoint, wasted = self.engine.run_selection_checkpointed(
+                dataset,
+                sub_id,
+                assignment,
+                profile,
+                checkpoint=checkpoint,
+                interrupt=restart,
+                injector=self.injector,
+                retry=self.retry,
+                attempt_log=log,
+                blacklist=blacklist,
+                verify=verifier,
+            )
+            if selection is not None:
+                break  # the planned restart wave lay past the end of the job
+            survived += 1
+            resume_wasted += wasted
+            checkpoint = WaveCheckpoint.from_bytes(checkpoint.to_bytes())
+        if selection is None:
+            selection, _checkpoint, _ = self.engine.run_selection_checkpointed(
+                dataset,
+                sub_id,
+                assignment,
+                profile,
+                checkpoint=checkpoint,
+                injector=self.injector,
+                retry=self.retry,
+                attempt_log=log,
+                blacklist=blacklist,
+                verify=verifier,
+            )
+        return selection, resume_wasted, survived
 
     # -- fault-tolerant selection -------------------------------------------------
 
@@ -192,6 +363,7 @@ class ChaosRunner:
         datanet: DataNet,
         log: AttemptLog,
         blacklist: NodeBlacklist,
+        verifier: Optional[ReadVerifier] = None,
     ) -> Tuple[SelectionResult, float, List[int]]:
         """Drive selection to completion through crashes and retries.
 
@@ -223,7 +395,7 @@ class ChaosRunner:
                     break  # the rest dies with the node
                 bid = queue.pop(0)
                 base, matched, nbytes = self.engine.selection_task_cost(
-                    dataset, sub_id, placement, node, bid, profile
+                    dataset, sub_id, placement, node, bid, profile, verify=verifier
                 )
                 first_attempt = attempts_used.get(bid, 0) + 1
                 checkpoint = len(log.records)

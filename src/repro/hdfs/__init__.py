@@ -30,6 +30,7 @@ from .namenode import NameNode, BlockMeta
 from .datanode import DataNode
 from .cluster import HDFSCluster, DatasetView
 from .failure import FailureManager, ReplicationEvent
+from .scrubber import Scrubber, ScrubReport, RepairEvent, ReadVerifier
 from .balancer import BlockBalancer, BalancerReport
 
 __all__ = [
@@ -47,6 +48,10 @@ __all__ = [
     "DatasetView",
     "FailureManager",
     "ReplicationEvent",
+    "Scrubber",
+    "ScrubReport",
+    "RepairEvent",
+    "ReadVerifier",
     "BlockBalancer",
     "BalancerReport",
 ]

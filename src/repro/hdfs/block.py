@@ -8,13 +8,19 @@ the mechanism behind the paper's content clustering (Figure 1a).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Tuple
+import hashlib
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import ConfigError, StorageError
 from ..units import MiB
 from .records import Record
 
-__all__ = ["Block", "pack_records"]
+__all__ = ["Block", "pack_records", "CHECKSUM_BYTES"]
+
+#: Width of a block content checksum, in bytes.  8 bytes keeps the
+#: fingerprint embeddable in a fixed-size serialized field while making an
+#: accidental collision between a block and its corrupted twin negligible.
+CHECKSUM_BYTES = 8
 
 
 class Block:
@@ -25,7 +31,7 @@ class Block:
         capacity_bytes: maximum serialized bytes the block may hold.
     """
 
-    __slots__ = ("block_id", "capacity_bytes", "_records", "_used")
+    __slots__ = ("block_id", "capacity_bytes", "_records", "_used", "_checksum")
 
     def __init__(self, block_id: int, capacity_bytes: int = 64 * MiB) -> None:
         if block_id < 0:
@@ -36,6 +42,7 @@ class Block:
         self.capacity_bytes = capacity_bytes
         self._records: List[Record] = []
         self._used = 0
+        self._checksum: Optional[bytes] = None
 
     # -- writing --------------------------------------------------------------
 
@@ -43,18 +50,45 @@ class Block:
         """Append if the record fits; return whether it was stored.
 
         A record larger than an *empty* block's capacity is an error — it
-        could never be stored anywhere.
+        could never be stored anywhere, so retrying with a fresh block is
+        pointless.  A record that merely overflows a *partially full* block
+        is a normal "start the next block" signal and returns ``False``.
         """
         size = record.nbytes
-        if size > self.capacity_bytes:
-            raise StorageError(
-                f"record of {size} B exceeds block capacity {self.capacity_bytes} B"
-            )
         if self._used + size > self.capacity_bytes:
+            if self._used == 0:
+                raise StorageError(
+                    f"record of {size} B exceeds block capacity "
+                    f"{self.capacity_bytes} B"
+                )
             return False
         self._records.append(record)
         self._used += size
+        self._checksum = None
         return True
+
+    # -- integrity ------------------------------------------------------------
+
+    def checksum(self) -> bytes:
+        """Content checksum over the serialized records, in append order.
+
+        Computed lazily and cached; any append invalidates the cache.  The
+        same record content always hashes to the same digest, which is what
+        lets a replica be verified against the catalog and lets a rebuilt
+        ElasticMap entry be re-fingerprinted bit-for-bit.
+        """
+        if self._checksum is None:
+            h = hashlib.blake2b(digest_size=CHECKSUM_BYTES)
+            for r in self._records:
+                h.update(r.serialize().encode("utf-8"))
+                h.update(b"\n")
+            self._checksum = h.digest()
+        return self._checksum
+
+    @property
+    def fingerprint(self) -> int:
+        """The checksum as an unsigned integer (fits metadata envelopes)."""
+        return int.from_bytes(self.checksum(), "little")
 
     # -- reading ---------------------------------------------------------------
 

@@ -152,6 +152,16 @@ class HDFSCluster:
                 f"block {block_id} of dataset {dataset!r} not found"
             ) from None
 
+    # -- integrity ----------------------------------------------------------------
+
+    def corrupt_replica(self, dataset: str, node: int, block_id: int) -> None:
+        """Rot one node's copy of a block (fault injection entry point)."""
+        if not self.namenode.has_dataset(dataset):
+            raise BlockNotFoundError(f"unknown dataset {dataset!r}")
+        if node not in self.datanodes:
+            raise ConfigError(f"unknown node {node}")
+        self.datanodes[node].corrupt_replica(dataset, block_id)
+
 
 class DatasetView:
     """All per-dataset operations, bound to one cluster + dataset name.
@@ -205,6 +215,10 @@ class DatasetView:
     def total_bytes(self) -> int:
         """Logical dataset size (pre-replication)."""
         return self.cluster.namenode.dataset_bytes(self.name)
+
+    def block_fingerprint(self, block_id: int) -> int:
+        """Content fingerprint of one block (what metadata entries carry)."""
+        return self.block(block_id).fingerprint
 
     # -- ground truth helpers ------------------------------------------------------
 

@@ -4,14 +4,21 @@ Each cluster node stores the block replicas placed on it.  Block *content*
 is shared (one :class:`~repro.hdfs.block.Block` object per logical block);
 the DataNode records possession, mirroring how replication multiplies disk
 usage but not logical data.
+
+Because content is shared, bit rot is modeled as a per-replica *corruption
+overlay*: a corrupt replica keeps pointing at the logical block (so sizes
+and placement stay coherent) but reports a divergent checksum and refuses
+verified reads until repaired.  That is exactly the observable behaviour of
+a rotten HDFS replica — the bytes are there, the checksum file disagrees.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import hashlib
+from typing import Dict, List, Set, Tuple
 
-from ..errors import ConfigError, StorageError
-from .block import Block
+from ..errors import ConfigError, IntegrityError, StorageError
+from .block import Block, CHECKSUM_BYTES
 
 __all__ = ["DataNode"]
 
@@ -31,6 +38,7 @@ class DataNode:
         self.node_id = node_id
         self.rack = rack
         self._replicas: Dict[Tuple[str, int], Block] = {}
+        self._corrupt: Set[Tuple[str, int]] = set()
 
     # -- replica management -----------------------------------------------------
 
@@ -58,21 +66,100 @@ class DataNode:
                 f"node {self.node_id} holds no replica of block {block_id} "
                 f"of {dataset!r} to drop"
             )
+        self._corrupt.discard((dataset, block_id))
 
-    def get_replica(self, dataset: str, block_id: int) -> Block:
+    def get_replica(self, dataset: str, block_id: int, *, verify: bool = False) -> Block:
         """Fetch a locally stored replica.
+
+        Args:
+            verify: re-checksum the replica before serving it, as the HDFS
+                read path does.  A corrupt replica then raises
+                :class:`~repro.errors.IntegrityError` instead of silently
+                serving divergent bytes.
 
         Raises:
             StorageError: if this node holds no such replica (a remote read
                 must go through the cluster, which models the transfer).
+            IntegrityError: if ``verify`` is set and the replica is corrupt.
         """
         try:
-            return self._replicas[(dataset, block_id)]
+            block = self._replicas[(dataset, block_id)]
         except KeyError:
             raise StorageError(
                 f"node {self.node_id} holds no replica of block {block_id} "
                 f"of {dataset!r}"
             ) from None
+        if verify and (dataset, block_id) in self._corrupt:
+            raise IntegrityError(
+                f"checksum mismatch reading block {block_id} of {dataset!r} "
+                f"on node {self.node_id}"
+            )
+        return block
+
+    # -- integrity ----------------------------------------------------------------
+
+    def corrupt_replica(self, dataset: str, block_id: int) -> None:
+        """Flip this node's copy of a block to a corrupt state (bit rot).
+
+        Only this replica diverges; other nodes' copies of the same logical
+        block stay intact.  Idempotent once corrupt.
+
+        Raises:
+            StorageError: if the node holds no such replica.
+        """
+        if (dataset, block_id) not in self._replicas:
+            raise StorageError(
+                f"node {self.node_id} holds no replica of block {block_id} "
+                f"of {dataset!r} to corrupt"
+            )
+        self._corrupt.add((dataset, block_id))
+
+    def is_replica_corrupt(self, dataset: str, block_id: int) -> bool:
+        """Whether this node's copy of the block has rotted."""
+        return (dataset, block_id) in self._corrupt
+
+    def replica_checksum(self, dataset: str, block_id: int) -> bytes:
+        """Checksum of the bytes this node would actually serve.
+
+        A healthy replica reports the logical block's checksum; a rotten one
+        reports a deterministic *different* digest (derived from the true
+        one), modeling flipped bits without mutating the shared block.
+        """
+        block = self.get_replica(dataset, block_id)
+        digest = block.checksum()
+        if (dataset, block_id) in self._corrupt:
+            return hashlib.blake2b(
+                digest + b"!bitrot", digest_size=CHECKSUM_BYTES
+            ).digest()
+        return digest
+
+    def verify_replica(self, dataset: str, block_id: int) -> bool:
+        """Compare the replica's served checksum against the block's truth."""
+        return (
+            self.replica_checksum(dataset, block_id)
+            == self.get_replica(dataset, block_id).checksum()
+        )
+
+    def repair_replica(self, dataset: str, block_id: int) -> None:
+        """Overwrite a rotten replica from a verified-good copy.
+
+        The caller is responsible for having located a good source (see
+        :class:`~repro.hdfs.scrubber.Scrubber`); content is shared, so the
+        repair amounts to clearing the corruption overlay.
+
+        Raises:
+            StorageError: if the node holds no such replica.
+        """
+        if (dataset, block_id) not in self._replicas:
+            raise StorageError(
+                f"node {self.node_id} holds no replica of block {block_id} "
+                f"of {dataset!r} to repair"
+            )
+        self._corrupt.discard((dataset, block_id))
+
+    def corrupt_replicas(self, dataset: str) -> List[int]:
+        """Ids of this node's rotten replicas belonging to ``dataset``, sorted."""
+        return sorted(bid for ds, bid in self._corrupt if ds == dataset)
 
     # -- introspection -------------------------------------------------------------
 

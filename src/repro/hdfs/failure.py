@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Set
 
-from ..errors import ConfigError, ReplicationError, StorageError
+from ..errors import ConfigError, IntegrityError, ReplicationError, StorageError
 from .cluster import HDFSCluster
 
 __all__ = ["FailureManager", "ReplicationEvent"]
@@ -103,7 +103,7 @@ class FailureManager:
                 self._replace_meta(dataset, block_id, survivors)
                 continue
             destination = self._pick_destination(block_id, candidates)
-            source = self._pick_source(survivors)
+            source = self._pick_source(dataset, block_id, survivors)
             block = self.cluster.get_block(dataset, block_id)
             self.cluster.datanodes[destination].store_replica(dataset, block)
             new_replicas = survivors + [destination]
@@ -124,12 +124,29 @@ class FailureManager:
         placed = self.cluster.placement_policy.place(block_id, candidates)
         return placed[0]
 
-    def _pick_source(self, survivors: List[int]) -> int:
-        """The least-loaded surviving replica holder serves the copy, so
-        re-replication traffic spreads instead of hammering whichever
-        survivor the catalog happens to list first."""
+    def _pick_source(self, dataset: str, block_id: int, survivors: List[int]) -> int:
+        """The least-loaded *verified-good* surviving replica serves the copy.
+
+        Spreading re-replication traffic is secondary to never propagating
+        bit rot: a survivor whose replica fails its checksum is skipped, and
+        if every survivor is rotten the copy is refused outright rather than
+        multiplying corrupt data.
+
+        Raises:
+            IntegrityError: when no survivor passes verification.
+        """
+        good = [
+            n
+            for n in survivors
+            if self.cluster.datanodes[n].verify_replica(dataset, block_id)
+        ]
+        if not good:
+            raise IntegrityError(
+                f"block {block_id} of {dataset!r}: every surviving replica "
+                f"fails its checksum; refusing to re-replicate corrupt data"
+            )
         return min(
-            survivors,
+            good,
             key=lambda n: (self.cluster.datanodes[n].used_bytes(), n),
         )
 

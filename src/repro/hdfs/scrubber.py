@@ -1,0 +1,292 @@
+"""Replica scrubbing and checksum-verified reads.
+
+HDFS pairs replication with two integrity mechanisms: the *read path*
+re-checksums every block it serves (clients fail over to another replica on
+a mismatch and report the bad copy), and a *background scrubber*
+(``DataBlockScanner``) sweeps replicas on a cycle so rot on cold data is
+found before the last good copy disappears.  This module models both.
+
+:class:`Scrubber` sweeps a cluster's replicas, compares each copy's served
+checksum against the logical block's truth, and repairs divergent copies
+from a verified-good replica.  :class:`ReadVerifier` is the read-path
+counterpart the MapReduce engine threads through selection tasks: local
+reads of a rotten replica are detected and repaired in place (at remote
+read + local write cost); remote reads fail over across replicas in catalog
+order.  Both refuse to proceed — :class:`~repro.errors.IntegrityError` —
+when *no* verified copy of a block remains, upholding the invariant that
+corruption never reaches analysis output silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import IntegrityError
+from .cluster import HDFSCluster
+from .failure import FailureManager
+
+__all__ = ["Scrubber", "ScrubReport", "RepairEvent", "ReadVerifier"]
+
+
+@dataclass(frozen=True)
+class RepairEvent:
+    """One replica repair: a rotten copy overwritten from a good one."""
+
+    dataset: str
+    block_id: int
+    source: int
+    destination: int
+    nbytes: int
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one scrub pass (full sweep or incremental step)."""
+
+    replicas_scanned: int = 0
+    bytes_scanned: int = 0
+    corrupt_found: int = 0
+    repaired: int = 0
+    repaired_bytes: int = 0
+    unrepairable: List[Tuple[str, int]] = field(default_factory=list)
+    events: List[RepairEvent] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the pass found nothing wrong."""
+        return self.corrupt_found == 0 and not self.unrepairable
+
+    def merge(self, other: "ScrubReport") -> None:
+        """Fold another pass's counters into this one (incremental sweeps)."""
+        self.replicas_scanned += other.replicas_scanned
+        self.bytes_scanned += other.bytes_scanned
+        self.corrupt_found += other.corrupt_found
+        self.repaired += other.repaired
+        self.repaired_bytes += other.repaired_bytes
+        self.unrepairable.extend(other.unrepairable)
+        self.events.extend(other.events)
+
+
+class Scrubber:
+    """Background replica scrubber: detect divergent copies, repair them.
+
+    Args:
+        cluster: the cluster to sweep.
+        failures: optional :class:`FailureManager`; when given, dead nodes'
+            replicas are skipped (they are unreachable, and re-replication
+            already handled them) and repair events are appended to the
+            manager's event log so recovery accounting sees scrub traffic.
+        strict: when True (default), a block whose *every* live replica is
+            corrupt raises :class:`~repro.errors.IntegrityError`; when
+            False it is reported in ``ScrubReport.unrepairable`` instead.
+    """
+
+    def __init__(
+        self,
+        cluster: HDFSCluster,
+        *,
+        failures: Optional[FailureManager] = None,
+        strict: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.failures = failures
+        self.strict = strict
+        self._cursor = 0
+
+    # -- liveness -----------------------------------------------------------------
+
+    def _is_alive(self, node: int) -> bool:
+        return self.failures is None or self.failures.is_alive(node)
+
+    # -- sweep enumeration --------------------------------------------------------
+
+    def _replica_list(self, dataset: Optional[str]) -> List[Tuple[str, int, int]]:
+        """Deterministic ``(dataset, block_id, node)`` sweep order."""
+        namenode = self.cluster.namenode
+        datasets = [dataset] if dataset is not None else namenode.datasets()
+        out: List[Tuple[str, int, int]] = []
+        for ds in datasets:
+            for bid in namenode.blocks_of(ds):
+                for node in namenode.block_locations(ds, bid):
+                    if self._is_alive(node):
+                        out.append((ds, bid, node))
+        return out
+
+    # -- scrubbing ----------------------------------------------------------------
+
+    def scrub(self, dataset: Optional[str] = None) -> ScrubReport:
+        """Sweep every live replica (of one dataset, or the whole cluster).
+
+        Each replica's served checksum is compared against the logical
+        block's; divergent copies are repaired from the least-loaded
+        verified-good live replica.
+
+        Raises:
+            IntegrityError: in strict mode, when a block has no verified
+                copy left to repair from.
+        """
+        report = ScrubReport()
+        for ds, bid, node in self._replica_list(dataset):
+            self._scrub_one(ds, bid, node, report)
+        return report
+
+    def scrub_step(
+        self, dataset: Optional[str] = None, *, max_replicas: int = 1
+    ) -> ScrubReport:
+        """Scrub the next ``max_replicas`` replicas of a cyclic sweep.
+
+        Models the background scanner's incremental cycle inside a
+        discrete-event simulation: each call advances a persistent cursor,
+        wrapping around when the sweep completes, so repeated small steps
+        eventually cover every replica without a stop-the-world pass.
+        """
+        replicas = self._replica_list(dataset)
+        report = ScrubReport()
+        if not replicas:
+            return report
+        for _ in range(max(1, max_replicas)):
+            ds, bid, node = replicas[self._cursor % len(replicas)]
+            self._cursor = (self._cursor + 1) % len(replicas)
+            self._scrub_one(ds, bid, node, report)
+        return report
+
+    def _scrub_one(
+        self, dataset: str, block_id: int, node: int, report: ScrubReport
+    ) -> None:
+        datanode = self.cluster.datanodes[node]
+        block = self.cluster.get_block(dataset, block_id)
+        report.replicas_scanned += 1
+        report.bytes_scanned += block.used_bytes
+        if datanode.verify_replica(dataset, block_id):
+            return
+        report.corrupt_found += 1
+        source = self._good_source(dataset, block_id, exclude=node)
+        if source is None:
+            if self.strict:
+                raise IntegrityError(
+                    f"block {block_id} of {dataset!r}: every live replica is "
+                    f"corrupt; cannot repair node {node}"
+                )
+            report.unrepairable.append((dataset, block_id))
+            return
+        datanode.repair_replica(dataset, block_id)
+        report.repaired += 1
+        report.repaired_bytes += block.used_bytes
+        report.events.append(
+            RepairEvent(
+                dataset=dataset,
+                block_id=block_id,
+                source=source,
+                destination=node,
+                nbytes=block.used_bytes,
+            )
+        )
+
+    def _good_source(
+        self, dataset: str, block_id: int, *, exclude: int
+    ) -> Optional[int]:
+        """Least-loaded live replica holder that passes verification."""
+        candidates = [
+            n
+            for n in self.cluster.namenode.block_locations(dataset, block_id)
+            if n != exclude
+            and self._is_alive(n)
+            and self.cluster.datanodes[n].verify_replica(dataset, block_id)
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda n: (self.cluster.datanodes[n].used_bytes(), n),
+        )
+
+
+class ReadVerifier:
+    """Read-path checksum verification for selection tasks.
+
+    The engine asks :meth:`read_cost` for the read-time component of a task
+    instead of choosing ``read_local``/``read_remote`` itself.  With no
+    corruption present the returned cost is identical to the unverified
+    path, so threading a verifier through a fault-free run changes nothing.
+
+    Counters accumulate across tasks; the chaos runner folds them into its
+    :class:`~repro.metrics.integrity.IntegritySummary`.  Detections can
+    exceed injections (a rotten remote replica may be noticed by a read and
+    again by the scrubber before it is repaired); repairs are one-to-one.
+    """
+
+    def __init__(self, cluster: HDFSCluster) -> None:
+        self.cluster = cluster
+        self.detected = 0
+        self.repaired = 0
+        self.repaired_bytes = 0
+        self.events: List[RepairEvent] = []
+
+    def read_cost(
+        self,
+        dataset: str,
+        block_id: int,
+        node: int,
+        replicas: Tuple[int, ...],
+        nbytes: int,
+        read_local: Callable[[int], float],
+        read_remote: Callable[[int], float],
+        write_local: Callable[[int], float],
+    ) -> float:
+        """Seconds spent reading ``block_id`` from ``node``, verified.
+
+        A local rotten replica is detected, refetched from a verified peer
+        and repaired in place (remote read + local write, then served); a
+        remote read fails over across the catalog's replica order to the
+        first verified copy.
+
+        Raises:
+            IntegrityError: when no replica of the block verifies.
+        """
+        datanodes = self.cluster.datanodes
+        if node in replicas:
+            if datanodes[node].verify_replica(dataset, block_id):
+                return read_local(nbytes)
+            self.detected += 1
+            source = self._good_peer(dataset, block_id, replicas, exclude=node)
+            if source is None:
+                raise IntegrityError(
+                    f"block {block_id} of {dataset!r}: local replica on node "
+                    f"{node} is corrupt and no verified peer remains"
+                )
+            datanodes[node].repair_replica(dataset, block_id)
+            self.repaired += 1
+            self.repaired_bytes += nbytes
+            self.events.append(
+                RepairEvent(
+                    dataset=dataset,
+                    block_id=block_id,
+                    source=source,
+                    destination=node,
+                    nbytes=nbytes,
+                )
+            )
+            return read_remote(nbytes) + write_local(nbytes)
+        for replica in replicas:
+            if datanodes[replica].verify_replica(dataset, block_id):
+                return read_remote(nbytes)
+            self.detected += 1
+        raise IntegrityError(
+            f"block {block_id} of {dataset!r}: no verified replica remains"
+        )
+
+    def _good_peer(
+        self,
+        dataset: str,
+        block_id: int,
+        replicas: Tuple[int, ...],
+        *,
+        exclude: int,
+    ) -> Optional[int]:
+        for replica in replicas:
+            if replica == exclude:
+                continue
+            if self.cluster.datanodes[replica].verify_replica(dataset, block_id):
+                return replica
+        return None

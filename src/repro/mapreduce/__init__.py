@@ -31,8 +31,10 @@ from .engine import (
     JobResult,
     SelectionResult,
 )
+from .checkpoint import WaveCheckpoint
 
 __all__ = [
+    "WaveCheckpoint",
     "AppProfile",
     "ClusterCostModel",
     "PROFILES",

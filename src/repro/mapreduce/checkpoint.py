@@ -1,0 +1,284 @@
+"""Wave-granularity checkpoint/resume for the selection phase.
+
+Hadoop drivers die too: an ApplicationMaster restart should not rerun a
+half-finished job from scratch.  This module adds that robustness to the
+engine's selection phase.  Tasks execute in *waves* — wave ``w`` is the
+``w``-th block in each node's assigned queue, all nodes advancing in
+lockstep — and after every completed wave the driver persists a
+:class:`WaveCheckpoint` (a self-contained, serializable snapshot of
+completed outputs, per-node clocks and read counters).  A driver restart
+(:class:`repro.faults.plan.DriverRestart`) loses only the wave in flight;
+the resumed run replays it and continues, producing output byte-identical
+to an uninterrupted run — task results depend only on block content, and
+transient-fault retry decisions hash ``(seed, task, attempt, node)``, so a
+replayed wave draws exactly the coins the uninterrupted run would have.
+Only *time* differs, and the lost work is reported, not hidden.
+
+Single-slot (``map_slots=1``) semantics: waves impose a per-node execution
+order that multi-lane nodes would reorder.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
+
+from ..errors import ConfigError, JobError
+from ..hdfs.records import Record
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..core.scheduler import Assignment
+    from ..faults.injector import FaultInjector
+    from ..faults.plan import DriverRestart
+    from ..faults.retry import AttemptLog, NodeBlacklist, RetryPolicy
+    from ..hdfs.cluster import DatasetView
+    from ..hdfs.scrubber import ReadVerifier
+    from .costmodel import AppProfile
+    from .engine import MapReduceEngine, SelectionResult
+
+__all__ = ["WaveCheckpoint", "run_selection_checkpointed"]
+
+NodeId = Hashable
+
+
+@dataclass
+class WaveCheckpoint:
+    """Durable snapshot of a selection run after its last completed wave.
+
+    Attributes:
+        dataset: dataset name the run reads.
+        sub_id: target sub-dataset.
+        wave: number of fully completed waves (resume starts here).
+        queues: node → assigned block ids, in execution order (pins the
+            plan so a resume against a different assignment is rejected).
+        outputs: node → block id → filtered records, for completed tasks.
+        clocks: per-node elapsed simulated seconds (includes lost work and
+            restart delays, so resume overhead surfaces in the makespan).
+        blocks_read: completed-task read counter.
+        bytes_read: completed-task byte counter.
+        restarts: how many driver restarts this run has survived.
+
+    Node ids must be JSON-representable (ints or strings) for
+    :meth:`to_bytes`; that covers every cluster this repo builds.
+    """
+
+    dataset: str
+    sub_id: str
+    queues: Dict[NodeId, List[int]]
+    outputs: Dict[NodeId, Dict[int, List[Record]]]
+    clocks: Dict[NodeId, float]
+    wave: int = 0
+    blocks_read: int = 0
+    bytes_read: int = 0
+    restarts: int = 0
+
+    # -- resume validation -------------------------------------------------------
+
+    def validate_against(
+        self, dataset: str, sub_id: str, queues: Dict[NodeId, List[int]]
+    ) -> None:
+        """Refuse to resume under a different job or assignment.
+
+        Raises:
+            JobError: on any mismatch — resuming someone else's checkpoint
+                would silently mix outputs from two different plans.
+        """
+        if self.dataset != dataset or self.sub_id != sub_id:
+            raise JobError(
+                f"checkpoint is for ({self.dataset!r}, {self.sub_id!r}), "
+                f"not ({dataset!r}, {sub_id!r})"
+            )
+        if self.queues != queues:
+            raise JobError("checkpoint assignment does not match the given one")
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize for durable storage (what survives a driver death)."""
+        ordered = sorted(self.queues, key=repr)
+        payload = {
+            "dataset": self.dataset,
+            "sub_id": self.sub_id,
+            "wave": self.wave,
+            "blocks_read": self.blocks_read,
+            "bytes_read": self.bytes_read,
+            "restarts": self.restarts,
+            "queues": [[node, self.queues[node]] for node in ordered],
+            "clocks": [[node, self.clocks[node]] for node in ordered],
+            "outputs": [
+                [
+                    node,
+                    [
+                        [bid, [r.serialize() for r in recs]]
+                        for bid, recs in sorted(self.outputs[node].items())
+                    ],
+                ]
+                for node in ordered
+            ],
+        }
+        return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "WaveCheckpoint":
+        """Inverse of :meth:`to_bytes`.
+
+        Raises:
+            JobError: for a corrupt or truncated checkpoint blob.
+        """
+        try:
+            payload = json.loads(blob.decode("utf-8"))
+            return cls(
+                dataset=payload["dataset"],
+                sub_id=payload["sub_id"],
+                wave=payload["wave"],
+                blocks_read=payload["blocks_read"],
+                bytes_read=payload["bytes_read"],
+                restarts=payload["restarts"],
+                queues={node: list(bids) for node, bids in payload["queues"]},
+                clocks={node: float(c) for node, c in payload["clocks"]},
+                outputs={
+                    node: {
+                        bid: [Record.deserialize(line) for line in lines]
+                        for bid, lines in entries
+                    }
+                    for node, entries in payload["outputs"]
+                },
+            )
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            raise JobError(f"corrupt wave checkpoint: {exc}") from exc
+
+
+def run_selection_checkpointed(
+    engine: "MapReduceEngine",
+    dataset: "DatasetView",
+    sub_id: str,
+    assignment: "Assignment",
+    profile: "AppProfile",
+    *,
+    checkpoint: Optional[WaveCheckpoint] = None,
+    interrupt: Optional["DriverRestart"] = None,
+    injector: Optional["FaultInjector"] = None,
+    retry: Optional["RetryPolicy"] = None,
+    attempt_log: Optional["AttemptLog"] = None,
+    blacklist: Optional["NodeBlacklist"] = None,
+    verify: Optional["ReadVerifier"] = None,
+) -> Tuple[Optional["SelectionResult"], WaveCheckpoint, float]:
+    """Run (or resume) the selection phase wave by wave.
+
+    Returns ``(selection, checkpoint, wasted_seconds)``.  ``selection`` is
+    ``None`` when ``interrupt`` fired: the driver died during
+    ``interrupt.wave``, the returned checkpoint holds everything completed
+    before it, and ``wasted_seconds`` is the in-flight work lost (charged
+    to the affected nodes' clocks, estimated from the fault-free task cost
+    so the estimate has no read-path side effects).  Call again with the
+    returned (or deserialized — that is the point) checkpoint to resume.
+
+    When the run completes, ``selection`` matches what
+    :meth:`~repro.mapreduce.engine.MapReduceEngine.run_selection` would
+    have produced under single-slot semantics, except that node times
+    carry any restart delays accrued along the way.
+
+    Raises:
+        ConfigError: on a multi-slot engine (waves assume ``map_slots=1``).
+        JobError: when resuming against a mismatched job/assignment.
+    """
+    if engine.map_slots != 1:
+        raise ConfigError(
+            "checkpointed selection assumes map_slots=1 "
+            f"(engine has {engine.map_slots})"
+        )
+    faulty = injector is not None
+    if faulty:
+        from ..faults.retry import (
+            AttemptLog,
+            NodeBlacklist,
+            RetryPolicy,
+            run_attempts,
+        )
+
+        retry = retry or RetryPolicy()
+        attempt_log = attempt_log if attempt_log is not None else AttemptLog()
+        blacklist = (
+            blacklist
+            if blacklist is not None
+            else NodeBlacklist(retry.blacklist_after)
+        )
+    queues: Dict[NodeId, List[int]] = {
+        node: list(bids) for node, bids in assignment.blocks_by_node.items()
+    }
+    if checkpoint is None:
+        checkpoint = WaveCheckpoint(
+            dataset=dataset.name,
+            sub_id=sub_id,
+            queues=queues,
+            outputs={node: {} for node in queues},
+            clocks={node: 0.0 for node in queues},
+        )
+    else:
+        checkpoint.validate_against(dataset.name, sub_id, queues)
+    placement = dataset.placement()
+    num_waves = max((len(q) for q in queues.values()), default=0)
+    order = sorted(queues, key=repr)
+    for wave in range(checkpoint.wave, num_waves):
+        if interrupt is not None and wave == interrupt.wave:
+            # The driver dies with this wave in flight.  Its partial work
+            # is lost; each affected node burned waste_fraction of the
+            # task it was running, and everyone waits out the restart.
+            wasted = 0.0
+            for node in order:
+                if wave >= len(queues[node]):
+                    continue
+                base, _matched, _nbytes = engine.selection_task_cost(
+                    dataset, sub_id, placement, node, queues[node][wave], profile
+                )
+                lost = interrupt.waste_fraction * base
+                checkpoint.clocks[node] += lost
+                wasted += lost
+            for node in checkpoint.clocks:
+                checkpoint.clocks[node] += interrupt.restart_delay_s
+            checkpoint.restarts += 1
+            return None, checkpoint, wasted
+        for node in order:
+            if wave >= len(queues[node]):
+                continue
+            bid = queues[node][wave]
+            base, matched, nbytes = engine.selection_task_cost(
+                dataset, sub_id, placement, node, bid, profile, verify=verify
+            )
+            if faulty:
+                elapsed, _attempts = run_attempts(
+                    base,
+                    node,
+                    f"sel/{dataset.name}/{bid}",
+                    injector,
+                    retry,
+                    attempt_log,
+                    blacklist,
+                    start_time=checkpoint.clocks[node],
+                )
+            else:
+                elapsed = base
+            checkpoint.clocks[node] += elapsed
+            checkpoint.outputs[node][bid] = matched
+            checkpoint.blocks_read += 1
+            checkpoint.bytes_read += nbytes
+        checkpoint.wave = wave + 1
+    from .engine import PhaseResult, SelectionResult
+
+    local_data: Dict[NodeId, List[Record]] = {}
+    bytes_per_node: Dict[NodeId, int] = {}
+    for node in queues:
+        records: List[Record] = []
+        for bid in queues[node]:
+            records.extend(checkpoint.outputs[node].get(bid, []))
+        local_data[node] = records
+        bytes_per_node[node] = sum(r.nbytes for r in records)
+    selection = SelectionResult(
+        local_data=local_data,
+        timing=PhaseResult(dict(checkpoint.clocks)),
+        bytes_per_node=bytes_per_node,
+        blocks_read=checkpoint.blocks_read,
+        bytes_read=checkpoint.bytes_read,
+    )
+    return selection, checkpoint, 0.0

@@ -27,7 +27,10 @@ from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Mapping, Optional, 
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoids a cycle)
     from ..faults.injector import FaultInjector
+    from ..faults.plan import DriverRestart
     from ..faults.retry import AttemptLog, NodeBlacklist, RetryPolicy
+    from ..hdfs.scrubber import ReadVerifier
+    from .checkpoint import WaveCheckpoint
 
 from ..core.scheduler import Assignment
 from ..errors import ConfigError, JobError
@@ -169,12 +172,20 @@ class MapReduceEngine:
         node: NodeId,
         bid: int,
         profile: AppProfile,
+        verify: Optional["ReadVerifier"] = None,
     ) -> Tuple[float, List[Record], int]:
         """Price one selection task: read + filter + write for one block.
 
         Returns ``(duration, matched_records, block_bytes)``.  Shared by
         the closed-form phase runner and the chaos runner so fault-free
         and fault-injected timings come from the same formula.
+
+        With a ``verify`` read verifier, the read component goes through
+        the checksum-verified path: a rotten local replica costs a remote
+        refetch + in-place repair, and a block with no verified replica
+        raises :class:`~repro.errors.IntegrityError` instead of producing
+        output from corrupt data.  Without corruption the verified cost is
+        identical to the plain one.
 
         Raises:
             JobError: when the block is not part of the dataset placement.
@@ -186,11 +197,23 @@ class MapReduceEngine:
             )
         block = dataset.block(bid)
         nbytes = block.used_bytes
-        read = (
-            self.cost.read_local(nbytes)
-            if node in placement[bid]
-            else self.cost.read_remote(nbytes)
-        )
+        if verify is not None:
+            read = verify.read_cost(
+                dataset.name,
+                bid,
+                node,
+                tuple(placement[bid]),
+                nbytes,
+                self.cost.read_local,
+                self.cost.read_remote,
+                self.cost.write_local,
+            )
+        else:
+            read = (
+                self.cost.read_local(nbytes)
+                if node in placement[bid]
+                else self.cost.read_remote(nbytes)
+            )
         matched = block.filter(sub_id)
         out_bytes = sum(r.nbytes for r in matched)
         duration = (
@@ -212,6 +235,7 @@ class MapReduceEngine:
         retry: Optional["RetryPolicy"] = None,
         attempt_log: Optional["AttemptLog"] = None,
         blacklist: Optional["NodeBlacklist"] = None,
+        verify: Optional["ReadVerifier"] = None,
     ) -> SelectionResult:
         """Run the filter phase under a given block-task assignment.
 
@@ -252,7 +276,7 @@ class MapReduceEngine:
             node_elapsed = 0.0
             for bid in block_ids:
                 base, matched, nbytes = self.selection_task_cost(
-                    dataset, sub_id, placement, node, bid, profile
+                    dataset, sub_id, placement, node, bid, profile, verify=verify
                 )
                 blocks_read += 1
                 bytes_read += nbytes
@@ -281,6 +305,43 @@ class MapReduceEngine:
             bytes_per_node=bytes_per_node,
             blocks_read=blocks_read,
             bytes_read=bytes_read,
+        )
+
+    def run_selection_checkpointed(
+        self,
+        dataset: DatasetView,
+        sub_id: str,
+        assignment: Assignment,
+        profile: AppProfile,
+        *,
+        checkpoint: Optional["WaveCheckpoint"] = None,
+        interrupt: Optional["DriverRestart"] = None,
+        injector: Optional["FaultInjector"] = None,
+        retry: Optional["RetryPolicy"] = None,
+        attempt_log: Optional["AttemptLog"] = None,
+        blacklist: Optional["NodeBlacklist"] = None,
+        verify: Optional["ReadVerifier"] = None,
+    ) -> Tuple[Optional[SelectionResult], "WaveCheckpoint", float]:
+        """Wave-granularity selection with durable checkpoints.
+
+        See :func:`repro.mapreduce.checkpoint.run_selection_checkpointed`;
+        this is the engine-level entry point (single-slot semantics).
+        """
+        from .checkpoint import run_selection_checkpointed
+
+        return run_selection_checkpointed(
+            self,
+            dataset,
+            sub_id,
+            assignment,
+            profile,
+            checkpoint=checkpoint,
+            interrupt=interrupt,
+            injector=injector,
+            retry=retry,
+            attempt_log=attempt_log,
+            blacklist=blacklist,
+            verify=verify,
         )
 
     # -- analysis phase -------------------------------------------------------------

@@ -10,10 +10,12 @@ from .balance import (
     summarize,
     BalanceSummary,
 )
+from .integrity import IntegritySummary
 from .recovery import RecoverySummary
 from .reporting import format_table, format_kv, format_histogram, series_to_rows
 
 __all__ = [
+    "IntegritySummary",
     "RecoverySummary",
     "format_histogram",
     "imbalance_ratio",

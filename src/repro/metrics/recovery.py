@@ -36,6 +36,12 @@ class RecoverySummary:
             fallback).
         rescheduled_blocks: distinct blocks whose work was redone on a
             different node after a crash.
+        scrub_bytes: bytes the replica scrubber re-checksummed.
+        repaired_replicas: rotten replicas repaired (read path + scrub).
+        rebuilt_blocks: stale ElasticMap entries rebuilt by validation.
+        driver_restarts: mid-job driver deaths survived via checkpoints.
+        resume_wasted_seconds: in-flight work lost to driver restarts
+            (replayed after resume; part of the recovery bill).
     """
 
     attempts_histogram: Dict[int, int] = field(default_factory=dict)
@@ -47,12 +53,25 @@ class RecoverySummary:
     blacklisted_nodes: int = 0
     degraded_blocks: int = 0
     rescheduled_blocks: int = 0
+    scrub_bytes: int = 0
+    repaired_replicas: int = 0
+    rebuilt_blocks: int = 0
+    driver_restarts: int = 0
+    resume_wasted_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if any(k <= 0 or v < 0 for k, v in self.attempts_histogram.items()):
             raise ConfigError("attempts histogram needs positive keys and counts")
         if self.wasted_seconds < 0 or self.re_replicated_bytes < 0:
             raise ConfigError("recovery costs must be non-negative")
+        if (
+            self.scrub_bytes < 0
+            or self.repaired_replicas < 0
+            or self.rebuilt_blocks < 0
+            or self.driver_restarts < 0
+            or self.resume_wasted_seconds < 0
+        ):
+            raise ConfigError("integrity recovery costs must be non-negative")
 
     # -- derived ------------------------------------------------------------------
 
@@ -92,6 +111,11 @@ class RecoverySummary:
             "blacklisted nodes": self.blacklisted_nodes,
             "degraded blocks": self.degraded_blocks,
             "rescheduled blocks": self.rescheduled_blocks,
+            "scrubbed bytes": self.scrub_bytes,
+            "repaired replicas": self.repaired_replicas,
+            "rebuilt metadata blocks": self.rebuilt_blocks,
+            "driver restarts": self.driver_restarts,
+            "resume wasted work (s)": self.resume_wasted_seconds,
             "baseline makespan (s)": self.baseline_makespan,
             "chaos makespan (s)": self.makespan,
             "recovery overhead": f"{self.recovery_overhead:+.1%}",

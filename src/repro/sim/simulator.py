@@ -259,6 +259,11 @@ class DiscreteEventSimulator:
                 return home
             candidates = [n for n in free_slots if usable(n)]
             if not candidates:
+                # every live node is benched: relax the blacklist rather
+                # than fail the job (mirrors ChaosRunner._reschedule) —
+                # a benched node is still preferable to no node at all
+                candidates = [n for n in free_slots if n not in dead]
+            if not candidates:
                 raise FaultError(
                     f"no live node left to run task {tid!r} "
                     f"(dead={sorted(dead, key=repr)}, "
@@ -271,7 +276,8 @@ class DiscreteEventSimulator:
                     repr(n),
                 ),
             )
-            migrated.append(tid)
+            if chosen != home:
+                migrated.append(tid)
             return chosen
 
         def exhaust(tid: str, node: NodeId) -> TaskAttemptError:
@@ -289,8 +295,10 @@ class DiscreteEventSimulator:
             ready[node] = []
 
         def start_available(node: NodeId, time: float) -> None:
-            if not usable(node):
+            if node in dead:
                 return
+            if blacklist.is_blacklisted(node) and any(usable(n) for n in free_slots):
+                return  # benched, and a healthy node exists to take the work
             while free_slots[node] > 0 and ready[node]:
                 _rt, tid = heapq.heappop(ready[node])
                 free_slots[node] -= 1

@@ -206,7 +206,7 @@ class TestChaosCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "Recovery summary" in out
-        assert "dead nodes            : 1" in out
+        assert "dead nodes              : 1" in out
 
     def test_cli_meta_outage(self, capsys):
         code = main(
@@ -222,3 +222,164 @@ class TestChaosCli:
     def test_cli_bad_kill_spec(self, capsys):
         assert main(["chaos", "--kill", "nope"]) == 2
         assert "expected NODE@NUMBER" in capsys.readouterr().err
+
+
+class TestIntegrityChaos:
+    """ISSUE acceptance: injected corruption never silently reaches output —
+    it is repaired, rebuilt, or raised as IntegrityError."""
+
+    def _plan_rot(self, *pairs, seed=5, **kw):
+        from repro.faults import BitRot
+
+        return FaultPlan(
+            seed=seed, bit_rots=tuple(BitRot(n, b) for n, b in pairs), **kw
+        )
+
+    def test_bit_rot_repaired_and_output_intact(self):
+        report = _run(self._plan_rot((0, 0), (3, 1)))
+        assert report.output_matches_baseline
+        i = report.integrity
+        assert i.corruptions_injected == 2
+        assert i.corruptions_repaired == i.corruptions_injected
+        assert i.fully_repaired
+
+    def test_bit_rot_with_crash_and_transients(self):
+        plan = self._plan_rot(
+            (1, 0),
+            seed=3,
+            crashes=(NodeCrash(2, time=0.5),),
+            transient=TransientFaults(0.1),
+        )
+        report = _run(plan)
+        assert report.output_matches_baseline
+        assert report.integrity.fully_repaired
+
+    def test_every_replica_rotten_raises_not_corrupts(self):
+        from repro.errors import IntegrityError
+        from repro.faults import BitRot
+
+        cluster, dataset = _fresh()
+        replicas = dataset.placement()[0]
+        plan = FaultPlan(
+            seed=1, bit_rots=tuple(BitRot(n, 0) for n in replicas)
+        )
+        runner = ChaosRunner(cluster, plan)
+        with pytest.raises(IntegrityError):
+            runner.run(dataset, "hot", word_count_job())
+
+    def test_stale_metadata_rebuilt_and_output_intact(self):
+        from repro.faults import StaleMetadata
+
+        plan = FaultPlan(
+            seed=2, stale_metadata=(StaleMetadata(0), StaleMetadata(2))
+        )
+        report = _run(plan)
+        assert report.output_matches_baseline
+        assert report.integrity.stale_entries == 2
+        assert report.integrity.rebuilt_blocks == 2
+        assert report.job == report.baseline  # rebuild is bit-for-bit
+
+    def test_integrity_plan_deterministic(self):
+        from repro.faults import StaleMetadata
+
+        plan = self._plan_rot((1, 0), (4, 2), seed=9,
+                              stale_metadata=(StaleMetadata(1),))
+        a, b = _run(plan), _run(plan)
+        assert a.job == b.job
+        assert a.integrity == b.integrity
+
+    def test_unknown_rot_block_rejected(self):
+        with pytest.raises(ConfigError):
+            _run(self._plan_rot((0, 10_000)))
+
+    def test_unknown_rot_node_rejected(self):
+        with pytest.raises(ConfigError):
+            _run(self._plan_rot((999, 0)))
+
+    def test_unknown_stale_block_rejected(self):
+        from repro.faults import StaleMetadata
+
+        with pytest.raises(ConfigError):
+            _run(FaultPlan(stale_metadata=(StaleMetadata(10_000),)))
+
+    def test_rot_on_non_holder_falls_back_to_primary(self):
+        cluster, dataset = _fresh()
+        holders = set(dataset.placement()[0])
+        outsider = next(n for n in cluster.nodes if n not in holders)
+        report = ChaosRunner(cluster, self._plan_rot((outsider, 0))).run(
+            dataset, "hot", word_count_job()
+        )
+        assert report.integrity.corruptions_injected == 1
+        assert report.integrity.fully_repaired
+        assert report.output_matches_baseline
+
+    def test_standing_scrub_reported_even_on_empty_plan(self):
+        report = _run(FaultPlan())
+        assert report.integrity.scrubbed_replicas > 0
+        assert report.integrity.corruptions_injected == 0
+        assert "Integrity summary" not in report.format()
+
+    def test_integrity_section_in_report(self):
+        report = _run(self._plan_rot((0, 0)))
+        out = report.format()
+        assert "Integrity summary" in out
+        assert "corruptions repaired" in out
+
+    def test_metastore_sees_validated_entries(self):
+        from repro.faults import StaleMetadata
+
+        plan = FaultPlan(seed=4, stale_metadata=(StaleMetadata(0),))
+        store = DistributedMetaStore(num_nodes=3)
+        report = _run(plan, metastore=store)
+        assert report.output_matches_baseline
+        assert report.integrity.rebuilt_blocks == 1
+
+
+class TestIntegrityCli:
+    def test_cli_bitrot_and_stale(self, capsys):
+        code = main(
+            [
+                "chaos", "--nodes", "6", "-n", "3000", "-k", "40",
+                "--bitrot", "1@0", "--stale", "1", "--seed", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Integrity summary" in out
+        assert "corruptions injected    : 1" in out
+        assert "metadata blocks rebuilt : 1" in out
+
+    def test_cli_restart_wave(self, capsys):
+        code = main(
+            [
+                "chaos", "--nodes", "6", "-n", "3000", "-k", "40",
+                "--restart-wave", "0", "--seed", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "driver restarts         : 1" in out
+
+    def test_cli_scrub_repairs(self, capsys):
+        code = main(
+            [
+                "scrub", "--nodes", "6", "-n", "3000", "-k", "40",
+                "--rot", "0@0", "--corrupt", "2", "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Scrub report" in out
+        assert "unrepairable     : 0" in out
+        assert "repaired" in out
+
+    def test_cli_scrub_clean(self, capsys):
+        code = main(["scrub", "--nodes", "4", "-n", "2000", "-k", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "corrupt found    : 0" in out
+
+    def test_cli_bad_rot_spec(self, capsys):
+        code = main(["scrub", "--rot", "nonsense"])
+        assert code == 2
+        assert "expected NODE@BLOCK" in capsys.readouterr().err

@@ -333,3 +333,92 @@ class TestSimulatorFaultPath:
             for tid, task in res.timeline.tasks.items():
                 if task.node == node:
                     assert res.timeline.intervals[tid][1] <= crash_at
+
+
+class TestIntegrityFaultPlan:
+    def test_duplicate_bitrot_rejected(self):
+        from repro.faults import BitRot
+
+        with pytest.raises(ConfigError):
+            FaultPlan(bit_rots=(BitRot(1, 0), BitRot(1, 0, time=2.0)))
+
+    def test_duplicate_stale_rejected(self):
+        from repro.faults import StaleMetadata
+
+        with pytest.raises(ConfigError):
+            FaultPlan(stale_metadata=(StaleMetadata(3), StaleMetadata(3)))
+
+    def test_duplicate_restart_wave_rejected(self):
+        from repro.faults import DriverRestart
+
+        with pytest.raises(ConfigError):
+            FaultPlan(driver_restarts=(DriverRestart(1), DriverRestart(1)))
+
+    def test_integrity_faults_make_plan_non_empty(self):
+        from repro.faults import BitRot, DriverRestart, StaleMetadata
+
+        assert not FaultPlan(bit_rots=(BitRot(0, 0),)).is_empty()
+        assert not FaultPlan(stale_metadata=(StaleMetadata(0),)).is_empty()
+        assert not FaultPlan(driver_restarts=(DriverRestart(0),)).is_empty()
+
+    def test_random_bitrot_requires_num_blocks(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.random(1, [0, 1, 2], bitrot_count=2)
+
+    def test_random_bitrot_deterministic_and_in_range(self):
+        a = FaultPlan.random(5, [0, 1, 2, 3], bitrot_count=3, num_blocks=6)
+        b = FaultPlan.random(5, [0, 1, 2, 3], bitrot_count=3, num_blocks=6)
+        assert a.bit_rots == b.bit_rots
+        assert len(a.bit_rots) == 3
+        for rot in a.bit_rots:
+            assert rot.node in (0, 1, 2, 3)
+            assert 0 <= rot.block < 6
+
+
+class TestTransientIndependence:
+    """The transient-failure oracle is a pure hash of (seed, task, attempt,
+    node): stateless, order-free, and independent across coordinates."""
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        task=st.text(min_size=1, max_size=12),
+        attempt=st.integers(1, 6),
+        node=st.integers(0, 63),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_decision_is_pure_and_coordinate_independent(
+        self, seed, task, attempt, node
+    ):
+        plan = FaultPlan(seed=seed, transient=TransientFaults(0.5))
+        verdict = FaultInjector(plan).attempt_fails(task, attempt, node)
+
+        # stateless: a fresh injector that first consulted *perturbed*
+        # tuples (each differing in exactly one coordinate) still returns
+        # the same verdict for the original tuple
+        other = FaultInjector(plan)
+        other.attempt_fails(task + "x", attempt, node)
+        other.attempt_fails(task, attempt + 1, node)
+        other.attempt_fails(task, attempt, node + 1)
+        assert other.attempt_fails(task, attempt, node) == verdict
+
+        # unrelated plan content does not shift the draw
+        dressed = FaultPlan(
+            seed=seed,
+            transient=TransientFaults(0.5),
+            crashes=(NodeCrash(node + 1, time=1.0),),
+            slow_nodes=(SlowNode(node + 2, 2.0),),
+        )
+        assert FaultInjector(dressed).attempt_fails(task, attempt, node) == verdict
+
+    def test_coin_varies_across_each_coordinate(self):
+        injector = FaultInjector(FaultPlan(seed=3, transient=TransientFaults(0.5)))
+        tasks = {injector.attempt_fails(f"t{i}", 1, 0) for i in range(40)}
+        attempts = {injector.attempt_fails("t", a, 0) for a in range(1, 41)}
+        nodes = {injector.attempt_fails("t", 1, n) for n in range(40)}
+        seeds = {
+            FaultInjector(
+                FaultPlan(seed=s, transient=TransientFaults(0.5))
+            ).attempt_fails("t", 1, 0)
+            for s in range(40)
+        }
+        assert tasks == attempts == nodes == seeds == {True, False}

@@ -67,10 +67,23 @@ class TestBlock:
         assert not b.try_append(r)  # 4th would exceed 100
         assert b.num_records == 3
 
-    def test_oversized_record_raises(self):
+    def test_oversized_record_raises_on_empty_block(self):
         b = Block(0, capacity_bytes=10)
         with pytest.raises(StorageError):
             b.try_append(Record("s", 0.0, "x" * 100))
+        assert b.num_records == 0
+
+    def test_oversized_record_on_partial_block_defers(self):
+        # a non-empty block never raises: only the *empty* block can prove
+        # the record fits nowhere, so the caller gets False and retries
+        # against a fresh block (where the oversize check then fires)
+        b = Block(0, capacity_bytes=100)
+        assert b.try_append(Record("s", 0.0, "x" * 20))
+        huge = Record("s", 0.0, "x" * 200)
+        assert not b.try_append(huge)
+        assert b.num_records == 1
+        with pytest.raises(StorageError):
+            Block(1, capacity_bytes=100).try_append(huge)
 
     def test_scan_yields_sid_and_bytes(self):
         b = Block(0, capacity_bytes=1000)

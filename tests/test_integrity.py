@@ -1,0 +1,363 @@
+"""End-to-end integrity machinery: checksums, rot, scrubbing, validation.
+
+Covers the storage half of the integrity subsystem (block checksums, the
+per-replica corruption overlay, the scrubber and the verified read path)
+and the metadata half (ElasticMap fingerprints and DataNet's
+validate-before-schedule pass).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataNet, HDFSCluster
+from repro.core.elasticmap import BlockElasticMap
+from repro.errors import (
+    ConfigError,
+    IntegrityError,
+    MetadataError,
+    StorageError,
+)
+from repro.hdfs import Block, ReadVerifier, Record, Scrubber
+from repro.hdfs.block import CHECKSUM_BYTES
+from repro.hdfs.failure import FailureManager
+from tests.conftest import make_records
+
+
+def _cluster(seed=7, num_nodes=8, replication=3):
+    cluster = HDFSCluster(
+        num_nodes=num_nodes,
+        block_size=2048,
+        replication=replication,
+        rng=np.random.default_rng(seed),
+    )
+    recs = make_records({"hot": 120, "cold": 60}, payload_len=30)
+    dataset = cluster.write_dataset("d", recs)
+    return cluster, dataset
+
+
+class TestBlockChecksum:
+    def test_checksum_length_and_stability(self):
+        b = Block(0, capacity_bytes=1000)
+        b.try_append(Record("s", 0.0, "abc"))
+        digest = b.checksum()
+        assert len(digest) == CHECKSUM_BYTES
+        assert b.checksum() == digest  # cached, stable
+
+    def test_checksum_depends_on_content(self):
+        a, b = Block(0, capacity_bytes=1000), Block(1, capacity_bytes=1000)
+        a.try_append(Record("s", 0.0, "abc"))
+        b.try_append(Record("s", 0.0, "abd"))
+        assert a.checksum() != b.checksum()
+
+    def test_append_invalidates_cache(self):
+        b = Block(0, capacity_bytes=1000)
+        b.try_append(Record("s", 0.0, "abc"))
+        before = b.checksum()
+        b.try_append(Record("s", 1.0, "def"))
+        assert b.checksum() != before
+
+    def test_same_content_same_checksum(self):
+        a, b = Block(0, capacity_bytes=1000), Block(5, capacity_bytes=1000)
+        for blk in (a, b):
+            blk.try_append(Record("s", 0.0, "abc"))
+        assert a.checksum() == b.checksum()
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_fits_64_bits(self):
+        b = Block(0, capacity_bytes=1000)
+        b.try_append(Record("s", 0.0, "abc"))
+        assert 0 <= b.fingerprint < (1 << 64)
+
+
+class TestCorruptionOverlay:
+    def test_corrupt_replica_never_mutates_content(self):
+        cluster, dataset = _cluster()
+        node = dataset.placement()[0][0]
+        before = dataset.block(0).checksum()
+        cluster.corrupt_replica("d", node, 0)
+        assert dataset.block(0).checksum() == before  # shared block untouched
+        assert cluster.datanodes[node].is_replica_corrupt("d", 0)
+
+    def test_corrupt_replica_served_checksum_differs(self):
+        cluster, dataset = _cluster()
+        node = dataset.placement()[0][0]
+        good = cluster.datanodes[node].replica_checksum("d", 0)
+        cluster.corrupt_replica("d", node, 0)
+        assert cluster.datanodes[node].replica_checksum("d", 0) != good
+        assert not cluster.datanodes[node].verify_replica("d", 0)
+
+    def test_other_replicas_stay_healthy(self):
+        cluster, dataset = _cluster()
+        replicas = dataset.placement()[0]
+        cluster.corrupt_replica("d", replicas[0], 0)
+        for other in replicas[1:]:
+            assert cluster.datanodes[other].verify_replica("d", 0)
+
+    def test_verified_get_raises_on_corrupt(self):
+        cluster, dataset = _cluster()
+        node = dataset.placement()[0][0]
+        cluster.corrupt_replica("d", node, 0)
+        with pytest.raises(IntegrityError):
+            cluster.datanodes[node].get_replica("d", 0, verify=True)
+        # unverified read still serves (legacy path)
+        assert cluster.datanodes[node].get_replica("d", 0) is not None
+
+    def test_corrupt_unknown_replica_rejected(self):
+        cluster, dataset = _cluster()
+        holders = set(dataset.placement()[0])
+        outsider = next(n for n in cluster.nodes if n not in holders)
+        with pytest.raises(StorageError):
+            cluster.datanodes[outsider].corrupt_replica("d", 0)
+        with pytest.raises(ConfigError):
+            cluster.corrupt_replica("d", 999, 0)
+
+    def test_repair_clears_flag(self):
+        cluster, dataset = _cluster()
+        node = dataset.placement()[0][0]
+        cluster.corrupt_replica("d", node, 0)
+        cluster.datanodes[node].repair_replica("d", 0)
+        assert cluster.datanodes[node].verify_replica("d", 0)
+        assert cluster.datanodes[node].corrupt_replicas("d") == []
+
+
+class TestScrubber:
+    def test_clean_sweep(self):
+        cluster, dataset = _cluster()
+        report = Scrubber(cluster).scrub("d")
+        assert report.clean
+        assert report.replicas_scanned == sum(
+            len(r) for r in dataset.placement().values()
+        )
+        assert report.bytes_scanned > 0
+
+    def test_repairs_rotten_replica(self):
+        cluster, dataset = _cluster()
+        node = dataset.placement()[2][1]
+        cluster.corrupt_replica("d", node, 2)
+        report = Scrubber(cluster).scrub("d")
+        assert report.corrupt_found == 1 and report.repaired == 1
+        assert cluster.datanodes[node].verify_replica("d", 2)
+        (event,) = report.events
+        assert event.destination == node and event.block_id == 2
+        assert event.source != node
+
+    def test_strict_raises_when_every_replica_rotten(self):
+        cluster, dataset = _cluster()
+        for node in dataset.placement()[0]:
+            cluster.corrupt_replica("d", node, 0)
+        with pytest.raises(IntegrityError):
+            Scrubber(cluster).scrub("d")
+
+    def test_lenient_reports_unrepairable(self):
+        cluster, dataset = _cluster()
+        for node in dataset.placement()[0]:
+            cluster.corrupt_replica("d", node, 0)
+        report = Scrubber(cluster, strict=False).scrub("d")
+        assert ("d", 0) in report.unrepairable
+        assert not report.clean
+
+    def test_incremental_step_covers_everything(self):
+        cluster, dataset = _cluster()
+        node = dataset.placement()[1][0]
+        cluster.corrupt_replica("d", node, 1)
+        scrubber = Scrubber(cluster)
+        total = sum(len(r) for r in dataset.placement().values())
+        merged = scrubber.scrub_step("d", max_replicas=3)
+        for _ in range(total // 3 + 1):
+            merged.merge(scrubber.scrub_step("d", max_replicas=3))
+        assert merged.repaired == 1
+        assert merged.replicas_scanned >= total
+
+    def test_skips_dead_nodes(self):
+        cluster, dataset = _cluster()
+        failures = FailureManager(cluster)
+        victim = dataset.placement()[0][0]
+        failures.fail_node(victim, re_replicate=False)
+        report = Scrubber(cluster, failures=failures).scrub("d")
+        assert report.clean  # dead replicas are not scanned
+
+
+class TestFailureManagerVerifiedSource:
+    def test_re_replication_prefers_verified_survivor(self):
+        cluster, dataset = _cluster()
+        replicas = dataset.placement()[0]
+        dead, rotten, good = replicas[0], replicas[1], replicas[2]
+        cluster.corrupt_replica("d", rotten, 0)
+        failures = FailureManager(cluster)
+        events = failures.fail_node(dead)
+        sources = {e.source for e in events if e.block_id == 0 and e.dataset == "d"}
+        assert rotten not in sources
+        assert sources <= {good}
+
+    def test_re_replication_refuses_corrupt_only_sources(self):
+        cluster, dataset = _cluster()
+        replicas = dataset.placement()[0]
+        for node in replicas[1:]:
+            cluster.corrupt_replica("d", node, 0)
+        failures = FailureManager(cluster)
+        with pytest.raises(IntegrityError):
+            failures.fail_node(replicas[0])
+
+
+class TestReadVerifier:
+    def _costs(self):
+        return (lambda n: 1.0, lambda n: 3.0, lambda n: 0.5)
+
+    def test_healthy_local_read(self):
+        cluster, dataset = _cluster()
+        replicas = dataset.placement()[0]
+        verifier = ReadVerifier(cluster)
+        rl, rr, wl = self._costs()
+        cost = verifier.read_cost("d", 0, replicas[0], replicas, 100, rl, rr, wl)
+        assert cost == 1.0 and verifier.detected == 0
+
+    def test_local_rot_repaired_at_remote_cost(self):
+        cluster, dataset = _cluster()
+        replicas = dataset.placement()[0]
+        cluster.corrupt_replica("d", replicas[0], 0)
+        verifier = ReadVerifier(cluster)
+        rl, rr, wl = self._costs()
+        cost = verifier.read_cost("d", 0, replicas[0], replicas, 100, rl, rr, wl)
+        assert cost == 3.5  # remote fetch + local rewrite
+        assert verifier.detected == 1 and verifier.repaired == 1
+        assert cluster.datanodes[replicas[0]].verify_replica("d", 0)
+
+    def test_remote_read_fails_over_past_rot(self):
+        cluster, dataset = _cluster()
+        replicas = dataset.placement()[0]
+        outsider = next(n for n in cluster.nodes if n not in replicas)
+        cluster.corrupt_replica("d", replicas[0], 0)
+        verifier = ReadVerifier(cluster)
+        rl, rr, wl = self._costs()
+        cost = verifier.read_cost("d", 0, outsider, replicas, 100, rl, rr, wl)
+        assert cost == 3.0
+        assert verifier.detected == 1 and verifier.repaired == 0
+
+    def test_no_verified_replica_raises(self):
+        cluster, dataset = _cluster()
+        replicas = dataset.placement()[0]
+        for node in replicas:
+            cluster.corrupt_replica("d", node, 0)
+        verifier = ReadVerifier(cluster)
+        rl, rr, wl = self._costs()
+        with pytest.raises(IntegrityError):
+            verifier.read_cost("d", 0, replicas[0], replicas, 100, rl, rr, wl)
+
+
+class TestFingerprintSerialization:
+    def _entry(self, fingerprint=None):
+        cluster, dataset = _cluster()
+        datanet = DataNet.build(dataset, alpha=0.5)
+        entry = next(iter(datanet.elasticmap))
+        if fingerprint is not None:
+            return BlockElasticMap(
+                entry.block_id,
+                entry.hash_map,
+                entry.bloom,
+                delta=entry.delta,
+                memory_model=entry.memory_model,
+                fingerprint=fingerprint,
+            )
+        return entry
+
+    def test_roundtrip_with_fingerprint(self):
+        entry = self._entry(fingerprint=0xDEADBEEF)
+        clone = BlockElasticMap.from_bytes(entry.to_bytes())
+        assert clone.fingerprint == 0xDEADBEEF
+        assert clone.hash_map == entry.hash_map
+
+    def test_roundtrip_without_fingerprint(self):
+        entry = self._entry()
+        entry.fingerprint = None
+        clone = BlockElasticMap.from_bytes(entry.to_bytes())
+        assert clone.fingerprint is None
+
+    def test_build_stamps_true_fingerprints(self):
+        cluster, dataset = _cluster()
+        datanet = DataNet.build(dataset, alpha=0.5)
+        for entry in datanet.elasticmap:
+            assert entry.fingerprint == dataset.block_fingerprint(entry.block_id)
+
+    def test_fingerprint_range_validated(self):
+        with pytest.raises(ConfigError):
+            self._entry(fingerprint=1 << 64)
+
+    def test_truncated_blob_rejected(self):
+        entry = self._entry(fingerprint=1)
+        with pytest.raises(MetadataError):
+            BlockElasticMap.from_bytes(entry.to_bytes()[:-3])
+
+
+class TestDataNetValidation:
+    def _tamper(self, datanet, dataset, block_id):
+        old = datanet.elasticmap.remove_block(block_id)
+        datanet.elasticmap.add_block(
+            BlockElasticMap(
+                block_id,
+                {sid: max(1, size // 2) for sid, size in old.hash_map.items()},
+                old.bloom,
+                delta=old.delta,
+                memory_model=old.memory_model,
+                fingerprint=dataset.block_fingerprint(block_id) ^ 1,
+            )
+        )
+
+    def test_clean_dataset_validates_clean(self):
+        cluster, dataset = _cluster()
+        datanet = DataNet.build(dataset, alpha=0.5)
+        report = datanet.validate_integrity(dataset)
+        assert report.clean
+        assert report.verified == report.checked == dataset.num_blocks
+
+    def test_stale_entry_quarantined_and_rebuilt(self):
+        cluster, dataset = _cluster()
+        datanet = DataNet.build(dataset, alpha=0.5)
+        reference = DataNet.build(dataset, alpha=0.5)
+        self._tamper(datanet, dataset, 1)
+        report = datanet.validate_integrity(dataset)
+        assert report.stale == [1] and report.rebuilt == [1]
+        rebuilt = next(e for e in datanet.elasticmap if e.block_id == 1)
+        truth = next(e for e in reference.elasticmap if e.block_id == 1)
+        assert rebuilt.hash_map == truth.hash_map
+        assert rebuilt.to_bytes() == truth.to_bytes()  # bit-for-bit rebuild
+
+    def test_schedule_identical_after_rebuild(self):
+        cluster, dataset = _cluster()
+        clean = DataNet.build(dataset, alpha=0.5)
+        tampered = DataNet.build(dataset, alpha=0.5)
+        self._tamper(tampered, dataset, 0)
+        assert (
+            tampered.schedule("hot").blocks_by_node
+            != clean.schedule("hot").blocks_by_node
+            or tampered.elasticmap.estimate_total_size("hot")
+            != clean.elasticmap.estimate_total_size("hot")
+        )  # negative control: staleness is observable before validation
+        tampered.validate_integrity(dataset)
+        assert (
+            tampered.schedule("hot").blocks_by_node
+            == clean.schedule("hot").blocks_by_node
+        )
+
+    def test_missing_fingerprint_treated_as_stale(self):
+        cluster, dataset = _cluster()
+        datanet = DataNet.build(dataset, alpha=0.5)
+        old = datanet.elasticmap.remove_block(2)
+        old.fingerprint = None
+        datanet.elasticmap.add_block(old)
+        report = datanet.validate_integrity(dataset)
+        assert report.unverified == [2] and report.rebuilt == [2]
+
+    def test_requires_built_instance(self):
+        cluster, dataset = _cluster()
+        datanet = DataNet.build(dataset, alpha=0.5)
+        loaded = DataNet(datanet.elasticmap, dataset.placement())
+        with pytest.raises(ConfigError):
+            loaded.validate_integrity(dataset)
+
+    def test_remove_block_unknown_raises(self):
+        cluster, dataset = _cluster()
+        datanet = DataNet.build(dataset, alpha=0.5)
+        with pytest.raises(MetadataError):
+            datanet.elasticmap.remove_block(10_000)

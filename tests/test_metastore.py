@@ -108,6 +108,16 @@ class TestShardMap:
         sm = ShardMap(["a", "b", "c"])
         assert sm.owners(5) == sm.owners(5)
 
+    def test_default_replication_is_three(self):
+        # regression: the default shipped as 2 for a while, leaving only
+        # one surviving copy after a single meta-node failure
+        sm = ShardMap(["a", "b", "c", "d"])
+        assert sm.replication == 3
+        for bid in range(20):
+            assert len(sm.owners(bid)) == 3
+        store = DistributedMetaStore(num_nodes=4)
+        assert store.shard_map.replication == 3
+
     def test_replication_clamped(self):
         sm = ShardMap(["a"], replication=3)
         assert sm.owners(0) == ["a"]

@@ -111,3 +111,76 @@ class TestReporting:
     def test_float_formatting(self):
         out = format_table(["v"], [[1234567.0]])
         assert "1,234,567" in out
+
+
+class TestRecoverySummary:
+    def _summary(self, **kw):
+        from repro.metrics import RecoverySummary
+
+        return RecoverySummary(attempts_histogram={1: 3, 2: 1}, **kw)
+
+    def test_integrity_fields_default_to_zero(self):
+        s = self._summary()
+        assert s.scrub_bytes == 0
+        assert s.repaired_replicas == 0
+        assert s.rebuilt_blocks == 0
+        assert s.driver_restarts == 0
+        assert s.resume_wasted_seconds == 0.0
+
+    def test_integrity_fields_formatted(self):
+        s = self._summary(
+            scrub_bytes=4096,
+            repaired_replicas=2,
+            rebuilt_blocks=1,
+            driver_restarts=3,
+            resume_wasted_seconds=1.5,
+        )
+        out = s.format()
+        assert "scrubbed bytes" in out
+        assert "repaired replicas" in out
+        assert "rebuilt metadata blocks" in out
+        assert "driver restarts" in out
+        assert "resume wasted work (s)" in out
+
+    def test_negative_integrity_fields_rejected(self):
+        for field in (
+            "scrub_bytes",
+            "repaired_replicas",
+            "rebuilt_blocks",
+            "driver_restarts",
+            "resume_wasted_seconds",
+        ):
+            with pytest.raises(ConfigError):
+                self._summary(**{field: -1})
+
+
+class TestIntegritySummary:
+    def test_clean_default(self):
+        from repro.metrics import IntegritySummary
+
+        assert IntegritySummary().clean
+        assert not IntegritySummary(scrubbed_replicas=5).clean
+
+    def test_fully_repaired(self):
+        from repro.metrics import IntegritySummary
+
+        good = IntegritySummary(corruptions_injected=2, corruptions_repaired=2)
+        bad = IntegritySummary(corruptions_injected=2, corruptions_repaired=1)
+        stale = IntegritySummary(stale_entries=1, rebuilt_blocks=0)
+        assert good.fully_repaired
+        assert not bad.fully_repaired
+        assert not stale.fully_repaired
+
+    def test_negative_rejected(self):
+        from repro.metrics import IntegritySummary
+
+        with pytest.raises(ConfigError):
+            IntegritySummary(corruptions_injected=-1)
+
+    def test_format(self):
+        from repro.metrics import IntegritySummary
+
+        out = IntegritySummary(corruptions_injected=1, stale_entries=2).format()
+        assert "Integrity summary" in out
+        assert "corruptions injected" in out
+        assert "stale metadata entries" in out

@@ -41,6 +41,7 @@ from .core import (
 )
 from .hdfs import HDFSCluster, DatasetView, Record
 from .errors import ReproError
+from .obs import NULL_OBS, Observability
 
 __version__ = "1.0.0"
 
@@ -61,5 +62,7 @@ __all__ = [
     "DatasetView",
     "Record",
     "ReproError",
+    "Observability",
+    "NULL_OBS",
     "__version__",
 ]

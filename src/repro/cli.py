@@ -159,26 +159,30 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_generate(args: argparse.Namespace) -> int:
-    rng = np.random.default_rng(args.seed)
-    if args.workload == "movielens":
+def _generate_records(workload: str, num_records: int, keys: int, rng) -> list:
+    """Generate one of the three reference workload families."""
+    if workload == "movielens":
         from .workloads import MovieLensGenerator
 
-        records = MovieLensGenerator(
-            num_movies=args.keys, total_reviews=args.records, rng=rng
+        return MovieLensGenerator(
+            num_movies=keys, total_reviews=num_records, rng=rng
         ).generate()
-    elif args.workload == "github":
+    if workload == "github":
         from .workloads import GitHubEventsGenerator
 
-        records = GitHubEventsGenerator(args.records, rng=rng).generate()
-    elif args.workload == "worldcup":
+        return GitHubEventsGenerator(num_records, rng=rng).generate()
+    if workload == "worldcup":
         from .workloads import WorldCupGenerator
 
-        records = WorldCupGenerator(
-            num_matches=max(args.keys, 1), total_requests=args.records, rng=rng
+        return WorldCupGenerator(
+            num_matches=max(keys, 1), total_requests=num_records, rng=rng
         ).generate()
-    else:  # pragma: no cover - argparse choices guard this
-        raise ReproError(f"unknown workload {args.workload!r}")
+    raise ReproError(f"unknown workload {workload!r}")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    records = _generate_records(args.workload, args.records, args.keys, rng)
     with open(args.output, "w", encoding="utf-8") as fh:
         for record in records:
             fh.write(record.serialize() + "\n")
@@ -259,6 +263,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 result.timelines[method], width=args.width, nodes=nodes
             )
         )
+    if args.obs:
+        # No tracer ran inside the batch; the timeline itself becomes the
+        # trace, so the same Gantt data opens in Perfetto.
+        _write_obs_artifacts(args.obs, timeline=result.timelines["with"])
     return 0
 
 
@@ -368,7 +376,10 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
     rotted = _corrupt_replicas(
         cluster, dataset, args.rot, args.corrupt, rng, "rot"
     )
-    report = Scrubber(cluster, strict=False).scrub(dataset.name)
+    from .obs import NULL_OBS, Observability
+
+    obs = Observability.create() if args.obs else NULL_OBS
+    report = Scrubber(cluster, strict=False, obs=obs).scrub(dataset.name)
     print(
         f"scrubbed dataset of {dataset.num_blocks} blocks on {args.nodes} nodes "
         f"({rotted} replicas rotted)"
@@ -394,12 +405,38 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
             f"  repaired block {event.block_id} on node {event.destination} "
             f"from node {event.source} ({event.nbytes} B)"
         )
+    if args.obs:
+        _write_obs_artifacts(args.obs, obs)
     if report.unrepairable:
         for ds, block in report.unrepairable:
             print(f"error: no verified replica left for block {block} of {ds!r}",
                   file=sys.stderr)
         return 1
     return 0
+
+
+def _write_obs_artifacts(out_dir: str, obs=None, *, timeline=None) -> None:
+    """Write trace.json (+ events.jsonl/metrics.txt for live bundles)."""
+    from .obs.export import snapshot_text, write_chrome_trace, write_jsonl
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    tracer = obs.tracer if obs is not None else None
+    write_chrome_trace(str(out / "trace.json"), tracer, timeline=timeline)
+    if obs is None:
+        print(f"trace written to {out / 'trace.json'}")
+        return
+    rows = write_jsonl(
+        str(out / "events.jsonl"), tracer=obs.tracer, metrics=obs.metrics
+    )
+    (out / "metrics.txt").write_text(
+        snapshot_text(tracer=obs.tracer, metrics=obs.metrics) + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"observability artifacts in {out}{'/' if str(out) != '/' else ''} "
+        f"(trace.json, events.jsonl [{rows} rows], metrics.txt)"
+    )
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -467,20 +504,120 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         metastore = DistributedMetaStore(
             num_nodes=max(args.meta_nodes, 1), replication=args.meta_replication
         )
+    from .obs import NULL_OBS, Observability
+
+    obs = Observability.create() if args.obs else NULL_OBS
     runner = ChaosRunner(
         cluster,
         plan,
         retry=RetryPolicy(max_attempts=args.max_attempts),
         metastore=metastore,
         alpha=args.alpha,
+        obs=obs,
     )
     report = runner.run(dataset, sub_id, word_count_job())
     print(f"chaos run over sub-dataset {sub_id!r} ({args.nodes} nodes)")
     print()
     print(report.format())
+    if args.obs:
+        _write_obs_artifacts(args.obs, obs)
     if not report.output_matches_baseline:  # pragma: no cover - invariant
         print("error: output diverged from the failure-free run", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .hdfs.cluster import HDFSCluster
+    from .mapreduce.apps.word_count import word_count_job
+    from .obs import Observability
+    from .obs.export import validate_chrome_trace_file
+    from .units import parse_size
+
+    rng = np.random.default_rng(args.seed)
+    records = _generate_records(args.workload, args.records, args.keys, rng)
+    cluster = HDFSCluster(
+        num_nodes=args.nodes, block_size=parse_size(args.block_size), rng=rng
+    )
+    dataset = cluster.write_dataset("trace", records)
+    sub_id = args.sub or max(
+        dataset.subdataset_ids(), key=dataset.subdataset_total_bytes
+    )
+    obs = Observability.create()
+    faulty = bool(
+        args.kill or args.slow or args.flaky > 0 or args.bitrot or args.stale
+    )
+    if faulty:
+        from .faults import (
+            BitRot,
+            ChaosRunner,
+            FaultPlan,
+            NodeCrash,
+            RetryPolicy,
+            SlowNode,
+            StaleMetadata,
+            TransientFaults,
+        )
+
+        plan = FaultPlan(
+            seed=args.seed,
+            crashes=tuple(
+                NodeCrash(node, time=0.0 if t is None else t)
+                for node, t in (_parse_node_at(v, "kill") for v in args.kill)
+            ),
+            slow_nodes=tuple(
+                SlowNode(node, factor=2.0 if f is None else f)
+                for node, f in (_parse_node_at(v, "slow") for v in args.slow)
+            ),
+            transient=(
+                TransientFaults(probability=args.flaky)
+                if args.flaky > 0
+                else None
+            ),
+            bit_rots=tuple(
+                BitRot(node, block)
+                for node, block in (
+                    _parse_node_block(v, "bitrot") for v in args.bitrot
+                )
+            ),
+            stale_metadata=tuple(StaleMetadata(block) for block in args.stale),
+        )
+        runner = ChaosRunner(
+            cluster,
+            plan,
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            alpha=args.alpha,
+            obs=obs,
+        )
+        report = runner.run(dataset, sub_id, word_count_job())
+        print(
+            f"traced chaos run over sub-dataset {sub_id!r} "
+            f"({args.workload}, {args.nodes} nodes): "
+            f"makespan {report.makespan:.3f}s"
+        )
+    else:
+        from .core.bucketizer import BucketSpec
+        from .core.datanet import DataNet
+        from .mapreduce.engine import MapReduceEngine
+
+        datanet = DataNet.build(
+            dataset,
+            alpha=args.alpha,
+            spec=BucketSpec.for_block_size(parse_size(args.block_size)),
+            obs=obs,
+        )
+        engine = MapReduceEngine(cluster, obs=obs)
+        result = engine.run_job(
+            dataset, sub_id, word_count_job(), datanet.schedule(sub_id)
+        )
+        print(
+            f"traced job over sub-dataset {sub_id!r} "
+            f"({args.workload}, {args.nodes} nodes): "
+            f"total time {result.total_time:.3f}s"
+        )
+    _write_obs_artifacts(args.out, obs)
+    checked = validate_chrome_trace_file(str(Path(args.out) / "trace.json"))
+    print(f"trace.json valid ({checked} duration events)")
     return 0
 
 
@@ -602,6 +739,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="kill the driver during WAVE and resume from the checkpoint "
         "(repeatable; incompatible with --kill)",
     )
+    p_chaos.add_argument(
+        "--obs", metavar="DIR",
+        help="trace the run and write observability artifacts into DIR",
+    )
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_scrub = sub.add_parser(
@@ -620,6 +761,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--corrupt", type=int, default=0, metavar="N",
         help="additionally rot N seeded-random replicas",
     )
+    p_scrub.add_argument(
+        "--obs", metavar="DIR",
+        help="trace the sweep and write observability artifacts into DIR",
+    )
     p_scrub.set_defaults(func=_cmd_scrub)
 
     p_sim = sub.add_parser(
@@ -629,7 +774,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--slots", type=int, default=2)
     p_sim.add_argument("--rows", type=int, default=10, help="nodes to draw")
     p_sim.add_argument("--width", type=int, default=72)
+    p_sim.add_argument(
+        "--obs", metavar="DIR",
+        help="export the with-DataNet timeline as a Perfetto trace into DIR",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a traced workload; writes trace.json/events.jsonl/metrics.txt",
+    )
+    p_trace.add_argument(
+        "--workload", choices=["movielens", "github", "worldcup"],
+        default="movielens",
+    )
+    p_trace.add_argument("--out", required=True, help="artifact directory")
+    p_trace.add_argument("--nodes", type=int, default=8)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("-n", "--records", type=int, default=20_000)
+    p_trace.add_argument(
+        "-k", "--keys", type=int, default=200,
+        help="movies/matches for keyed workloads",
+    )
+    p_trace.add_argument("--block-size", default="64kb")
+    p_trace.add_argument("--alpha", type=float, default=0.3)
+    p_trace.add_argument("--sub", help="sub-dataset id (default: the hottest)")
+    p_trace.add_argument(
+        "--kill", action="append", default=[], metavar="NODE@TIME",
+        help="crash NODE at TIME seconds (repeatable)",
+    )
+    p_trace.add_argument(
+        "--slow", action="append", default=[], metavar="NODE@FACTOR",
+        help="slow NODE down by FACTOR (repeatable)",
+    )
+    p_trace.add_argument(
+        "--flaky", type=float, default=0.0,
+        help="per-attempt transient failure probability",
+    )
+    p_trace.add_argument(
+        "--bitrot", action="append", default=[], metavar="NODE@BLOCK",
+        help="rot the replica of BLOCK on NODE (repeatable)",
+    )
+    p_trace.add_argument(
+        "--stale", action="append", type=int, default=[], metavar="BLOCK",
+        help="diverge BLOCK's metadata entry (repeatable)",
+    )
+    p_trace.add_argument("--max-attempts", type=int, default=4)
+    p_trace.set_defaults(func=_cmd_trace)
 
     return parser
 

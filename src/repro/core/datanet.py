@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 from ..errors import ConfigError
+from ..obs import NULL_OBS, Observability
+from ..obs.profiler import profile_block
 from .bipartite import BipartiteGraph
 from .bucketizer import BucketSpec
 from .builder import ElasticMapBuilder
@@ -88,7 +90,9 @@ class DataNet:
         placement: Mapping[int, Sequence[NodeId]],
         *,
         nodes: Optional[Sequence[NodeId]] = None,
+        obs: Observability = NULL_OBS,
     ) -> None:
+        self.obs = obs
         missing = set(elasticmap.block_ids) - set(placement)
         if missing:
             raise ConfigError(
@@ -117,6 +121,7 @@ class DataNet:
         budget_bits_per_block: Optional[float] = None,
         spec: Optional[BucketSpec] = None,
         memory_model: Optional[MemoryModel] = None,
+        obs: Observability = NULL_OBS,
     ) -> "DataNet":
         """Single-scan metadata construction over a stored dataset.
 
@@ -132,19 +137,20 @@ class DataNet:
             memory_model=memory_model,
         )
         fingerprint_of = getattr(dataset, "block_fingerprint", None)
-        array = ElasticMapArray(
-            [
-                builder.build_block(
-                    bid,
-                    obs,
-                    fingerprint=(
-                        fingerprint_of(bid) if fingerprint_of is not None else None
-                    ),
-                )
-                for bid, obs in dataset.scan_blocks()
-            ]
-        )
-        dn = cls(array, dataset.placement(), nodes=list(dataset.nodes))
+        with profile_block(obs, "datanet.build"):
+            array = ElasticMapArray(
+                [
+                    builder.build_block(
+                        bid,
+                        observations,
+                        fingerprint=(
+                            fingerprint_of(bid) if fingerprint_of is not None else None
+                        ),
+                    )
+                    for bid, observations in dataset.scan_blocks()
+                ]
+            )
+            dn = cls(array, dataset.placement(), nodes=list(dataset.nodes), obs=obs)
         dn.build_stats = builder.stats  # type: ignore[attr-defined]
         dn._builder_config = dict(
             alpha=alpha,
@@ -152,6 +158,14 @@ class DataNet:
             spec=spec,
             memory_model=memory_model,
         )
+        if obs.metrics.enabled:
+            obs.metrics.counter(
+                "elasticmap_blocks_built_total",
+                help="blocks indexed by metadata construction",
+            ).inc(len(array))
+            obs.metrics.gauge(
+                "elasticmap_memory_bytes", help="metadata footprint in bytes"
+            ).set(array.memory_bytes())
         return dn
 
     def extend(self, dataset: ScannableDataset) -> int:
@@ -192,6 +206,11 @@ class DataNet:
         for node in dataset.nodes:
             if node not in self._nodes:
                 self._nodes.append(node)
+        if self.obs.metrics.enabled:
+            self.obs.metrics.counter(
+                "elasticmap_blocks_extended_total",
+                help="blocks indexed incrementally after the initial build",
+            ).inc(added)
         return added
 
     # -- integrity ------------------------------------------------------------------
@@ -227,6 +246,26 @@ class DataNet:
             raise ConfigError(
                 "dataset does not expose block_fingerprint(); cannot validate"
             )
+        with self.obs.tracer.span("datanet/validate", category="validate"):
+            report = self._validate_integrity_inner(dataset, config, fingerprint_of)
+        if self.obs.metrics.enabled:
+            m = self.obs.metrics
+            m.counter(
+                "metadata_entries_checked_total",
+                help="metadata entries fingerprint-checked",
+            ).inc(report.checked)
+            m.counter(
+                "metadata_stale_total",
+                help="metadata entries quarantined as stale or unverified",
+            ).inc(len(report.stale) + len(report.unverified))
+            m.counter(
+                "metadata_rebuilt_total", help="metadata entries rebuilt in place"
+            ).inc(len(report.rebuilt))
+        return report
+
+    def _validate_integrity_inner(
+        self, dataset: ScannableDataset, config: Dict[str, object], fingerprint_of
+    ) -> IntegrityValidation:
         report = IntegrityValidation()
         expected: Dict[int, int] = {}
         for entry in self.elasticmap:
@@ -336,7 +375,21 @@ class DataNet:
             ConfigError: when an excluded-node filter leaves a block with
                 no replica holder, or ``only_blocks`` names unknown blocks.
         """
-        weights = self.elasticmap.block_weights(sub_dataset_id)
+        with self.obs.tracer.span(
+            f"elasticmap/lookup/{sub_dataset_id}", category="lookup"
+        ):
+            weights = self.elasticmap.block_weights(sub_dataset_id)
+        if self.obs.metrics.enabled:
+            dist = self.elasticmap.distribution(sub_dataset_id)
+            exact = sum(1 for _size, kind in dist.values() if kind == "exact")
+            self.obs.metrics.counter(
+                "metadata_exact_hits_total",
+                help="distribution lookups answered by the hash map",
+            ).inc(exact)
+            self.obs.metrics.counter(
+                "metadata_bloom_hits_total",
+                help="distribution lookups answered by the Bloom filter",
+            ).inc(len(dist) - exact)
         if only_blocks is not None:
             wanted = list(only_blocks)
             unknown = [b for b in wanted if b not in self._placement]
@@ -384,15 +437,39 @@ class DataNet:
             ConfigError: unknown method, or capacities with ``"optimal"``.
         """
         graph = self.bipartite_graph(sub_dataset_id, skip_absent=skip_absent)
-        if method == "greedy":
-            return DistributionAwareScheduler(capacities).schedule(graph)
-        if method == "optimal":
-            if capacities is not None:
-                raise ConfigError(
-                    "optimal (max-flow) scheduling assumes a homogeneous cluster"
-                )
-            return optimal_assignment(graph)
-        raise ConfigError(f"unknown scheduling method: {method!r}")
+        with self.obs.tracer.span(
+            f"schedule/{method}",
+            category="schedule",
+            sub_dataset=sub_dataset_id,
+            blocks=graph.num_blocks,
+        ):
+            if method == "greedy":
+                assignment = DistributionAwareScheduler(capacities).schedule(graph)
+            elif method == "optimal":
+                if capacities is not None:
+                    raise ConfigError(
+                        "optimal (max-flow) scheduling assumes a homogeneous cluster"
+                    )
+                assignment = optimal_assignment(graph)
+            else:
+                raise ConfigError(f"unknown scheduling method: {method!r}")
+        if self.obs.metrics.enabled:
+            m = self.obs.metrics
+            placed = m.counter(
+                "scheduler_assignments_total",
+                help="block-task assignments by locality",
+                labelnames=("scheduler", "locality"),
+            )
+            placed.inc(assignment.local_assignments, scheduler=method, locality="local")
+            placed.inc(
+                assignment.remote_assignments, scheduler=method, locality="remote"
+            )
+            m.gauge(
+                "schedule_imbalance",
+                help="max/mean workload ratio of the latest schedule",
+                labelnames=("scheduler",),
+            ).set(assignment.imbalance, scheduler=method)
+        return assignment
 
     def combined_graph(
         self, sub_dataset_ids: Iterable[str], *, skip_absent: bool = True

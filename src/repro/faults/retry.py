@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Set, Tuple
 
 from ..errors import ConfigError, TaskAttemptError
+from ..obs import NULL_OBS, Observability
 from .injector import FaultInjector
 
 __all__ = ["RetryPolicy", "AttemptRecord", "AttemptLog", "NodeBlacklist", "run_attempts"]
@@ -167,6 +168,7 @@ def run_attempts(
     *,
     start_time: float = 0.0,
     first_attempt: int = 1,
+    obs: Observability = NULL_OBS,
 ) -> Tuple[float, int]:
     """Drive one task through the attempt lifecycle on a fixed node.
 
@@ -174,9 +176,23 @@ def run_attempts(
     includes wasted partial attempts and backoff waits, ending at the
     successful completion.
 
+    With a live ``obs`` bundle, emits one ``task``-category parent span
+    plus one ``attempt``-category child per try; failed attempts end at
+    the fault, so the backoff delay shows as a gap before the next child.
+
     Raises:
         TaskAttemptError: when the retry budget is exhausted.
     """
+    traced = obs.tracer.enabled
+    parent = None
+    if traced:
+        parent = obs.tracer.record(
+            task_key,
+            category="task",
+            sim_start=start_time,
+            sim_end=start_time,
+            track=f"node {node}",
+        )
     elapsed = 0.0
     attempt = first_attempt
     failures_here = 0
@@ -187,12 +203,56 @@ def run_attempts(
             log.record(task_key, node, attempt, "fault", wasted)
             blacklist.record_failure(node)
             failures_here += 1
-            elapsed += wasted + policy.backoff(failures_here)
+            delay = policy.backoff(failures_here)
+            if traced:
+                obs.tracer.record(
+                    f"{task_key}#a{attempt}",
+                    category="attempt",
+                    sim_start=start_time + elapsed,
+                    sim_end=start_time + elapsed + wasted,
+                    parent=parent.span_id,
+                    track=f"node {node}",
+                    outcome="fault",
+                    backoff_s=delay,
+                )
+            if obs.metrics.enabled:
+                obs.metrics.counter(
+                    "fault_attempts_total",
+                    help="task attempts by outcome",
+                    labelnames=("outcome",),
+                ).inc(outcome="fault")
+                obs.metrics.counter(
+                    "retry_backoff_seconds_total",
+                    help="simulated seconds spent waiting out backoff",
+                ).inc(delay)
+            elapsed += wasted + delay
             attempt += 1
             continue
+        if traced:
+            obs.tracer.record(
+                f"{task_key}#a{attempt}",
+                category="attempt",
+                sim_start=start_time + elapsed,
+                sim_end=start_time + elapsed + duration,
+                parent=parent.span_id,
+                track=f"node {node}",
+                outcome="ok",
+            )
         elapsed += duration
         log.record(task_key, node, attempt, "ok")
+        if traced:
+            parent.sim_end = start_time + elapsed
+            parent.attrs["attempts"] = attempt - first_attempt + 1
+        if obs.metrics.enabled:
+            obs.metrics.counter(
+                "fault_attempts_total",
+                help="task attempts by outcome",
+                labelnames=("outcome",),
+            ).inc(outcome="ok")
         return elapsed, attempt - first_attempt + 1
+    if traced:
+        parent.sim_end = start_time + elapsed
+        parent.attrs["outcome"] = "exhausted"
     raise TaskAttemptError(
         f"task {task_key!r} failed {policy.max_attempts} attempts "
         f"(last node {node!r})",

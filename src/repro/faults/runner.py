@@ -43,6 +43,7 @@ from ..mapreduce.engine import JobResult, MapReduceEngine, PhaseResult, Selectio
 from ..mapreduce.job import MapReduceJob
 from ..metrics.integrity import IntegritySummary
 from ..metrics.recovery import RecoverySummary
+from ..obs import NULL_OBS, Observability
 from .degrade import degraded_schedule
 from .injector import FaultInjector
 from .plan import FaultPlan
@@ -135,6 +136,7 @@ class ChaosRunner:
         retry: Optional[RetryPolicy] = None,
         metastore: Optional[DistributedMetaStore] = None,
         alpha: float = 0.3,
+        obs: Observability = NULL_OBS,
     ) -> None:
         for crash in plan.crashes:
             if crash.node not in cluster.datanodes:
@@ -152,7 +154,8 @@ class ChaosRunner:
         self.plan = plan
         self.injector = FaultInjector(plan)
         self.retry = retry or RetryPolicy()
-        self.engine = MapReduceEngine(cluster, cost)
+        self.obs = obs
+        self.engine = MapReduceEngine(cluster, cost, obs=obs)
         self.metastore = metastore
         self.alpha = alpha
         self.failures = FailureManager(cluster)
@@ -166,8 +169,19 @@ class ChaosRunner:
         cluster, so overhead and output-equality are measured against the
         exact run the faults perturb.
         """
-        datanet = DataNet.build(dataset, alpha=self.alpha)
-        baseline = self.engine.run_job(dataset, sub_id, job, datanet.schedule(sub_id))
+        with self.obs.tracer.span(
+            "chaos/run", category="run", dataset=dataset.name, sub=sub_id
+        ):
+            return self._run_inner(dataset, sub_id, job)
+
+    def _run_inner(
+        self, dataset: DatasetView, sub_id: str, job: MapReduceJob
+    ) -> ChaosReport:
+        datanet = DataNet.build(dataset, alpha=self.alpha, obs=self.obs)
+        with self.obs.tracer.span("baseline", category="phase"):
+            baseline = self.engine.run_job(
+                dataset, sub_id, job, datanet.schedule(sub_id)
+            )
 
         # Integrity faults strike after the baseline is captured: stale
         # metadata is diverged and then caught by standing validation
@@ -176,7 +190,7 @@ class ChaosRunner:
         stale = self._tamper_stale_entries(datanet, dataset)
         validation = datanet.validate_integrity(dataset)
         injected = self._inject_bit_rots(dataset)
-        verifier = ReadVerifier(self.cluster)
+        verifier = ReadVerifier(self.cluster, obs=self.obs)
 
         degraded: List[int] = []
         if self.metastore is not None:
@@ -194,20 +208,27 @@ class ChaosRunner:
         blacklist = NodeBlacklist(self.retry.blacklist_after)
         resume_wasted = 0.0
         restarts_survived = 0
-        if self.plan.driver_restarts:
-            selection, resume_wasted, restarts_survived = self._selection_with_restarts(
-                dataset, sub_id, assignment, job.profile, log, blacklist, verifier
-            )
-            crash_waste, rescheduled = 0.0, []
-        else:
-            selection, crash_waste, rescheduled = self._selection_with_recovery(
-                dataset, sub_id, assignment, job.profile, datanet, log, blacklist,
-                verifier,
-            )
+        with self.obs.tracer.span(f"selection/{sub_id}", category="phase") as sel_span:
+            if self.plan.driver_restarts:
+                selection, resume_wasted, restarts_survived = (
+                    self._selection_with_restarts(
+                        dataset, sub_id, assignment, job.profile, log, blacklist,
+                        verifier,
+                    )
+                )
+                crash_waste, rescheduled = 0.0, []
+            else:
+                selection, crash_waste, rescheduled = self._selection_with_recovery(
+                    dataset, sub_id, assignment, job.profile, datanet, log, blacklist,
+                    verifier,
+                )
+            sel_span.sim(0.0, selection.makespan)
         # Background scrub: repair rot the read path never touched (replicas
         # of unselected blocks, or copies a task skipped over).  Off the job
         # clock, like HDFS's block scanner.
-        scrub = Scrubber(self.cluster, failures=self.failures).scrub(dataset.name)
+        scrub = Scrubber(self.cluster, failures=self.failures, obs=self.obs).scrub(
+            dataset.name
+        )
         analysis = self.engine.run_analysis(
             job, selection.local_data, start_time=selection.makespan
         )
@@ -223,7 +244,7 @@ class ChaosRunner:
             driver_restarts=restarts_survived,
             resume_wasted_seconds=resume_wasted,
         )
-        return ChaosReport(
+        report = ChaosReport(
             job=analysis,
             baseline=baseline,
             plan=self.plan,
@@ -236,6 +257,24 @@ class ChaosRunner:
             rescheduled_blocks=sorted(set(rescheduled)),
             integrity=integrity,
         )
+        if self.obs.metrics.enabled:
+            m = self.obs.metrics
+            m.counter("node_crashes_total", help="planned node deaths applied").inc(
+                len(report.dead_nodes)
+            )
+            m.counter(
+                "rescheduled_blocks_total",
+                help="selection tasks re-routed after crashes",
+            ).inc(len(report.rescheduled_blocks))
+            m.counter(
+                "re_replicated_bytes_total",
+                help="bytes HDFS copied to restore replication",
+            ).inc(report.re_replicated_bytes)
+            m.counter(
+                "wasted_seconds_total",
+                help="simulated seconds burned by failed or lost attempts",
+            ).inc(report.wasted_seconds)
+        return report
 
     # -- integrity fault application ----------------------------------------------
 
@@ -384,6 +423,8 @@ class ChaosRunner:
         for node, bids in assignment.blocks_by_node.items():
             pending[node] = list(bids)
 
+        tracer = self.obs.tracer
+
         def drain(node: NodeId) -> None:
             """Run a node's queue until empty — or until its crash time."""
             nonlocal blocks_read, bytes_read
@@ -399,6 +440,7 @@ class ChaosRunner:
                 )
                 first_attempt = attempts_used.get(bid, 0) + 1
                 checkpoint = len(log.records)
+                trace_mark = tracer.mark()
                 elapsed, used = run_attempts(
                     base,
                     node,
@@ -409,6 +451,7 @@ class ChaosRunner:
                     blacklist,
                     start_time=clock[node],
                     first_attempt=first_attempt,
+                    obs=self.obs,
                 )
                 start = clock[node]
                 end = start + elapsed
@@ -416,6 +459,7 @@ class ChaosRunner:
                     # the attempt churn straddles the crash: roll the
                     # ledger back and charge a single crash loss instead.
                     del log.records[checkpoint:]
+                    tracer.discard_from(trace_mark)
                     log.record(
                         f"sel/{dataset.name}/{bid}",
                         node,
@@ -423,6 +467,15 @@ class ChaosRunner:
                         "crash",
                         crash_at - start,
                     )
+                    if tracer.enabled:
+                        tracer.record(
+                            f"sel/{dataset.name}/{bid}#a{first_attempt}",
+                            category="attempt",
+                            sim_start=start,
+                            sim_end=crash_at,
+                            track=f"node {node}",
+                            outcome="crash",
+                        )
                     attempts_used[bid] = first_attempt
                     clock[node] = crash_at
                     queue.insert(0, bid)
@@ -437,8 +490,11 @@ class ChaosRunner:
         crashes = injector.crashes_chronological()
         processed = 0
         while True:
-            for node in sorted(clock, key=repr):
-                drain(node)
+            with tracer.span(f"recovery-round-{processed}", category="wave") as rnd:
+                round_start = min(clock.values(), default=0.0)
+                for node in sorted(clock, key=repr):
+                    drain(node)
+                rnd.sim(round_start, max(clock.values(), default=round_start))
             if processed >= len(crashes):
                 break
             crash = crashes[processed]
@@ -462,6 +518,15 @@ class ChaosRunner:
                     "crash",
                     0.0,
                 )
+                if tracer.enabled:
+                    tracer.record(
+                        f"sel/{dataset.name}/{bid}#a{attempts_used[bid]}",
+                        category="attempt",
+                        sim_start=crash.time,
+                        sim_end=crash.time,
+                        track=f"node {victim}",
+                        outcome="crash",
+                    )
             outputs[victim] = {}
             pending[victim] = []
             spans[victim] = []

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import IntegrityError
+from ..obs import NULL_OBS, Observability
 from .cluster import HDFSCluster
 from .failure import FailureManager
 
@@ -88,10 +89,12 @@ class Scrubber:
         *,
         failures: Optional[FailureManager] = None,
         strict: bool = True,
+        obs: Observability = NULL_OBS,
     ) -> None:
         self.cluster = cluster
         self.failures = failures
         self.strict = strict
+        self.obs = obs
         self._cursor = 0
 
     # -- liveness -----------------------------------------------------------------
@@ -127,8 +130,18 @@ class Scrubber:
                 copy left to repair from.
         """
         report = ScrubReport()
-        for ds, bid, node in self._replica_list(dataset):
-            self._scrub_one(ds, bid, node, report)
+        with self.obs.tracer.span(
+            f"scrub/{dataset if dataset is not None else 'cluster'}",
+            category="scrub",
+        ) as span:
+            for ds, bid, node in self._replica_list(dataset):
+                self._scrub_one(ds, bid, node, report)
+            span.set(
+                replicas=report.replicas_scanned,
+                corrupt=report.corrupt_found,
+                repaired=report.repaired,
+            )
+        self._record_metrics(report)
         return report
 
     def scrub_step(
@@ -145,11 +158,39 @@ class Scrubber:
         report = ScrubReport()
         if not replicas:
             return report
-        for _ in range(max(1, max_replicas)):
-            ds, bid, node = replicas[self._cursor % len(replicas)]
-            self._cursor = (self._cursor + 1) % len(replicas)
-            self._scrub_one(ds, bid, node, report)
+        with self.obs.tracer.span(
+            f"scrub-step/{dataset if dataset is not None else 'cluster'}",
+            category="scrub",
+        ) as span:
+            for _ in range(max(1, max_replicas)):
+                ds, bid, node = replicas[self._cursor % len(replicas)]
+                self._cursor = (self._cursor + 1) % len(replicas)
+                self._scrub_one(ds, bid, node, report)
+            span.set(
+                replicas=report.replicas_scanned, corrupt=report.corrupt_found
+            )
+        self._record_metrics(report)
         return report
+
+    def _record_metrics(self, report: ScrubReport) -> None:
+        if not self.obs.metrics.enabled:
+            return
+        m = self.obs.metrics
+        m.counter(
+            "scrub_replicas_scanned_total", help="replicas swept by the scrubber"
+        ).inc(report.replicas_scanned)
+        m.counter(
+            "scrub_bytes_scanned_total", help="bytes re-checksummed by the scrubber"
+        ).inc(report.bytes_scanned)
+        m.counter(
+            "scrub_corrupt_found_total", help="divergent replicas detected"
+        ).inc(report.corrupt_found)
+        m.counter(
+            "scrub_repaired_total", help="replicas repaired from a verified copy"
+        ).inc(report.repaired)
+        m.counter(
+            "scrub_repaired_bytes_total", help="bytes rewritten by scrub repairs"
+        ).inc(report.repaired_bytes)
 
     def _scrub_one(
         self, dataset: str, block_id: int, node: int, report: ScrubReport
@@ -216,12 +257,19 @@ class ReadVerifier:
     again by the scrubber before it is repaired); repairs are one-to-one.
     """
 
-    def __init__(self, cluster: HDFSCluster) -> None:
+    def __init__(
+        self, cluster: HDFSCluster, *, obs: Observability = NULL_OBS
+    ) -> None:
         self.cluster = cluster
+        self.obs = obs
         self.detected = 0
         self.repaired = 0
         self.repaired_bytes = 0
         self.events: List[RepairEvent] = []
+
+    def _count(self, name: str, help: str, amount: float = 1.0) -> None:
+        if self.obs.metrics.enabled:
+            self.obs.metrics.counter(name, help=help).inc(amount)
 
     def read_cost(
         self,
@@ -249,6 +297,9 @@ class ReadVerifier:
             if datanodes[node].verify_replica(dataset, block_id):
                 return read_local(nbytes)
             self.detected += 1
+            self._count(
+                "read_verify_detected_total", "rotten replicas caught by reads"
+            )
             source = self._good_peer(dataset, block_id, replicas, exclude=node)
             if source is None:
                 raise IntegrityError(
@@ -258,6 +309,14 @@ class ReadVerifier:
             datanodes[node].repair_replica(dataset, block_id)
             self.repaired += 1
             self.repaired_bytes += nbytes
+            self._count(
+                "read_verify_repaired_total", "replicas repaired in place by reads"
+            )
+            self._count(
+                "read_verify_repaired_bytes_total",
+                "bytes rewritten by read-path repairs",
+                nbytes,
+            )
             self.events.append(
                 RepairEvent(
                     dataset=dataset,
@@ -272,6 +331,9 @@ class ReadVerifier:
             if datanodes[replica].verify_replica(dataset, block_id):
                 return read_remote(nbytes)
             self.detected += 1
+            self._count(
+                "read_verify_detected_total", "rotten replicas caught by reads"
+            )
         raise IntegrityError(
             f"block {block_id} of {dataset!r}: no verified replica remains"
         )

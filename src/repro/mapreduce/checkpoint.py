@@ -217,6 +217,7 @@ def run_selection_checkpointed(
         )
     else:
         checkpoint.validate_against(dataset.name, sub_id, queues)
+    obs = engine.obs
     placement = dataset.placement()
     num_waves = max((len(q) for q in queues.values()), default=0)
     order = sorted(queues, key=repr)
@@ -238,31 +239,72 @@ def run_selection_checkpointed(
             for node in checkpoint.clocks:
                 checkpoint.clocks[node] += interrupt.restart_delay_s
             checkpoint.restarts += 1
-            return None, checkpoint, wasted
-        for node in order:
-            if wave >= len(queues[node]):
-                continue
-            bid = queues[node][wave]
-            base, matched, nbytes = engine.selection_task_cost(
-                dataset, sub_id, placement, node, bid, profile, verify=verify
-            )
-            if faulty:
-                elapsed, _attempts = run_attempts(
-                    base,
-                    node,
-                    f"sel/{dataset.name}/{bid}",
-                    injector,
-                    retry,
-                    attempt_log,
-                    blacklist,
-                    start_time=checkpoint.clocks[node],
+            if obs.tracer.enabled:
+                obs.tracer.record(
+                    f"driver-restart-{checkpoint.restarts}",
+                    category="restart",
+                    wave=wave,
+                    wasted_s=wasted,
                 )
-            else:
-                elapsed = base
-            checkpoint.clocks[node] += elapsed
-            checkpoint.outputs[node][bid] = matched
-            checkpoint.blocks_read += 1
-            checkpoint.bytes_read += nbytes
+            if obs.metrics.enabled:
+                obs.metrics.counter(
+                    "driver_restarts_total", help="driver deaths survived"
+                ).inc()
+            return None, checkpoint, wasted
+        with obs.tracer.span(f"wave-{wave}", category="wave") as wave_span:
+            wave_start = min(checkpoint.clocks.values(), default=0.0)
+            for node in order:
+                if wave >= len(queues[node]):
+                    continue
+                bid = queues[node][wave]
+                base, matched, nbytes = engine.selection_task_cost(
+                    dataset, sub_id, placement, node, bid, profile, verify=verify
+                )
+                if faulty:
+                    elapsed, _attempts = run_attempts(
+                        base,
+                        node,
+                        f"sel/{dataset.name}/{bid}",
+                        injector,
+                        retry,
+                        attempt_log,
+                        blacklist,
+                        start_time=checkpoint.clocks[node],
+                        obs=obs,
+                    )
+                elif obs.tracer.enabled:
+                    obs.tracer.record(
+                        f"sel/{dataset.name}/{bid}",
+                        category="task",
+                        sim_start=checkpoint.clocks[node],
+                        sim_end=checkpoint.clocks[node] + base,
+                        track=f"node {node}",
+                        kind="selection",
+                    )
+                    elapsed = base
+                else:
+                    elapsed = base
+                checkpoint.clocks[node] += elapsed
+                checkpoint.outputs[node][bid] = matched
+                checkpoint.blocks_read += 1
+                checkpoint.bytes_read += nbytes
+            wave_span.sim(
+                wave_start, max(checkpoint.clocks.values(), default=wave_start)
+            )
+            if obs.metrics.enabled:
+                moved = obs.metrics.counter(
+                    "wave_bytes_read_total",
+                    help="bytes read per node per completed wave",
+                    labelnames=("node", "wave"),
+                )
+                for node in order:
+                    if wave < len(queues[node]):
+                        bid = queues[node][wave]
+                        moved.inc(
+                            dataset.block(bid).used_bytes,
+                            node=str(node),
+                            wave=str(wave),
+                        )
         checkpoint.wave = wave + 1
     from .engine import PhaseResult, SelectionResult
 

@@ -36,6 +36,7 @@ from ..core.scheduler import Assignment
 from ..errors import ConfigError, JobError
 from ..hdfs.cluster import DatasetView, HDFSCluster
 from ..hdfs.records import Record
+from ..obs import NULL_OBS, Observability
 from .costmodel import AppProfile, ClusterCostModel
 from .job import MapReduceJob
 from .shuffle import ShuffleModel, ShuffleResult
@@ -142,6 +143,7 @@ class MapReduceEngine:
         cost: Optional[ClusterCostModel] = None,
         *,
         map_slots: int = 1,
+        obs: Observability = NULL_OBS,
     ) -> None:
         if map_slots <= 0:
             raise ConfigError("map_slots must be positive")
@@ -149,6 +151,7 @@ class MapReduceEngine:
         self.cost = cost or ClusterCostModel()
         self.map_slots = map_slots
         self.shuffle_model = ShuffleModel(self.cost)
+        self.obs = obs
 
     # -- selection phase ----------------------------------------------------------
 
@@ -163,6 +166,20 @@ class MapReduceEngine:
             t = heapq.heappop(lanes)
             heapq.heappush(lanes, t + d)
         return max(lanes)
+
+    def _lane_intervals(self, task_durations: List[float]) -> List[Tuple[float, float]]:
+        """Per-task ``(start, end)`` under the same lane policy as
+        :meth:`_node_finish` — used only to place spans, never for timing."""
+        if not task_durations:
+            return []
+        lanes = [0.0] * min(self.map_slots, len(task_durations))
+        heapq.heapify(lanes)
+        out: List[Tuple[float, float]] = []
+        for d in task_durations:
+            t = heapq.heappop(lanes)
+            out.append((t, t + d))
+            heapq.heappush(lanes, t + d)
+        return out
 
     def selection_task_cost(
         self,
@@ -270,35 +287,70 @@ class MapReduceEngine:
         bytes_per_node: Dict[NodeId, int] = {}
         blocks_read = 0
         bytes_read = 0
-        for node, block_ids in assignment.blocks_by_node.items():
-            durations: List[float] = []
-            filtered: List[Record] = []
-            node_elapsed = 0.0
-            for bid in block_ids:
-                base, matched, nbytes = self.selection_task_cost(
-                    dataset, sub_id, placement, node, bid, profile, verify=verify
-                )
-                blocks_read += 1
-                bytes_read += nbytes
-                if faulty:
-                    elapsed, _attempts = run_attempts(
-                        base,
-                        node,
-                        f"sel/{dataset.name}/{bid}",
-                        injector,
-                        retry,
-                        attempt_log,
-                        blacklist,
-                        start_time=node_elapsed,
+        traced = self.obs.tracer.enabled
+        with self.obs.tracer.span(
+            f"selection/{sub_id}", category="phase", sim_start=0.0, dataset=dataset.name
+        ) as phase:
+            for node, block_ids in assignment.blocks_by_node.items():
+                durations: List[float] = []
+                filtered: List[Record] = []
+                node_elapsed = 0.0
+                for bid in block_ids:
+                    base, matched, nbytes = self.selection_task_cost(
+                        dataset, sub_id, placement, node, bid, profile, verify=verify
                     )
-                    durations.append(elapsed)
-                    node_elapsed += elapsed
-                else:
-                    durations.append(base)
-                filtered.extend(matched)
-            local_data[node] = filtered
-            bytes_per_node[node] = sum(r.nbytes for r in filtered)
-            node_times[node] = self._node_finish(durations)
+                    blocks_read += 1
+                    bytes_read += nbytes
+                    if faulty:
+                        elapsed, _attempts = run_attempts(
+                            base,
+                            node,
+                            f"sel/{dataset.name}/{bid}",
+                            injector,
+                            retry,
+                            attempt_log,
+                            blacklist,
+                            start_time=node_elapsed,
+                            obs=self.obs,
+                        )
+                        durations.append(elapsed)
+                        node_elapsed += elapsed
+                    else:
+                        durations.append(base)
+                    filtered.extend(matched)
+                local_data[node] = filtered
+                bytes_per_node[node] = sum(r.nbytes for r in filtered)
+                node_times[node] = self._node_finish(durations)
+                if traced and not faulty:
+                    for bid, (start, end) in zip(
+                        block_ids, self._lane_intervals(durations)
+                    ):
+                        self.obs.tracer.record(
+                            f"sel/{dataset.name}/{bid}",
+                            category="task",
+                            sim_start=start,
+                            sim_end=end,
+                            track=f"node {node}",
+                            kind="selection",
+                        )
+            phase.sim(0.0, max(node_times.values(), default=0.0))
+        if self.obs.metrics.enabled:
+            m = self.obs.metrics
+            m.counter(
+                "selection_blocks_scanned_total",
+                help="blocks read during selection phases",
+            ).inc(blocks_read)
+            m.counter(
+                "selection_bytes_read_total",
+                help="raw bytes read off disk/network during selection",
+            ).inc(bytes_read)
+            out_bytes = m.counter(
+                "selection_output_bytes_total",
+                help="filtered sub-dataset bytes stored, per node",
+                labelnames=("node",),
+            )
+            for node, nbytes in bytes_per_node.items():
+                out_bytes.inc(nbytes, node=str(node))
         return SelectionResult(
             local_data=local_data,
             timing=PhaseResult(node_times),
@@ -366,6 +418,27 @@ class MapReduceEngine:
         the shuffle network — the paper's future-work transfer
         optimization, wired end to end.
         """
+        with self.obs.tracer.span(
+            f"analysis/{job.name}", category="phase", sim_start=start_time
+        ) as phase:
+            result = self._run_analysis_inner(
+                job,
+                local_data,
+                start_time=start_time,
+                colocate_reducers=colocate_reducers,
+            )
+            phase.sim(start_time, result.total_time)
+        return result
+
+    def _run_analysis_inner(
+        self,
+        job: MapReduceJob,
+        local_data: Mapping[NodeId, List[Record]],
+        *,
+        start_time: float,
+        colocate_reducers: bool,
+    ) -> JobResult:
+        traced = self.obs.tracer.enabled
         map_times: Dict[NodeId, float] = {}
         map_finish: Dict[NodeId, float] = {}
         # reducer -> key -> list of values
@@ -402,6 +475,16 @@ class MapReduceEngine:
             )
             map_times[node] = duration
             map_finish[node] = start_time + duration
+            if traced:
+                self.obs.tracer.record(
+                    f"map/{node}",
+                    category="task",
+                    sim_start=start_time,
+                    sim_end=start_time + duration,
+                    track=f"node {node}",
+                    kind="map",
+                    input_bytes=nbytes,
+                )
 
         if not map_finish:
             raise JobError("analysis phase received no input partitions")
@@ -418,6 +501,14 @@ class MapReduceEngine:
         shuffle = self.shuffle_model.run(
             map_finish, partition_bytes, colocated_bytes=colocated
         )
+        if traced:
+            self.obs.tracer.record(
+                f"shuffle/{job.name}",
+                category="shuffle",
+                sim_start=shuffle.start_time,
+                sim_end=shuffle.end_time,
+                bytes=sum(partition_bytes.values()),
+            )
 
         # reduce: real execution + modeled time
         output: Dict[Any, Any] = {}
@@ -435,6 +526,24 @@ class MapReduceEngine:
                 * self.cost.data_scale
                 + self.cost.write_local(out_bytes)
             )
+            if traced:
+                self.obs.tracer.record(
+                    f"reduce/{r}",
+                    category="task",
+                    sim_start=shuffle.end_time,
+                    sim_end=shuffle.end_time + reduce_times[r],
+                    track=f"reducer {r}",
+                    kind="reduce",
+                    partition_bytes=partition_bytes[r],
+                )
+        if self.obs.metrics.enabled:
+            shuffled = self.obs.metrics.counter(
+                "shuffle_bytes_total",
+                help="intermediate bytes produced per mapper node",
+                labelnames=("node",),
+            )
+            for node, per_reducer in volumes.items():
+                shuffled.inc(sum(per_reducer.values()), node=str(node))
 
         total = (
             self.cost.job_overhead_s
@@ -465,9 +574,13 @@ class MapReduceEngine:
         finishes (the phases synchronize on the filtered dataset being
         fully materialized, as in the paper's two-job workflow).
         """
-        selection = self.run_selection(dataset, sub_id, assignment, job.profile)
-        result = self.run_analysis(
-            job, selection.local_data, start_time=selection.makespan
-        )
-        result.selection = selection
+        with self.obs.tracer.span(
+            f"job/{job.name}", category="job", sim_start=0.0, dataset=dataset.name
+        ) as span:
+            selection = self.run_selection(dataset, sub_id, assignment, job.profile)
+            result = self.run_analysis(
+                job, selection.local_data, start_time=selection.makespan
+            )
+            result.selection = selection
+            span.sim(0.0, result.total_time)
         return result

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.bipartite import BipartiteGraph
 from ..core.scheduler import Assignment
 from ..errors import SchedulingError
+from ..obs import NULL_OBS, Observability
 
 __all__ = ["LocalityScheduler"]
 
@@ -41,8 +42,14 @@ class LocalityScheduler:
     MAX_DEFERRALS = 3
     DEFER_QUANTUM = 0.34
 
-    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        obs: Observability = NULL_OBS,
+    ) -> None:
         self.rng = rng
+        self.obs = obs
 
     def _pick(self, candidates: List[int]) -> int:
         if self.rng is None:
@@ -55,44 +62,68 @@ class LocalityScheduler:
         Nodes request tasks in fewest-tasks-first order (all blocks are
         the same size, so task count tracks completion time).
         """
-        g = graph.copy()
-        nodes = g.nodes
-        if not nodes:
-            raise SchedulingError("graph has no cluster nodes")
-        blocks_by_node: Dict[NodeId, List[int]] = {n: [] for n in nodes}
-        workload: Dict[NodeId, int] = {n: 0 for n in nodes}
-        deferrals: Dict[NodeId, int] = {n: 0 for n in nodes}
-        local = remote = 0
+        with self.obs.tracer.span(
+            "schedule/locality", category="schedule", blocks=graph.num_blocks
+        ):
+            g = graph.copy()
+            nodes = g.nodes
+            if not nodes:
+                raise SchedulingError("graph has no cluster nodes")
+            blocks_by_node: Dict[NodeId, List[int]] = {n: [] for n in nodes}
+            workload: Dict[NodeId, int] = {n: 0 for n in nodes}
+            deferrals: Dict[NodeId, int] = {n: 0 for n in nodes}
+            local = remote = defer_events = 0
 
-        order = {n: i for i, n in enumerate(nodes)}
-        heap: List[Tuple[float, int, NodeId]] = [(0.0, order[n], n) for n in nodes]
-        heapq.heapify(heap)
+            order = {n: i for i, n in enumerate(nodes)}
+            heap: List[Tuple[float, int, NodeId]] = [(0.0, order[n], n) for n in nodes]
+            heapq.heapify(heap)
 
-        while g.num_blocks:
-            elapsed, tiebreak, node = heapq.heappop(heap)
-            local_blocks = sorted(g.blocks_on(node))
-            if not local_blocks and deferrals[node] < self.MAX_DEFERRALS:
-                # delay scheduling, as stock Hadoop does
-                deferrals[node] += 1
-                heapq.heappush(
-                    heap, (elapsed + self.DEFER_QUANTUM, tiebreak, node)
-                )
-                continue
-            if local_blocks:
-                chosen = self._pick(local_blocks)
-                local += 1
-                deferrals[node] = 0
-            else:
-                chosen = self._pick(g.blocks)
-                remote += 1
-            blocks_by_node[node].append(chosen)
-            workload[node] += g.weight(chosen)
-            g.remove_block(chosen)
-            heapq.heappush(heap, (elapsed + 1.0, tiebreak, node))
+            while g.num_blocks:
+                elapsed, tiebreak, node = heapq.heappop(heap)
+                local_blocks = sorted(g.blocks_on(node))
+                if not local_blocks and deferrals[node] < self.MAX_DEFERRALS:
+                    # delay scheduling, as stock Hadoop does
+                    deferrals[node] += 1
+                    defer_events += 1
+                    heapq.heappush(
+                        heap, (elapsed + self.DEFER_QUANTUM, tiebreak, node)
+                    )
+                    continue
+                if local_blocks:
+                    chosen = self._pick(local_blocks)
+                    local += 1
+                    deferrals[node] = 0
+                else:
+                    chosen = self._pick(g.blocks)
+                    remote += 1
+                blocks_by_node[node].append(chosen)
+                workload[node] += g.weight(chosen)
+                g.remove_block(chosen)
+                heapq.heappush(heap, (elapsed + 1.0, tiebreak, node))
 
-        return Assignment(
+        assignment = Assignment(
             blocks_by_node=blocks_by_node,
             workload_by_node=workload,
             local_assignments=local,
             remote_assignments=remote,
         )
+        if self.obs.metrics.enabled:
+            m = self.obs.metrics
+            placed = m.counter(
+                "scheduler_assignments_total",
+                help="block-task assignments by locality",
+                labelnames=("scheduler", "locality"),
+            )
+            placed.inc(local, scheduler="locality", locality="local")
+            placed.inc(remote, scheduler="locality", locality="remote")
+            m.counter(
+                "scheduler_deferrals_total",
+                help="delay-scheduling deferral events",
+                labelnames=("scheduler",),
+            ).inc(defer_events, scheduler="locality")
+            m.gauge(
+                "schedule_imbalance",
+                help="max/mean workload ratio of the latest schedule",
+                labelnames=("scheduler",),
+            ).set(assignment.imbalance, scheduler="locality")
+        return assignment

@@ -51,7 +51,17 @@ def format_table(
 
 
 def format_kv(pairs: Mapping[str, object], *, title: str | None = None) -> str:
-    """Render key/value pairs one per line, aligned on the colon."""
+    """Render key/value pairs one per line, aligned on the colon.
+
+    >>> print(format_kv({"nodes": 4, "makespan": 12.5}, title="run"))
+    run
+    nodes    : 4
+    makespan : 12.5
+    >>> format_kv({})
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigError: format_kv requires at least one pair
+    """
     if not pairs:
         raise ConfigError("format_kv requires at least one pair")
     width = max(len(k) for k in pairs)

@@ -1,0 +1,76 @@
+"""``repro.obs`` — observability: tracing, metrics, profiling, exporters.
+
+The pipeline's instrumentation is threaded through one small bundle,
+:class:`Observability`, holding a span :class:`~repro.obs.tracer.Tracer`
+and a :class:`~repro.obs.metrics.MetricsRegistry`.  Every instrumented
+entry point (simulator, engine, schedulers, DataNet, scrubber, chaos
+runner) takes ``obs=NULL_OBS`` by default — the null bundle's tracer and
+registry are inert singletons, so a run without observability is
+byte-identical to one built before this subsystem existed.
+
+Typical use::
+
+    from repro.obs import Observability
+    from repro.obs.export import write_chrome_trace, write_jsonl
+
+    obs = Observability.create()
+    datanet = DataNet.build(dataset, obs=obs)
+    engine = MapReduceEngine(cluster, obs=obs)
+    engine.run_job(dataset, sub_id, job, datanet.schedule(sub_id))
+    write_chrome_trace("trace.json", obs.tracer)    # open in Perfetto
+    print(obs.metrics.format())
+
+Or from the command line: ``repro trace --workload movielens --out DIR``
+and ``--obs DIR`` on ``repro chaos`` / ``repro scrub`` / ``repro
+simulate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    exponential_buckets,
+)
+from .tracer import NullTracer, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "exponential_buckets",
+]
+
+
+@dataclass(frozen=True)
+class Observability:
+    """One run's tracer + metrics registry, passed as a unit."""
+
+    tracer: Tracer = field(default_factory=NullTracer)
+    metrics: MetricsRegistry = field(default_factory=NullRegistry)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any collection is active (gate extra work on this)."""
+        return self.tracer.enabled or self.metrics.enabled
+
+    @classmethod
+    def create(cls) -> "Observability":
+        """A live bundle: recording tracer + recording registry."""
+        return cls(tracer=Tracer(), metrics=MetricsRegistry())
+
+
+#: The shared disabled bundle — the default for every instrumented API.
+NULL_OBS = Observability()

@@ -1,0 +1,327 @@
+"""Exporters: JSONL event log, Chrome/Perfetto trace, text snapshot.
+
+Three consumers, three formats:
+
+* :func:`write_jsonl` — one JSON object per line (spans, then metric
+  series); greppable, diffable, stream-appendable.
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``chrome://tracing`` / https://ui.perfetto.dev):
+  ``B``/``E`` duration events on one track per node, in *simulated*
+  microseconds when a span carries sim time (wall-relative otherwise).
+  A :class:`~repro.sim.tasks.TaskTimeline` can be merged in, so existing
+  Gantt data and tracer spans land in a single trace.
+* :func:`snapshot_text` — human-readable summary built on
+  :mod:`repro.metrics.reporting`.
+
+:func:`validate_chrome_trace` is the schema gate CI runs on emitted
+traces: required keys, ``B``/``E`` stack pairing per track, and
+monotonically non-decreasing timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Optional, Tuple, Union
+
+from ..errors import ConfigError
+from .metrics import MetricsRegistry
+from .tracer import Span, Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "snapshot_text",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+]
+
+#: Microseconds per simulated/wall second in trace timestamps.
+_US = 1_000_000.0
+
+
+def _track_of(span: Span) -> str:
+    track = span.attrs.get("track")
+    return str(track) if track is not None else "main"
+
+
+def _span_interval(span: Span, epoch: float) -> Tuple[float, float]:
+    """(start, end) in seconds on the trace's unified axis.
+
+    Spans with sim time sit on the simulated clock; wall-only spans are
+    placed relative to the tracer epoch so both kinds stay non-negative.
+    """
+    if span.sim_start is not None:
+        end = span.sim_end if span.sim_end is not None else span.sim_start
+        return span.sim_start, max(end, span.sim_start)
+    start = span.wall_start - epoch
+    end = (span.wall_end if span.wall_end is not None else span.wall_start) - epoch
+    return start, max(end, start)
+
+
+def to_chrome_trace(
+    tracer: Optional[Tracer] = None,
+    *,
+    timeline=None,
+    process_name: str = "repro",
+) -> Dict[str, object]:
+    """Build a Chrome trace-event dict from spans and/or a task timeline.
+
+    Every span lands on the track named by its ``track`` attribute (the
+    instrumentation sets this to the executing node), ``"main"`` when
+    unset; timeline tasks land on their node's track.  Within a track,
+    events are emitted parent-before-child with timestamps clamped to be
+    non-decreasing, so the ``B``/``E`` pairing always forms a well-nested
+    stack — the invariant :func:`validate_chrome_trace` checks.
+    """
+    spans: List[Span] = list(tracer.spans) if tracer is not None else []
+    epoch = tracer.epoch if tracer is not None else 0.0
+    synthetic: List[Span] = []
+    if timeline is not None:
+        next_id = max((s.span_id for s in spans), default=0) + 1
+        for tid, (start, end) in sorted(timeline.intervals.items()):
+            task = timeline.tasks.get(tid)
+            span = Span(
+                next_id,
+                None,
+                tid,
+                task.kind if task is not None else "task",
+                0.0,
+                sim_start=start,
+                sim_end=end,
+            )
+            span.attrs["track"] = (
+                f"node {task.node}" if task is not None else "timeline"
+            )
+            if task is not None and task.job:
+                span.attrs["job"] = task.job
+            next_id += 1
+            synthetic.append(span)
+    spans = spans + synthetic
+    if tracer is not None and getattr(tracer, "_stack", None):
+        raise ConfigError("cannot export a trace while spans are still open")
+
+    by_id = {s.span_id: s for s in spans}
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        # keep parent/child on one track; a child recorded onto another
+        # track becomes a root of its own track
+        if parent is not None and _track_of(by_id[parent]) != _track_of(span):
+            parent = None
+        children.setdefault(parent, []).append(span)
+
+    tracks = sorted({_track_of(s) for s in spans})
+    tid_of = {track: i + 1 for i, track in enumerate(tracks)}
+
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for track in tracks:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid_of[track],
+                "ts": 0,
+                "args": {"name": track},
+            }
+        )
+
+    def emit(span: Span, track: str, cursor: float) -> float:
+        start, end = _span_interval(span, epoch)
+        start = max(start, cursor)
+        tid = tid_of[track]
+        args: Dict[str, object] = {
+            k: v for k, v in span.attrs.items() if k != "track"
+        }
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "B",
+                "pid": 1,
+                "tid": tid,
+                "ts": round(start * _US, 3),
+                "args": args,
+            }
+        )
+        inner = start
+        for child in sorted(
+            children.get(span.span_id, []),
+            key=lambda s: (_span_interval(s, epoch)[0], s.span_id),
+        ):
+            if _track_of(child) == track:
+                inner = emit(child, track, inner)
+        end = max(end, inner)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "E",
+                "pid": 1,
+                "tid": tid,
+                "ts": round(end * _US, 3),
+            }
+        )
+        return end
+
+    for track in tracks:
+        cursor = 0.0
+        roots = [s for s in children.get(None, []) if _track_of(s) == track]
+        for span in sorted(
+            roots, key=lambda s: (_span_interval(s, epoch)[0], s.span_id)
+        ):
+            cursor = emit(span, track, cursor)
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    tracer: Optional[Tracer] = None,
+    *,
+    timeline=None,
+    process_name: str = "repro",
+) -> int:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns bytes written."""
+    payload = json.dumps(
+        to_chrome_trace(tracer, timeline=timeline, process_name=process_name),
+        separators=(",", ":"),
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(payload)
+    return len(payload)
+
+
+def write_jsonl(
+    dest: Union[str, IO[str]],
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> int:
+    """Write spans then metric series as JSON lines; returns line count."""
+    lines: List[str] = []
+    if tracer is not None:
+        for span in tracer.spans:
+            row = {"type": "span", **span.to_dict()}
+            lines.append(json.dumps(row, separators=(",", ":"), default=str))
+    if metrics is not None:
+        for name, data in metrics.snapshot().items():
+            row = {
+                "type": "metric",
+                "name": name,
+                "metric_type": data["type"],
+                "help": data["help"],
+                "series": data["series"],
+            }
+            lines.append(json.dumps(row, separators=(",", ":"), default=str))
+    text = "".join(line + "\n" for line in lines)
+    if isinstance(dest, str):
+        with open(dest, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        dest.write(text)
+    return len(lines)
+
+
+def snapshot_text(
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> str:
+    """Human-readable run snapshot (span census + metrics table)."""
+    from ..metrics.reporting import format_kv
+
+    parts: List[str] = []
+    if tracer is not None and tracer.spans:
+        census: Dict[str, object] = {"spans": len(tracer.spans)}
+        for category, n in tracer.counts_by_category().items():
+            census[f"spans[{category}]"] = n
+        parts.append(format_kv(census, title="trace"))
+    if metrics is not None:
+        parts.append(metrics.format())
+    return "\n\n".join(parts) if parts else "(no observability data)"
+
+
+# -- validation ---------------------------------------------------------------------
+
+
+def validate_chrome_trace(trace: Dict[str, object]) -> int:
+    """Check a trace dict against the Chrome trace-event schema subset we emit.
+
+    Verifies: a ``traceEvents`` list; required keys per event; ``B``/``E``
+    events pair up as a well-nested stack per ``(pid, tid)`` with matching
+    names; timestamps are non-negative and non-decreasing per track in
+    emission order.  Returns the number of ``B``/``E`` events checked.
+
+    Raises:
+        ConfigError: on the first violation found.
+    """
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ConfigError("trace has no traceEvents list")
+    stacks: Dict[Tuple[object, object], List[str]] = {}
+    cursors: Dict[Tuple[object, object], float] = {}
+    checked = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ConfigError(f"event #{i} is not an object")
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in event:
+                raise ConfigError(f"event #{i} is missing {key!r}")
+        phase = event["ph"]
+        if phase not in ("B", "E", "M", "X", "C", "i", "I"):
+            raise ConfigError(f"event #{i} has unknown phase {phase!r}")
+        if phase not in ("B", "E"):
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ConfigError(f"event #{i} has invalid ts {ts!r}")
+        track = (event["pid"], event["tid"])
+        if ts < cursors.get(track, 0.0):
+            raise ConfigError(
+                f"event #{i} ts {ts} goes backwards on track {track}"
+            )
+        cursors[track] = ts
+        stack = stacks.setdefault(track, [])
+        if phase == "B":
+            stack.append(str(event["name"]))
+        else:
+            if not stack:
+                raise ConfigError(
+                    f"event #{i}: E without a matching B on track {track}"
+                )
+            opened = stack.pop()
+            if opened != str(event["name"]):
+                raise ConfigError(
+                    f"event #{i}: E for {event['name']!r} closes "
+                    f"{opened!r} on track {track}"
+                )
+        checked += 1
+    for track, stack in stacks.items():
+        if stack:
+            raise ConfigError(
+                f"track {track} ended with unclosed spans: {stack[:3]}"
+            )
+    return checked
+
+
+def validate_chrome_trace_file(path: str) -> int:
+    """Load and :func:`validate_chrome_trace` a ``trace.json`` file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            trace = json.load(fh)
+    except ValueError as exc:
+        raise ConfigError(f"{path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(trace, dict):
+        raise ConfigError(f"{path!r} does not contain a trace object")
+    return validate_chrome_trace(trace)

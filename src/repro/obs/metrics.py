@@ -1,0 +1,438 @@
+"""In-process metrics: counters, gauges, histograms, and a registry.
+
+Prometheus-shaped but zero-dependency: a metric has a name, optional help
+text and a fixed tuple of label names; each distinct label-value
+combination is an independent series.  The registry is get-or-create, so
+instrumentation sites scattered across the pipeline can share series
+without plumbing metric objects around.
+
+Hot-path discipline mirrors :class:`~repro.obs.tracer.NullTracer`: a
+:class:`NullRegistry` hands out shared inert metrics whose mutators do
+nothing, so disabled metrics cost one attribute access and a no-op call.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "exponential_buckets",
+]
+
+LabelKey = Tuple[str, ...]
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """Upper bounds ``start, start*factor, ...`` for exponential histograms.
+
+    >>> exponential_buckets(1, 2, 4)
+    (1.0, 2.0, 4.0, 8.0)
+    """
+    if start <= 0:
+        raise ConfigError("exponential bucket start must be positive")
+    if factor <= 1.0:
+        raise ConfigError("exponential bucket factor must be > 1")
+    if count <= 0:
+        raise ConfigError("bucket count must be positive")
+    return tuple(float(start) * float(factor) ** i for i in range(count))
+
+
+class Metric:
+    """Base: name + labels + per-series storage."""
+
+    kind = "metric"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        if not name:
+            raise ConfigError("metric name must be non-empty")
+        self.name = name
+        self.help = help
+        self.labelnames: LabelKey = tuple(labelnames)
+        if len(set(self.labelnames)) != len(self.labelnames):
+            raise ConfigError(f"duplicate label names on metric {name!r}")
+
+    def _key(self, labels: Mapping[str, object]) -> LabelKey:
+        if set(labels) != set(self.labelnames):
+            raise ConfigError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[k]) for k in self.labelnames)
+
+
+class Counter(Metric):
+    """Monotonically increasing count (events, bytes, retries...)."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be non-negative) to one series."""
+        if amount < 0:
+            raise ConfigError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum across every label combination."""
+        return sum(self._values.values())
+
+    def series(self) -> Dict[LabelKey, float]:
+        return dict(self._values)
+
+
+class Gauge(Metric):
+    """A value that can go up and down (queue depth, live nodes...)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def series(self) -> Dict[LabelKey, float]:
+        return dict(self._values)
+
+
+class Histogram(Metric):
+    """Bucketed distribution with sum/count, fixed or exponential bounds.
+
+    ``buckets`` are strictly increasing finite upper bounds; observations
+    above the last bound land in an implicit overflow bucket.  Per-bucket
+    counts are *non-cumulative* (unlike Prometheus wire format) because
+    they feed :func:`repro.metrics.reporting.format_histogram` directly.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float],
+        help: str = "",
+        labelnames: Sequence[str] = (),
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigError(f"histogram {name!r} needs at least one bucket")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ConfigError("histogram buckets must be finite")
+        if any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ConfigError("histogram buckets must be strictly increasing")
+        self.buckets = bounds
+        # per-series: (bucket counts [len+1 with overflow], sum, count)
+        self._series: Dict[LabelKey, Tuple[List[int], float, int]] = {}
+
+    @classmethod
+    def fixed(
+        cls,
+        name: str,
+        buckets: Sequence[float],
+        help: str = "",
+        labelnames: Sequence[str] = (),
+    ) -> "Histogram":
+        """Histogram over an explicit bound series."""
+        return cls(name, buckets, help, labelnames)
+
+    @classmethod
+    def exponential(
+        cls,
+        name: str,
+        *,
+        start: float = 0.001,
+        factor: float = 4.0,
+        count: int = 10,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+    ) -> "Histogram":
+        """Histogram over geometrically spaced bounds."""
+        return cls(name, exponential_buckets(start, factor, count), help, labelnames)
+
+    def _slot(self, labels: Mapping[str, object]) -> Tuple[List[int], float, int]:
+        key = self._key(labels)
+        slot = self._series.get(key)
+        if slot is None:
+            slot = ([0] * (len(self.buckets) + 1), 0.0, 0)
+            self._series[key] = slot
+        return slot
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation (bucketed by ``value <= bound``)."""
+        counts, total, n = self._slot(labels)
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        counts[idx] += 1
+        self._series[self._key(labels)] = (counts, total + value, n + 1)
+
+    def count(self, **labels: object) -> int:
+        key = self._key(labels)
+        return self._series[key][2] if key in self._series else 0
+
+    def sum(self, **labels: object) -> float:
+        key = self._key(labels)
+        return self._series[key][1] if key in self._series else 0.0
+
+    def bucket_counts(self, **labels: object) -> Dict[float, int]:
+        """``upper bound → observations`` (``math.inf`` = overflow)."""
+        key = self._key(labels)
+        if key not in self._series:
+            return {}
+        counts = self._series[key][0]
+        out = {bound: counts[i] for i, bound in enumerate(self.buckets)}
+        out[math.inf] = counts[-1]
+        return out
+
+    def int_counts(self, **labels: object) -> Dict[int, int]:
+        """Non-empty finite buckets as ``int(bound) → count``.
+
+        The shape :func:`repro.metrics.reporting.format_histogram` renders;
+        requires integer bucket bounds and no overflow observations.
+
+        Raises:
+            ConfigError: non-integer bounds, or overflowed observations
+                (they have no integer bound to report under).
+        """
+        if any(b != int(b) for b in self.buckets):
+            raise ConfigError(
+                f"histogram {self.name!r} has non-integer bucket bounds"
+            )
+        full = self.bucket_counts(**labels)
+        if full.get(math.inf, 0):
+            raise ConfigError(
+                f"histogram {self.name!r} has observations beyond its last bucket"
+            )
+        return {int(b): n for b, n in full.items() if math.isfinite(b) and n > 0}
+
+    def series(self) -> Dict[LabelKey, Tuple[List[int], float, int]]:
+        return {k: (list(c), s, n) for k, (c, s, n) in self._series.items()}
+
+
+class _NullCounter(Counter):
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        return None
+
+    def value(self, **labels: object) -> float:
+        return 0.0
+
+
+class _NullGauge(Gauge):
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def set(self, value: float, **labels: object) -> None:
+        return None
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        return None
+
+    def value(self, **labels: object) -> float:
+        return 0.0
+
+
+class _NullHistogram(Histogram):
+    def __init__(self) -> None:
+        super().__init__("null", (1.0,))
+
+    def observe(self, value: float, **labels: object) -> None:
+        return None
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric in one run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls: type, name: str, *args, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ConfigError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, *args, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Optional[Sequence[float]] = None,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+    ) -> Histogram:
+        """Fixed-bucket histogram; defaults to exponential seconds buckets."""
+        if buckets is None:
+            buckets = exponential_buckets(0.001, 4.0, 10)
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not Histogram:
+                raise ConfigError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing  # type: ignore[return-value]
+        metric = Histogram(name, buckets, help, labelnames)
+        self._metrics[name] = metric
+        return metric
+
+    # -- introspection ---------------------------------------------------------------
+
+    def get(self, name: str) -> Metric:
+        """Raises :class:`~repro.errors.ConfigError` for unknown names."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            raise ConfigError(f"no metric named {name!r}")
+        return metric
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-data dump of every series (the JSONL exporter's rows)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for metric in self._metrics.values():
+            if isinstance(metric, Histogram):
+                series = [
+                    {
+                        "labels": dict(zip(metric.labelnames, key)),
+                        "count": n,
+                        "sum": total,
+                        "buckets": {
+                            str(b): c
+                            for b, c in zip(
+                                list(metric.buckets) + ["inf"], counts
+                            )
+                        },
+                    }
+                    for key, (counts, total, n) in sorted(metric.series().items())
+                ]
+            else:
+                series = [
+                    {"labels": dict(zip(metric.labelnames, key)), "value": v}
+                    for key, v in sorted(metric.series().items())  # type: ignore[union-attr]
+                ]
+            out[metric.name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "series": series,
+            }
+        return out
+
+    def format(self) -> str:
+        """Plain-text snapshot built on :func:`repro.metrics.reporting.format_table`."""
+        from ..metrics.reporting import format_table
+
+        rows: List[List[object]] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                for key, (counts, total, n) in sorted(metric.series().items()):
+                    labels = ",".join(
+                        f"{k}={v}" for k, v in zip(metric.labelnames, key)
+                    )
+                    rows.append(
+                        [name, metric.kind, labels, f"count={n} sum={total:.6g}"]
+                    )
+            else:
+                for key, value in sorted(metric.series().items()):  # type: ignore[union-attr]
+                    labels = ",".join(
+                        f"{k}={v}" for k, v in zip(metric.labelnames, key)
+                    )
+                    rows.append([name, metric.kind, labels, f"{value:.6g}"])
+        if not rows:
+            return "(no metrics recorded)"
+        return format_table(
+            ["metric", "type", "labels", "value"], rows, title="metrics snapshot"
+        )
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: hands out shared inert metrics, records nothing."""
+
+    enabled = False
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Optional[Sequence[float]] = None,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+    ) -> Histogram:
+        return _NULL_HISTOGRAM

@@ -1,0 +1,362 @@
+"""Zero-dependency structured span tracing, simulated-clock aware.
+
+A :class:`Span` is one timed region of work.  Because most of this
+library's "time" is *simulated* (per-node clocks, discrete-event loops),
+every span carries two intervals:
+
+* **wall time** — ``time.perf_counter()`` seconds, always present; what a
+  profiler of the reproduction process itself cares about.
+* **sim time** — optional ``(sim_start, sim_end)`` seconds on the modeled
+  cluster's clock; what the paper's figures are about.
+
+Spans nest: :meth:`Tracer.span` is a context manager maintaining an
+active-span stack, and :meth:`Tracer.record` appends an already-completed
+span (event loops learn a task's interval only at its finish event) as a
+child of whatever span is currently open.
+
+:class:`NullTracer` is the default everywhere instrumentation is threaded
+through the pipeline: every operation is a no-op on shared singletons, so
+disabled tracing allocates nothing per call and cannot perturb results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["Span", "Tracer", "NullTracer"]
+
+
+class Span:
+    """One traced region.  Mutable while open; see module docstring."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "category",
+        "wall_start",
+        "wall_end",
+        "sim_start",
+        "sim_end",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        category: str,
+        wall_start: float,
+        sim_start: Optional[float] = None,
+        sim_end: Optional[float] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.wall_start = wall_start
+        self.wall_end: Optional[float] = None
+        self.sim_start = sim_start
+        self.sim_end = sim_end
+        self.attrs: Dict[str, object] = attrs or {}
+
+    # -- mutation while open -----------------------------------------------------
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def sim(self, start: float, end: Optional[float] = None) -> "Span":
+        """Pin the span's simulated-clock interval."""
+        self.sim_start = start
+        if end is not None:
+            self.sim_end = end
+        return self
+
+    # -- derived views -------------------------------------------------------------
+
+    @property
+    def wall_duration(self) -> float:
+        """Elapsed wall seconds (0 while the span is still open)."""
+        if self.wall_end is None:
+            return 0.0
+        return self.wall_end - self.wall_start
+
+    @property
+    def sim_duration(self) -> Optional[float]:
+        """Elapsed simulated seconds, when both endpoints are known."""
+        if self.sim_start is None or self.sim_end is None:
+            return None
+        return self.sim_end - self.sim_start
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the JSONL exporter's row)."""
+        out: Dict[str, object] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "wall_start": self.wall_start,
+            "wall_end": self.wall_end,
+        }
+        if self.sim_start is not None:
+            out["sim_start"] = self.sim_start
+        if self.sim_end is not None:
+            out["sim_end"] = self.sim_end
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, category={self.category!r}, "
+            f"sim=[{self.sim_start}, {self.sim_end}])"
+        )
+
+
+class _OpenSpan:
+    """Context manager closing one tracer span on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._close(self._span)
+
+
+class Tracer:
+    """Collects a tree of spans across one run.
+
+    Args:
+        clock: wall-clock source (overridable for deterministic tests).
+    """
+
+    enabled = True
+
+    def __init__(self, *, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self.epoch = clock()
+
+    # -- span creation ------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        *,
+        category: str = "span",
+        sim_start: Optional[float] = None,
+        sim_end: Optional[float] = None,
+        **attrs: object,
+    ) -> _OpenSpan:
+        """Open a nested span; use as a context manager.
+
+        The yielded :class:`Span` can be mutated (``set``, ``sim``) while
+        open; the wall end time is stamped on exit.
+        """
+        span = self._new_span(name, category, sim_start, sim_end, attrs)
+        self._stack.append(span)
+        return _OpenSpan(self, span)
+
+    def record(
+        self,
+        name: str,
+        *,
+        category: str = "span",
+        sim_start: Optional[float] = None,
+        sim_end: Optional[float] = None,
+        parent: Optional[int] = None,
+        **attrs: object,
+    ) -> Span:
+        """Append an already-completed span (post-hoc, e.g. from an event loop).
+
+        Parent defaults to the currently open span; pass ``parent=span_id``
+        to attach elsewhere (0 forces a root span).
+        """
+        span = self._new_span(name, category, sim_start, sim_end, attrs, parent=parent)
+        span.wall_end = self._clock()
+        return span
+
+    def _new_span(
+        self,
+        name: str,
+        category: str,
+        sim_start: Optional[float],
+        sim_end: Optional[float],
+        attrs: Dict[str, object],
+        *,
+        parent: Optional[int] = None,
+    ) -> Span:
+        if not name:
+            raise ConfigError("span name must be non-empty")
+        if parent is None:
+            parent_id = self._stack[-1].span_id if self._stack else None
+        else:
+            parent_id = parent or None
+        span = Span(
+            self._next_id,
+            parent_id,
+            name,
+            category,
+            self._clock(),
+            sim_start,
+            sim_end,
+            dict(attrs) if attrs else None,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:  # pragma: no cover
+            raise ConfigError(f"span {span.name!r} closed out of order")
+        self._stack.pop()
+        span.wall_end = self._clock()
+
+    # -- rollback ---------------------------------------------------------------------
+
+    def mark(self) -> int:
+        """Checkpoint the span list (see :meth:`discard_from`)."""
+        return len(self.spans)
+
+    def discard_from(self, mark: int) -> int:
+        """Drop every span recorded since ``mark``.
+
+        Lets callers that roll back speculative work (e.g. the chaos
+        runner's crash-straddling attempt ledger) keep the trace consistent
+        with their accounting.  Returns the number of spans discarded.
+
+        Raises:
+            ConfigError: when an *open* span would be discarded.
+        """
+        doomed = self.spans[mark:]
+        if any(s in self._stack for s in doomed):
+            raise ConfigError("cannot discard spans that are still open")
+        del self.spans[mark:]
+        return len(doomed)
+
+    # -- queries -----------------------------------------------------------------------
+
+    @property
+    def active(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def find(
+        self, *, category: Optional[str] = None, name_prefix: Optional[str] = None
+    ) -> List[Span]:
+        """Spans matching a category and/or name prefix, in record order."""
+        out = []
+        for span in self.spans:
+            if category is not None and span.category != category:
+                continue
+            if name_prefix is not None and not span.name.startswith(name_prefix):
+                continue
+            out.append(span)
+        return out
+
+    def children_of(self, span: Span) -> List[Span]:
+        """Direct children of one span, in record order."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def span_tree(self) -> Dict[Optional[int], List[Span]]:
+        """``parent_id → children`` adjacency over every recorded span."""
+        tree: Dict[Optional[int], List[Span]] = {}
+        for span in self.spans:
+            tree.setdefault(span.parent_id, []).append(span)
+        return tree
+
+    def roots(self) -> List[Span]:
+        """Spans with no parent, in record order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def counts_by_category(self) -> Dict[str, int]:
+        """``category → span count`` (the acceptance-criteria view)."""
+        out: Dict[str, int] = {}
+        for span in self.spans:
+            out[span.category] = out.get(span.category, 0) + 1
+        return dict(sorted(out.items()))
+
+    def walk(self) -> Iterator[Tuple[int, Span]]:
+        """Depth-first ``(depth, span)`` traversal of the span forest."""
+        tree = self.span_tree()
+        by_id = {s.span_id: s for s in self.spans}
+
+        def visit(span: Span, depth: int) -> Iterator[Tuple[int, Span]]:
+            yield depth, span
+            for child in tree.get(span.span_id, []):
+                yield from visit(child, depth + 1)
+
+        for span in self.spans:
+            parent = by_id.get(span.parent_id) if span.parent_id else None
+            if parent is None:
+                yield from visit(span, 0)
+
+
+class _NullSpan(Span):
+    """Shared inert span: every mutation is a no-op."""
+
+    def __init__(self) -> None:
+        super().__init__(0, None, "null", "null", 0.0)
+        self.wall_end = 0.0
+
+    def set(self, **attrs: object) -> "Span":
+        return self
+
+    def sim(self, start: float, end: Optional[float] = None) -> "Span":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullOpenSpan:
+    """Reusable no-op context manager yielding the shared null span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_OPEN = _NullOpenSpan()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: no allocation, no recording, no side effects.
+
+    This is the default threaded through the pipeline, so instrumented
+    code paths stay byte-identical to uninstrumented ones when tracing is
+    off (guard any *extra work* with ``tracer.enabled``).
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(clock=lambda: 0.0)
+
+    def span(self, name: str, **kwargs: object) -> _NullOpenSpan:  # type: ignore[override]
+        return _NULL_OPEN
+
+    def record(self, name: str, **kwargs: object) -> Span:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def discard_from(self, mark: int) -> int:
+        return 0

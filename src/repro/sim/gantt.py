@@ -55,6 +55,8 @@ def render_gantt(
     if nodes is None:
         nodes = sorted({t.node for t in timeline.tasks.values()}, key=repr)
     node_list = list(nodes)
+    if not node_list:
+        raise ConfigError("no nodes to render")
 
     jobs = sorted({t.job for t in timeline.tasks.values()})
     job_glyph: Dict[str, str] = {}
@@ -90,9 +92,12 @@ def render_gantt(
         f"{' ' * label_width}  0{' ' * (width - len(f'{horizon:.1f}s') - 1)}"
         f"{horizon:.1f}s"
     )
-    legend = (
-        "legend: S=selection M=map s=shuffle R=reduce c=cleanup .=idle"
-        if not by_job
-        else "legend: one glyph per job, .=idle"
-    )
+    if by_job:
+        pairs = " ".join(f"{job_glyph[job]}={job}" for job in jobs)
+        legend = f"legend: {pairs} .=idle"
+    else:
+        legend = (
+            "legend: S=selection M=map s=shuffle R=reduce c=cleanup "
+            "#=other .=idle"
+        )
     return "\n".join([header] + rows + [legend])

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoids a cycle)
     from ..faults.retry import RetryPolicy
 
 from ..errors import ConfigError, FaultError, TaskAttemptError
+from ..obs import NULL_OBS, Observability
 from .tasks import SimTask, TaskTimeline
 
 __all__ = ["DiscreteEventSimulator", "SimulationResult"]
@@ -107,6 +108,7 @@ class DiscreteEventSimulator:
         *,
         injector: Optional["FaultInjector"] = None,
         policy: Optional["RetryPolicy"] = None,
+        obs: Observability = NULL_OBS,
     ) -> SimulationResult:
         """Simulate all tasks; returns the realized timeline.
 
@@ -114,6 +116,9 @@ class DiscreteEventSimulator:
             injector: optional fault oracle; enables the attempt lifecycle.
             policy: retry/backoff/blacklist knobs (defaults when omitted;
                 only meaningful together with ``injector``).
+            obs: observability bundle; spans and counters are recorded
+                post-hoc from the realized timeline, so the event loop
+                itself is untouched.
 
         Raises:
             ConfigError: duplicate ids, unknown dependencies, or cycles.
@@ -127,7 +132,7 @@ class DiscreteEventSimulator:
             task_map[task.task_id] = task
         self._validate(task_map)
         if injector is not None:
-            return self._run_with_faults(task_map, injector, policy)
+            return self._run_with_faults(task_map, injector, policy, obs)
 
         remaining_deps: Dict[str, Set[str]] = {
             tid: set(t.deps) for tid, t in task_map.items()
@@ -187,6 +192,29 @@ class DiscreteEventSimulator:
         if len(intervals) != len(task_map):  # pragma: no cover - guarded by validate
             missing = sorted(set(task_map) - set(intervals))[:3]
             raise ConfigError(f"tasks never ran (scheduler bug?): {missing}")
+        if obs.tracer.enabled:
+            with obs.tracer.span(
+                "sim/run", category="phase", sim_start=0.0, tasks=len(task_map)
+            ) as phase:
+                for tid in sorted(intervals):
+                    start, end = intervals[tid]
+                    task = task_map[tid]
+                    obs.tracer.record(
+                        tid,
+                        category="task",
+                        sim_start=start,
+                        sim_end=end,
+                        track=f"node {task.node}",
+                        kind=task.kind,
+                    )
+                phase.sim(0.0, max((e for _s, e in intervals.values()), default=0.0))
+        if obs.metrics.enabled:
+            obs.metrics.counter(
+                "sim_events_total", help="events popped off the simulation heap"
+            ).inc(processed)
+            obs.metrics.counter(
+                "sim_tasks_total", help="tasks driven to completion"
+            ).inc(len(task_map))
         return SimulationResult(
             timeline=TaskTimeline(intervals=intervals, tasks=task_map),
             events_processed=processed,
@@ -199,9 +227,15 @@ class DiscreteEventSimulator:
         task_map: Dict[str, SimTask],
         injector: "FaultInjector",
         policy: Optional["RetryPolicy"],
+        obs: Observability = NULL_OBS,
     ) -> SimulationResult:
         """The attempt-lifecycle event loop (see module docstring)."""
         from ..faults.retry import AttemptLog, NodeBlacklist, RetryPolicy
+
+        traced = obs.tracer.enabled
+        # (task, attempt, node, outcome, sim start, sim end) — turned into
+        # spans after the loop so the loop itself stays untouched
+        attempt_trace: List[Tuple[str, int, NodeId, str, float, float]] = []
 
         policy = policy or RetryPolicy()
         log = AttemptLog()
@@ -323,6 +357,10 @@ class DiscreteEventSimulator:
                 for tid in sorted(t for t, (n, _s2, _k) in running.items() if n == node):
                     _n, start, _tk = running.pop(tid)
                     log.record(tid, node, attempt_no[tid], "crash", now - start)
+                    if traced:
+                        attempt_trace.append(
+                            (tid, attempt_no[tid], node, "crash", start, now)
+                        )
                     attempt_no[tid] += 1
                     if attempt_no[tid] > policy.max_attempts:
                         raise exhaust(tid, node)
@@ -345,6 +383,10 @@ class DiscreteEventSimulator:
             free_slots[node] += 1
             if kind == "fail":
                 log.record(tid, node, attempt_no[tid], "fault", now - start)
+                if traced:
+                    attempt_trace.append(
+                        (tid, attempt_no[tid], node, "fault", start, now)
+                    )
                 newly_benched = blacklist.record_failure(node)
                 attempt_no[tid] += 1
                 failures_of[tid] += 1
@@ -358,6 +400,8 @@ class DiscreteEventSimulator:
                 continue
             # finish
             log.record(tid, node, attempt_no[tid], "ok")
+            if traced:
+                attempt_trace.append((tid, attempt_no[tid], node, "ok", start, now))
             intervals[tid] = (start, now)
             final_node[tid] = node
             for succ in successors[tid]:
@@ -375,6 +419,56 @@ class DiscreteEventSimulator:
             )
             for tid, task in task_map.items()
         }
+        if traced:
+            by_task: Dict[str, List[Tuple[int, NodeId, str, float, float]]] = {}
+            for tid, attempt, node, outcome, start, end in attempt_trace:
+                by_task.setdefault(tid, []).append((attempt, node, outcome, start, end))
+            with obs.tracer.span(
+                "sim/run", category="phase", sim_start=0.0, tasks=len(task_map)
+            ) as sim_phase:
+                for tid in sorted(intervals):
+                    tries = sorted(by_task.get(tid, []))
+                    first = tries[0][3] if tries else intervals[tid][0]
+                    parent = obs.tracer.record(
+                        tid,
+                        category="task",
+                        sim_start=first,
+                        sim_end=intervals[tid][1],
+                        track=f"node {final_node[tid]}",
+                        kind=task_map[tid].kind,
+                        attempts=len(tries),
+                    )
+                    for attempt, node, outcome, start, end in tries:
+                        obs.tracer.record(
+                            f"{tid}#a{attempt}",
+                            category="attempt",
+                            sim_start=start,
+                            sim_end=end,
+                            parent=parent.span_id,
+                            track=f"node {node}",
+                            outcome=outcome,
+                        )
+                sim_phase.sim(
+                    0.0, max((e for _s, e in intervals.values()), default=0.0)
+                )
+        if obs.metrics.enabled:
+            obs.metrics.counter(
+                "sim_events_total", help="events popped off the simulation heap"
+            ).inc(processed)
+            obs.metrics.counter(
+                "sim_tasks_total", help="tasks driven to completion"
+            ).inc(len(task_map))
+            outcomes = obs.metrics.counter(
+                "fault_attempts_total",
+                help="task attempts by outcome",
+                labelnames=("outcome",),
+            )
+            for record in log.records:
+                outcomes.inc(outcome=record.outcome)
+            obs.metrics.counter(
+                "sim_migrated_tasks_total",
+                help="tasks re-routed off their home node",
+            ).inc(len(set(migrated)))
         return SimulationResult(
             timeline=TaskTimeline(intervals=intervals, tasks=realized),
             events_processed=processed,

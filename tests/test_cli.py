@@ -116,3 +116,77 @@ class TestSimulateAndPlan:
              "--nodes", "32", "--budget", "1kb"]
         ) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestTrace:
+    _BASE = ["trace", "--nodes", "4", "-n", "3000", "-k", "30"]
+
+    def _artifacts(self, out_dir):
+        return sorted(p.name for p in out_dir.iterdir())
+
+    def test_fault_free_trace_writes_valid_artifacts(self, tmp_path, capsys):
+        from repro.obs.export import validate_chrome_trace_file
+
+        out = tmp_path / "obs"
+        assert main(self._BASE + ["--out", str(out)]) == 0
+        assert self._artifacts(out) == [
+            "events.jsonl", "metrics.txt", "trace.json",
+        ]
+        assert validate_chrome_trace_file(str(out / "trace.json")) > 0
+        stdout = capsys.readouterr().out
+        assert "traced job" in stdout and "trace.json valid" in stdout
+
+    @pytest.mark.parametrize("workload", ["movielens", "github", "worldcup"])
+    def test_all_workload_families_exit_zero(self, tmp_path, workload):
+        out = tmp_path / workload
+        args = self._BASE + ["--workload", workload, "--out", str(out)]
+        if workload == "worldcup":
+            args += ["-k", "8"]
+        assert main(args) == 0
+        assert (out / "trace.json").exists()
+
+    def test_chaos_path_traces_attempts(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "obs"
+        assert main(
+            self._BASE + ["--out", str(out), "--flaky", "0.2"]
+        ) == 0
+        assert "traced chaos run" in capsys.readouterr().out
+        rows = [
+            json.loads(line)
+            for line in (out / "events.jsonl").read_text().splitlines()
+        ]
+        categories = {
+            r.get("category") for r in rows if r["type"] == "span"
+        }
+        assert "attempt" in categories and "run" in categories
+        assert "spans[attempt]" in (out / "metrics.txt").read_text()
+
+    def test_obs_flag_on_chaos(self, tmp_path, capsys):
+        out = tmp_path / "obs"
+        assert main(
+            ["chaos", "--nodes", "4", "-n", "3000", "-k", "30",
+             "--flaky", "0.2", "--obs", str(out)]
+        ) == 0
+        assert (out / "trace.json").exists()
+        assert (out / "events.jsonl").exists()
+        assert "observability artifacts" in capsys.readouterr().out
+
+    def test_obs_flag_on_scrub(self, tmp_path, capsys):
+        out = tmp_path / "obs"
+        assert main(
+            ["scrub", "--nodes", "4", "-n", "2000", "-k", "30",
+             "--corrupt", "2", "--obs", str(out)]
+        ) == 0
+        assert "scrub_corrupt_found_total" in (out / "metrics.txt").read_text()
+
+    def test_obs_flag_on_simulate(self, tmp_path):
+        from repro.obs.export import validate_chrome_trace_file
+
+        out = tmp_path / "obs"
+        assert main(
+            ["simulate", "--small", "--rows", "2", "--width", "40",
+             "--obs", str(out)]
+        ) == 0
+        assert validate_chrome_trace_file(str(out / "trace.json")) > 0

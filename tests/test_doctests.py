@@ -14,6 +14,7 @@ import repro.core.bloom
 import repro.core.bucketizer
 import repro.core.builder
 import repro.metrics.reporting
+import repro.obs.metrics
 import repro.units
 import repro.workloads.mixer
 
@@ -23,6 +24,7 @@ MODULES = [
     repro.core.bucketizer,
     repro.core.builder,
     repro.metrics.reporting,
+    repro.obs.metrics,
     repro.workloads.mixer,
 ]
 

@@ -1,0 +1,385 @@
+"""Unit tests for the observability subsystem: tracer, metrics registry,
+exporters, and profiling hooks."""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.reporting import format_histogram
+from repro.obs import (
+    NULL_OBS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NullTracer,
+    Observability,
+    Tracer,
+    exponential_buckets,
+)
+from repro.obs.export import (
+    snapshot_text,
+    to_chrome_trace,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.profiler import profile_block, profiled
+
+
+class FakeClock:
+    """Deterministic wall clock for tracer tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestTracer:
+    def test_nesting_builds_parent_child_tree(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer", category="phase") as outer:
+            with tracer.span("inner", category="task") as inner:
+                assert tracer.active is inner
+            assert tracer.active is outer
+        assert tracer.active is None
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert tracer.children_of(outer) == [inner]
+        assert tracer.roots() == [outer]
+
+    def test_record_defaults_to_open_parent(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("loop") as loop:
+            done = tracer.record("task-1", sim_start=0.0, sim_end=2.5)
+        assert done.parent_id == loop.span_id
+        assert done.wall_end is not None
+        assert done.sim_duration == 2.5
+
+    def test_record_explicit_parent_and_forced_root(self):
+        tracer = Tracer(clock=FakeClock())
+        parent = tracer.record("parent")
+        child = tracer.record("child", parent=parent.span_id)
+        root = tracer.record("root", parent=0)
+        assert child.parent_id == parent.span_id
+        assert root.parent_id is None
+
+    def test_empty_name_rejected(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(ConfigError):
+            tracer.record("")
+
+    def test_span_attrs_and_sim_mutation(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("s", category="wave", node=3) as span:
+            span.set(blocks=7).sim(1.0, 4.0)
+        assert span.attrs == {"node": 3, "blocks": 7}
+        assert span.sim_duration == 3.0
+        assert span.wall_duration > 0
+
+    def test_mark_discard_rolls_back_speculative_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.record("keep")
+        mark = tracer.mark()
+        tracer.record("doomed-1")
+        tracer.record("doomed-2")
+        assert tracer.discard_from(mark) == 2
+        assert [s.name for s in tracer.spans] == ["keep"]
+
+    def test_discard_refuses_open_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        mark = tracer.mark()
+        cm = tracer.span("open")
+        cm.__enter__()
+        with pytest.raises(ConfigError):
+            tracer.discard_from(mark)
+        cm.__exit__(None, None, None)
+
+    def test_find_and_counts_by_category(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.record("sel/a", category="task")
+        tracer.record("sel/b", category="task")
+        tracer.record("wave-0", category="wave")
+        assert len(tracer.find(category="task")) == 2
+        assert len(tracer.find(name_prefix="sel/")) == 2
+        assert tracer.counts_by_category() == {"task": 2, "wave": 1}
+
+    def test_walk_is_depth_first(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root"):
+            with tracer.span("mid"):
+                tracer.record("leaf")
+        depths = {name: depth for depth, s in tracer.walk() for name in [s.name]}
+        assert depths == {"root": 0, "mid": 1, "leaf": 2}
+
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        with tracer.span("x") as span:
+            span.set(a=1).sim(0.0, 1.0)
+        assert tracer.record("y") is span or tracer.record("y").span_id == 0
+        assert tracer.spans == []
+        assert tracer.discard_from(tracer.mark()) == 0
+
+
+class TestMetrics:
+    def test_counter_accumulates_and_rejects_negative(self):
+        c = Counter("events")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+        assert c.total == 3.5
+        with pytest.raises(ConfigError):
+            c.inc(-1)
+
+    def test_labeled_series_are_independent(self):
+        c = Counter("bytes", labelnames=("node",))
+        c.inc(10, node="0")
+        c.inc(5, node="1")
+        assert c.value(node="0") == 10
+        assert c.total == 15
+        assert c.series() == {("0",): 10.0, ("1",): 5.0}
+
+    def test_label_mismatch_rejected(self):
+        c = Counter("x", labelnames=("node",))
+        with pytest.raises(ConfigError):
+            c.inc(1)
+        with pytest.raises(ConfigError):
+            c.inc(1, other="y")
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("depth")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 3
+
+    def test_histogram_buckets_and_overflow(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(105.0)
+        assert h.bucket_counts() == {1.0: 1, 2.0: 1, 4.0: 1, math.inf: 1}
+
+    def test_histogram_invalid_buckets(self):
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=())
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=(1.0, math.inf))
+
+    def test_exponential_buckets_validation(self):
+        assert exponential_buckets(1, 2, 3) == (1.0, 2.0, 4.0)
+        with pytest.raises(ConfigError):
+            exponential_buckets(0, 2, 3)
+        with pytest.raises(ConfigError):
+            exponential_buckets(1, 1.0, 3)
+        with pytest.raises(ConfigError):
+            exponential_buckets(1, 2, 0)
+
+    def test_int_counts_round_trips_through_format_histogram(self):
+        # Satellite: a histogram rendered by the existing reporting helper
+        # shows exactly the buckets the histogram recorded.
+        h = Histogram.fixed("attempts", buckets=(1, 2, 3, 4))
+        for v in (1, 1, 1, 2, 4):
+            h.observe(v)
+        counts = h.int_counts()
+        assert counts == {1: 3, 2: 1, 4: 1}
+        text = format_histogram(counts, key_name="attempts", width=8)
+        lines = text.splitlines()
+        assert lines[0].split() == ["attempts", "count", "bar"]
+        rendered = {
+            int(line.split()[0]): int(line.split()[1]) for line in lines[2:]
+        }
+        assert rendered == counts
+
+    def test_int_counts_rejects_fractional_bounds_and_overflow(self):
+        frac = Histogram("f", buckets=(0.5, 1.5))
+        frac.observe(0.4)
+        with pytest.raises(ConfigError):
+            frac.int_counts()
+        over = Histogram("o", buckets=(1, 2))
+        over.observe(99)
+        with pytest.raises(ConfigError):
+            over.int_counts()
+
+    def test_registry_get_or_create_and_type_mismatch(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("hits", help="h")
+        c2 = reg.counter("hits")
+        assert c1 is c2
+        assert "hits" in reg and len(reg) == 1
+        with pytest.raises(ConfigError):
+            reg.gauge("hits")
+        with pytest.raises(ConfigError):
+            reg.get("missing")
+
+    def test_registry_snapshot_and_format(self):
+        reg = MetricsRegistry()
+        reg.counter("a", labelnames=("n",)).inc(2, n="0")
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["a"]["type"] == "counter"
+        assert snap["a"]["series"][0] == {"labels": {"n": "0"}, "value": 2.0}
+        assert snap["h"]["series"][0]["count"] == 1
+        text = reg.format()
+        assert "metrics snapshot" in text and "a" in text
+
+    def test_null_registry_records_nothing(self):
+        reg = NullRegistry()
+        assert not reg.enabled
+        reg.counter("x").inc(5)
+        reg.gauge("y").set(3)
+        reg.histogram("z").observe(1.0)
+        assert len(reg) == 0
+        assert reg.counter("x").value() == 0.0
+
+
+class TestObservability:
+    def test_null_default_is_disabled(self):
+        assert not NULL_OBS.enabled
+        assert isinstance(NULL_OBS.tracer, NullTracer)
+        assert isinstance(NULL_OBS.metrics, NullRegistry)
+
+    def test_create_is_live(self):
+        obs = Observability.create()
+        assert obs.enabled
+        assert obs.tracer.enabled and obs.metrics.enabled
+
+
+class TestExporters:
+    def _traced(self) -> Tracer:
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("run", category="phase", sim_start=0.0) as run:
+            tracer.record(
+                "t1", category="task", sim_start=0.0, sim_end=1.0,
+                track="node 0",
+            )
+            tracer.record(
+                "t2", category="task", sim_start=1.0, sim_end=2.0,
+                track="node 1",
+            )
+            run.sim(0.0, 2.0)
+        return tracer
+
+    def test_chrome_trace_is_valid_and_tracked(self):
+        trace = to_chrome_trace(self._traced())
+        checked = validate_chrome_trace(trace)
+        assert checked == 6  # 3 spans x B/E
+        names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert names == {"main", "node 0", "node 1"}
+
+    def test_chrome_trace_refuses_open_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        cm = tracer.span("open")
+        cm.__enter__()
+        with pytest.raises(ConfigError):
+            to_chrome_trace(tracer)
+        cm.__exit__(None, None, None)
+
+    def test_chrome_trace_merges_timeline(self):
+        from repro.sim.tasks import SimTask, TaskTimeline
+
+        timeline = TaskTimeline(intervals={"a": (0.0, 1.0)})
+        timeline.tasks["a"] = SimTask(
+            task_id="a", job="j", kind="map", node=0, duration=1.0
+        )
+        trace = to_chrome_trace(None, timeline=timeline)
+        validate_chrome_trace(trace)
+        begins = [e for e in trace["traceEvents"] if e["ph"] == "B"]
+        assert [e["name"] for e in begins] == ["a"]
+        assert begins[0]["cat"] == "map"
+
+    def test_write_chrome_trace_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(str(path), self._traced())
+        assert written == path.stat().st_size
+        assert validate_chrome_trace_file(str(path)) == 6
+
+    def test_validate_rejects_malformed(self, tmp_path):
+        with pytest.raises(ConfigError):
+            validate_chrome_trace({"traceEvents": "nope"})
+        with pytest.raises(ConfigError):
+            validate_chrome_trace({"traceEvents": [{"ph": "B"}]})
+        unbalanced = {
+            "traceEvents": [
+                {"name": "x", "ph": "B", "pid": 1, "tid": 1, "ts": 0}
+            ]
+        }
+        with pytest.raises(ConfigError):
+            validate_chrome_trace(unbalanced)
+        backwards = {
+            "traceEvents": [
+                {"name": "x", "ph": "B", "pid": 1, "tid": 1, "ts": 5},
+                {"name": "x", "ph": "E", "pid": 1, "tid": 1, "ts": 1},
+            ]
+        }
+        with pytest.raises(ConfigError):
+            validate_chrome_trace(backwards)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigError):
+            validate_chrome_trace_file(str(bad))
+
+    def test_jsonl_emits_spans_then_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        buf = io.StringIO()
+        rows = write_jsonl(buf, tracer=self._traced(), metrics=reg)
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert rows == len(lines) == 4
+        assert [row["type"] for row in lines] == [
+            "span", "span", "span", "metric",
+        ]
+        assert lines[-1]["name"] == "hits"
+
+    def test_snapshot_text(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        text = snapshot_text(tracer=self._traced(), metrics=reg)
+        assert "spans" in text and "metrics snapshot" in text
+        assert snapshot_text() == "(no observability data)"
+
+
+class TestProfiler:
+    def test_profile_block_records_span_and_histogram(self):
+        obs = Observability.create()
+        with profile_block(obs, "unit.work", node=1):
+            pass
+        spans = obs.tracer.find(category="profile")
+        assert len(spans) == 1 and spans[0].name == "unit.work"
+        hist = obs.metrics.get("profile_seconds")
+        assert hist.count(site="unit.work") == 1
+
+    def test_profile_block_noop_when_disabled(self):
+        with profile_block(NULL_OBS, "unit.work"):
+            pass
+        assert NULL_OBS.tracer.spans == []
+
+    def test_profiled_decorator(self):
+        obs = Observability.create()
+
+        @profiled(obs, site="step")
+        def step() -> int:
+            return 41
+
+        assert step() == 41
+        assert obs.metrics.get("profile_seconds").count(site="step") == 1
+        spans = obs.tracer.find(category="profile")
+        assert [s.name for s in spans] == ["step"]

@@ -1,0 +1,226 @@
+"""Integration tests for observability threaded through the pipeline.
+
+Covers the tentpole's hard guarantees:
+
+* **Byte-identity off** — with the default ``NULL_OBS``, every
+  instrumented component produces output identical to a traced run;
+  tracing observes, it never perturbs.
+* **Span-count identity on** — a traced chaos run emits one
+  ``attempt``-category span per attempt-ledger record (the histogram's
+  ground truth), plus ``wave`` and ``scrub`` spans for every round/sweep.
+* **Schema** — the emitted Chrome trace validates (B/E pairing,
+  monotonic timestamps).
+* **Retry nesting** — each retried task's span tree shows one child per
+  attempt with the backoff gap visible between them (the satellite test).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataNet, HDFSCluster
+from repro.faults import (
+    ChaosRunner,
+    FaultInjector,
+    FaultPlan,
+    NodeCrash,
+    RetryPolicy,
+    TransientFaults,
+)
+from repro.faults.plan import BitRot
+from repro.mapreduce.apps.word_count import word_count_job
+from repro.mapreduce.engine import MapReduceEngine
+from repro.obs import NULL_OBS, Observability
+from repro.obs.export import to_chrome_trace, validate_chrome_trace
+from repro.sim.simulator import DiscreteEventSimulator
+from repro.sim.tasks import SimTask
+from tests.conftest import make_records
+
+
+def _fresh(num_nodes=8, seed=11):
+    cluster = HDFSCluster(
+        num_nodes=num_nodes,
+        block_size=2048,
+        replication=3,
+        rng=np.random.default_rng(seed),
+    )
+    recs = make_records({"hot": 150, "cold": 50}, payload_len=30)
+    dataset = cluster.write_dataset("d", recs)
+    return cluster, dataset
+
+
+def _chaos_report(plan, obs):
+    cluster, dataset = _fresh()
+    runner = ChaosRunner(cluster, plan, retry=RetryPolicy(), obs=obs)
+    return runner.run(dataset, "hot", word_count_job())
+
+
+FLAKY_PLAN = FaultPlan(
+    seed=3,
+    crashes=(NodeCrash(2, time=0.5),),
+    transient=TransientFaults(0.15),
+    bit_rots=(BitRot(node=0, block=0),),
+)
+
+
+class TestByteIdentityWhenDisabled:
+    """obs on vs off must not change a single simulated number."""
+
+    def test_engine_job_identical(self):
+        results = []
+        for obs in (NULL_OBS, Observability.create()):
+            cluster, dataset = _fresh()
+            datanet = DataNet.build(dataset, alpha=0.3, obs=obs)
+            engine = MapReduceEngine(cluster, obs=obs)
+            results.append(
+                engine.run_job(
+                    dataset, "hot", word_count_job(), datanet.schedule("hot")
+                )
+            )
+        off, on = results
+        assert off == on
+        assert repr(off) == repr(on)
+
+    def test_simulator_identical(self):
+        def run(obs):
+            tasks = [
+                SimTask(task_id=f"t{i}", node=i % 2, duration=1.0 + i, kind="map")
+                for i in range(6)
+            ]
+            sim = DiscreteEventSimulator(slots_per_node=2)
+            return sim.run(tasks, obs=obs)
+
+        off, on = run(NULL_OBS), run(Observability.create())
+        assert off.timeline.intervals == on.timeline.intervals
+        assert off.timeline.makespan == on.timeline.makespan
+        assert off.events_processed == on.events_processed
+
+    def test_chaos_run_identical(self):
+        off = _chaos_report(FLAKY_PLAN, NULL_OBS)
+        on = _chaos_report(FLAKY_PLAN, Observability.create())
+        assert off.job == on.job
+        assert off.attempts_histogram == on.attempts_histogram
+        assert off.wasted_seconds == on.wasted_seconds
+        assert off.rescheduled_blocks == on.rescheduled_blocks
+
+    def test_null_obs_leaves_no_spans_or_metrics(self):
+        _chaos_report(FLAKY_PLAN, NULL_OBS)
+        assert NULL_OBS.tracer.spans == []
+        assert len(NULL_OBS.metrics) == 0
+
+
+class TestSpanAccounting:
+    """Acceptance: span counts equal attempts + waves + scrub sweeps."""
+
+    def _traced_run(self, plan=FLAKY_PLAN):
+        obs = Observability.create()
+        report = _chaos_report(plan, obs)
+        return report, obs
+
+    def test_attempt_spans_match_attempt_ledger(self):
+        report, obs = self._traced_run()
+        total_attempts = sum(
+            attempts * tasks
+            for attempts, tasks in report.attempts_histogram.items()
+        )
+        attempt_spans = obs.tracer.find(category="attempt")
+        assert len(attempt_spans) == total_attempts
+
+    def test_wave_and_scrub_spans_present(self):
+        report, obs = self._traced_run()
+        waves = obs.tracer.find(category="wave")
+        scrubs = obs.tracer.find(category="scrub")
+        assert waves, "crash recovery must emit recovery-round wave spans"
+        assert len(scrubs) == 1  # the end-of-run sweep
+        assert scrubs[0].attrs["replicas"] > 0
+
+    def test_root_span_covers_the_run(self):
+        _report, obs = self._traced_run()
+        roots = obs.tracer.find(category="run")
+        assert len(roots) == 1 and roots[0].name == "chaos/run"
+        assert obs.tracer.active is None
+
+    def test_fault_metrics_recorded(self):
+        report, obs = self._traced_run()
+        m = obs.metrics
+        total_attempts = sum(
+            a * t for a, t in report.attempts_histogram.items()
+        )
+        # counters are monotone: speculative attempts rolled back out of
+        # the ledger (crash straddles) stay counted, so >= not ==
+        assert m.get("fault_attempts_total").total >= total_attempts
+        assert m.get("node_crashes_total").total == len(report.dead_nodes)
+        assert (
+            m.get("rescheduled_blocks_total").total
+            == len(report.rescheduled_blocks)
+        )
+
+    def test_chrome_trace_from_chaos_run_validates(self):
+        _report, obs = self._traced_run()
+        trace = to_chrome_trace(obs.tracer)
+        checked = validate_chrome_trace(trace)
+        assert checked == 2 * len(obs.tracer.spans)
+
+
+class TestRetryNesting:
+    """Satellite: the span tree shows one child per attempt with backoff gaps."""
+
+    def test_one_attempt_child_per_try_with_backoff_gaps(self):
+        obs = Observability.create()
+        plan = FaultPlan(seed=5, transient=TransientFaults(0.4))
+        _chaos_report(plan, obs)
+
+        retried = [
+            span
+            for span in obs.tracer.find(category="task")
+            if len(obs.tracer.children_of(span)) > 1
+        ]
+        assert retried, "transient p=0.4 must retry at least one task"
+        for parent in retried:
+            children = obs.tracer.children_of(parent)
+            assert all(c.category == "attempt" for c in children)
+            assert int(parent.attrs["attempts"]) == len(children)
+            # every attempt but the last failed; the next one starts after
+            # a strictly positive backoff gap
+            for earlier, later in zip(children, children[1:]):
+                assert earlier.attrs["outcome"] == "fault"
+                assert later.sim_start > earlier.sim_end
+            assert children[-1].attrs["outcome"] == "ok"
+            # attempt numbering is embedded in the span names
+            assert [c.name.rsplit("#a", 1)[1] for c in children] == [
+                str(i + 1) for i in range(len(children))
+            ]
+
+    def test_run_attempts_direct_nesting(self):
+        from repro.faults.retry import AttemptLog, NodeBlacklist, run_attempts
+
+        obs = Observability.create()
+        plan = FaultPlan(seed=9, transient=TransientFaults(0.5))
+        injector = FaultInjector(plan)
+        log = AttemptLog()
+        policy = RetryPolicy(max_attempts=6)
+        blacklist = NodeBlacklist(policy.blacklist_after)
+        for i in range(8):
+            run_attempts(
+                1.0, 0, f"task-{i}", injector, policy, log, blacklist, obs=obs
+            )
+        assert len(obs.tracer.find(category="attempt")) == len(log.records)
+
+
+class TestExportedArtifacts:
+    def test_jsonl_and_snapshot_from_real_run(self, tmp_path):
+        import json
+
+        from repro.obs.export import snapshot_text, write_jsonl
+
+        _report, obs = TestSpanAccounting()._traced_run()
+        path = tmp_path / "events.jsonl"
+        rows = write_jsonl(str(path), tracer=obs.tracer, metrics=obs.metrics)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == rows
+        kinds = {json.loads(line)["type"] for line in lines}
+        assert kinds == {"span", "metric"}
+        text = snapshot_text(tracer=obs.tracer, metrics=obs.metrics)
+        assert "spans[attempt]" in text
+        assert "metrics snapshot" in text

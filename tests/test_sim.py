@@ -248,3 +248,28 @@ class TestGantt:
 
         with pytest.raises(ConfigError):
             render_gantt(TaskTimeline(intervals={}, tasks={}))
+
+    def test_zero_duration_timeline_raises_config_error(self):
+        from repro.sim.tasks import SimTask, TaskTimeline
+
+        tl = TaskTimeline(intervals={"a": (0.0, 0.0)}, tasks={})
+        tl.tasks["a"] = SimTask(task_id="a", node=0, duration=0.0)
+        with pytest.raises(ConfigError):
+            render_gantt(tl)
+
+    def test_empty_node_list_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            render_gantt(self._timeline(), nodes=[])
+
+    def test_legend_lists_kind_glyphs(self):
+        legend = render_gantt(self._timeline(), width=30).splitlines()[-1]
+        assert legend.startswith("legend:")
+        for glyph in ("S=selection", "M=map", "s=shuffle", "R=reduce",
+                      "c=cleanup", "#=other", ".=idle"):
+            assert glyph in legend
+
+    def test_by_job_legend_enumerates_jobs(self):
+        legend = render_gantt(
+            self._timeline(), width=30, by_job=True
+        ).splitlines()[-1]
+        assert "A=alpha" in legend and "B=beta" in legend

@@ -321,6 +321,64 @@ def _parse_node_at(value: str, what: str) -> tuple:
         raise ReproError(f"bad --{what} value {value!r}, expected NODE@NUMBER")
 
 
+def _parse_slow_spec(value: str) -> tuple:
+    """Parse ``NODE@FACTOR[:START[-END]]`` into ``(node, factor, start, end)``."""
+    head, sep, window = value.partition(":")
+    node, factor = _parse_node_at(head, "slow-node")
+    if factor is None:
+        raise ReproError(
+            f"bad --slow-node value {value!r}, expected NODE@FACTOR[:START[-END]]"
+        )
+    start, end = 0.0, None
+    if sep:
+        start_s, dash, end_s = window.partition("-")
+        try:
+            start = float(start_s)
+            end = float(end_s) if dash else None
+        except ValueError:
+            raise ReproError(
+                f"bad --slow-node window {window!r}, expected START[-END]"
+            )
+    return node, factor, start, end
+
+
+def _parse_link_spec(value: str) -> tuple:
+    """Parse ``A-B@LOSS[:LATENCY]`` into ``(a, b, loss, latency_s)``."""
+    head, _, rest = value.partition("@")
+    a_s, dash, b_s = head.partition("-")
+    try:
+        if not dash or not rest:
+            raise ValueError
+        loss_s, colon, lat_s = rest.partition(":")
+        return int(a_s), int(b_s), float(loss_s), float(lat_s) if colon else 0.0
+    except ValueError:
+        raise ReproError(
+            f"bad --flaky-link value {value!r}, expected A-B@LOSS[:LATENCY]"
+        )
+
+
+def _parse_partition_spec(value: str) -> tuple:
+    """Parse ``rackR@START-HEAL`` or ``N,M@START-HEAL``.
+
+    Returns ``(rack, nodes, start, heals_at)`` with exactly one of
+    ``rack``/``nodes`` set, matching ``NetworkPartition``'s scopes.
+    """
+    scope, sep, window = value.partition("@")
+    start_s, dash, heal_s = window.partition("-")
+    try:
+        if not sep or not dash:
+            raise ValueError
+        start, heal = float(start_s), float(heal_s)
+        if scope.startswith("rack"):
+            return int(scope[4:]), (), start, heal
+        return None, tuple(int(n) for n in scope.split(",")), start, heal
+    except ValueError:
+        raise ReproError(
+            f"bad --partition value {value!r}, "
+            "expected rackR@START-HEAL or N,M@START-HEAL"
+        )
+
+
 def _parse_node_block(value: str, what: str) -> tuple:
     """Parse ``NODE@BLOCK`` (e.g. ``2@5``) into ``(int node, int block)``."""
     node_s, sep, block_s = value.partition("@")
@@ -446,7 +504,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         ChaosRunner,
         DriverRestart,
         FaultPlan,
+        FlakyLink,
         MetaOutage,
+        NetworkPartition,
         NodeCrash,
         RetryPolicy,
         SlowNode,
@@ -477,6 +537,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     slow = tuple(
         SlowNode(node, factor=2.0 if f is None else f)
         for node, f in (_parse_node_at(v, "slow") for v in args.slow)
+    ) + tuple(
+        SlowNode(node, factor=f, start=s, end=e)
+        for node, f, s, e in (_parse_slow_spec(v) for v in args.slow_node)
+    )
+    links = tuple(
+        FlakyLink(a=a, b=b, loss=loss, latency_s=lat)
+        for a, b, loss, lat in (_parse_link_spec(v) for v in args.flaky_link)
+    )
+    partitions = tuple(
+        NetworkPartition(rack=rack, nodes=nodes, start=s, heals_at=h)
+        for rack, nodes, s, h in (_parse_partition_spec(v) for v in args.partition)
     )
     transient = (
         TransientFaults(probability=args.flaky) if args.flaky > 0 else None
@@ -497,6 +568,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         bit_rots=bit_rots,
         stale_metadata=stale,
         driver_restarts=restarts,
+        flaky_links=links,
+        partitions=partitions,
     )
 
     metastore = None
@@ -513,6 +586,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         retry=RetryPolicy(max_attempts=args.max_attempts),
         metastore=metastore,
         alpha=args.alpha,
+        detect=not args.no_detector,
+        hedge=not args.no_hedge,
         obs=obs,
     )
     report = runner.run(dataset, sub_id, word_count_job())
@@ -715,6 +790,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--flaky", type=float, default=0.0,
         help="per-attempt transient failure probability",
+    )
+    p_chaos.add_argument(
+        "--slow-node", action="append", default=[],
+        metavar="NODE@FACTOR[:START[-END]]",
+        help="gray failure: degrade NODE by FACTOR inside a time window "
+        "(repeatable), e.g. --slow-node 1@8:0-3",
+    )
+    p_chaos.add_argument(
+        "--flaky-link", action="append", default=[], metavar="A-B@LOSS[:LATENCY]",
+        help="gray failure: remote reads over the A<->B link re-read with "
+        "probability LOSS and pay LATENCY extra seconds (repeatable), "
+        "e.g. --flaky-link 0-2@0.3:0.01",
+    )
+    p_chaos.add_argument(
+        "--partition", action="append", default=[], metavar="SCOPE@START-HEAL",
+        help="cut SCOPE (rackR or a node list N,M) off the network from "
+        "START until HEAL (repeatable), e.g. --partition rack1@0-3",
+    )
+    p_chaos.add_argument(
+        "--no-detector", action="store_true",
+        help="disable the phi-accrual health detector and partition-aware "
+        "scheduling (for overhead comparisons)",
+    )
+    p_chaos.add_argument(
+        "--no-hedge", action="store_true",
+        help="disable hedged replica reads",
     )
     p_chaos.add_argument("--max-attempts", type=int, default=4)
     p_chaos.add_argument(

@@ -125,6 +125,35 @@ class BipartiteGraph:
         for node in replica_nodes:
             self._blocks_on[node].discard(block_id)
 
+    def restrict(
+        self, allowed: Iterable[NodeId]
+    ) -> tuple["BipartiteGraph", List[int]]:
+        """Project the graph onto ``allowed`` nodes (partition-aware view).
+
+        Returns the subgraph over the allowed side plus the sorted list of
+        *stranded* blocks — blocks whose every replica sits outside
+        ``allowed`` (e.g. behind a partition cut).  Stranded blocks are
+        dropped from the subgraph rather than raising: the caller defers
+        them until the cut heals.
+        """
+        keep = {n for n in self._nodes if n in set(allowed)}
+        if not keep:
+            raise SchedulingError("restriction removes every cluster node")
+        placement: Dict[int, List[NodeId]] = {}
+        stranded: List[int] = []
+        for block_id, replica_nodes in self._nodes_of.items():
+            reachable = sorted((n for n in replica_nodes if n in keep), key=repr)
+            if reachable:
+                placement[block_id] = reachable
+            else:
+                stranded.append(block_id)
+        sub = BipartiteGraph(
+            placement,
+            {b: self._weight[b] for b in placement},
+            nodes=sorted(keep, key=repr),
+        )
+        return sub, sorted(stranded)
+
     def copy(self) -> "BipartiteGraph":
         """Deep copy; schedulers mutate copies, callers keep the original."""
         out = object.__new__(BipartiteGraph)

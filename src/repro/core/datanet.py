@@ -471,6 +471,61 @@ class DataNet:
             ).set(assignment.imbalance, scheduler=method)
         return assignment
 
+    def gray_schedule(
+        self,
+        sub_dataset_id: str,
+        *,
+        health: Optional[Mapping[NodeId, float]] = None,
+        unreachable: Sequence[NodeId] = (),
+        only_blocks: Optional[Iterable[int]] = None,
+        min_capacity: float = 0.05,
+    ) -> Tuple[Assignment, List[int]]:
+        """Health- and partition-aware Algorithm 1 assignment.
+
+        The distribution-aware greedy scheduler runs over the bipartite
+        graph restricted to nodes *outside* any active partition cut, with
+        per-node capacity set to the φ-accrual detector's health score
+        (clamped up to ``min_capacity`` so a deeply suspected node still
+        gets a sliver rather than dividing by zero).  Blocks whose every
+        replica is behind the cut are returned as *stranded* — the caller
+        defers them until the partition heals instead of failing the job.
+
+        Returns ``(assignment, stranded_block_ids)``.
+        """
+        graph = self.bipartite_graph(sub_dataset_id, only_blocks=only_blocks)
+        stranded: List[int] = []
+        if unreachable:
+            cut = set(unreachable)
+            graph, stranded = graph.restrict(
+                [n for n in graph.nodes if n not in cut]
+            )
+        capacities: Optional[Dict[NodeId, float]] = None
+        if health:
+            capacities = {
+                n: max(min_capacity, float(health.get(n, 1.0)))
+                for n in graph.nodes
+            }
+        with self.obs.tracer.span(
+            "schedule/gray",
+            category="schedule",
+            sub_dataset=sub_dataset_id,
+            blocks=graph.num_blocks,
+            stranded=len(stranded),
+        ):
+            assignment = DistributionAwareScheduler(capacities).schedule(graph)
+        if self.obs.metrics.enabled:
+            m = self.obs.metrics
+            m.counter(
+                "gray_stranded_blocks_total",
+                help="blocks deferred because no replica was reachable",
+            ).inc(len(stranded))
+            m.gauge(
+                "schedule_imbalance",
+                help="max/mean workload ratio of the latest schedule",
+                labelnames=("scheduler",),
+            ).set(assignment.imbalance, scheduler="gray")
+        return assignment, stranded
+
     def combined_graph(
         self, sub_dataset_ids: Iterable[str], *, skip_absent: bool = True
     ) -> BipartiteGraph:

@@ -14,24 +14,34 @@ reproduction survive an unhealthy one.  It is organized as four layers:
   backoff, retry budgets, heartbeat-delayed crash detection, per-node
   blacklisting, and the :class:`AttemptLog` ledger behind the recovery
   metrics.
+- :mod:`repro.faults.health` / :mod:`repro.faults.dedup` — gray-failure
+  detection and settlement: the φ-accrual :class:`HealthDetector` turns
+  heartbeat intervals into continuous suspicion/health scores, and
+  :class:`FirstWinLedger` settles hedged/speculative completion races
+  first-response-wins without double-counting bytes.
 - :mod:`repro.faults.runner` / :mod:`repro.faults.degrade` — whole-job
   recovery: :class:`ChaosRunner` replays a job under a plan, re-replicates
-  after crashes, reschedules lost work on a rebuilt bipartite graph, and
-  degrades metadata-less blocks to locality-only scheduling instead of
-  failing.
+  after crashes, reschedules lost work on a rebuilt bipartite graph,
+  routes around slow nodes, flaky links and healing network partitions,
+  and degrades metadata-less blocks to locality-only scheduling instead
+  of failing.
 
 Determinism is the design invariant throughout: the same plan over the
 same seeded cluster produces an identical job result, and recovery never
 changes the analysis output.
 """
 
+from .dedup import CompletionWin, FirstWinLedger
 from .degrade import degraded_schedule, merge_assignments
-from .injector import FaultInjector
+from .health import HealthDetector, validate_health
+from .injector import FaultInjector, ResolvedPartition
 from .plan import (
     BitRot,
     DriverRestart,
     FaultPlan,
+    FlakyLink,
     MetaOutage,
+    NetworkPartition,
     NodeCrash,
     SlowNode,
     StaleMetadata,
@@ -44,12 +54,19 @@ __all__ = [
     "FaultPlan",
     "NodeCrash",
     "SlowNode",
+    "FlakyLink",
+    "NetworkPartition",
     "TransientFaults",
     "MetaOutage",
     "BitRot",
     "StaleMetadata",
     "DriverRestart",
     "FaultInjector",
+    "ResolvedPartition",
+    "HealthDetector",
+    "validate_health",
+    "FirstWinLedger",
+    "CompletionWin",
     "RetryPolicy",
     "AttemptRecord",
     "AttemptLog",

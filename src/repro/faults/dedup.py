@@ -1,0 +1,79 @@
+"""First-response-wins deduplication for redundant executions.
+
+Hedged reads and speculative backups both run the same logical work
+twice; correctness requires that exactly one completion is *counted* —
+the first one to arrive — and every later arrival for the same key is
+recorded as a duplicate, never added to output bytes.  The
+:class:`FirstWinLedger` is that single source of truth: hedged readers,
+the speculative simulator and tests all settle races through it, so the
+"never double-count" property is proved once (see the hypothesis test in
+``tests/test_gray.py``) and inherited everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from ..errors import ConfigError
+
+__all__ = ["CompletionWin", "FirstWinLedger"]
+
+
+@dataclass(frozen=True)
+class CompletionWin:
+    """The counted completion for one logical key."""
+
+    source: str
+    arrival: float
+    nbytes: int
+
+
+class FirstWinLedger:
+    """Settle duplicate completions: the first offer for a key wins.
+
+    Callers present completions in arrival order (ties settled by the
+    caller's offer order); the ledger counts the winner's bytes exactly
+    once and tallies everything else as duplicate work.
+    """
+
+    def __init__(self) -> None:
+        self._wins: Dict[Hashable, CompletionWin] = {}
+        self.offers = 0
+        self.duplicates = 0
+        self.duplicate_bytes = 0
+
+    def offer(
+        self, key: Hashable, source: str, arrival: float, nbytes: int = 0
+    ) -> bool:
+        """Offer one completion; True iff it is the winner for ``key``."""
+        if arrival < 0:
+            raise ConfigError(f"arrival time must be non-negative, got {arrival}")
+        if nbytes < 0:
+            raise ConfigError(f"completion bytes must be non-negative, got {nbytes}")
+        self.offers += 1
+        if key in self._wins:
+            self.duplicates += 1
+            self.duplicate_bytes += nbytes
+            return False
+        self._wins[key] = CompletionWin(source=source, arrival=arrival, nbytes=nbytes)
+        return True
+
+    def winner(self, key: Hashable) -> Optional[CompletionWin]:
+        """The counted completion for ``key``, or ``None`` if never offered."""
+        return self._wins.get(key)
+
+    def keys(self) -> List[Hashable]:
+        """All settled keys, sorted by repr for deterministic iteration."""
+        return sorted(self._wins, key=repr)
+
+    @property
+    def counted_bytes(self) -> int:
+        """Total bytes counted — exactly one completion per key."""
+        return sum(w.nbytes for w in self._wins.values())
+
+    def __len__(self) -> int:
+        return len(self._wins)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._wins

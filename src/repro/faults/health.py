@@ -1,0 +1,172 @@
+"""φ-accrual-style health detection from heartbeat/completion intervals.
+
+Real schedulers cannot see a :class:`~repro.faults.plan.SlowNode` — they
+only see that its heartbeats and task completions arrive late.  The
+:class:`HealthDetector` accumulates per-node inter-arrival intervals and
+turns them into two continuous signals:
+
+* ``suspicion(node, now)`` — the φ-accrual score
+  ``phi = elapsed / (mean_interval * ln 10)`` of the exponential-arrival
+  model (Hayashibara et al.): φ = 1 means "90% sure the node missed its
+  heartbeat", φ = 2 means 99%, and so on.  Continuous, so callers pick
+  their own threshold instead of inheriting a binary blacklist.
+* ``health_score(node)`` — ``expected_interval / observed mean`` clamped
+  to ``[min_score, 1.0]``.  A node running 4× slow heartbeats at a 4×
+  interval and scores 0.25 — exactly the capacity weight the
+  distribution-aware scheduler should give it.
+
+Everything is plain arithmetic over recorded arrival times: feeding the
+detector from a seeded :class:`~repro.faults.injector.FaultInjector`
+(:meth:`observe_heartbeats`) keeps the whole pipeline deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Hashable, Iterable, List, Mapping, Optional
+
+from ..errors import ConfigError
+
+__all__ = ["HealthDetector", "validate_health"]
+
+NodeId = Hashable
+
+
+class HealthDetector:
+    """Accrual failure detector over per-node arrival intervals."""
+
+    def __init__(
+        self,
+        *,
+        expected_interval_s: float = 1.0,
+        window: int = 32,
+        min_score: float = 0.05,
+    ) -> None:
+        if expected_interval_s <= 0:
+            raise ConfigError("expected_interval_s must be positive")
+        if window < 2:
+            raise ConfigError("window must hold at least 2 arrivals")
+        if not 0.0 < min_score <= 1.0:
+            raise ConfigError("min_score must be in (0, 1]")
+        self.expected_interval_s = expected_interval_s
+        self.window = window
+        self.min_score = min_score
+        self._arrivals: Dict[NodeId, Deque[float]] = {}
+
+    # -- feeding -------------------------------------------------------------------
+
+    def record(self, node: NodeId, arrival_time: float) -> None:
+        """Record one heartbeat/completion arrival from ``node``."""
+        if arrival_time < 0:
+            raise ConfigError("arrival time must be non-negative")
+        q = self._arrivals.setdefault(node, deque(maxlen=self.window))
+        if q and arrival_time < q[-1]:
+            raise ConfigError(
+                f"arrivals from {node!r} must be monotonic: "
+                f"{arrival_time} after {q[-1]}"
+            )
+        q.append(arrival_time)
+
+    def observe_heartbeats(
+        self,
+        nodes: Iterable[NodeId],
+        injector,
+        *,
+        count: int = 8,
+        start: float = 0.0,
+    ) -> None:
+        """Simulate a heartbeat probe window against a fault injector.
+
+        Each node *sends* a heartbeat every ``expected_interval_s``, but a
+        gray node emits late (the interval stretches by the node's active
+        slowdown factor) and a partitioned node's beats are dropped while
+        the cut is active.  Deterministic: pure function of the plan.
+        """
+        if count < 2:
+            raise ConfigError("a probe needs at least 2 heartbeats per node")
+        partitions_known = injector.plan.partitions and hasattr(
+            injector, "partitions_chronological"
+        )
+        for node in sorted(nodes, key=repr):
+            t = start
+            for _ in range(count):
+                t += self.expected_interval_s * injector.slowdown(node, t)
+                if partitions_known and injector.unreachable(node, t):
+                    continue  # beat dropped behind the cut
+                self.record(node, t)
+
+    # -- scoring -------------------------------------------------------------------
+
+    def mean_interval(self, node: NodeId) -> Optional[float]:
+        """Mean observed inter-arrival interval, or ``None`` below 2 samples."""
+        q = self._arrivals.get(node)
+        if q is None or len(q) < 2:
+            return None
+        span = q[-1] - q[0]
+        if span <= 0:
+            return None
+        return span / (len(q) - 1)
+
+    def suspicion(self, node: NodeId, now: float) -> float:
+        """φ-accrual suspicion that ``node`` is gone, given silence until ``now``.
+
+        0.0 with insufficient history (no evidence either way).
+        """
+        q = self._arrivals.get(node)
+        mean = self.mean_interval(node)
+        if q is None or mean is None:
+            return 0.0
+        elapsed = max(now - q[-1], 0.0)
+        return elapsed / (mean * math.log(10.0))
+
+    def health_score(self, node: NodeId) -> float:
+        """Relative service rate in ``[min_score, 1.0]`` (1.0 = healthy)."""
+        mean = self.mean_interval(node)
+        if mean is None:
+            return 1.0
+        ratio = self.expected_interval_s / mean
+        return max(self.min_score, min(1.0, ratio))
+
+    def scores(self, nodes: Iterable[NodeId]) -> Dict[NodeId, float]:
+        """Health scores for every node, in a plain dict."""
+        return {n: self.health_score(n) for n in sorted(nodes, key=repr)}
+
+    def suspected(
+        self, nodes: Iterable[NodeId], now: float, *, threshold: float = 1.0
+    ) -> List[NodeId]:
+        """Nodes whose suspicion crosses ``threshold``, sorted by repr."""
+        return [
+            n
+            for n in sorted(nodes, key=repr)
+            if self.suspicion(n, now) >= threshold
+        ]
+
+    # -- export --------------------------------------------------------------------
+
+    def export(self, obs, nodes: Iterable[NodeId], now: float) -> None:
+        """Publish per-node suspicion and health gauges through ``repro.obs``."""
+        suspicion = obs.metrics.gauge(
+            "node_suspicion_phi",
+            help="Accrual suspicion score per node (phi, higher = more suspect)",
+            labelnames=("node",),
+        )
+        health = obs.metrics.gauge(
+            "node_health_score",
+            help="Detector health score per node (1.0 = healthy)",
+            labelnames=("node",),
+        )
+        for node in sorted(nodes, key=repr):
+            suspicion.set(self.suspicion(node, now), node=str(node))
+            health.set(self.health_score(node), node=str(node))
+
+
+def validate_health(health: Optional[Mapping[NodeId, float]]) -> None:
+    """Shared guard for scheduler/speculation health inputs."""
+    if health is None:
+        return
+    for node, score in health.items():
+        if not 0.0 < score <= 1.0:
+            raise ConfigError(
+                f"health score for {node!r} must be in (0, 1], got {score}"
+            )

@@ -11,13 +11,43 @@ deterministic under injection.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Hashable, List, Optional
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
-from .plan import BitRot, DriverRestart, FaultPlan, NodeCrash, SlowNode
+from ..errors import ConfigError
+from .plan import BitRot, DriverRestart, FaultPlan, FlakyLink, NodeCrash, SlowNode
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "ResolvedPartition"]
 
 NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class ResolvedPartition:
+    """A :class:`~repro.faults.plan.NetworkPartition` with its cut set resolved.
+
+    ``nodes`` is the concrete minority side (rack scopes expanded against
+    the cluster topology); the cut is active during ``[start, heals_at)``.
+    """
+
+    nodes: FrozenSet[NodeId]
+    start: float
+    heals_at: float
+
+    def active(self, time: float) -> bool:
+        return self.start <= time < self.heals_at
+
+    def sorted_nodes(self) -> List[NodeId]:
+        return sorted(self.nodes, key=repr)
 
 
 class FaultInjector:
@@ -26,7 +56,19 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self._crash_time: Dict[NodeId, float] = {c.node: c.time for c in plan.crashes}
-        self._slow: Dict[NodeId, SlowNode] = {s.node: s for s in plan.slow_nodes}
+        self._slow: Dict[NodeId, List[SlowNode]] = {}
+        for s in plan.slow_nodes:
+            self._slow.setdefault(s.node, []).append(s)
+        for windows in self._slow.values():
+            windows.sort(key=lambda s: s.start)
+        self._links: Dict[Tuple[NodeId, NodeId], List[FlakyLink]] = {}
+        for l in plan.flaky_links:
+            self._links.setdefault(l.edge, []).append(l)
+        for faults in self._links.values():
+            faults.sort(key=lambda l: l.start)
+        self._partitions: Optional[List[ResolvedPartition]] = (
+            [] if not plan.partitions else None
+        )
 
     # -- transient task failures ---------------------------------------------------
 
@@ -71,10 +113,134 @@ class FaultInjector:
 
     def slowdown(self, node: NodeId, time: float = 0.0) -> float:
         """Duration multiplier for work starting on ``node`` at ``time``."""
-        s = self._slow.get(node)
-        if s is None or time < s.start:
-            return 1.0
-        return s.factor
+        for s in self._slow.get(node, ()):
+            if s.start <= time and (s.end is None or time < s.end):
+                return s.factor
+        return 1.0
+
+    # -- flaky links --------------------------------------------------------------
+
+    def link_fault(
+        self, a: NodeId, b: NodeId, time: float = 0.0
+    ) -> Optional[FlakyLink]:
+        """The link degradation active on edge ``(a, b)`` at ``time``, if any."""
+        edge = tuple(sorted((a, b), key=repr))
+        for l in self._links.get(edge, ()):  # windows are disjoint: first hit wins
+            if l.start <= time and (l.end is None or time < l.end):
+                return l
+        return None
+
+    def link_penalty(
+        self,
+        a: NodeId,
+        b: NodeId,
+        *,
+        time: float = 0.0,
+        key: str = "",
+        base_cost: float = 0.0,
+    ) -> float:
+        """Extra seconds a transfer over edge ``(a, b)`` pays at ``time``.
+
+        A drop (probability ``loss``, hashed from the plan seed and
+        ``key``) costs one retransmission: ``base_cost`` again on top of
+        the added latency.  Returns 0.0 on healthy edges.
+        """
+        fault = self.link_fault(a, b, time)
+        if fault is None:
+            return 0.0
+        penalty = fault.latency_s
+        if fault.loss > 0.0:
+            edge = fault.edge
+            coin = self._uniform(self.plan.seed, "link", edge[0], edge[1], key)
+            if coin < fault.loss:
+                penalty += base_cost
+        return penalty
+
+    # -- partitions ---------------------------------------------------------------
+
+    def resolve_partitions(
+        self,
+        nodes: Iterable[NodeId],
+        *,
+        rack_of: Optional[Callable[[NodeId], int]] = None,
+    ) -> List[ResolvedPartition]:
+        """Expand the plan's partitions against a concrete node universe.
+
+        Rack scopes need ``rack_of`` (the cluster topology); explicit node
+        scopes must name known nodes, and a cut may never swallow the
+        whole cluster (that would be an outage, not a partition).  The
+        resolution is cached so later :meth:`unreachable` / :meth:`same_side`
+        queries are cheap and consistent.
+        """
+        universe = sorted(nodes, key=repr)
+        known = {repr(n) for n in universe}
+        resolved: List[ResolvedPartition] = []
+        for p in self.plan.partitions:
+            if p.nodes:
+                unknown = sorted(repr(n) for n in p.nodes if repr(n) not in known)
+                if unknown:
+                    raise ConfigError(
+                        f"partition names unknown node(s): {', '.join(unknown)}"
+                    )
+                cut = frozenset(p.nodes)
+            else:
+                if rack_of is None:
+                    raise ConfigError(
+                        f"rack-scoped partition (rack={p.rack}) needs a cluster "
+                        "topology to resolve — pass rack_of"
+                    )
+                cut = frozenset(n for n in universe if rack_of(n) == p.rack)
+                if not cut:
+                    raise ConfigError(f"partition rack {p.rack} holds no nodes")
+            if len(cut) >= len(universe):
+                raise ConfigError(
+                    "partition cut covers every node — that is a full outage, "
+                    "not a partition"
+                )
+            resolved.append(ResolvedPartition(cut, p.start, p.heals_at))
+        # Rack expansion can create overlaps the plan could not see
+        # (rack scope vs explicit nodes in that rack): reject them here.
+        for i, x in enumerate(resolved):
+            for y in resolved[i + 1 :]:
+                if (
+                    x.start < y.heals_at
+                    and y.start < x.heals_at
+                    and x.nodes & y.nodes
+                ):
+                    raise ConfigError(
+                        "overlapping partitions share node(s): "
+                        f"{sorted(repr(n) for n in x.nodes & y.nodes)}"
+                    )
+        resolved.sort(key=lambda p: (p.start, p.heals_at, repr(p.sorted_nodes())))
+        self._partitions = resolved
+        return resolved
+
+    def partitions_chronological(self) -> List[ResolvedPartition]:
+        """Resolved partitions, earliest first.
+
+        Raises :class:`ConfigError` when the plan has partitions that were
+        never resolved against a node universe.
+        """
+        if self._partitions is None:
+            raise ConfigError(
+                "plan has partitions but resolve_partitions() was never called"
+            )
+        return list(self._partitions)
+
+    def unreachable(self, node: NodeId, time: float = 0.0) -> bool:
+        """Whether ``node`` is behind an active partition cut at ``time``."""
+        return any(
+            p.active(time) and node in p.nodes
+            for p in self.partitions_chronological()
+        )
+
+    def same_side(self, a: NodeId, b: NodeId, time: float = 0.0) -> bool:
+        """Whether ``a`` and ``b`` can reach each other at ``time``."""
+        return all(
+            (a in p.nodes) == (b in p.nodes)
+            for p in self.partitions_chronological()
+            if p.active(time)
+        )
 
     # -- integrity faults ----------------------------------------------------------
 

@@ -14,6 +14,7 @@ for soak-style chaos experiments.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Hashable, Optional, Sequence, Tuple
 
@@ -24,6 +25,8 @@ from ..errors import ConfigError
 __all__ = [
     "NodeCrash",
     "SlowNode",
+    "FlakyLink",
+    "NetworkPartition",
     "TransientFaults",
     "MetaOutage",
     "BitRot",
@@ -33,6 +36,28 @@ __all__ = [
 ]
 
 NodeId = Hashable
+
+
+def _window_end(end: Optional[float]) -> float:
+    return math.inf if end is None else end
+
+
+def _assert_disjoint_windows(
+    windows: Sequence[Tuple[float, Optional[float]]], what: str
+) -> None:
+    """Fault windows on the same target must not overlap.
+
+    Overlapping degradations would silently compose (which factor wins?),
+    so the plan refuses them up front instead of guessing.
+    """
+    ordered = sorted(windows, key=lambda w: (w[0], _window_end(w[1])))
+    for (a_start, a_end), (b_start, b_end) in zip(ordered, ordered[1:]):
+        if b_start < _window_end(a_end):
+            raise ConfigError(
+                f"overlapping fault windows on {what}: "
+                f"[{a_start}, {'inf' if a_end is None else a_end}) and "
+                f"[{b_start}, {'inf' if b_end is None else b_end})"
+            )
 
 
 @dataclass(frozen=True)
@@ -53,21 +78,118 @@ class NodeCrash:
 
 @dataclass(frozen=True)
 class SlowNode:
-    """From ``start`` onward, tasks on ``node`` take ``factor``× longer.
+    """During ``[start, end)``, tasks on ``node`` take ``factor``× longer.
 
     Models thermal throttling / noisy neighbours — the degradation that
-    speculative execution exists to mask.
+    speculative execution exists to mask.  ``end=None`` means the
+    slowdown never recovers (the pre-gray-failure behaviour).
     """
 
     node: NodeId
     factor: float
     start: float = 0.0
+    end: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.factor < 1.0:
             raise ConfigError(f"slowdown factor must be >= 1, got {self.factor}")
         if self.start < 0:
             raise ConfigError("slowdown start must be non-negative")
+        if self.end is not None and self.end <= self.start:
+            raise ConfigError(
+                f"zero-duration or inverted slowdown window on node "
+                f"{self.node!r}: [{self.start}, {self.end})"
+            )
+
+    @property
+    def window(self) -> Tuple[float, Optional[float]]:
+        return (self.start, self.end)
+
+
+@dataclass(frozen=True)
+class FlakyLink:
+    """The network edge between ``a`` and ``b`` degrades during ``[start, end)``.
+
+    Every remote read crossing the edge pays ``latency_s`` extra, and with
+    probability ``loss`` the transfer is dropped and retransmitted once
+    (doubling its service time) — a deterministic coin drawn from the plan
+    seed, never from global randomness.  Models a flapping NIC or a
+    congested top-of-rack uplink: the classic gray failure that is
+    invisible to liveness checks because both endpoints stay up.
+    """
+
+    a: NodeId
+    b: NodeId
+    loss: float = 0.0
+    latency_s: float = 0.0
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if repr(self.a) == repr(self.b):
+            raise ConfigError(f"flaky link needs two distinct endpoints, got {self.a!r}")
+        if not 0.0 <= self.loss < 1.0:
+            raise ConfigError(f"link loss must be in [0, 1), got {self.loss}")
+        if self.latency_s < 0:
+            raise ConfigError("link latency must be non-negative")
+        if self.loss == 0.0 and self.latency_s == 0.0:
+            raise ConfigError("a flaky link must degrade something: loss or latency")
+        if self.start < 0:
+            raise ConfigError("link fault start must be non-negative")
+        if self.end is not None and self.end <= self.start:
+            raise ConfigError(
+                f"zero-duration or inverted link-fault window on edge "
+                f"{self.edge}: [{self.start}, {self.end})"
+            )
+
+    @property
+    def edge(self) -> Tuple[NodeId, NodeId]:
+        """Canonical undirected edge key (order-independent)."""
+        return tuple(sorted((self.a, self.b), key=repr))  # type: ignore[return-value]
+
+    @property
+    def window(self) -> Tuple[float, Optional[float]]:
+        return (self.start, self.end)
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """A node set (or a whole rack) is unreachable during ``[start, heals_at)``.
+
+    Scope is either an explicit ``nodes`` tuple or a ``rack`` id resolved
+    against the cluster topology at injection time — exactly one of the
+    two.  The cut set is the *minority* side: nodes inside it cannot be
+    reached by the driver or by any node outside it, but keep running and
+    rejoin intact at ``heals_at``.  Unlike a crash, no replica is lost and
+    no re-replication happens — the data is merely unreachable for a
+    while, which is what makes partitions gray rather than fail-stop.
+    """
+
+    nodes: Tuple[NodeId, ...] = ()
+    rack: Optional[int] = None
+    start: float = 0.0
+    heals_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if bool(self.nodes) == (self.rack is not None):
+            raise ConfigError(
+                "a partition is scoped by exactly one of nodes=... or rack=..."
+            )
+        if len({repr(n) for n in self.nodes}) != len(self.nodes):
+            raise ConfigError("duplicate nodes in partition scope")
+        if self.rack is not None and self.rack < 0:
+            raise ConfigError(f"rack id must be non-negative, got {self.rack}")
+        if self.start < 0:
+            raise ConfigError("partition start must be non-negative")
+        if self.heals_at <= self.start:
+            raise ConfigError(
+                f"zero-duration or inverted partition window: "
+                f"[{self.start}, {self.heals_at}) — heals_at must exceed start"
+            )
+
+    @property
+    def window(self) -> Tuple[float, Optional[float]]:
+        return (self.start, self.heals_at)
 
 
 @dataclass(frozen=True)
@@ -172,7 +294,12 @@ class FaultPlan:
     Attributes:
         seed: drives every hash-based decision (transient coin flips).
         crashes: permanent node deaths, at most one per node.
-        slow_nodes: slow-node degradations, at most one per node.
+        slow_nodes: slow-node degradations; windows on the same node must
+            not overlap (disjoint windows are fine).
+        flaky_links: per-edge loss/latency degradations; windows on the
+            same undirected edge must not overlap.
+        partitions: rack- or node-set-scoped network partitions that heal
+            at a configured time; windows sharing a node must not overlap.
         transient: per-attempt transient failure model (``None`` disables).
         meta_outages: metadata shards down for the whole run.
         bit_rots: silent replica corruptions, at most one per (node, block).
@@ -184,6 +311,8 @@ class FaultPlan:
     seed: int = 0
     crashes: Tuple[NodeCrash, ...] = ()
     slow_nodes: Tuple[SlowNode, ...] = ()
+    flaky_links: Tuple[FlakyLink, ...] = ()
+    partitions: Tuple[NetworkPartition, ...] = ()
     transient: Optional[TransientFaults] = None
     meta_outages: Tuple[MetaOutage, ...] = ()
     bit_rots: Tuple[BitRot, ...] = ()
@@ -194,9 +323,31 @@ class FaultPlan:
         crash_nodes = [c.node for c in self.crashes]
         if len(set(crash_nodes)) != len(crash_nodes):
             raise ConfigError("a node can only crash once per plan")
-        slow = [s.node for s in self.slow_nodes]
-        if len(set(slow)) != len(slow):
-            raise ConfigError("at most one slowdown per node")
+        by_node: dict = {}
+        for s in self.slow_nodes:
+            by_node.setdefault(repr(s.node), []).append(s)
+        for key, slows in sorted(by_node.items()):
+            _assert_disjoint_windows(
+                [s.window for s in slows], f"slow node {key}"
+            )
+        by_edge: dict = {}
+        for l in self.flaky_links:
+            by_edge.setdefault(repr(l.edge), []).append(l)
+        for key, links in sorted(by_edge.items()):
+            _assert_disjoint_windows(
+                [l.window for l in links], f"link {key}"
+            )
+        by_member: dict = {}
+        for p in self.partitions:
+            if p.nodes:
+                for n in p.nodes:
+                    by_member.setdefault(f"node {n!r}", []).append(p)
+            else:
+                by_member.setdefault(f"rack {p.rack}", []).append(p)
+        for key, parts in sorted(by_member.items()):
+            _assert_disjoint_windows(
+                [p.window for p in parts], f"partitioned {key}"
+            )
         outs = [o.node_id for o in self.meta_outages]
         if len(set(outs)) != len(outs):
             raise ConfigError("duplicate meta-node outage")
@@ -217,11 +368,18 @@ class FaultPlan:
         """Nodes the plan kills, in crash-time order."""
         return tuple(c.node for c in sorted(self.crashes, key=lambda c: (c.time, repr(c.node))))
 
+    @property
+    def has_gray(self) -> bool:
+        """True when the plan injects any gray (non-fail-stop) fault."""
+        return bool(self.slow_nodes or self.flaky_links or self.partitions)
+
     def is_empty(self) -> bool:
         """True when the plan injects nothing at all."""
         return not (
             self.crashes
             or self.slow_nodes
+            or self.flaky_links
+            or self.partitions
             or self.transient
             or self.meta_outages
             or self.bit_rots

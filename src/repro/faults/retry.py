@@ -64,7 +64,8 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class AttemptRecord:
-    """One attempt's outcome: ``ok``, ``fault`` (transient) or ``crash``."""
+    """One attempt's outcome: ``ok``, ``fault`` (transient), ``crash`` or
+    ``partition`` (work discarded behind a network cut)."""
 
     task_key: str
     node: NodeId
@@ -87,7 +88,7 @@ class AttemptLog:
         outcome: str,
         wasted_s: float = 0.0,
     ) -> None:
-        if outcome not in ("ok", "fault", "crash"):
+        if outcome not in ("ok", "fault", "crash", "partition"):
             raise ConfigError(f"unknown attempt outcome {outcome!r}")
         self.records.append(AttemptRecord(task_key, node, attempt, outcome, wasted_s))
 

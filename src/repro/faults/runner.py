@@ -9,7 +9,20 @@ bipartite graph without the dead/blacklisted nodes.  When a distributed
 metadata shard is down, affected blocks degrade to locality-only
 scheduling instead of failing the job (:mod:`repro.faults.degrade`).
 
-Guarantees (covered by the chaos test suite):
+Gray failures get the same treatment as fail-stop ones, one layer up:
+
+* a heartbeat probe feeds the φ-accrual :class:`HealthDetector`, whose
+  scores become per-node capacities for the distribution-aware scheduler
+  (slow nodes get proportionally less work instead of being benched);
+* remote reads go through the :class:`~repro.hdfs.hedged.HedgedReader`,
+  racing a backup replica once the adaptive latency trigger fires;
+* network partitions run as chronological events interleaved with
+  crashes: work behind the cut is discarded and re-executed on the
+  majority side (detected a heartbeat later), blocks with *no* reachable
+  replica are deferred until the cut heals, and the minority nodes rejoin
+  intact at heal time — no re-replication, because no replica was lost.
+
+Guarantees (covered by the chaos + gray test suites):
 
 * **Determinism** — the same plan over the same seeded cluster yields an
   identical :class:`~repro.mapreduce.engine.JobResult`, byte for byte.
@@ -25,8 +38,8 @@ back of their new node's queue.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..core.datanet import DataNet
 from ..core.elasticmap import BlockElasticMap
@@ -45,6 +58,7 @@ from ..metrics.integrity import IntegritySummary
 from ..metrics.recovery import RecoverySummary
 from ..obs import NULL_OBS, Observability
 from .degrade import degraded_schedule
+from .health import HealthDetector
 from .injector import FaultInjector
 from .plan import FaultPlan
 from .retry import AttemptLog, NodeBlacklist, RetryPolicy, run_attempts
@@ -52,6 +66,9 @@ from .retry import AttemptLog, NodeBlacklist, RetryPolicy, run_attempts
 __all__ = ["ChaosRunner", "ChaosReport"]
 
 NodeId = Hashable
+
+#: capacity floor handed to the scheduler for deeply suspected nodes
+MIN_HEALTH_CAPACITY = 0.05
 
 
 @dataclass
@@ -69,6 +86,12 @@ class ChaosReport:
     degraded_blocks: List[int]
     rescheduled_blocks: List[int]
     integrity: IntegritySummary
+    partition_events: int = 0
+    deferred_blocks: List[int] = field(default_factory=list)
+    hedged_reads: int = 0
+    hedges_won: int = 0
+    hedge_wasted_seconds: float = 0.0
+    health: Dict[NodeId, float] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -102,6 +125,11 @@ class ChaosReport:
             rebuilt_blocks=self.integrity.rebuilt_blocks,
             driver_restarts=self.integrity.driver_restarts,
             resume_wasted_seconds=self.integrity.resume_wasted_seconds,
+            partition_events=self.partition_events,
+            deferred_blocks=len(self.deferred_blocks),
+            hedged_reads=self.hedged_reads,
+            hedges_won=self.hedges_won,
+            hedge_wasted_seconds=self.hedge_wasted_seconds,
         )
 
     def format(self) -> str:
@@ -125,6 +153,10 @@ class ChaosRunner:
             schedule is built through it with per-block degradation; plan
             meta-outages are applied to it before scheduling.
         alpha: ElasticMap sizing for the metadata build.
+        detect: run the φ-accrual heartbeat probe before scheduling and
+            weight node capacities by its health scores (gray plans only).
+        hedge: route remote reads through the hedged read path (gray
+            plans only).
     """
 
     def __init__(
@@ -136,6 +168,8 @@ class ChaosRunner:
         retry: Optional[RetryPolicy] = None,
         metastore: Optional[DistributedMetaStore] = None,
         alpha: float = 0.3,
+        detect: bool = True,
+        hedge: bool = True,
         obs: Observability = NULL_OBS,
     ) -> None:
         for crash in plan.crashes:
@@ -144,21 +178,53 @@ class ChaosRunner:
         for rot in plan.bit_rots:
             if rot.node not in cluster.datanodes:
                 raise ConfigError(f"plan rots replica on unknown node {rot.node!r}")
+        for link in plan.flaky_links:
+            for endpoint in (link.a, link.b):
+                if endpoint not in cluster.datanodes:
+                    raise ConfigError(
+                        f"plan degrades link at unknown node {endpoint!r}"
+                    )
         if plan.driver_restarts and plan.crashes:
             raise ConfigError(
                 "driver restarts cannot be combined with node crashes: "
                 "checkpointed waves and crash rescheduling assume different "
                 "execution orders"
             )
+        if plan.driver_restarts and (plan.partitions or plan.flaky_links):
+            raise ConfigError(
+                "driver restarts cannot be combined with partitions or flaky "
+                "links: the checkpointed wave path has no network model"
+            )
         self.cluster = cluster
         self.plan = plan
         self.injector = FaultInjector(plan)
+        if plan.partitions:
+            # resolve rack scopes against the topology up front so a bad
+            # plan fails at construction, not mid-job
+            self.injector.resolve_partitions(
+                sorted(cluster.datanodes), rack_of=cluster.rack_of
+            )
         self.retry = retry or RetryPolicy()
+        self.detect = detect
+        self.hedge = hedge
         self.obs = obs
         self.engine = MapReduceEngine(cluster, cost, obs=obs)
         self.metastore = metastore
         self.alpha = alpha
         self.failures = FailureManager(cluster)
+
+    # -- partition helpers --------------------------------------------------------
+
+    def _cut_at(self, time: float) -> Set[NodeId]:
+        """Union of partition cut sets active at ``time``."""
+        if not self.plan.partitions:
+            return set()
+        return {
+            n
+            for p in self.injector.partitions_chronological()
+            if p.active(time)
+            for n in p.nodes
+        }
 
     # -- the full pipeline --------------------------------------------------------
 
@@ -192,7 +258,36 @@ class ChaosRunner:
         injected = self._inject_bit_rots(dataset)
         verifier = ReadVerifier(self.cluster, obs=self.obs)
 
+        # Gray-failure instrumentation: the heartbeat probe runs before
+        # scheduling (the detector can only steer decisions it precedes).
+        gray = self.plan.has_gray
+        detector: Optional[HealthDetector] = None
+        health: Optional[Dict[NodeId, float]] = None
+        if gray and self.detect:
+            detector = HealthDetector(
+                expected_interval_s=max(self.retry.heartbeat_timeout_s / 2.0, 1e-6)
+            )
+            all_nodes = sorted(self.cluster.datanodes)
+            detector.observe_heartbeats(all_nodes, self.injector, count=8)
+            health = detector.scores(all_nodes)
+            detector.export(
+                self.obs, all_nodes, now=8 * detector.expected_interval_s
+            )
+        hedged = None
+        if gray and self.hedge and not self.plan.driver_restarts:
+            from ..hdfs.hedged import HedgedReader  # deferred: import cycle
+
+            hedged = HedgedReader(
+                self.cluster,
+                self.injector,
+                detector=detector,
+                verify=verifier,
+                obs=self.obs,
+            )
+
         degraded: List[int] = []
+        deferred0: List[int] = []
+        cut0 = self._cut_at(0.0)
         if self.metastore is not None:
             if not self.metastore.block_ids:
                 self.metastore.load_array(datanet.elasticmap)
@@ -201,6 +296,13 @@ class ChaosRunner:
             assignment, _healthy, degraded = degraded_schedule(
                 self.metastore, dataset, sub_id, live_nodes=self.failures.live_nodes
             )
+        elif gray and self.detect and (health is not None or cut0):
+            assignment, deferred0 = datanet.gray_schedule(
+                sub_id,
+                health=health,
+                unreachable=sorted(cut0, key=repr),
+                min_capacity=MIN_HEALTH_CAPACITY,
+            )
         else:
             assignment = datanet.schedule(sub_id)
 
@@ -208,6 +310,8 @@ class ChaosRunner:
         blacklist = NodeBlacklist(self.retry.blacklist_after)
         resume_wasted = 0.0
         restarts_survived = 0
+        partition_events = 0
+        deferred_blocks: List[int] = []
         with self.obs.tracer.span(f"selection/{sub_id}", category="phase") as sel_span:
             if self.plan.driver_restarts:
                 selection, resume_wasted, restarts_survived = (
@@ -218,9 +322,18 @@ class ChaosRunner:
                 )
                 crash_waste, rescheduled = 0.0, []
             else:
-                selection, crash_waste, rescheduled = self._selection_with_recovery(
+                (
+                    selection,
+                    crash_waste,
+                    rescheduled,
+                    partition_events,
+                    deferred_blocks,
+                ) = self._selection_with_recovery(
                     dataset, sub_id, assignment, job.profile, datanet, log, blacklist,
                     verifier,
+                    hedged=hedged,
+                    health=health,
+                    deferred0=deferred0,
                 )
             sel_span.sim(0.0, selection.makespan)
         # Background scrub: repair rot the read path never touched (replicas
@@ -256,6 +369,12 @@ class ChaosRunner:
             degraded_blocks=degraded,
             rescheduled_blocks=sorted(set(rescheduled)),
             integrity=integrity,
+            partition_events=partition_events,
+            deferred_blocks=deferred_blocks,
+            hedged_reads=hedged.hedges_issued if hedged is not None else 0,
+            hedges_won=hedged.hedges_won if hedged is not None else 0,
+            hedge_wasted_seconds=hedged.wasted_seconds if hedged is not None else 0.0,
+            health=dict(health) if health is not None else {},
         )
         if self.obs.metrics.enabled:
             m = self.obs.metrics
@@ -274,6 +393,13 @@ class ChaosRunner:
                 "wasted_seconds_total",
                 help="simulated seconds burned by failed or lost attempts",
             ).inc(report.wasted_seconds)
+            m.counter(
+                "partition_events_total", help="network partitions applied"
+            ).inc(report.partition_events)
+            m.counter(
+                "deferred_blocks_total",
+                help="blocks that waited for a partition cut to heal",
+            ).inc(len(report.deferred_blocks))
         return report
 
     # -- integrity fault application ----------------------------------------------
@@ -403,12 +529,22 @@ class ChaosRunner:
         log: AttemptLog,
         blacklist: NodeBlacklist,
         verifier: Optional[ReadVerifier] = None,
-    ) -> Tuple[SelectionResult, float, List[int]]:
-        """Drive selection to completion through crashes and retries.
+        *,
+        hedged=None,
+        health: Optional[Dict[NodeId, float]] = None,
+        deferred0: Optional[List[int]] = None,
+    ) -> Tuple[SelectionResult, float, List[int], int, List[int]]:
+        """Drive selection to completion through crashes, cuts and retries.
 
-        Returns ``(selection, crash_wasted_seconds, rescheduled_blocks)``.
+        Crashes and partition start/heal events form one chronological
+        list; between consecutive events every node drains its queue up to
+        the boundary.  Returns ``(selection, crash_wasted_seconds,
+        rescheduled_blocks, partition_events, deferred_blocks)``.
         """
         injector, policy = self.injector, self.retry
+        partitions = (
+            injector.partitions_chronological() if self.plan.partitions else []
+        )
         clock: Dict[NodeId, float] = {n: 0.0 for n in dataset.nodes}
         pending: Dict[NodeId, List[int]] = {n: [] for n in dataset.nodes}
         # node -> bid -> (records, attempts so far); insertion order = completion order
@@ -419,24 +555,83 @@ class ChaosRunner:
         bytes_read = 0
         crash_waste = 0.0
         rescheduled: List[int] = []
+        deferred: List[int] = list(deferred0 or [])
+        deferred_seen: Set[int] = set(deferred)
+        active_cut: Set[NodeId] = set()
+        partition_events = 0
+        # per-node future cut times, for in-flight rollback at a cut
+        cut_starts: Dict[NodeId, List[float]] = {
+            n: sorted(p.start for p in partitions if n in p.nodes) for n in clock
+        }
 
         for node, bids in assignment.blocks_by_node.items():
             pending[node] = list(bids)
 
         tracer = self.obs.tracer
 
-        def drain(node: NodeId) -> None:
-            """Run a node's queue until empty — or until its crash time."""
+        # one chronological event list; at equal times heals apply first
+        # (nodes rejoin before anything else), then crashes, then cuts
+        events: List[Tuple[float, int, int, str, object]] = []
+        for i, p in enumerate(partitions):
+            events.append((p.heals_at, 0, i, "pheal", p))
+            events.append((p.start, 2, i, "pstart", p))
+        for j, crash in enumerate(injector.crashes_chronological()):
+            events.append((crash.time, 1, j, "crash", crash))
+        events.sort(key=lambda e: e[:3])
+
+        def rollback(node: NodeId, bid: int, first_attempt: int, start: float,
+                     doom: float, outcome: str, checkpoint: int, trace_mark) -> None:
+            """Undo an attempt that straddles the node's crash/cut time."""
+            del log.records[checkpoint:]
+            tracer.discard_from(trace_mark)
+            log.record(
+                f"sel/{dataset.name}/{bid}", node, first_attempt, outcome,
+                doom - start,
+            )
+            if tracer.enabled:
+                tracer.record(
+                    f"sel/{dataset.name}/{bid}#a{first_attempt}",
+                    category="attempt",
+                    sim_start=start,
+                    sim_end=doom,
+                    track=f"node {node}",
+                    outcome=outcome,
+                )
+            attempts_used[bid] = first_attempt
+            clock[node] = doom
+
+        def drain(node: NodeId, stop: Optional[float]) -> None:
+            """Run a node's queue until empty, a boundary, or its doom."""
             nonlocal blocks_read, bytes_read
+            if node in active_cut:
+                return
             crash_at = injector.crash_time(node)
             placement = dataset.placement()
             queue = pending[node]
             while queue:
+                if stop is not None and clock[node] >= stop:
+                    break
                 if crash_at is not None and clock[node] >= crash_at:
                     break  # the rest dies with the node
                 bid = queue.pop(0)
+                if active_cut:
+                    reachable = [
+                        r for r in placement[bid] if r not in active_cut
+                    ]
+                    if not reachable:
+                        # every replica sits behind the cut: park the block
+                        # until the partition heals
+                        deferred.append(bid)
+                        deferred_seen.add(bid)
+                        continue
+                else:
+                    reachable = list(placement[bid])
                 base, matched, nbytes = self.engine.selection_task_cost(
-                    dataset, sub_id, placement, node, bid, profile, verify=verifier
+                    dataset, sub_id, placement, node, bid, profile,
+                    verify=verifier if hedged is None else None,
+                    hedge=hedged,
+                    when=clock[node],
+                    replicas=reachable,
                 )
                 first_attempt = attempts_used.get(bid, 0) + 1
                 checkpoint = len(log.records)
@@ -455,29 +650,22 @@ class ChaosRunner:
                 )
                 start = clock[node]
                 end = start + elapsed
+                cut_at = next((t for t in cut_starts[node] if t > start), None)
+                doom: Optional[float] = None
+                outcome = "crash"
                 if crash_at is not None and end > crash_at:
-                    # the attempt churn straddles the crash: roll the
-                    # ledger back and charge a single crash loss instead.
-                    del log.records[checkpoint:]
-                    tracer.discard_from(trace_mark)
-                    log.record(
-                        f"sel/{dataset.name}/{bid}",
-                        node,
-                        first_attempt,
-                        "crash",
-                        crash_at - start,
+                    doom = crash_at
+                if cut_at is not None and end > cut_at and (
+                    doom is None or cut_at < doom
+                ):
+                    doom, outcome = cut_at, "partition"
+                if doom is not None:
+                    # the attempt churn straddles the crash/cut: roll the
+                    # ledger back and charge a single loss instead.
+                    rollback(
+                        node, bid, first_attempt, start, doom, outcome,
+                        checkpoint, trace_mark,
                     )
-                    if tracer.enabled:
-                        tracer.record(
-                            f"sel/{dataset.name}/{bid}#a{first_attempt}",
-                            category="attempt",
-                            sim_start=start,
-                            sim_end=crash_at,
-                            track=f"node {node}",
-                            outcome="crash",
-                        )
-                    attempts_used[bid] = first_attempt
-                    clock[node] = crash_at
                     queue.insert(0, bid)
                     break
                 attempts_used[bid] = first_attempt + used - 1
@@ -487,60 +675,119 @@ class ChaosRunner:
                 blocks_read += 1
                 bytes_read += nbytes
 
-        crashes = injector.crashes_chronological()
-        processed = 0
-        while True:
-            with tracer.span(f"recovery-round-{processed}", category="wave") as rnd:
-                round_start = min(clock.values(), default=0.0)
-                for node in sorted(clock, key=repr):
-                    drain(node)
-                rnd.sim(round_start, max(clock.values(), default=round_start))
-            if processed >= len(crashes):
-                break
-            crash = crashes[processed]
-            processed += 1
-            victim = crash.node
-            # HDFS notices the death and restores replication
-            self.failures.fail_node(victim)
-            # everything the node produced or still owed is lost
-            lost = sorted(set(outputs[victim]) | set(pending[victim]))
-            busy_before = sum(
-                max(0.0, min(end, crash.time) - min(start, crash.time))
-                for start, end, _bid in spans[victim]
+        def discard_node_work(node: NodeId, at: float, outcome: str) -> List[int]:
+            """Crash-style loss: everything the node produced or owed."""
+            nonlocal crash_waste
+            lost = sorted(set(outputs[node]) | set(pending[node]))
+            busy = sum(
+                max(0.0, min(end, at) - min(start, at))
+                for start, end, _bid in spans[node]
             )
-            crash_waste += busy_before
-            for bid in sorted(outputs[victim]):
+            crash_waste += busy
+            for bid in sorted(outputs[node]):
                 attempts_used[bid] = attempts_used.get(bid, 0) + 1
                 log.record(
-                    f"sel/{dataset.name}/{bid}",
-                    victim,
-                    attempts_used[bid],
-                    "crash",
-                    0.0,
+                    f"sel/{dataset.name}/{bid}", node, attempts_used[bid],
+                    outcome, 0.0,
                 )
                 if tracer.enabled:
                     tracer.record(
                         f"sel/{dataset.name}/{bid}#a{attempts_used[bid]}",
                         category="attempt",
-                        sim_start=crash.time,
-                        sim_end=crash.time,
-                        track=f"node {victim}",
-                        outcome="crash",
+                        sim_start=at,
+                        sim_end=at,
+                        track=f"node {node}",
+                        outcome=outcome,
                     )
-            outputs[victim] = {}
-            pending[victim] = []
-            spans[victim] = []
-            if not lost:
-                continue
-            # reschedule onto live replicas, metadata refreshed post-churn
-            recovery = self._reschedule(lost, dataset, sub_id, datanet, blacklist)
-            detection = crash.time + policy.heartbeat_timeout_s
+            outputs[node] = {}
+            pending[node] = []
+            spans[node] = []
+            return lost
+
+        def dispatch(lost: List[int], detection: float) -> None:
+            """Requeue lost blocks on reachable holders; defer stranded ones."""
+            placement = dataset.placement()
+            dead = set(self.failures.dead_nodes)
+            ready = [
+                b
+                for b in lost
+                if any(
+                    r not in dead and r not in active_cut for r in placement[b]
+                )
+            ]
+            stranded = set(lost) - set(ready)
+            for b in sorted(stranded):
+                deferred.append(b)
+                deferred_seen.add(b)
+            if not ready:
+                return
+            recovery = self._reschedule(
+                ready, dataset, sub_id, datanet, blacklist,
+                unreachable=sorted(active_cut, key=repr),
+                health=health,
+            )
             for node, bids in recovery.blocks_by_node.items():
                 if not bids:
                     continue
                 pending[node].extend(bids)
                 clock[node] = max(clock[node], detection)
-            rescheduled.extend(lost)
+            rescheduled.extend(ready)
+
+        ei = 0
+        round_no = 0
+        while True:
+            boundary = events[ei][0] if ei < len(events) else None
+            with tracer.span(f"recovery-round-{round_no}", category="wave") as rnd:
+                round_start = min(clock.values(), default=0.0)
+                for node in sorted(clock, key=repr):
+                    drain(node, boundary)
+                rnd.sim(round_start, max(clock.values(), default=round_start))
+            round_no += 1
+            if ei >= len(events):
+                break
+            etime, _rank, _idx, kind, payload = events[ei]
+            ei += 1
+            if kind == "crash":
+                victim = payload.node
+                # HDFS notices the death and restores replication
+                self.failures.fail_node(victim)
+                active_cut.discard(victim)  # dead trumps cut
+                lost = discard_node_work(victim, etime, "crash")
+                if lost:
+                    dispatch(lost, etime + policy.heartbeat_timeout_s)
+            elif kind == "pstart":
+                partition_events += 1
+                joining = [
+                    n
+                    for n in payload.sorted_nodes()
+                    if n in clock and self.failures.is_alive(n)
+                ]
+                active_cut.update(joining)
+                lost_all: List[int] = []
+                for member in joining:
+                    lost_all.extend(
+                        discard_node_work(member, etime, "partition")
+                    )
+                if lost_all:
+                    dispatch(
+                        sorted(set(lost_all)),
+                        etime + policy.heartbeat_timeout_s,
+                    )
+            else:  # pheal — the cut side rejoins, intact but idle since the cut
+                for member in payload.sorted_nodes():
+                    if member not in clock:
+                        continue
+                    active_cut.discard(member)
+                    clock[member] = max(clock[member], etime)
+                if deferred:
+                    batch = sorted(set(deferred))
+                    deferred.clear()
+                    dispatch(batch, etime)
+
+        if deferred:  # pragma: no cover - every partition heals by construction
+            raise FaultError(
+                f"blocks never became reachable: {sorted(set(deferred))[:5]}"
+            )
 
         local_data: Dict[NodeId, List[Record]] = {}
         bytes_per_node: Dict[NodeId, int] = {}
@@ -564,7 +811,13 @@ class ChaosRunner:
             blocks_read=blocks_read,
             bytes_read=bytes_read,
         )
-        return selection, crash_waste, rescheduled
+        return (
+            selection,
+            crash_waste,
+            rescheduled,
+            partition_events,
+            sorted(deferred_seen),
+        )
 
     def _reschedule(
         self,
@@ -573,15 +826,21 @@ class ChaosRunner:
         sub_id: str,
         datanet: DataNet,
         blacklist: NodeBlacklist,
+        *,
+        unreachable: Sequence[NodeId] = (),
+        health: Optional[Dict[NodeId, float]] = None,
     ) -> Assignment:
-        """Balance the lost blocks over live, non-blacklisted nodes.
+        """Balance the lost blocks over live, reachable, non-benched nodes.
 
         The DataNet placement is refreshed from the NameNode first, so the
         rebuilt bipartite graph reflects post-re-replication replica
-        locations and never references a dead node.
+        locations and never references a dead node.  Nodes behind an
+        active partition cut are excluded outright; health scores (when a
+        detector ran) weight the remaining capacities.
         """
         datanet.refresh_placement(dataset.placement())
-        exclude = set(self.failures.dead_nodes) | set(blacklist.nodes)
+        cut = set(unreachable)
+        exclude = set(self.failures.dead_nodes) | set(blacklist.nodes) | cut
         if exclude >= set(dataset.nodes):
             raise FaultError("no live nodes remain to recover onto")
         try:
@@ -590,10 +849,17 @@ class ChaosRunner:
             )
         except ConfigError:
             # a block's only live replicas sit on blacklisted nodes:
-            # relax the blacklist rather than fail the job
+            # relax the blacklist rather than fail the job (the cut and
+            # the dead stay excluded — they are unreachable, not benched)
             graph = datanet.bipartite_graph(
                 sub_id,
                 only_blocks=blocks,
-                exclude=self.failures.dead_nodes,
+                exclude=sorted(set(self.failures.dead_nodes) | cut, key=repr),
             )
-        return DistributionAwareScheduler().schedule(graph)
+        capacities = None
+        if health:
+            capacities = {
+                n: max(MIN_HEALTH_CAPACITY, float(health.get(n, 1.0)))
+                for n in graph.nodes
+            }
+        return DistributionAwareScheduler(capacities).schedule(graph)

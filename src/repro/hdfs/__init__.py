@@ -31,6 +31,7 @@ from .datanode import DataNode
 from .cluster import HDFSCluster, DatasetView
 from .failure import FailureManager, ReplicationEvent
 from .scrubber import Scrubber, ScrubReport, RepairEvent, ReadVerifier
+from .hedged import HedgedReader
 from .balancer import BlockBalancer, BalancerReport
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "ScrubReport",
     "RepairEvent",
     "ReadVerifier",
+    "HedgedReader",
     "BlockBalancer",
     "BalancerReport",
 ]

@@ -1,0 +1,226 @@
+"""Hedged replica reads — the "tail at scale" defence for gray storage.
+
+A remote read normally goes to one replica and waits.  When that replica
+sits on a slow node or behind a flaky link, the read's latency lands in
+the tail and drags the whole selection task with it.  :class:`HedgedReader`
+keeps a sliding window of observed remote-read latencies; when a read's
+primary service time crosses an adaptive percentile of that window, it
+issues a *backup* read against another replica and takes whichever
+response arrives first.  Duplicate completions are settled through a
+:class:`~repro.faults.dedup.FirstWinLedger`, so the block's bytes are
+counted exactly once no matter how the race resolves.
+
+Replica choice prefers the healthiest holder under the φ-accrual
+detector's score when one is available, and only considers replicas on
+the reader's side of any active partition.  All tie-breaks sort by
+``repr`` and the loss coin hashes the plan seed, so the same plan yields
+the same hedges — byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..errors import ConfigError, FaultError
+from ..faults.dedup import FirstWinLedger
+from ..obs import NULL_OBS, Observability
+from .cluster import HDFSCluster
+
+__all__ = ["HedgedReader"]
+
+
+class HedgedReader:
+    """Adaptive-percentile hedged reads over a cluster's replicas.
+
+    Drop-in for :class:`~repro.hdfs.scrubber.ReadVerifier` on the engine's
+    read path (same ``read_cost`` shape plus a ``when`` clock).  Reads that
+    touch a corrupt replica are delegated to the wrapped verifier so
+    integrity accounting stays in one place.
+
+    Args:
+        cluster: the cluster being read.
+        injector: seeded fault oracle (slowdowns, link penalties, cuts).
+        detector: optional health detector; steers replica choice toward
+            healthy holders.
+        verify: optional read-path verifier to delegate corrupt reads to.
+        percentile: hedge trigger quantile over the latency window.
+        window: sliding sample window size.
+        min_samples: observations required before hedging arms.
+    """
+
+    def __init__(
+        self,
+        cluster: HDFSCluster,
+        injector,
+        *,
+        detector=None,
+        verify=None,
+        percentile: float = 0.9,
+        window: int = 64,
+        min_samples: int = 8,
+        obs: Observability = NULL_OBS,
+    ) -> None:
+        if not 0.0 < percentile < 1.0:
+            raise ConfigError(f"hedge percentile must be in (0, 1), got {percentile}")
+        if window < 2 or min_samples < 2:
+            raise ConfigError("hedge window and min_samples must be at least 2")
+        self.cluster = cluster
+        self.injector = injector
+        self.detector = detector
+        self.verify = verify
+        self.percentile = percentile
+        self.min_samples = min_samples
+        self.obs = obs
+        self.ledger = FirstWinLedger()
+        self.hedges_issued = 0
+        self.hedges_won = 0
+        self.wasted_seconds = 0.0
+        self._samples: Deque[float] = deque(maxlen=window)
+        self._reads = 0
+
+    # -- internals -----------------------------------------------------------------
+
+    def _health(self, node: int) -> float:
+        if self.detector is None:
+            return 1.0
+        return self.detector.health_score(node)
+
+    def threshold(self) -> Optional[float]:
+        """Current hedge trigger in seconds, or ``None`` while unarmed."""
+        if len(self._samples) < self.min_samples:
+            return None
+        ordered = sorted(self._samples)
+        idx = int(self.percentile * (len(ordered) - 1))
+        return ordered[idx]
+
+    def _remote_service(
+        self,
+        reader: int,
+        replica: int,
+        nbytes: int,
+        read_remote: Callable[[int], float],
+        when: float,
+        key: str,
+    ) -> float:
+        """Observed seconds for one remote fetch: server rate + link state."""
+        base = read_remote(nbytes)
+        service = base * self.injector.slowdown(replica, when)
+        service += self.injector.link_penalty(
+            reader, replica, time=when, key=key, base_cost=base
+        )
+        return service
+
+    def _count(self, name: str, help: str, amount: float = 1.0) -> None:
+        if self.obs.metrics.enabled:
+            self.obs.metrics.counter(name, help=help).inc(amount)
+
+    # -- read path -----------------------------------------------------------------
+
+    def read_cost(
+        self,
+        dataset: str,
+        block_id: int,
+        node: int,
+        replicas: Tuple[int, ...],
+        nbytes: int,
+        read_local: Callable[[int], float],
+        read_remote: Callable[[int], float],
+        write_local: Callable[[int], float],
+        *,
+        when: float = 0.0,
+    ) -> float:
+        """Seconds to read ``block_id`` from ``node`` at clock ``when``.
+
+        Local reads are served in place (a slow reader is already modelled
+        by the task-level slowdown).  Remote reads pick the healthiest
+        reachable replica; once the latency window is armed and the
+        primary's service time crosses the trigger, a backup read races it
+        and the first response wins.
+        """
+        datanodes = self.cluster.datanodes
+        if self.verify is not None and any(
+            not datanodes[r].verify_replica(dataset, block_id) for r in replicas
+        ):
+            # Corruption on any copy: hand the whole read to the verifier so
+            # detection/repair accounting stays centralized.
+            return self.verify.read_cost(
+                dataset, block_id, node, replicas, nbytes,
+                read_local, read_remote, write_local,
+            )
+        if node in replicas:
+            return read_local(nbytes)
+        candidates = self._reachable(node, replicas, when)
+        if not candidates:
+            raise FaultError(
+                f"block {block_id} of {dataset!r}: no replica reachable from "
+                f"node {node} at t={when}"
+            )
+        ranked = sorted(candidates, key=lambda r: (-self._health(r), repr(r)))
+        primary = ranked[0]
+        self._reads += 1
+        read_key = f"{dataset}/{block_id}/r{self._reads}"
+        primary_service = self._remote_service(
+            node, primary, nbytes, read_remote, when, read_key
+        )
+        trigger = self.threshold()
+        service = primary_service
+        if trigger is not None and primary_service > trigger and len(ranked) > 1:
+            service = self._race(
+                read_key, node, primary, ranked[1], nbytes,
+                read_remote, when, trigger, primary_service,
+            )
+        else:
+            self.ledger.offer(read_key, f"primary:{primary}", primary_service, nbytes)
+        self._samples.append(service)
+        return service
+
+    def _reachable(
+        self, node: int, replicas: Tuple[int, ...], when: float
+    ) -> List[int]:
+        if not self.injector.plan.partitions:
+            return list(replicas)
+        return [
+            r for r in replicas if self.injector.same_side(node, r, when)
+        ]
+
+    def _race(
+        self,
+        read_key: str,
+        node: int,
+        primary: int,
+        backup: int,
+        nbytes: int,
+        read_remote: Callable[[int], float],
+        when: float,
+        trigger: float,
+        primary_service: float,
+    ) -> float:
+        """Issue the backup at the trigger point and settle first-win."""
+        self.hedges_issued += 1
+        backup_service = self._remote_service(
+            node, backup, nbytes, read_remote, when + trigger, read_key + "#hedge"
+        )
+        backup_arrival = trigger + backup_service
+        entries = sorted(
+            [
+                (primary_service, 0, f"primary:{primary}", 0.0),
+                (backup_arrival, 1, f"hedge:{backup}", trigger),
+            ]
+        )
+        for arrival, _rank, source, _started in entries:
+            self.ledger.offer(read_key, source, arrival, nbytes)
+        win_arrival, _, win_source, _ = entries[0]
+        _, _, _, loser_started = entries[1]
+        wasted = max(win_arrival - loser_started, 0.0)
+        self.wasted_seconds += wasted
+        if win_source.startswith("hedge:"):
+            self.hedges_won += 1
+            self._count("hedged_wins_total", "hedged reads where the backup won")
+        self._count("hedged_reads_total", "backup reads issued by the hedger")
+        self._count(
+            "hedged_wasted_seconds_total",
+            "loser-side seconds burned by hedged read races",
+            wasted,
+        )
+        return win_arrival

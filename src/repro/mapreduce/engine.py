@@ -23,12 +23,23 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoids a cycle)
     from ..faults.injector import FaultInjector
     from ..faults.plan import DriverRestart
     from ..faults.retry import AttemptLog, NodeBlacklist, RetryPolicy
+    from ..hdfs.hedged import HedgedReader
     from ..hdfs.scrubber import ReadVerifier
     from .checkpoint import WaveCheckpoint
 
@@ -190,6 +201,9 @@ class MapReduceEngine:
         bid: int,
         profile: AppProfile,
         verify: Optional["ReadVerifier"] = None,
+        hedge: Optional["HedgedReader"] = None,
+        when: float = 0.0,
+        replicas: Optional[Sequence[NodeId]] = None,
     ) -> Tuple[float, List[Record], int]:
         """Price one selection task: read + filter + write for one block.
 
@@ -204,6 +218,14 @@ class MapReduceEngine:
         output from corrupt data.  Without corruption the verified cost is
         identical to the plain one.
 
+        With a ``hedge`` reader, remote reads go through the hedged path
+        instead: the reader picks the healthiest reachable replica at
+        clock ``when`` and races a backup read once its adaptive latency
+        trigger fires (corrupt blocks are delegated to the hedge's wrapped
+        verifier).  ``replicas`` overrides the replica set considered for
+        the read — the chaos runner passes only the holders reachable from
+        ``node`` when a partition is active.
+
         Raises:
             JobError: when the block is not part of the dataset placement.
         """
@@ -214,12 +236,25 @@ class MapReduceEngine:
             )
         block = dataset.block(bid)
         nbytes = block.used_bytes
-        if verify is not None:
+        holders = tuple(replicas) if replicas is not None else tuple(placement[bid])
+        if hedge is not None:
+            read = hedge.read_cost(
+                dataset.name,
+                bid,
+                node,
+                holders,
+                nbytes,
+                self.cost.read_local,
+                self.cost.read_remote,
+                self.cost.write_local,
+                when=when,
+            )
+        elif verify is not None:
             read = verify.read_cost(
                 dataset.name,
                 bid,
                 node,
-                tuple(placement[bid]),
+                holders,
                 nbytes,
                 self.cost.read_local,
                 self.cost.read_remote,
@@ -228,7 +263,7 @@ class MapReduceEngine:
         else:
             read = (
                 self.cost.read_local(nbytes)
-                if node in placement[bid]
+                if node in holders
                 else self.cost.read_remote(nbytes)
             )
         matched = block.filter(sub_id)

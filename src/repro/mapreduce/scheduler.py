@@ -21,7 +21,7 @@ import numpy as np
 
 from ..core.bipartite import BipartiteGraph
 from ..core.scheduler import Assignment
-from ..errors import SchedulingError
+from ..errors import ConfigError, SchedulingError
 from ..obs import NULL_OBS, Observability
 
 __all__ = ["LocalityScheduler"]
@@ -36,6 +36,11 @@ class LocalityScheduler:
         rng: optional generator; when given, a requesting node picks a
             *random* local block (like Hadoop's unordered task lists) —
             otherwise the lowest block id, which is deterministic.
+        capacities: optional node → relative service rate in ``(0, 1]``
+            (the health detector's scores).  A node at capacity ``c``
+            finishes each task in ``1/c`` virtual time units, so it
+            requests correspondingly fewer tasks — health-aware but still
+            weight-blind, like a real JobTracker fed heartbeat latencies.
     """
 
     #: Delay-scheduling patience, matching the distribution-aware scheduler.
@@ -46,10 +51,18 @@ class LocalityScheduler:
         self,
         rng: Optional[np.random.Generator] = None,
         *,
+        capacities: Optional[Dict[NodeId, float]] = None,
         obs: Observability = NULL_OBS,
     ) -> None:
         self.rng = rng
         self.obs = obs
+        if capacities is not None:
+            for node, cap in capacities.items():
+                if not 0.0 < cap <= 1.0:
+                    raise ConfigError(
+                        f"capacity for {node!r} must be in (0, 1], got {cap}"
+                    )
+        self.capacities = dict(capacities) if capacities is not None else None
 
     def _pick(self, candidates: List[int]) -> int:
         if self.rng is None:
@@ -74,6 +87,11 @@ class LocalityScheduler:
             deferrals: Dict[NodeId, int] = {n: 0 for n in nodes}
             local = remote = defer_events = 0
 
+            caps = {n: 1.0 for n in nodes}
+            if self.capacities is not None:
+                caps.update(
+                    (n, c) for n, c in self.capacities.items() if n in caps
+                )
             order = {n: i for i, n in enumerate(nodes)}
             heap: List[Tuple[float, int, NodeId]] = [(0.0, order[n], n) for n in nodes]
             heapq.heapify(heap)
@@ -99,7 +117,7 @@ class LocalityScheduler:
                 blocks_by_node[node].append(chosen)
                 workload[node] += g.weight(chosen)
                 g.remove_block(chosen)
-                heapq.heappush(heap, (elapsed + 1.0, tiebreak, node))
+                heapq.heappush(heap, (elapsed + 1.0 / caps[node], tiebreak, node))
 
         assignment = Assignment(
             blocks_by_node=blocks_by_node,

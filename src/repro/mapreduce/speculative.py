@@ -18,9 +18,10 @@ in, adjusted completion times + wasted duplicate work out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Mapping
+from typing import Dict, Hashable, Mapping, Optional
 
 from ..errors import ConfigError
+from ..faults.health import validate_health
 
 __all__ = ["SpeculativeExecutor", "SpeculationResult"]
 
@@ -77,22 +78,35 @@ class SpeculativeExecutor:
         self.relocation_speedup = relocation_speedup
         self.launch_delay = launch_delay
 
-    def run(self, map_durations: Mapping[NodeId, float]) -> SpeculationResult:
+    def run(
+        self,
+        map_durations: Mapping[NodeId, float],
+        *,
+        health: Optional[Mapping[NodeId, float]] = None,
+    ) -> SpeculationResult:
         """Apply speculation to one map phase.
 
         For each straggler, a backup starts on the currently
         earliest-finishing node at ``median_finish + launch_delay`` and
         takes ``duration / relocation_speedup``; the task finishes at the
         earlier of the two copies.
+
+        ``health`` (node → score in ``(0, 1]``, from the φ-accrual
+        detector) tightens the per-node straggler threshold to
+        ``1 + (slowdown_threshold - 1) * health``: a suspected node is
+        speculated earlier because its slowness is evidence of gray
+        failure rather than data skew.  ``None`` keeps the uniform
+        threshold.
         """
         if not map_durations:
             raise ConfigError("map_durations must be non-empty")
+        validate_health(health)
+        scores = dict(health) if health is not None else {}
         durations = dict(map_durations)
         if any(d < 0 for d in durations.values()):
             raise ConfigError("map durations must be non-negative")
         ordered = sorted(durations.values())
         median = ordered[len(ordered) // 2]
-        threshold = self.slowdown_threshold * median
 
         finish = dict(durations)
         backups: Dict[NodeId, NodeId] = {}
@@ -103,7 +117,8 @@ class SpeculativeExecutor:
 
         for node in sorted(durations, key=lambda n: -durations[n]):
             duration = durations[node]
-            if duration <= threshold or median == 0:
+            multiple = 1.0 + (self.slowdown_threshold - 1.0) * scores.get(node, 1.0)
+            if duration <= multiple * median or median == 0:
                 continue
             host = min(host_free_at, key=lambda n: (host_free_at[n], repr(n)))
             if host == node:

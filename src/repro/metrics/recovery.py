@@ -42,6 +42,12 @@ class RecoverySummary:
         driver_restarts: mid-job driver deaths survived via checkpoints.
         resume_wasted_seconds: in-flight work lost to driver restarts
             (replayed after resume; part of the recovery bill).
+        partition_events: network partitions that started during the run.
+        deferred_blocks: distinct blocks whose reads waited for a
+            partition to heal (no reachable replica while cut).
+        hedged_reads: backup reads issued by the hedged read path.
+        hedges_won: hedged reads where the backup beat the primary.
+        hedge_wasted_seconds: loser-side seconds burned by hedge races.
     """
 
     attempts_histogram: Dict[int, int] = field(default_factory=dict)
@@ -58,6 +64,11 @@ class RecoverySummary:
     rebuilt_blocks: int = 0
     driver_restarts: int = 0
     resume_wasted_seconds: float = 0.0
+    partition_events: int = 0
+    deferred_blocks: int = 0
+    hedged_reads: int = 0
+    hedges_won: int = 0
+    hedge_wasted_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if any(k <= 0 or v < 0 for k, v in self.attempts_histogram.items()):
@@ -72,6 +83,16 @@ class RecoverySummary:
             or self.resume_wasted_seconds < 0
         ):
             raise ConfigError("integrity recovery costs must be non-negative")
+        if (
+            self.partition_events < 0
+            or self.deferred_blocks < 0
+            or self.hedged_reads < 0
+            or self.hedges_won < 0
+            or self.hedge_wasted_seconds < 0
+        ):
+            raise ConfigError("gray-failure costs must be non-negative")
+        if self.hedges_won > self.hedged_reads:
+            raise ConfigError("hedge wins cannot exceed hedges issued")
 
     # -- derived ------------------------------------------------------------------
 
@@ -116,6 +137,23 @@ class RecoverySummary:
             "rebuilt metadata blocks": self.rebuilt_blocks,
             "driver restarts": self.driver_restarts,
             "resume wasted work (s)": self.resume_wasted_seconds,
+            **(
+                {
+                    "partition events": self.partition_events,
+                    "deferred blocks": self.deferred_blocks,
+                }
+                if self.partition_events or self.deferred_blocks
+                else {}
+            ),
+            **(
+                {
+                    "hedged reads": self.hedged_reads,
+                    "hedges won": self.hedges_won,
+                    "hedge wasted work (s)": self.hedge_wasted_seconds,
+                }
+                if self.hedged_reads
+                else {}
+            ),
             "baseline makespan (s)": self.baseline_makespan,
             "chaos makespan (s)": self.makespan,
             "recovery overhead": f"{self.recovery_overhead:+.1%}",

@@ -256,6 +256,14 @@ class DiscreteEventSimulator:
             ready.setdefault(task.node, [])
 
         dead: Set[NodeId] = set()
+        cut: Set[NodeId] = set()
+        # explicit node scopes only: the simulator has no rack topology,
+        # so a rack-scoped partition raises a clear ConfigError here
+        partitions = (
+            injector.resolve_partitions(sorted(free_slots, key=repr))
+            if injector.plan.partitions
+            else []
+        )
         attempt_no: Dict[str, int] = {tid: 1 for tid in task_map}
         failures_of: Dict[str, int] = {tid: 0 for tid in task_map}
         token: Dict[str, int] = {tid: 0 for tid in task_map}
@@ -274,16 +282,26 @@ class DiscreteEventSimulator:
             heapq.heappush(events, (time, seq, kind, payload, tok))
             seq += 1
 
-        # crash events first so a crash at time t precedes same-time starts
+        # same-time ordering: heals first (nodes rejoin before anything
+        # else happens), then crashes, then partition starts and task
+        # readiness — encoded purely by push order
+        for p in partitions:
+            push(p.heals_at, "pheal", p)
         for crash in injector.crashes_chronological():
             if crash.node in free_slots:
                 push(crash.time, "crash", crash.node)
+        for p in partitions:
+            push(p.start, "pstart", p)
         for tid, task in task_map.items():
             if not task.deps:
                 push(task.release_time, "ready", tid)
 
         def usable(node: NodeId) -> bool:
-            return node not in dead and not blacklist.is_blacklisted(node)
+            return (
+                node not in dead
+                and node not in cut
+                and not blacklist.is_blacklisted(node)
+            )
 
         def route(tid: str) -> NodeId:
             """The node this task runs on next: home node while it is
@@ -296,7 +314,9 @@ class DiscreteEventSimulator:
                 # every live node is benched: relax the blacklist rather
                 # than fail the job (mirrors ChaosRunner._reschedule) —
                 # a benched node is still preferable to no node at all
-                candidates = [n for n in free_slots if n not in dead]
+                candidates = [
+                    n for n in free_slots if n not in dead and n not in cut
+                ]
             if not candidates:
                 raise FaultError(
                     f"no live node left to run task {tid!r} "
@@ -329,7 +349,7 @@ class DiscreteEventSimulator:
             ready[node] = []
 
         def start_available(node: NodeId, time: float) -> None:
-            if node in dead:
+            if node in dead or node in cut:
                 return
             if blacklist.is_blacklisted(node) and any(usable(n) for n in free_slots):
                 return  # benched, and a healthy node exists to take the work
@@ -349,6 +369,36 @@ class DiscreteEventSimulator:
         while events:
             now, _s, kind, payload, tok = heapq.heappop(events)
             processed += 1
+            if kind == "pstart":
+                # the cut side goes silent: running attempts are lost (the
+                # driver re-runs them after a heartbeat), queued work is
+                # re-routed, but the nodes themselves rejoin at heal time
+                for node in payload.sorted_nodes():
+                    if node not in free_slots or node in dead:
+                        continue
+                    cut.add(node)
+                    for tid in sorted(
+                        t for t, (n, _s2, _k) in running.items() if n == node
+                    ):
+                        _n, start, _tk = running.pop(tid)
+                        free_slots[node] += 1
+                        log.record(tid, node, attempt_no[tid], "partition", now - start)
+                        if traced:
+                            attempt_trace.append(
+                                (tid, attempt_no[tid], node, "partition", start, now)
+                            )
+                        attempt_no[tid] += 1
+                        if attempt_no[tid] > policy.max_attempts:
+                            raise exhaust(tid, node)
+                        push(now + policy.heartbeat_timeout_s, "ready", tid)
+                    evacuate(node, now)
+                continue
+            if kind == "pheal":
+                for node in payload.sorted_nodes():
+                    cut.discard(node)
+                    if node in free_slots and node not in dead:
+                        start_available(node, now)
+                continue
             if kind == "crash":
                 node = payload
                 if node in dead:

@@ -16,10 +16,12 @@ themselves, which the closed form ignores.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 from ..errors import ConfigError
+from ..faults.dedup import FirstWinLedger
+from ..faults.health import validate_health
 from .simulator import DiscreteEventSimulator
 from .tasks import SimTask, TaskTimeline
 
@@ -38,12 +40,15 @@ class SpeculativeRun:
             against their backups.
         backups: original task id → backup task id.
         wasted_seconds: slot time burned by losing copies.
+        ledger: the first-win ledger that settled every completion race —
+            each task's output is counted from exactly one copy.
     """
 
     timeline: TaskTimeline
     effective_end: Dict[str, float]
     backups: Dict[str, str]
     wasted_seconds: float
+    ledger: FirstWinLedger = field(default_factory=FirstWinLedger)
 
     @property
     def makespan(self) -> float:
@@ -61,6 +66,12 @@ class SpeculativeSimulator:
         speculate_kinds: task kinds eligible for backups (maps by default;
             Hadoop speculates maps and reduces, selection tasks are uniform
             so backups never trigger for them).
+        health: optional node → health score in ``(0, 1]`` from the
+            φ-accrual detector.  A task on a node with health ``h`` uses
+            the tightened threshold ``1 + (slowdown_threshold - 1) * h``:
+            suspected nodes get speculated earlier, healthy nodes keep the
+            configured margin.  ``None`` (or all-1.0) is the original
+            behaviour.
     """
 
     def __init__(
@@ -70,6 +81,7 @@ class SpeculativeSimulator:
         relocation_speedup: float = 1.2,
         speculate_kinds: Tuple[str, ...] = ("map",),
         slots_per_node: int = 1,
+        health: Optional[Mapping[NodeId, float]] = None,
     ) -> None:
         if slowdown_threshold <= 1.0:
             raise ConfigError("slowdown_threshold must exceed 1.0")
@@ -77,12 +89,19 @@ class SpeculativeSimulator:
             raise ConfigError("relocation_speedup must be >= 1.0")
         if not speculate_kinds:
             raise ConfigError("speculate_kinds must be non-empty")
+        validate_health(health)
         self.slowdown_threshold = slowdown_threshold
         self.relocation_speedup = relocation_speedup
         self.speculate_kinds = tuple(speculate_kinds)
+        self.health = dict(health) if health is not None else {}
         self.simulator = DiscreteEventSimulator(slots_per_node=slots_per_node)
 
     # -- straggler detection -----------------------------------------------------
+
+    def threshold_for(self, node: NodeId) -> float:
+        """Straggler multiple for tasks on ``node``, tightened by suspicion."""
+        h = self.health.get(node, 1.0)
+        return 1.0 + (self.slowdown_threshold - 1.0) * h
 
     def _stragglers(self, tasks: Dict[str, SimTask]) -> List[str]:
         candidates = [
@@ -97,7 +116,7 @@ class SpeculativeSimulator:
         return [
             t.task_id
             for t in candidates
-            if t.duration > self.slowdown_threshold * median
+            if t.duration > self.threshold_for(t.node) * median
         ]
 
     # -- the two-pass run -----------------------------------------------------------
@@ -115,6 +134,9 @@ class SpeculativeSimulator:
         base = self.simulator.run(task_map.values())
         stragglers = self._stragglers(task_map)
         if not stragglers:
+            ledger = FirstWinLedger()
+            for tid in sorted(task_map):
+                ledger.offer(tid, tid, base.timeline.end_of(tid))
             return SpeculativeRun(
                 timeline=base.timeline,
                 effective_end={
@@ -122,6 +144,7 @@ class SpeculativeSimulator:
                 },
                 backups={},
                 wasted_seconds=0.0,
+                ledger=ledger,
             )
 
         spec_candidates = [
@@ -158,23 +181,37 @@ class SpeculativeSimulator:
 
         rerun = self.simulator.run(augmented.values())
         effective: Dict[str, float] = {}
+        ledger = FirstWinLedger()
         wasted = 0.0
-        for tid in task_map:
+        for tid in sorted(task_map):
             end = rerun.timeline.end_of(tid)
             if tid in backups:
-                backup_end = rerun.timeline.end_of(backups[tid])
-                winner = min(end, backup_end)
-                loser_start = (
-                    rerun.timeline.start_of(backups[tid])
-                    if backup_end > end
-                    else rerun.timeline.start_of(tid)
+                backup_id = backups[tid]
+                backup_end = rerun.timeline.end_of(backup_id)
+                # First response wins; an exact tie goes to the backup
+                # (it was launched for a reason), matching the historical
+                # loser-start accounting.
+                entries = sorted(
+                    [
+                        (backup_end, 0, backup_id),
+                        (end, 1, tid),
+                    ]
                 )
-                wasted += max(winner - loser_start, 0.0)
-                end = winner
+                for arrival, _rank, copy_id in entries:
+                    ledger.offer(tid, copy_id, arrival)
+                win = ledger.winner(tid)
+                loser_id = entries[1][2]
+                wasted += max(
+                    win.arrival - rerun.timeline.start_of(loser_id), 0.0
+                )
+                end = win.arrival
+            else:
+                ledger.offer(tid, tid, end)
             effective[tid] = end
         return SpeculativeRun(
             timeline=rerun.timeline,
             effective_end=effective,
             backups=backups,
             wasted_seconds=wasted,
+            ledger=ledger,
         )

@@ -85,3 +85,109 @@ class TestSchedulingVsSpeculation:
         aware_maps = pipe.with_datanet.jobs["top_k_search"].map_times
         spec = SpeculativeExecutor().run(base_maps)
         assert max(aware_maps.values()) <= spec.makespan * 1.1
+
+
+class TestSpeculationEdgeCases:
+    """Satellite coverage: all-slow waves, exact threshold ties, disabled
+    speculation, and health-tightened thresholds — for both the analytic
+    executor and the dynamic simulator."""
+
+    def _sim_tasks(self, durations, kind="map"):
+        from repro.sim.tasks import SimTask
+
+        return [
+            SimTask(task_id=f"t{i}", node=i, duration=d, kind=kind)
+            for i, d in enumerate(durations)
+        ]
+
+    def test_all_tasks_slow_wave_never_speculates(self):
+        """A uniformly slow wave has no straggler: the median scales with
+        the wave, so nothing crosses the relative threshold."""
+        from repro.sim.speculation import SpeculativeSimulator
+
+        res = SpeculativeExecutor().run({n: 500.0 for n in range(6)})
+        assert res.backups_launched == {} and res.wasted_seconds == 0.0
+
+        run = SpeculativeSimulator().run(self._sim_tasks([500.0] * 6))
+        assert run.backups == {} and run.wasted_seconds == 0.0
+        assert run.makespan == 500.0
+        assert len(run.ledger) == 6  # every task settled exactly once
+
+    def test_exact_tie_at_threshold_not_speculated(self):
+        """`duration == threshold * median` is NOT a straggler (strict >)."""
+        from repro.sim.speculation import SpeculativeSimulator
+
+        durations = {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.5}  # 1.5 == 1.5 x median
+        res = SpeculativeExecutor(slowdown_threshold=1.5).run(durations)
+        assert res.backups_launched == {}
+
+        run = SpeculativeSimulator(slowdown_threshold=1.5).run(
+            self._sim_tasks([1.0, 1.0, 1.0, 1.5])
+        )
+        assert run.backups == {}
+        # ...and just past the tie, speculation fires
+        run2 = SpeculativeSimulator(slowdown_threshold=1.5).run(
+            self._sim_tasks([1.0, 1.0, 1.0, 1.5000001])
+        )
+        assert "t3" in run2.backups
+
+    def test_speculation_disabled_by_kind_filter(self):
+        """A task set outside `speculate_kinds` gets no backups no matter
+        how extreme the straggler."""
+        from repro.sim.speculation import SpeculativeSimulator
+
+        run = SpeculativeSimulator(speculate_kinds=("reduce",)).run(
+            self._sim_tasks([1.0, 1.0, 1.0, 100.0], kind="map")
+        )
+        assert run.backups == {} and run.wasted_seconds == 0.0
+        assert run.makespan == 100.0
+
+    def test_single_candidate_never_speculates(self):
+        from repro.sim.speculation import SpeculativeSimulator
+
+        run = SpeculativeSimulator().run(self._sim_tasks([100.0]))
+        assert run.backups == {}
+
+    def test_health_tightens_threshold(self):
+        """A 1.4x-median task on a suspected node is speculated even though
+        it sits below the uniform 1.5x threshold."""
+        durations = {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.4}
+        uniform = SpeculativeExecutor(slowdown_threshold=1.5).run(durations)
+        assert uniform.backups_launched == {}
+        tightened = SpeculativeExecutor(slowdown_threshold=1.5).run(
+            durations, health={3: 0.5}
+        )
+        assert 3 in tightened.backups_launched
+
+    def test_health_tightens_threshold_in_simulator(self):
+        from repro.sim.speculation import SpeculativeSimulator
+
+        tasks = self._sim_tasks([1.0, 1.0, 1.0, 1.4])
+        assert SpeculativeSimulator(slowdown_threshold=1.5).run(tasks).backups == {}
+        run = SpeculativeSimulator(
+            slowdown_threshold=1.5, health={3: 0.5}
+        ).run(tasks)
+        assert "t3" in run.backups
+
+    def test_invalid_health_rejected(self):
+        from repro.sim.speculation import SpeculativeSimulator
+
+        with pytest.raises(ConfigError):
+            SpeculativeExecutor().run({0: 1.0, 1: 2.0}, health={0: 0.0})
+        with pytest.raises(ConfigError):
+            SpeculativeSimulator(health={0: 2.0})
+
+    def test_backup_race_settled_through_ledger(self):
+        """Every speculated task has exactly one counted completion and one
+        duplicate — the ledger proves no double counting."""
+        from repro.sim.speculation import SpeculativeSimulator
+
+        run = SpeculativeSimulator(relocation_speedup=2.0).run(
+            self._sim_tasks([1.0, 1.0, 1.0, 40.0])
+        )
+        assert "t3" in run.backups
+        assert len(run.ledger) == 4  # one win per ORIGINAL task id
+        assert run.ledger.duplicates == len(run.backups)
+        win = run.ledger.winner("t3")
+        assert win.arrival == run.effective_end["t3"]
+        assert win.source == run.backups["t3"]  # the backup copy won

@@ -1,0 +1,98 @@
+"""Throughput benchmarks for the GF(256) Reed–Solomon codec.
+
+Measures the three coded hot paths — encode, degraded decode, and
+single-fragment reconstruction — at the reference (4, 2) geometry over a
+64 KiB block payload, and writes the resulting MB/s figures to
+``BENCH_coding.json`` at the repo root so throughput regressions show up
+in review diffs.  The systematic fast path (all k data fragments present)
+is benchmarked separately: it must stay near memcpy speed, since healthy
+coded reads take it on every block.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.coding import RSCodec
+
+K, M = 4, 2
+PAYLOAD = bytes((i * 31 + 7) % 256 for i in range(64 * 1024))
+
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def codec() -> RSCodec:
+    return RSCodec(K, M)
+
+
+@pytest.fixture(scope="module")
+def fragments(codec):
+    return codec.encode(PAYLOAD)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_json():
+    """Collect per-path throughput and persist it after the module runs."""
+    yield
+    if not _RESULTS:
+        return
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_coding.json"
+    payload = {
+        "geometry": {"k": K, "m": M, "payload_bytes": len(PAYLOAD)},
+        "throughput_mb_per_s": {
+            name: round(mbps, 2) for name, mbps in sorted(_RESULTS.items())
+        },
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\n[coding throughput saved to {out}]")
+
+
+def _record(name: str, benchmark, nbytes: int) -> None:
+    _RESULTS[name] = nbytes / benchmark.stats["mean"] / 1e6
+
+
+def test_perf_rs_encode(benchmark, codec):
+    fragments = benchmark(codec.encode, PAYLOAD)
+    assert len(fragments) == K + M
+    _record("encode", benchmark, len(PAYLOAD))
+
+
+def test_perf_rs_decode_systematic(benchmark, codec, fragments):
+    """The healthy-read path: all k data fragments present, no GF math."""
+    available = {i: fragments[i] for i in range(K)}
+
+    def decode():
+        return codec.reconstruct(available, len(PAYLOAD))
+
+    assert benchmark(decode) == PAYLOAD
+    _record("decode_systematic", benchmark, len(PAYLOAD))
+
+
+def test_perf_rs_decode_degraded(benchmark, codec, fragments):
+    """A degraded read: one data fragment lost, parity takes its place."""
+    use = [1, 2, 3, K]  # fragment 0 lost; lowest parity stands in
+    available = {i: fragments[i] for i in use}
+
+    def decode():
+        return codec.reconstruct(available, len(PAYLOAD), indices=use)
+
+    assert benchmark(decode) == PAYLOAD
+    _record("decode_degraded", benchmark, len(PAYLOAD))
+
+
+def test_perf_rs_reconstruct_fragment(benchmark, codec, fragments):
+    """Node-loss repair: decode from k survivors, re-encode the lost one."""
+    survivors = {i: fragments[i] for i in range(1, K + 1)}
+
+    def rebuild():
+        payload = codec.reconstruct(
+            survivors, len(PAYLOAD), indices=sorted(survivors)
+        )
+        return codec.encode(payload)[0]
+
+    assert benchmark(rebuild) == fragments[0]
+    _record("reconstruct_fragment", benchmark, len(PAYLOAD))

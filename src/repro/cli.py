@@ -251,6 +251,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .sim import render_gantt
 
     cfg = ReferenceConfig.small() if args.small else ReferenceConfig()
+    coding = _coding_spec(args.coding, cfg.num_nodes)
+    if coding is not None:
+        from dataclasses import replace
+
+        cfg = replace(cfg, coding=coding)
     result = run_concurrent(cfg, slots_per_node=args.slots)
     print(result.format())
     nodes = sorted(
@@ -379,6 +384,20 @@ def _parse_partition_spec(value: str) -> tuple:
         )
 
 
+def _coding_spec(value, num_nodes: int):
+    """Parse and validate a ``--coding k,m`` flag before any data is written.
+
+    Malformed text and infeasible (k, m) (k+m exceeding the node count)
+    both fail here with a :class:`~repro.errors.ConfigError` — at parse
+    time, not as a placement error mid-run.
+    """
+    if not value:
+        return None
+    from .coding import parse_coding, validate_coding
+
+    return validate_coding(parse_coding(value), num_nodes)
+
+
 def _parse_node_block(value: str, what: str) -> tuple:
     """Parse ``NODE@BLOCK`` (e.g. ``2@5``) into ``(int node, int block)``."""
     node_s, sep, block_s = value.partition("@")
@@ -424,11 +443,13 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
     from .workloads import MovieLensGenerator
 
     rng = np.random.default_rng(args.seed)
+    coding = _coding_spec(args.coding, args.nodes)
     records = MovieLensGenerator(
         num_movies=args.keys, total_reviews=args.records, rng=rng
     ).generate()
     cluster = HDFSCluster(
-        num_nodes=args.nodes, block_size=parse_size(args.block_size), rng=rng
+        num_nodes=args.nodes, block_size=parse_size(args.block_size), rng=rng,
+        coding=coding,
     )
     dataset = cluster.write_dataset("scrub", records)
     rotted = _corrupt_replicas(
@@ -453,16 +474,34 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
                 "corrupt found": report.corrupt_found,
                 "repaired": report.repaired,
                 "repaired bytes": report.repaired_bytes,
+                **(
+                    {
+                        "fragment reconstructions": report.reconstructed,
+                        "decoded stripe bytes": report.decode_bytes,
+                    }
+                    if coding is not None
+                    else {}
+                ),
                 "unrepairable": len(report.unrepairable),
             },
             title="Scrub report",
         )
     )
     for event in report.events:
-        print(
-            f"  repaired block {event.block_id} on node {event.destination} "
-            f"from node {event.source} ({event.nbytes} B)"
-        )
+        if hasattr(event, "sources"):
+            peers = ",".join(str(n) for n in event.sources)
+            print(
+                f"  reconstructed fragment {event.index} of block "
+                f"{event.block_id} on node {event.destination} from nodes "
+                f"{peers} ({event.nbytes} B written, "
+                f"{event.decode_bytes} B decoded)"
+            )
+        else:
+            print(
+                f"  repaired block {event.block_id} on node "
+                f"{event.destination} from node {event.source} "
+                f"({event.nbytes} B)"
+            )
     if args.obs:
         _write_obs_artifacts(args.obs, obs)
     if report.unrepairable:
@@ -519,11 +558,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from .workloads import MovieLensGenerator
 
     rng = np.random.default_rng(args.seed)
+    coding = _coding_spec(args.coding, args.nodes)
     records = MovieLensGenerator(
         num_movies=args.keys, total_reviews=args.records, rng=rng
     ).generate()
     cluster = HDFSCluster(
-        num_nodes=args.nodes, block_size=parse_size(args.block_size), rng=rng
+        num_nodes=args.nodes, block_size=parse_size(args.block_size), rng=rng,
+        coding=coding,
     )
     dataset = cluster.write_dataset("chaos", records)
     sub_id = args.sub or max(
@@ -841,6 +882,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(repeatable; incompatible with --kill)",
     )
     p_chaos.add_argument(
+        "--coding", metavar="K,M",
+        help="store the dataset erasure-coded with k data + m parity "
+        "fragments instead of replicating (e.g. --coding 4,2); reads "
+        "decode through parity and node loss triggers reconstruction",
+    )
+    p_chaos.add_argument(
         "--obs", metavar="DIR",
         help="trace the run and write observability artifacts into DIR",
     )
@@ -863,6 +910,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally rot N seeded-random replicas",
     )
     p_scrub.add_argument(
+        "--coding", metavar="K,M",
+        help="store the dataset erasure-coded (k data + m parity); rotten "
+        "fragments are rebuilt from parity instead of copied from a peer",
+    )
+    p_scrub.add_argument(
         "--obs", metavar="DIR",
         help="trace the sweep and write observability artifacts into DIR",
     )
@@ -875,6 +927,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--slots", type=int, default=2)
     p_sim.add_argument("--rows", type=int, default=10, help="nodes to draw")
     p_sim.add_argument("--width", type=int, default=72)
+    p_sim.add_argument(
+        "--coding", metavar="K,M",
+        help="store the batch dataset erasure-coded (k data + m parity); "
+        "fragments become the schedulable unit",
+    )
     p_sim.add_argument(
         "--obs", metavar="DIR",
         help="export the with-DataNet timeline as a Perfetto trace into DIR",

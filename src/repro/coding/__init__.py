@@ -1,0 +1,32 @@
+"""Erasure coding: GF(256) arithmetic and a systematic Reed–Solomon codec.
+
+The storage layer's alternative to whole-block replication — a (k, m)
+code stores k data + m parity fragments on distinct nodes, survives any m
+losses, and reconstructs the payload from *any* k fragments.  See
+:mod:`repro.hdfs.coded` for the block-level integration.
+"""
+
+from .gf256 import gf_add, gf_div, gf_inv, gf_mul, gf_pow, mul_bytes
+from .rs import (
+    CodingSpec,
+    RSCodec,
+    join_stripe,
+    parse_coding,
+    split_stripe,
+    validate_coding,
+)
+
+__all__ = [
+    "CodingSpec",
+    "RSCodec",
+    "parse_coding",
+    "validate_coding",
+    "split_stripe",
+    "join_stripe",
+    "gf_add",
+    "gf_mul",
+    "gf_div",
+    "gf_inv",
+    "gf_pow",
+    "mul_bytes",
+]

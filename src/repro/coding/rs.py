@@ -1,0 +1,295 @@
+"""Systematic (k, m) Reed–Solomon striping over GF(256).
+
+A block payload is split into ``k`` equal data shards; ``m`` parity shards
+are derived so that *any* k of the k+m fragments reconstruct the payload
+bit-for-bit.  The generator matrix is the classic Vandermonde construction
+normalised so its top k×k square is the identity (systematic: data shards
+are stored verbatim), which guarantees every k-row submatrix is invertible
+— the property the any-k-subset decode leans on.
+
+This is the storage-efficiency trade the coded-computation literature
+describes: a (4, 2) code survives two lost fragments at 1.5× bytes where
+3× replication pays 3× for the same tolerance, and a degraded read fetches
+k small fragments instead of one whole replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import CodingError, ConfigError
+from .gf256 import addmul_into, gf_inv, gf_mul, gf_pow
+
+__all__ = [
+    "CodingSpec",
+    "RSCodec",
+    "parse_coding",
+    "validate_coding",
+    "split_stripe",
+    "join_stripe",
+]
+
+#: GF(256) supports at most 255 distinct evaluation points.
+MAX_FRAGMENTS = 255
+
+
+@dataclass(frozen=True)
+class CodingSpec:
+    """An erasure-coding configuration: k data + m parity fragments.
+
+    Attributes:
+        k: data fragments per stripe (any k fragments decode the payload).
+        m: parity fragments per stripe (fault tolerance: up to m lost).
+    """
+
+    k: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigError(f"coding needs k >= 1 data fragments, got k={self.k}")
+        if self.m < 1:
+            raise ConfigError(f"coding needs m >= 1 parity fragments, got m={self.m}")
+        if self.k + self.m > MAX_FRAGMENTS:
+            raise ConfigError(
+                f"GF(256) Reed-Solomon supports at most {MAX_FRAGMENTS} "
+                f"fragments, got k+m={self.k + self.m}"
+            )
+
+    @property
+    def n(self) -> int:
+        """Total fragments per stripe."""
+        return self.k + self.m
+
+    @property
+    def storage_overhead(self) -> float:
+        """Physical/logical byte ratio ((k+m)/k; replication-3 would be 3.0)."""
+        return self.n / self.k
+
+    def __str__(self) -> str:
+        return f"{self.k},{self.m}"
+
+
+def parse_coding(text: str) -> CodingSpec:
+    """Parse a ``"k,m"`` CLI value into a :class:`CodingSpec`.
+
+    Raises:
+        ConfigError: on malformed input or out-of-range k/m.
+    """
+    parts = [p.strip() for p in text.split(",")]
+    if len(parts) != 2:
+        raise ConfigError(
+            f"--coding expects 'k,m' (e.g. '4,2'), got {text!r}"
+        )
+    try:
+        k, m = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ConfigError(
+            f"--coding expects two integers 'k,m', got {text!r}"
+        ) from None
+    return CodingSpec(k, m)
+
+
+def validate_coding(spec: CodingSpec, num_nodes: int) -> CodingSpec:
+    """Check a coding spec against a cluster size at plan/parse time.
+
+    Fragments of one stripe must land on distinct nodes, so ``k + m`` may
+    not exceed the node count — caught here with a clear message instead
+    of surfacing later as an IndexError inside placement.
+
+    Raises:
+        ConfigError: if the cluster cannot hold k+m distinct fragments.
+    """
+    if spec.n > num_nodes:
+        raise ConfigError(
+            f"coding ({spec.k},{spec.m}) needs k+m={spec.n} distinct nodes "
+            f"but the cluster has only {num_nodes}"
+        )
+    return spec
+
+
+# -- striping ---------------------------------------------------------------------
+
+
+def split_stripe(payload: bytes, k: int) -> List[bytes]:
+    """Split a payload into ``k`` equal shards (zero-padded at the tail)."""
+    if k < 1:
+        raise CodingError(f"cannot split into {k} shards")
+    shard_len = (len(payload) + k - 1) // k
+    padded = payload.ljust(shard_len * k, b"\x00")
+    return [padded[i * shard_len : (i + 1) * shard_len] for i in range(k)]
+
+
+def join_stripe(shards: Sequence[bytes], payload_len: int) -> bytes:
+    """Reassemble data shards into the original payload, trimming padding."""
+    joined = b"".join(shards)
+    if payload_len > len(joined):
+        raise CodingError(
+            f"stripe holds {len(joined)} bytes, cannot recover {payload_len}"
+        )
+    return joined[:payload_len]
+
+
+# -- matrix helpers ----------------------------------------------------------------
+
+
+def _identity(n: int) -> List[List[int]]:
+    return [[1 if r == c else 0 for c in range(n)] for r in range(n)]
+
+
+def _matmul(a: List[List[int]], b: List[List[int]]) -> List[List[int]]:
+    cols = len(b[0])
+    inner = len(b)
+    out = [[0] * cols for _ in range(len(a))]
+    for r, arow in enumerate(a):
+        orow = out[r]
+        for i, coeff in enumerate(arow):
+            if coeff == 0:
+                continue
+            brow = b[i]
+            for c in range(cols):
+                orow[c] ^= gf_mul(coeff, brow[c])
+    return out
+
+
+def _invert(matrix: List[List[int]]) -> List[List[int]]:
+    """Gauss–Jordan inversion over GF(256).
+
+    Raises:
+        CodingError: if the matrix is singular (cannot happen for the
+            k-row submatrices of a normalised Vandermonde generator).
+    """
+    n = len(matrix)
+    aug = [row[:] + ident[:] for row, ident in zip(matrix, _identity(n))]
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if aug[r][col] != 0), None)
+        if pivot is None:
+            raise CodingError("singular matrix in GF(256) inversion")
+        if pivot != col:
+            aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv_p = gf_inv(aug[col][col])
+        aug[col] = [gf_mul(inv_p, v) for v in aug[col]]
+        for r in range(n):
+            if r == col or aug[r][col] == 0:
+                continue
+            factor = aug[r][col]
+            prow = aug[col]
+            aug[r] = [v ^ gf_mul(factor, p) for v, p in zip(aug[r], prow)]
+    return [row[n:] for row in aug]
+
+
+# -- codec -------------------------------------------------------------------------
+
+
+class RSCodec:
+    """Systematic Reed–Solomon encoder/decoder for one (k, m) geometry.
+
+    The generator matrix is shared per (k, m) via a module cache, so every
+    coded block of a cluster reuses one table set.
+    """
+
+    _matrix_cache: Dict[Tuple[int, int], List[List[int]]] = {}
+
+    def __init__(self, k: int, m: int) -> None:
+        self.spec = CodingSpec(k, m)
+        self.k = k
+        self.m = m
+        self.matrix = self._generator(k, m)
+
+    @classmethod
+    def for_spec(cls, spec: CodingSpec) -> "RSCodec":
+        return cls(spec.k, spec.m)
+
+    @classmethod
+    def _generator(cls, k: int, m: int) -> List[List[int]]:
+        """(k+m)×k generator with identity on top (systematic form)."""
+        cached = cls._matrix_cache.get((k, m))
+        if cached is not None:
+            return cached
+        n = k + m
+        vandermonde = [[gf_pow(r, c) for c in range(k)] for r in range(n)]
+        top_inv = _invert([row[:] for row in vandermonde[:k]])
+        matrix = _matmul(vandermonde, top_inv)
+        cls._matrix_cache[(k, m)] = matrix
+        return matrix
+
+    # -- encode -------------------------------------------------------------------
+
+    def encode(self, payload: bytes) -> List[bytes]:
+        """Stripe a payload into k data + m parity fragments.
+
+        Fragment ``i < k`` is the i-th data shard verbatim; fragments
+        ``k..k+m-1`` are parity.  All fragments have equal length
+        ``ceil(len(payload) / k)``.
+        """
+        data = split_stripe(payload, self.k)
+        shard_len = len(data[0])
+        fragments = list(data)
+        for r in range(self.k, self.k + self.m):
+            row = self.matrix[r]
+            acc = 0
+            for c, shard in enumerate(data):
+                acc = addmul_into(acc, row[c], shard)
+            fragments.append(acc.to_bytes(shard_len, "big") if shard_len else b"")
+        return fragments
+
+    # -- decode -------------------------------------------------------------------
+
+    def reconstruct(
+        self,
+        available: Mapping[int, bytes],
+        payload_len: int,
+        *,
+        indices: Optional[Sequence[int]] = None,
+    ) -> bytes:
+        """Decode the payload from any k available fragments.
+
+        Args:
+            available: fragment index → fragment bytes (data or parity).
+            payload_len: original payload length (strips stripe padding).
+            indices: optionally force which k of the available fragments
+                are used (defaults to the k lowest indices, which makes a
+                healthy decode the free systematic read).
+
+        Raises:
+            CodingError: if fewer than k fragments are supplied, an index
+                is out of range, or fragment lengths disagree.
+        """
+        if indices is None:
+            use = sorted(available)[: self.k]
+        else:
+            use = list(indices)
+            missing = [i for i in use if i not in available]
+            if missing:
+                raise CodingError(f"fragments {missing} not available for decode")
+        if len(use) != self.k or len(set(use)) != self.k:
+            raise CodingError(
+                f"decode needs exactly k={self.k} distinct fragments, "
+                f"got {len(set(use))} of {len(available)} available"
+            )
+        n = self.k + self.m
+        bad = [i for i in use if not 0 <= i < n]
+        if bad:
+            raise CodingError(f"fragment indices {bad} out of range for n={n}")
+        shard_len = len(available[use[0]])
+        if any(len(available[i]) != shard_len for i in use):
+            raise CodingError("fragment lengths disagree; refusing to decode")
+
+        if use == list(range(self.k)):  # systematic fast path
+            return join_stripe([available[i] for i in use], payload_len)
+
+        sub = [self.matrix[i][:] for i in use]
+        decode = _invert(sub)
+        shards: List[bytes] = []
+        for r in range(self.k):
+            acc = 0
+            row = decode[r]
+            for j, idx in enumerate(use):
+                acc = addmul_into(acc, row[j], available[idx])
+            shards.append(acc.to_bytes(shard_len, "big") if shard_len else b"")
+        return join_stripe(shards, payload_len)
+
+    def fragment_length(self, payload_len: int) -> int:
+        """Bytes per fragment for a payload of ``payload_len`` bytes."""
+        return (payload_len + self.k - 1) // self.k

@@ -33,6 +33,11 @@ class BipartiteGraph:
             block with no replicas cannot be scheduled.
         nodes: optional explicit node universe (so nodes holding no relevant
             block still participate in scheduling).
+        needed: block id → holders a read must reach (default 1).  For an
+            erasure-coded dataset this is ``k``: the holders are fragment
+            holders, and a block is only schedulable/reachable while at
+            least k of them are — fragments, not whole replicas, become
+            the unit :meth:`restrict` reasons about.
     """
 
     def __init__(
@@ -41,6 +46,7 @@ class BipartiteGraph:
         weights: Mapping[int, int],
         *,
         nodes: Iterable[NodeId] | None = None,
+        needed: Mapping[int, int] | None = None,
     ) -> None:
         unknown = set(weights) - set(placement)
         if unknown:
@@ -51,13 +57,25 @@ class BipartiteGraph:
         self._blocks_on: Dict[NodeId, Set[int]] = {n: set() for n in self._nodes}
         self._nodes_of: Dict[int, Set[NodeId]] = {}
         self._weight: Dict[int, int] = {}
+        self._needed: Dict[int, int] = {}
         for block_id, replica_nodes in placement.items():
             if not replica_nodes:
                 raise ConfigError(f"block {block_id} has an empty replica list")
             w = int(weights.get(block_id, 0))
             if w < 0:
                 raise ConfigError(f"block {block_id} has negative weight {w}")
+            need = int(needed.get(block_id, 1)) if needed is not None else 1
+            if need < 1:
+                raise ConfigError(
+                    f"block {block_id} needs {need} holders; minimum is 1"
+                )
+            if need > len(set(replica_nodes)):
+                raise ConfigError(
+                    f"block {block_id} needs {need} holders but is placed "
+                    f"on only {len(set(replica_nodes))}"
+                )
             self._weight[block_id] = w
+            self._needed[block_id] = need
             self._nodes_of[block_id] = set(replica_nodes)
             for node in replica_nodes:
                 self._nodes.add(node)
@@ -96,6 +114,13 @@ class BipartiteGraph:
         """Sum of all block weights currently in the graph."""
         return sum(self._weight[b] for b in self._nodes_of)
 
+    def needed_of(self, block_id: int) -> int:
+        """Holders a read of this block must reach (k for coded blocks)."""
+        try:
+            return self._needed[block_id]
+        except KeyError:
+            raise SchedulingError(f"block {block_id} not in graph") from None
+
     def blocks_on(self, node: NodeId) -> Set[int]:
         """Blocks with a replica on ``node`` (the ``d_i`` of Algorithm 1)."""
         try:
@@ -131,10 +156,11 @@ class BipartiteGraph:
         """Project the graph onto ``allowed`` nodes (partition-aware view).
 
         Returns the subgraph over the allowed side plus the sorted list of
-        *stranded* blocks — blocks whose every replica sits outside
-        ``allowed`` (e.g. behind a partition cut).  Stranded blocks are
-        dropped from the subgraph rather than raising: the caller defers
-        them until the cut heals.
+        *stranded* blocks — blocks with fewer than ``needed`` reachable
+        holders inside ``allowed`` (every replica cut off for replicated
+        blocks; more than m fragments cut off for coded ones).  Stranded
+        blocks are dropped from the subgraph rather than raising: the
+        caller defers them until the cut heals.
         """
         keep = {n for n in self._nodes if n in set(allowed)}
         if not keep:
@@ -143,7 +169,7 @@ class BipartiteGraph:
         stranded: List[int] = []
         for block_id, replica_nodes in self._nodes_of.items():
             reachable = sorted((n for n in replica_nodes if n in keep), key=repr)
-            if reachable:
+            if len(reachable) >= self._needed[block_id]:
                 placement[block_id] = reachable
             else:
                 stranded.append(block_id)
@@ -151,6 +177,7 @@ class BipartiteGraph:
             placement,
             {b: self._weight[b] for b in placement},
             nodes=sorted(keep, key=repr),
+            needed={b: self._needed[b] for b in placement},
         )
         return sub, sorted(stranded)
 
@@ -161,6 +188,7 @@ class BipartiteGraph:
         out._blocks_on = {n: set(bs) for n, bs in self._blocks_on.items()}
         out._nodes_of = {b: set(ns) for b, ns in self._nodes_of.items()}
         out._weight = dict(self._weight)
+        out._needed = dict(self._needed)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

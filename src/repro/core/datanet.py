@@ -76,6 +76,11 @@ class ScannableDataset(Protocol):
         """All cluster nodes (including ones holding no replica)."""
         ...
 
+    # Optionally a dataset may also expose ``fragments_needed() ->
+    # {block_id: k}`` (erasure-coded datasets do): the bipartite graph then
+    # treats a block as reachable only while >= k of its holders are, so
+    # fragments — not whole replicas — become the schedulable unit.
+
 
 class DataNet:
     """Sub-dataset distribution metadata + scheduling for one dataset.
@@ -90,6 +95,7 @@ class DataNet:
         placement: Mapping[int, Sequence[NodeId]],
         *,
         nodes: Optional[Sequence[NodeId]] = None,
+        needed: Optional[Mapping[int, int]] = None,
         obs: Observability = NULL_OBS,
     ) -> None:
         self.obs = obs
@@ -102,6 +108,9 @@ class DataNet:
         self._placement: Dict[int, List[NodeId]] = {
             b: list(ns) for b, ns in placement.items()
         }
+        # block → holders a read must reach (k for erasure-coded blocks;
+        # absent means 1, i.e. any single replica suffices)
+        self._needed: Dict[int, int] = dict(needed) if needed is not None else {}
         if nodes is not None:
             self._nodes: List[NodeId] = list(nodes)
         else:
@@ -137,6 +146,7 @@ class DataNet:
             memory_model=memory_model,
         )
         fingerprint_of = getattr(dataset, "block_fingerprint", None)
+        needed_of = getattr(dataset, "fragments_needed", None)
         with profile_block(obs, "datanet.build"):
             array = ElasticMapArray(
                 [
@@ -150,7 +160,13 @@ class DataNet:
                     for bid, observations in dataset.scan_blocks()
                 ]
             )
-            dn = cls(array, dataset.placement(), nodes=list(dataset.nodes), obs=obs)
+            dn = cls(
+                array,
+                dataset.placement(),
+                nodes=list(dataset.nodes),
+                needed=needed_of() if needed_of is not None else None,
+                obs=obs,
+            )
         dn.build_stats = builder.stats  # type: ignore[attr-defined]
         dn._builder_config = dict(
             alpha=alpha,
@@ -189,6 +205,8 @@ class DataNet:
         placement = dataset.placement()
         builder = ElasticMapBuilder(**config)
         fingerprint_of = getattr(dataset, "block_fingerprint", None)
+        needed_of = getattr(dataset, "fragments_needed", None)
+        needed = needed_of() if needed_of is not None else {}
         added = 0
         for block_id, observations in dataset.scan_blocks():
             if block_id in covered:
@@ -202,6 +220,8 @@ class DataNet:
             )
             self.elasticmap.add_block(block_map)
             self._placement[block_id] = list(placement[block_id])
+            if block_id in needed:
+                self._needed[block_id] = needed[block_id]
             added += 1
         for node in dataset.nodes:
             if node not in self._nodes:
@@ -408,14 +428,20 @@ class DataNet:
             filtered: Dict[int, List[NodeId]] = {}
             for b, ns in placement.items():
                 live = [n for n in ns if n not in barred]
-                if not live:
+                if len(live) < self._needed.get(b, 1):
                     raise ConfigError(
-                        f"block {b} has no replica outside the excluded nodes"
+                        f"block {b} has fewer than {self._needed.get(b, 1)} "
+                        f"holders outside the excluded nodes"
                     )
                 filtered[b] = live
             placement = filtered
             nodes = [n for n in nodes if n not in barred]
-        return BipartiteGraph(placement, weights, nodes=nodes)
+        return BipartiteGraph(
+            placement,
+            weights,
+            nodes=nodes,
+            needed={b: self._needed[b] for b in placement if b in self._needed},
+        )
 
     def schedule(
         self,
@@ -548,7 +574,12 @@ class DataNet:
         else:
             placement = self._placement
             weights = {b: weights.get(b, 0) for b in placement}
-        return BipartiteGraph(placement, weights, nodes=self._nodes)
+        return BipartiteGraph(
+            placement,
+            weights,
+            nodes=self._nodes,
+            needed={b: self._needed[b] for b in placement if b in self._needed},
+        )
 
     def schedule_many(
         self,

@@ -38,6 +38,23 @@ class IntegrityError(ReproError):
     """
 
 
+class CodingError(ReproError):
+    """Raised by the erasure-coding layer (``repro.coding``)."""
+
+
+class UnrecoverableBlockError(IntegrityError):
+    """A coded block lost more than ``m`` fragments and cannot be decoded.
+
+    Carries the quarantine record describing exactly what was lost, so the
+    job can fail cleanly with an auditable trail instead of an IndexError
+    deep inside the decoder.
+    """
+
+    def __init__(self, message: str, *, record: object = None) -> None:
+        super().__init__(message)
+        self.record = record
+
+
 class MetadataError(ReproError):
     """Raised by the ElasticMap / DataNet metadata layer (``repro.core``)."""
 

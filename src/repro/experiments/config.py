@@ -23,6 +23,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..coding import CodingSpec, validate_coding
 from ..core.bucketizer import BucketSpec
 from ..core.datanet import DataNet
 from ..errors import ConfigError
@@ -44,6 +45,8 @@ class ReferenceConfig:
     num_nodes: int = 32
     block_size: int = 64 * KiB
     replication: int = 3
+    #: optional (k, m) erasure coding; replaces replication when set.
+    coding: Optional[CodingSpec] = None
     data_scale: float = 1024.0  # 64 KiB stored block behaves as 64 MB
     # movie workload (calibrated; see module docstring)
     num_movies: int = 1500
@@ -68,6 +71,8 @@ class ReferenceConfig:
             raise ConfigError("num_nodes and block_size must be positive")
         if not (0.0 <= self.alpha <= 1.0):
             raise ConfigError("alpha must be in [0, 1]")
+        if self.coding is not None:
+            validate_coding(self.coding, self.num_nodes)
 
     @classmethod
     def small(cls, **overrides) -> "ReferenceConfig":
@@ -171,6 +176,7 @@ def build_movie_environment(
         block_size=cfg.block_size,
         replication=cfg.replication,
         rng=rng,
+        coding=cfg.coding,
     )
     generator = MovieLensGenerator(
         num_movies=cfg.num_movies,

@@ -102,13 +102,14 @@ def degraded_schedule(
         raise SchedulingError("no eligible nodes left to schedule on")
     eligible_set = set(eligible)
 
+    needed = dataset.fragments_needed() if hasattr(dataset, "fragments_needed") else {}
     placement: Dict[int, List[NodeId]] = {}
     for bid, replicas in dataset.placement().items():
         live_replicas = [n for n in replicas if n in eligible_set]
-        if not live_replicas:
+        if len(live_replicas) < needed.get(bid, 1):
             raise SchedulingError(
-                f"block {bid} has no replica on an eligible node; "
-                "re-replicate before scheduling"
+                f"block {bid} has fewer than {needed.get(bid, 1)} holders on "
+                "eligible nodes; repair before scheduling"
             )
         placement[bid] = live_replicas
 
@@ -133,6 +134,7 @@ def degraded_schedule(
             {b: placement[b] for b in healthy_weights},
             healthy_weights,
             nodes=eligible,
+            needed={b: needed[b] for b in healthy_weights if b in needed},
         )
         parts.append(DistributionAwareScheduler().schedule(graph))
     if degraded:
@@ -140,7 +142,10 @@ def degraded_schedule(
         # counts with locality preference — stock Hadoop behaviour.
         fallback_weights = {b: dataset.block(b).used_bytes for b in degraded}
         graph = BipartiteGraph(
-            {b: placement[b] for b in degraded}, fallback_weights, nodes=eligible
+            {b: placement[b] for b in degraded},
+            fallback_weights,
+            nodes=eligible,
+            needed={b: needed[b] for b in degraded if b in needed},
         )
         parts.append(LocalityScheduler().schedule(graph))
     if not parts:

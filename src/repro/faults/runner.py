@@ -92,6 +92,11 @@ class ChaosReport:
     hedges_won: int = 0
     hedge_wasted_seconds: float = 0.0
     health: Dict[NodeId, float] = field(default_factory=dict)
+    reconstructions: int = 0
+    reconstructed_bytes: int = 0
+    decode_bytes: int = 0
+    degraded_reads: int = 0
+    quarantined_blocks: int = 0
 
     @property
     def makespan(self) -> float:
@@ -130,6 +135,11 @@ class ChaosReport:
             hedged_reads=self.hedged_reads,
             hedges_won=self.hedges_won,
             hedge_wasted_seconds=self.hedge_wasted_seconds,
+            reconstructions=self.reconstructions,
+            reconstructed_bytes=self.reconstructed_bytes,
+            decode_bytes=self.decode_bytes,
+            degraded_reads=self.degraded_reads,
+            quarantined_blocks=self.quarantined_blocks,
         )
 
     def format(self) -> str:
@@ -194,6 +204,12 @@ class ChaosRunner:
             raise ConfigError(
                 "driver restarts cannot be combined with partitions or flaky "
                 "links: the checkpointed wave path has no network model"
+            )
+        if plan.driver_restarts and cluster.coding is not None:
+            raise ConfigError(
+                "driver restarts cannot be combined with erasure coding: "
+                "the checkpointed wave path does not thread the coded reader, "
+                "so its fragment counters would silently go missing"
             )
         self.cluster = cluster
         self.plan = plan
@@ -273,8 +289,23 @@ class ChaosRunner:
             detector.export(
                 self.obs, all_nodes, now=8 * detector.expected_interval_s
             )
+        coded_mode = dataset.coding is not None
+        coded = None
         hedged = None
-        if gray and self.hedge and not self.plan.driver_restarts:
+        if coded_mode:
+            # coded datasets have no whole-block replicas: one reader
+            # subsumes verification (fragment checksums), hedging (k + 1
+            # fragment races) and degraded decodes, for every read path
+            from ..hdfs.coded import CodedReader  # deferred: import cycle
+
+            coded = CodedReader(
+                self.cluster,
+                self.injector,
+                detector=detector,
+                failures=self.failures,
+                obs=self.obs,
+            )
+        elif gray and self.hedge and not self.plan.driver_restarts:
             from ..hdfs.hedged import HedgedReader  # deferred: import cycle
 
             hedged = HedgedReader(
@@ -332,30 +363,69 @@ class ChaosRunner:
                     dataset, sub_id, assignment, job.profile, datanet, log, blacklist,
                     verifier,
                     hedged=hedged,
+                    coded=coded,
                     health=health,
                     deferred0=deferred0,
                 )
             sel_span.sim(0.0, selection.makespan)
         # Background scrub: repair rot the read path never touched (replicas
         # of unselected blocks, or copies a task skipped over).  Off the job
-        # clock, like HDFS's block scanner.
-        scrub = Scrubber(self.cluster, failures=self.failures, obs=self.obs).scrub(
-            dataset.name
-        )
+        # clock, like HDFS's block scanner.  Repair sources prefer the
+        # healthiest verified holders when the detector ran.
+        scrub = Scrubber(
+            self.cluster, failures=self.failures, health=health, obs=self.obs
+        ).scrub(dataset.name)
+        if coded is not None:
+            from ..hdfs.coded import fragment_health
+
+            census = fragment_health(
+                self.cluster, dataset.name, failures=self.failures
+            )
+            with self.obs.tracer.span(
+                f"fragment-health/{dataset.name}", category="scrub"
+            ) as fh_span:
+                fh_span.set(**census)
+            if self.obs.metrics.enabled:
+                g = self.obs.metrics.gauge(
+                    "coded_fragment_health",
+                    help="post-run fragment census of the coded dataset",
+                    labelnames=("state",),
+                )
+                for state, count in census.items():
+                    g.set(count, state=state)
         analysis = self.engine.run_analysis(
             job, selection.local_data, start_time=selection.makespan
         )
         analysis.selection = selection
+        coded_detected = coded.detected if coded is not None else 0
+        coded_repaired = coded.repaired if coded is not None else 0
         integrity = IntegritySummary(
             corruptions_injected=injected,
-            corruptions_detected=verifier.detected + scrub.corrupt_found,
-            corruptions_repaired=verifier.repaired + scrub.repaired,
+            corruptions_detected=(
+                verifier.detected + scrub.corrupt_found + coded_detected
+            ),
+            corruptions_repaired=verifier.repaired + scrub.repaired + coded_repaired,
             scrubbed_replicas=scrub.replicas_scanned,
             scrub_bytes=scrub.bytes_scanned,
             stale_entries=len(stale),
             rebuilt_blocks=len(validation.rebuilt),
             driver_restarts=restarts_survived,
             resume_wasted_seconds=resume_wasted,
+        )
+        reconstructions = (
+            len(self.failures.reconstructions)
+            + scrub.reconstructed
+            + (len(coded.events) if coded is not None else 0)
+        )
+        reconstructed_bytes = self.failures.bytes_reconstructed() + (
+            (scrub.repaired_bytes + coded.repaired_bytes)
+            if coded is not None
+            else 0
+        )
+        decode_bytes = (
+            self.failures.decode_bytes_read()
+            + scrub.decode_bytes
+            + (coded.decoded_bytes if coded is not None else 0)
         )
         report = ChaosReport(
             job=analysis,
@@ -371,10 +441,30 @@ class ChaosRunner:
             integrity=integrity,
             partition_events=partition_events,
             deferred_blocks=deferred_blocks,
-            hedged_reads=hedged.hedges_issued if hedged is not None else 0,
-            hedges_won=hedged.hedges_won if hedged is not None else 0,
-            hedge_wasted_seconds=hedged.wasted_seconds if hedged is not None else 0.0,
+            hedged_reads=(
+                coded.hedges_issued
+                if coded is not None
+                else hedged.hedges_issued if hedged is not None else 0
+            ),
+            hedges_won=(
+                coded.hedges_won
+                if coded is not None
+                else hedged.hedges_won if hedged is not None else 0
+            ),
+            hedge_wasted_seconds=(
+                coded.wasted_seconds
+                if coded is not None
+                else hedged.wasted_seconds if hedged is not None else 0.0
+            ),
             health=dict(health) if health is not None else {},
+            reconstructions=reconstructions,
+            reconstructed_bytes=reconstructed_bytes,
+            decode_bytes=decode_bytes,
+            degraded_reads=coded.degraded_reads if coded is not None else 0,
+            quarantined_blocks=(
+                (len(coded.quarantined) if coded is not None else 0)
+                + len(self.failures.quarantined)
+            ),
         )
         if self.obs.metrics.enabled:
             m = self.obs.metrics
@@ -400,6 +490,19 @@ class ChaosRunner:
                 "deferred_blocks_total",
                 help="blocks that waited for a partition cut to heal",
             ).inc(len(report.deferred_blocks))
+            if report.reconstructions or report.decode_bytes:
+                m.counter(
+                    "fragment_reconstructions_total",
+                    help="coded fragments rebuilt from parity",
+                ).inc(report.reconstructions)
+                m.counter(
+                    "reconstructed_bytes_total",
+                    help="fragment bytes written by parity rebuilds",
+                ).inc(report.reconstructed_bytes)
+                m.counter(
+                    "decode_bytes_total",
+                    help="stripe bytes fed through the GF(256) decoder",
+                ).inc(report.decode_bytes)
         return report
 
     # -- integrity fault application ----------------------------------------------
@@ -531,6 +634,7 @@ class ChaosRunner:
         verifier: Optional[ReadVerifier] = None,
         *,
         hedged=None,
+        coded=None,
         health: Optional[Dict[NodeId, float]] = None,
         deferred0: Optional[List[int]] = None,
     ) -> Tuple[SelectionResult, float, List[int], int, List[int]]:
@@ -545,6 +649,8 @@ class ChaosRunner:
         partitions = (
             injector.partitions_chronological() if self.plan.partitions else []
         )
+        # block → holders a read must reach: k for coded blocks, 1 otherwise
+        needed = dataset.fragments_needed()
         clock: Dict[NodeId, float] = {n: 0.0 for n in dataset.nodes}
         pending: Dict[NodeId, List[int]] = {n: [] for n in dataset.nodes}
         # node -> bid -> (records, attempts so far); insertion order = completion order
@@ -616,11 +722,14 @@ class ChaosRunner:
                 bid = queue.pop(0)
                 if active_cut:
                     reachable = [
-                        r for r in placement[bid] if r not in active_cut
+                        r
+                        for r in placement[bid]
+                        if r not in active_cut and self.failures.is_alive(r)
                     ]
-                    if not reachable:
-                        # every replica sits behind the cut: park the block
-                        # until the partition heals
+                    if len(reachable) < needed.get(bid, 1):
+                        # too few holders on this side of the cut (every
+                        # replica, or — coded — more than m fragments):
+                        # park the block until the partition heals
                         deferred.append(bid)
                         deferred_seen.add(bid)
                         continue
@@ -628,8 +737,9 @@ class ChaosRunner:
                     reachable = list(placement[bid])
                 base, matched, nbytes = self.engine.selection_task_cost(
                     dataset, sub_id, placement, node, bid, profile,
-                    verify=verifier if hedged is None else None,
+                    verify=verifier if hedged is None and coded is None else None,
                     hedge=hedged,
+                    coded=coded,
                     when=clock[node],
                     replicas=reachable,
                 )
@@ -711,9 +821,12 @@ class ChaosRunner:
             ready = [
                 b
                 for b in lost
-                if any(
-                    r not in dead and r not in active_cut for r in placement[b]
+                if sum(
+                    1
+                    for r in placement[b]
+                    if r not in dead and r not in active_cut
                 )
+                >= needed.get(b, 1)
             ]
             stranded = set(lost) - set(ready)
             for b in sorted(stranded):

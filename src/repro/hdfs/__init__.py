@@ -11,7 +11,9 @@ Modules:
 - :mod:`repro.hdfs.records` — the log-record data model and serialization.
 - :mod:`repro.hdfs.block` — fixed-capacity blocks and the block packer.
 - :mod:`repro.hdfs.placement` — replica placement policies (random,
-  round-robin, rack-aware).
+  round-robin, rack-aware, fragment-spreading).
+- :mod:`repro.hdfs.coded` — erasure-coded stripes, coded/degraded reads
+  and quarantine records.
 - :mod:`repro.hdfs.namenode` — dataset/block metadata.
 - :mod:`repro.hdfs.datanode` — per-node replica stores.
 - :mod:`repro.hdfs.cluster` — the façade: write datasets, get
@@ -25,9 +27,17 @@ from .placement import (
     RandomPlacement,
     RoundRobinPlacement,
     RackAwarePlacement,
+    FragmentPlacement,
 )
 from .namenode import NameNode, BlockMeta
 from .datanode import DataNode
+from .coded import (
+    CodedReader,
+    ErasureCodedBlock,
+    QuarantineRecord,
+    ReconstructionEvent,
+    fragment_health,
+)
 from .cluster import HDFSCluster, DatasetView
 from .failure import FailureManager, ReplicationEvent
 from .scrubber import Scrubber, ScrubReport, RepairEvent, ReadVerifier
@@ -42,6 +52,12 @@ __all__ = [
     "RandomPlacement",
     "RoundRobinPlacement",
     "RackAwarePlacement",
+    "FragmentPlacement",
+    "CodedReader",
+    "ErasureCodedBlock",
+    "QuarantineRecord",
+    "ReconstructionEvent",
+    "fragment_health",
     "NameNode",
     "BlockMeta",
     "DataNode",

@@ -17,12 +17,14 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..coding import CodingSpec, validate_coding
 from ..errors import BlockNotFoundError, ConfigError
 from ..units import MiB
 from .block import Block, pack_records
+from .coded import ErasureCodedBlock
 from .datanode import DataNode
 from .namenode import NameNode
-from .placement import PlacementPolicy, RandomPlacement
+from .placement import FragmentPlacement, PlacementPolicy, RandomPlacement
 from .records import Record
 
 __all__ = ["HDFSCluster", "DatasetView"]
@@ -41,6 +43,12 @@ class HDFSCluster:
         num_racks: racks the nodes are striped over.
         rng: random generator used by default placement (deterministic
             experiments pass a seeded generator).
+        coding: optional (k, m) erasure-coding spec.  When given, every
+            dataset written to this cluster is striped into k data + m
+            parity fragments spread over racks by
+            :class:`~repro.hdfs.placement.FragmentPlacement` instead of
+            being replicated; validated against the cluster size at
+            construction time (k + m distinct nodes are required).
     """
 
     def __init__(
@@ -52,6 +60,7 @@ class HDFSCluster:
         placement: Optional[PlacementPolicy] = None,
         num_racks: int = 4,
         rng: Optional[np.random.Generator] = None,
+        coding: Optional[CodingSpec] = None,
     ) -> None:
         if num_nodes <= 0:
             raise ConfigError(f"num_nodes must be positive, got {num_nodes}")
@@ -68,7 +77,15 @@ class HDFSCluster:
         self.placement_policy = placement or RandomPlacement(
             replication, rng=rng if rng is not None else np.random.default_rng()
         )
+        self.coding = validate_coding(coding, num_nodes) if coding else None
+        self._fragment_placement = (
+            FragmentPlacement(self.coding.n, num_racks=self.num_racks)
+            if self.coding
+            else None
+        )
         self._blocks: Dict[Tuple[str, int], Block] = {}
+        self._coded: Dict[Tuple[str, int], ErasureCodedBlock] = {}
+        self._coding_of: Dict[str, CodingSpec] = {}
 
     # -- topology ---------------------------------------------------------------
 
@@ -99,6 +116,29 @@ class HDFSCluster:
         if self.namenode.has_dataset(name):
             raise ConfigError(f"dataset {name!r} already exists")
         blocks = pack_records(records, self.block_size)
+        self._store_blocks(name, blocks)
+        return DatasetView(self, name)
+
+    def _store_blocks(self, name: str, blocks: List[Block]) -> None:
+        """Place and register blocks: replicated or erasure-coded ingest."""
+        if self.coding is not None:
+            spec = self.coding
+            self._coding_of[name] = spec
+            for block in blocks:
+                coded = ErasureCodedBlock(block, spec)
+                holders = self._fragment_placement.place(block.block_id, self.nodes)
+                self.namenode.register_block(
+                    name,
+                    block.block_id,
+                    block.used_bytes,
+                    holders,
+                    coding=(spec.k, spec.m),
+                )
+                self._blocks[(name, block.block_id)] = block
+                self._coded[(name, block.block_id)] = coded
+                for index, node in enumerate(holders):
+                    self.datanodes[node].store_fragment(name, coded, index)
+            return
         for block in blocks:
             replicas = self.placement_policy.place(block.block_id, self.nodes)
             self.namenode.register_block(
@@ -107,7 +147,6 @@ class HDFSCluster:
             self._blocks[(name, block.block_id)] = block
             for node in replicas:
                 self.datanodes[node].store_replica(name, block)
-        return DatasetView(self, name)
 
     def append_records(self, name: str, records: Iterable[Record]) -> "DatasetView":
         """Append a record stream to an existing dataset as new blocks.
@@ -125,14 +164,7 @@ class HDFSCluster:
             for b in pack_records(records, self.block_size, start_id=start_id)
             if b.num_records  # an empty append registers nothing
         ]
-        for block in blocks:
-            replicas = self.placement_policy.place(block.block_id, self.nodes)
-            self.namenode.register_block(
-                name, block.block_id, block.used_bytes, replicas
-            )
-            self._blocks[(name, block.block_id)] = block
-            for node in replicas:
-                self.datanodes[node].store_replica(name, block)
+        self._store_blocks(name, blocks)
         return DatasetView(self, name)
 
     # -- access -------------------------------------------------------------------
@@ -152,15 +184,35 @@ class HDFSCluster:
                 f"block {block_id} of dataset {dataset!r} not found"
             ) from None
 
+    def coded_block(self, dataset: str, block_id: int) -> ErasureCodedBlock:
+        """The erasure-coded stripe of one block of a coded dataset."""
+        try:
+            return self._coded[(dataset, block_id)]
+        except KeyError:
+            raise BlockNotFoundError(
+                f"block {block_id} of dataset {dataset!r} is not erasure-coded"
+            ) from None
+
+    def coding_of(self, dataset: str) -> Optional[CodingSpec]:
+        """The (k, m) spec a dataset was written with, or ``None``."""
+        return self._coding_of.get(dataset)
+
     # -- integrity ----------------------------------------------------------------
 
     def corrupt_replica(self, dataset: str, node: int, block_id: int) -> None:
-        """Rot one node's copy of a block (fault injection entry point)."""
+        """Rot one node's copy of a block (fault injection entry point).
+
+        For a coded dataset the node's *fragment* rots — the same overlay
+        model, scoped to 1/k-th of the stripe.
+        """
         if not self.namenode.has_dataset(dataset):
             raise BlockNotFoundError(f"unknown dataset {dataset!r}")
         if node not in self.datanodes:
             raise ConfigError(f"unknown node {node}")
-        self.datanodes[node].corrupt_replica(dataset, block_id)
+        if dataset in self._coding_of:
+            self.datanodes[node].corrupt_fragment(dataset, block_id)
+        else:
+            self.datanodes[node].corrupt_replica(dataset, block_id)
 
 
 class DatasetView:
@@ -183,8 +235,43 @@ class DatasetView:
             yield bid, self.block(bid).scan()
 
     def placement(self) -> Dict[int, Tuple[int, ...]]:
-        """Block id → replica nodes."""
+        """Block id → replica nodes (fragment holders, stripe order, when coded)."""
         return self.cluster.namenode.placement(self.name)
+
+    # -- erasure coding ----------------------------------------------------------
+
+    @property
+    def coding(self) -> Optional["CodingSpec"]:
+        """The (k, m) spec this dataset was written with, or ``None``."""
+        return self.cluster.coding_of(self.name)
+
+    def coded_block(self, block_id: int) -> ErasureCodedBlock:
+        """The stripe of one block (coded datasets only)."""
+        return self.cluster.coded_block(self.name, block_id)
+
+    def fragments_needed(self) -> Dict[int, int]:
+        """Block id → fragments a read needs (``k``); empty when replicated.
+
+        This is what makes fragments — not whole copies — the schedulable
+        unit: the bipartite graph strands a block only when fewer than k
+        holders are reachable, instead of requiring one full replica.
+        """
+        spec = self.coding
+        if spec is None:
+            return {}
+        return {bid: spec.k for bid in self.block_ids}
+
+    @property
+    def physical_bytes(self) -> int:
+        """Stored bytes across all copies/fragments (the storage bill)."""
+        if self.coding is not None:
+            return sum(
+                self.coded_block(bid).total_fragment_bytes for bid in self.block_ids
+            )
+        total = 0
+        for bid, holders in self.placement().items():
+            total += self.block(bid).used_bytes * len(holders)
+        return total
 
     @property
     def nodes(self) -> List[int]:

@@ -1,0 +1,561 @@
+"""Erasure-coded blocks: fragment storage, coded reads, quarantine records.
+
+A replicated block buys fault tolerance with whole copies; an
+:class:`ErasureCodedBlock` stripes the block's serialized payload into
+``k`` data + ``m`` parity fragments (see :mod:`repro.coding`) stored on
+``k + m`` distinct nodes.  Any ``k`` fragments reconstruct the payload
+byte-for-byte, so the stripe survives ``m`` lost or rotten fragments at
+``(k+m)/k``× bytes instead of replication's ``r``×.
+
+:class:`CodedReader` is the read-path counterpart of
+:class:`~repro.hdfs.scrubber.ReadVerifier` *and*
+:class:`~repro.hdfs.hedged.HedgedReader` for coded datasets: it fetches
+the ``k`` cheapest verified fragments in parallel, decodes through parity
+when a data shard is unavailable (a *degraded read*), repairs a rotten
+local fragment in place, hedges stragglers by issuing ``k + 1`` fragment
+reads and letting the first ``k`` win (settled through a
+:class:`~repro.faults.dedup.FirstWinLedger`), and fails cleanly with a
+:class:`QuarantineRecord` when more than ``m`` fragments are gone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..coding import CodingSpec, RSCodec
+from ..errors import CodingError, IntegrityError, UnrecoverableBlockError
+from ..obs import NULL_OBS, Observability
+from .block import Block, CHECKSUM_BYTES
+
+__all__ = [
+    "ErasureCodedBlock",
+    "CodedReader",
+    "ReconstructionEvent",
+    "QuarantineRecord",
+    "block_payload",
+    "fragment_health",
+]
+
+
+def block_payload(block: Block) -> bytes:
+    """The serialized byte stream a block's stripe encodes.
+
+    Uses the same record framing as :meth:`Block.checksum`, so a decoded
+    payload can be verified against the block's catalog fingerprint.
+    """
+    return b"".join(
+        r.serialize().encode("utf-8") + b"\n" for r in block.records()
+    )
+
+
+@dataclass(frozen=True)
+class ReconstructionEvent:
+    """One parity-based repair: a fragment rebuilt by decoding k peers.
+
+    Unlike a :class:`~repro.hdfs.scrubber.RepairEvent` (one source, whole
+    block copied), a reconstruction reads ``k`` fragments — ``decode_bytes``
+    of traffic — to rewrite a single ``nbytes`` fragment.
+    """
+
+    dataset: str
+    block_id: int
+    index: int
+    sources: Tuple[int, ...]
+    destination: int
+    nbytes: int
+    decode_bytes: int
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """Audit record for a coded block that lost more than ``m`` fragments.
+
+    Attributes:
+        dataset: dataset the block belongs to.
+        block_id: the unrecoverable block.
+        needed: fragments required to decode (``k``).
+        available: fragment indices still readable.
+        missing: fragment indices lost, unreachable or corrupt.
+        reason: human-readable cause (what took the fragments out).
+    """
+
+    dataset: str
+    block_id: int
+    needed: int
+    available: Tuple[int, ...]
+    missing: Tuple[int, ...]
+    reason: str
+
+    def describe(self) -> str:
+        return (
+            f"block {self.block_id} of {self.dataset!r} quarantined: "
+            f"{len(self.available)} of {self.needed} needed fragments "
+            f"readable (missing {list(self.missing)}): {self.reason}"
+        )
+
+
+class ErasureCodedBlock:
+    """One logical block striped into k data + m parity fragments.
+
+    Fragment *content* is shared the way replicated block content is: the
+    stripe is encoded once and every holder references it, with per-node
+    corruption modeled as an overlay on the DataNode (see
+    :meth:`~repro.hdfs.datanode.DataNode.corrupt_fragment`).
+    """
+
+    __slots__ = ("block", "spec", "codec", "_payload_len", "_fragments", "_checksums")
+
+    def __init__(self, block: Block, spec: CodingSpec) -> None:
+        self.block = block
+        self.spec = spec
+        self.codec = RSCodec.for_spec(spec)
+        payload = block_payload(block)
+        self._payload_len = len(payload)
+        self._fragments: List[bytes] = self.codec.encode(payload)
+        self._checksums: List[bytes] = [
+            hashlib.blake2b(frag, digest_size=CHECKSUM_BYTES).digest()
+            for frag in self._fragments
+        ]
+
+    # -- geometry -----------------------------------------------------------------
+
+    @property
+    def block_id(self) -> int:
+        return self.block.block_id
+
+    @property
+    def payload_len(self) -> int:
+        """Original serialized payload length (pre-striping)."""
+        return self._payload_len
+
+    @property
+    def fragment_nbytes(self) -> int:
+        """Stored bytes per fragment (every fragment is the same size)."""
+        return len(self._fragments[0]) if self._fragments else 0
+
+    @property
+    def total_fragment_bytes(self) -> int:
+        """Physical bytes of the whole stripe ((k+m) fragments)."""
+        return self.fragment_nbytes * self.spec.n
+
+    @property
+    def decode_read_bytes(self) -> int:
+        """Bytes a decode must read: any k fragments."""
+        return self.fragment_nbytes * self.spec.k
+
+    # -- fragment access ----------------------------------------------------------
+
+    def fragment(self, index: int) -> bytes:
+        if not 0 <= index < self.spec.n:
+            raise CodingError(
+                f"fragment index {index} out of range for n={self.spec.n}"
+            )
+        return self._fragments[index]
+
+    def fragment_checksum(self, index: int) -> bytes:
+        if not 0 <= index < self.spec.n:
+            raise CodingError(
+                f"fragment index {index} out of range for n={self.spec.n}"
+            )
+        return self._checksums[index]
+
+    # -- decoding -----------------------------------------------------------------
+
+    def reconstruct_payload(self, indices: Sequence[int]) -> bytes:
+        """Decode the payload from the given fragment indices (≥ k of them).
+
+        Raises:
+            CodingError: with fewer than k indices.
+            IntegrityError: if the decoded payload fails the block checksum
+                (cannot happen unless fragment content was tampered with
+                outside the corruption-overlay model).
+        """
+        use = sorted(set(indices))[: self.spec.k]
+        payload = self.codec.reconstruct(
+            {i: self._fragments[i] for i in use if 0 <= i < self.spec.n},
+            self._payload_len,
+            indices=use,
+        )
+        expected = self.block.checksum()
+        # the block checksum hashes record-by-record; recompute identically
+        actual = hashlib.blake2b(digest_size=CHECKSUM_BYTES)
+        offset = 0
+        for record in self.block.records():
+            line = record.serialize().encode("utf-8") + b"\n"
+            actual.update(payload[offset : offset + len(line)])
+            offset += len(line)
+        if actual.digest() != expected:
+            raise IntegrityError(
+                f"decoded payload of block {self.block_id} fails its checksum"
+            )
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ErasureCodedBlock(id={self.block_id}, k={self.spec.k}, "
+            f"m={self.spec.m}, fragment={self.fragment_nbytes}B)"
+        )
+
+
+def fragment_health(
+    cluster, dataset: str, *, failures=None
+) -> Dict[str, int]:
+    """Fragment-level health census of one coded dataset.
+
+    Returns counters suitable for a fragment-health span: total fragments,
+    verified-healthy ones, rotten ones, holders currently dead, blocks at
+    the decode floor (exactly k readable) and blocks past it (< k).
+    """
+    namenode = cluster.namenode
+    total = healthy = corrupt = dead = at_floor = lost = 0
+    for bid in namenode.blocks_of(dataset):
+        meta = namenode.block_meta(dataset, bid)
+        if meta.coding is None:
+            continue
+        k = meta.coding[0]
+        readable = 0
+        for holder in meta.replicas:
+            total += 1
+            if failures is not None and not failures.is_alive(holder):
+                dead += 1
+                continue
+            if cluster.datanodes[holder].verify_fragment(dataset, bid):
+                healthy += 1
+                readable += 1
+            else:
+                corrupt += 1
+        if readable < k:
+            lost += 1
+        elif readable == k:
+            at_floor += 1
+    return {
+        "fragments": total,
+        "healthy": healthy,
+        "corrupt": corrupt,
+        "dead_holders": dead,
+        "blocks_at_decode_floor": at_floor,
+        "blocks_unrecoverable": lost,
+    }
+
+
+class CodedReader:
+    """Checksum-verified, straggler-hedged reads over coded stripes.
+
+    Same call shape as :class:`~repro.hdfs.scrubber.ReadVerifier` /
+    :class:`~repro.hdfs.hedged.HedgedReader` so the engine can thread it
+    through :meth:`~repro.mapreduce.engine.MapReduceEngine.selection_task_cost`
+    unchanged; fragment choice, degraded decodes, in-place repair and
+    hedging all live here.
+
+    Fragment reads are *parallel*: the read completes when the slowest of
+    the k chosen fragments arrives, which is where coded reads beat
+    whole-replica fetches under gray failures — and why hedging one extra
+    fragment (k + 1 issued, first k win) clips the tail.
+
+    Args:
+        cluster: the cluster being read (must hold coded datasets).
+        injector: optional seeded fault oracle (slowdowns, link penalties,
+            partition cuts).  ``None`` models a healthy network.
+        detector: optional health detector; fragment ranking prefers
+            healthy holders.
+        failures: optional failure manager; fragments on dead nodes are
+            unavailable.
+        percentile/window/min_samples: hedge trigger tuning, as in
+            :class:`~repro.hdfs.hedged.HedgedReader`.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        injector=None,
+        *,
+        detector=None,
+        failures=None,
+        percentile: float = 0.9,
+        window: int = 64,
+        min_samples: int = 8,
+        obs: Observability = NULL_OBS,
+    ) -> None:
+        self.cluster = cluster
+        self.injector = injector
+        self.detector = detector
+        self.failures = failures
+        self.percentile = percentile
+        self.min_samples = min_samples
+        self.obs = obs
+        # deferred import: repro.faults pulls in the scheduling stack,
+        # which imports the cluster module that imports this one
+        from ..faults.dedup import FirstWinLedger
+
+        self.ledger = FirstWinLedger()
+        self.reads = 0
+        self.degraded_reads = 0
+        self.decoded_bytes = 0
+        self.detected = 0
+        self.repaired = 0
+        self.repaired_bytes = 0
+        self.hedges_issued = 0
+        self.hedges_won = 0
+        self.wasted_seconds = 0.0
+        self.events: List[ReconstructionEvent] = []
+        self.quarantined: List[QuarantineRecord] = []
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _health(self, node) -> float:
+        if self.detector is None:
+            return 1.0
+        return self.detector.health_score(node)
+
+    def _alive(self, node) -> bool:
+        return self.failures is None or self.failures.is_alive(node)
+
+    def _reachable(self, reader, holder, when: float) -> bool:
+        if self.injector is None or not self.injector.plan.partitions:
+            return True
+        return self.injector.same_side(reader, holder, when)
+
+    def threshold(self) -> Optional[float]:
+        """Current hedge trigger in seconds, or ``None`` while unarmed."""
+        if len(self._samples) < self.min_samples:
+            return None
+        ordered = sorted(self._samples)
+        idx = int(self.percentile * (len(ordered) - 1))
+        return ordered[idx]
+
+    def _count(self, name: str, help: str, amount: float = 1.0) -> None:
+        if self.obs.metrics.enabled:
+            self.obs.metrics.counter(name, help=help).inc(amount)
+
+    def _fragment_service(
+        self,
+        reader,
+        holder,
+        frag_bytes: int,
+        read_local: Callable[[int], float],
+        read_remote: Callable[[int], float],
+        when: float,
+        key: str,
+    ) -> float:
+        """Observed seconds to fetch one fragment from ``holder``."""
+        if holder == reader:
+            return read_local(frag_bytes)
+        base = read_remote(frag_bytes)
+        if self.injector is None:
+            return base
+        service = base * self.injector.slowdown(holder, when)
+        service += self.injector.link_penalty(
+            reader, holder, time=when, key=key, base_cost=base
+        )
+        return service
+
+    def _quarantine(
+        self,
+        dataset: str,
+        block_id: int,
+        needed: int,
+        available: Sequence[int],
+        missing: Sequence[int],
+        reason: str,
+    ) -> UnrecoverableBlockError:
+        record = QuarantineRecord(
+            dataset=dataset,
+            block_id=block_id,
+            needed=needed,
+            available=tuple(sorted(available)),
+            missing=tuple(sorted(missing)),
+            reason=reason,
+        )
+        self.quarantined.append(record)
+        self._count(
+            "coded_blocks_quarantined_total",
+            "coded blocks that lost more than m fragments",
+        )
+        return UnrecoverableBlockError(record.describe(), record=record)
+
+    # -- read path -----------------------------------------------------------------
+
+    def read_cost(
+        self,
+        dataset: str,
+        block_id: int,
+        node,
+        replicas: Tuple[int, ...],
+        nbytes: int,
+        read_local: Callable[[int], float],
+        read_remote: Callable[[int], float],
+        write_local: Callable[[int], float],
+        *,
+        when: float = 0.0,
+        decode: Optional[Callable[[int], float]] = None,
+    ) -> float:
+        """Seconds to assemble ``block_id``'s payload at ``node``.
+
+        ``replicas`` is accepted for signature compatibility but the
+        fragment→holder mapping always comes from the NameNode catalog:
+        fragment *indices* are positional, so a filtered holder list would
+        silently re-index the stripe.
+
+        Raises:
+            UnrecoverableBlockError: fewer than k fragments are readable
+                (a quarantine record is appended first).
+        """
+        del replicas  # index order must come from the catalog
+        ecb = self.cluster.coded_block(dataset, block_id)
+        spec = ecb.spec
+        k, n = spec.k, spec.n
+        frag = ecb.fragment_nbytes
+        holders = self.cluster.namenode.block_locations(dataset, block_id)
+        datanodes = self.cluster.datanodes
+
+        self.reads += 1
+        read_key = f"{dataset}/{block_id}/c{self.reads}"
+
+        local_corrupt_index: Optional[int] = None
+        available: List[int] = []
+        missing: List[int] = []
+        for i, holder in enumerate(holders):
+            if not self._alive(holder) or not self._reachable(node, holder, when):
+                missing.append(i)
+                continue
+            if not datanodes[holder].verify_fragment(dataset, block_id):
+                self.detected += 1
+                self._count(
+                    "coded_fragments_detected_total",
+                    "rotten fragments caught by coded reads",
+                )
+                if holder == node:
+                    local_corrupt_index = i
+                missing.append(i)
+                continue
+            available.append(i)
+        if len(available) < k:
+            raise self._quarantine(
+                dataset,
+                block_id,
+                k,
+                available,
+                missing,
+                f"coded read from node {node} at t={when}",
+            )
+
+        # rank by health then repr (the hedged reader's ordering), with the
+        # reader's own fragment always cheapest
+        ranked = sorted(
+            available,
+            key=lambda i: (
+                0 if holders[i] == node else 1,
+                -self._health(holders[i]),
+                repr(holders[i]),
+                i,
+            ),
+        )
+        chosen = ranked[:k]
+        services = {
+            i: self._fragment_service(
+                node, holders[i], frag, read_local, read_remote, when,
+                f"{read_key}/f{i}",
+            )
+            for i in chosen
+        }
+        completion = max(services.values())
+
+        trigger = self.threshold()
+        spare = ranked[k] if len(ranked) > k else None
+        if trigger is not None and completion > trigger and spare is not None:
+            # issue k+1 fragment reads up front; the first k to arrive win
+            self.hedges_issued += 1
+            self._count(
+                "coded_hedged_reads_total",
+                "extra fragment reads issued by coded hedging",
+            )
+            services[spare] = self._fragment_service(
+                node, holders[spare], frag, read_local, read_remote, when,
+                f"{read_key}/f{spare}#hedge",
+            )
+            arrivals = sorted(services, key=lambda i: (services[i], i))
+            winners, loser = arrivals[:k], arrivals[k]
+            completion = services[winners[-1]]
+            if spare in winners:
+                self.hedges_won += 1
+                self._count(
+                    "coded_hedge_wins_total",
+                    "coded hedges where the spare fragment made the first k",
+                )
+            # the (k+1)-th read is cancelled when the stripe completes
+            self.wasted_seconds += completion
+            self._count(
+                "coded_hedge_wasted_seconds_total",
+                "loser-side seconds burned by coded fragment races",
+                completion,
+            )
+            self.ledger.offer(
+                read_key, f"decode:{sorted(winners)}", completion, nbytes
+            )
+            self.ledger.offer(
+                read_key, f"frag:{loser}", services[loser], frag
+            )
+            chosen = winners
+        else:
+            self.ledger.offer(
+                read_key, f"decode:{sorted(chosen)}", completion, nbytes
+            )
+
+        total = completion
+        if sorted(chosen) != list(range(k)):
+            # a data shard is unavailable: decode through parity
+            self.degraded_reads += 1
+            self.decoded_bytes += ecb.decode_read_bytes
+            self._count(
+                "coded_degraded_reads_total",
+                "reads that decoded through parity fragments",
+            )
+            self._count(
+                "coded_decode_bytes_total",
+                "stripe bytes fed through the GF(256) decoder",
+                ecb.decode_read_bytes,
+            )
+            if decode is not None:
+                total += decode(ecb.decode_read_bytes)
+            # exercise the real decoder so a coded read can never silently
+            # serve bytes parity cannot actually produce
+            ecb.reconstruct_payload(sorted(chosen))
+
+        if local_corrupt_index is not None:
+            # this read already fetched k verified fragments; persist the
+            # repaired local fragment at one local-write cost
+            datanodes[node].repair_fragment(dataset, block_id)
+            self.repaired += 1
+            self.repaired_bytes += frag
+            self._count(
+                "coded_fragments_repaired_total",
+                "rotten fragments rebuilt in place by coded reads",
+            )
+            self.events.append(
+                ReconstructionEvent(
+                    dataset=dataset,
+                    block_id=block_id,
+                    index=local_corrupt_index,
+                    sources=tuple(holders[i] for i in sorted(chosen)),
+                    destination=node,
+                    nbytes=frag,
+                    decode_bytes=ecb.decode_read_bytes,
+                )
+            )
+            total += write_local(frag)
+
+        if any(holders[i] != node for i in chosen):
+            self._samples.append(completion)
+        return total

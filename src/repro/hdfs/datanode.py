@@ -15,10 +15,13 @@ a rotten HDFS replica — the bytes are there, the checksum file disagrees.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..errors import ConfigError, IntegrityError, StorageError
 from .block import Block, CHECKSUM_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from .coded import ErasureCodedBlock
 
 __all__ = ["DataNode"]
 
@@ -39,6 +42,9 @@ class DataNode:
         self.rack = rack
         self._replicas: Dict[Tuple[str, int], Block] = {}
         self._corrupt: Set[Tuple[str, int]] = set()
+        # coded datasets: (dataset, block_id) -> (fragment index, stripe)
+        self._fragments: Dict[Tuple[str, int], Tuple[int, "ErasureCodedBlock"]] = {}
+        self._corrupt_fragments: Set[Tuple[str, int]] = set()
 
     # -- replica management -----------------------------------------------------
 
@@ -95,6 +101,131 @@ class DataNode:
                 f"on node {self.node_id}"
             )
         return block
+
+    # -- fragment management (erasure-coded datasets) ----------------------------
+
+    def store_fragment(
+        self, dataset: str, coded: "ErasureCodedBlock", index: int
+    ) -> None:
+        """Accept fragment ``index`` of a coded block's stripe.
+
+        One node holds at most one fragment per stripe (placement spreads
+        the k+m fragments over distinct nodes), so fragments are keyed by
+        block like replicas are.
+        """
+        if not 0 <= index < coded.spec.n:
+            raise ConfigError(
+                f"fragment index {index} out of range for k+m={coded.spec.n}"
+            )
+        key = (dataset, coded.block_id)
+        if key in self._fragments:
+            raise StorageError(
+                f"node {self.node_id} already holds a fragment of block "
+                f"{coded.block_id} of {dataset!r}"
+            )
+        self._fragments[key] = (index, coded)
+
+    def has_fragment(self, dataset: str, block_id: int) -> bool:
+        return (dataset, block_id) in self._fragments
+
+    def fragment_index(self, dataset: str, block_id: int) -> int:
+        """Which stripe position this node's fragment occupies.
+
+        Raises:
+            StorageError: if the node holds no fragment of the block.
+        """
+        try:
+            return self._fragments[(dataset, block_id)][0]
+        except KeyError:
+            raise StorageError(
+                f"node {self.node_id} holds no fragment of block {block_id} "
+                f"of {dataset!r}"
+            ) from None
+
+    def drop_fragment(self, dataset: str, block_id: int) -> None:
+        """Remove a fragment from this node.
+
+        Raises:
+            StorageError: if the node does not hold the fragment.
+        """
+        if self._fragments.pop((dataset, block_id), None) is None:
+            raise StorageError(
+                f"node {self.node_id} holds no fragment of block {block_id} "
+                f"of {dataset!r} to drop"
+            )
+        self._corrupt_fragments.discard((dataset, block_id))
+
+    def corrupt_fragment(self, dataset: str, block_id: int) -> None:
+        """Rot this node's fragment of a stripe (bit-rot overlay).
+
+        Raises:
+            StorageError: if the node holds no such fragment.
+        """
+        if (dataset, block_id) not in self._fragments:
+            raise StorageError(
+                f"node {self.node_id} holds no fragment of block {block_id} "
+                f"of {dataset!r} to corrupt"
+            )
+        self._corrupt_fragments.add((dataset, block_id))
+
+    def is_fragment_corrupt(self, dataset: str, block_id: int) -> bool:
+        return (dataset, block_id) in self._corrupt_fragments
+
+    def fragment_checksum(self, dataset: str, block_id: int) -> bytes:
+        """Checksum of the fragment bytes this node would serve.
+
+        A rotten fragment reports a deterministic divergent digest, the
+        same bit-rot model as :meth:`replica_checksum`.
+        """
+        key = (dataset, block_id)
+        try:
+            index, coded = self._fragments[key]
+        except KeyError:
+            raise StorageError(
+                f"node {self.node_id} holds no fragment of block {block_id} "
+                f"of {dataset!r}"
+            ) from None
+        digest = coded.fragment_checksum(index)
+        if key in self._corrupt_fragments:
+            return hashlib.blake2b(
+                digest + b"!bitrot", digest_size=CHECKSUM_BYTES
+            ).digest()
+        return digest
+
+    def verify_fragment(self, dataset: str, block_id: int) -> bool:
+        """Compare the served fragment checksum against the stripe's truth."""
+        served = self.fragment_checksum(dataset, block_id)  # raises if absent
+        index, coded = self._fragments[(dataset, block_id)]
+        return served == coded.fragment_checksum(index)
+
+    def repair_fragment(self, dataset: str, block_id: int) -> None:
+        """Overwrite a rotten fragment with its reconstructed content.
+
+        The caller performed the parity decode (scrubber, coded read or
+        failure manager); content is shared, so persisting the rebuilt
+        fragment clears the corruption overlay.
+
+        Raises:
+            StorageError: if the node holds no such fragment.
+        """
+        if (dataset, block_id) not in self._fragments:
+            raise StorageError(
+                f"node {self.node_id} holds no fragment of block {block_id} "
+                f"of {dataset!r} to repair"
+            )
+        self._corrupt_fragments.discard((dataset, block_id))
+
+    def corrupt_fragments(self, dataset: str) -> List[int]:
+        """Ids of this node's rotten fragments belonging to ``dataset``, sorted."""
+        return sorted(bid for ds, bid in self._corrupt_fragments if ds == dataset)
+
+    def stored_fragments(self, dataset: str) -> List[int]:
+        """Block ids whose fragments this node holds for ``dataset``, sorted."""
+        return sorted(bid for ds, bid in self._fragments if ds == dataset)
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self._fragments)
 
     # -- integrity ----------------------------------------------------------------
 
@@ -172,8 +303,10 @@ class DataNode:
         return sorted(bid for ds, bid in self._replicas if ds == dataset)
 
     def used_bytes(self) -> int:
-        """Physical bytes consumed by replicas on this node."""
-        return sum(b.used_bytes for b in self._replicas.values())
+        """Physical bytes consumed by replicas and fragments on this node."""
+        return sum(b.used_bytes for b in self._replicas.values()) + sum(
+            coded.fragment_nbytes for _idx, coded in self._fragments.values()
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DataNode(id={self.node_id}, rack={self.rack}, replicas={len(self._replicas)})"

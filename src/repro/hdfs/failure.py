@@ -17,8 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Set
 
-from ..errors import ConfigError, IntegrityError, ReplicationError, StorageError
+from ..errors import (
+    ConfigError,
+    IntegrityError,
+    ReplicationError,
+    StorageError,
+    UnrecoverableBlockError,
+)
 from .cluster import HDFSCluster
+from .coded import QuarantineRecord, ReconstructionEvent
 
 __all__ = ["FailureManager", "ReplicationEvent"]
 
@@ -47,6 +54,8 @@ class FailureManager:
         self.cluster = cluster
         self._dead: Set[int] = set()
         self.events: List[ReplicationEvent] = []
+        self.reconstructions: List[ReconstructionEvent] = []
+        self.quarantined: List[QuarantineRecord] = []
 
     # -- liveness ------------------------------------------------------------------
 
@@ -87,6 +96,9 @@ class FailureManager:
         performed: List[ReplicationEvent] = []
         for dataset, block_id in namenode.blocks_on_node(dead_node):
             meta = namenode.block_meta(dataset, block_id)
+            if meta.coding is not None:
+                self._reconstruct_fragment(dead_node, dataset, block_id, meta)
+                continue
             survivors = [n for n in meta.replicas if self.is_alive(n)]
             if not survivors:
                 raise ReplicationError(
@@ -154,6 +166,91 @@ class FailureManager:
         """Swap a block's replica set in the NameNode catalog."""
         self.cluster.namenode.update_replicas(dataset, block_id, replicas)
 
+    # -- coded reconstruction -----------------------------------------------------
+
+    def _reconstruct_fragment(
+        self, dead_node: int, dataset: str, block_id: int, meta
+    ) -> None:
+        """Rebuild the dead node's fragment on a live node from parity.
+
+        Unlike re-replication there is no surviving copy of the lost
+        fragment to clone — k peer fragments are read (``decode_bytes``),
+        the lost shard is recomputed through the code, and only
+        ``fragment_nbytes`` are written at the destination, which takes the
+        dead node's *position* in the catalog so the stripe's
+        index → holder mapping stays intact.
+
+        Raises:
+            UnrecoverableBlockError: fewer than k verified live fragments
+                remain; the block is quarantined (``self.quarantined``)
+                before raising.
+        """
+        coded = self.cluster.coded_block(dataset, block_id)
+        k = meta.coding[0]
+        index = meta.replicas.index(dead_node)
+        good = [
+            (i, holder)
+            for i, holder in enumerate(meta.replicas)
+            if self.is_alive(holder)
+            and self.cluster.datanodes[holder].verify_fragment(dataset, block_id)
+        ]
+        if len(good) < k:
+            record = QuarantineRecord(
+                dataset=dataset,
+                block_id=block_id,
+                needed=k,
+                available=tuple(i for i, _n in good),
+                missing=tuple(
+                    i for i in range(meta.coding[0] + meta.coding[1])
+                    if i not in {j for j, _n in good}
+                ),
+                reason=f"node {dead_node} died with fragment {index}",
+            )
+            self.quarantined.append(record)
+            raise UnrecoverableBlockError(
+                f"block {block_id} of {dataset!r}: {record.describe()}",
+                record=record,
+            )
+        holders = {n for _i, n in good}
+        candidates = [
+            n for n in self.live_nodes if n not in holders and n != dead_node
+        ]
+        if not candidates:
+            # cluster smaller than k+m now; the stripe stays decodable from
+            # its survivors, and the dead holder keeps its catalog slot so
+            # the positional index → fragment map survives until a node
+            # frees up.  Reads filter dead holders themselves.
+            return
+        destination = min(
+            candidates,
+            key=lambda n: (self.cluster.datanodes[n].used_bytes(), n),
+        )
+        sources = sorted(
+            good,
+            key=lambda pair: (
+                self.cluster.datanodes[pair[1]].used_bytes(),
+                pair[1],
+            ),
+        )[:k]
+        # prove the rebuild is real: decode the stripe from the chosen
+        # k-subset before publishing the new holder
+        coded.reconstruct_payload([i for i, _n in sources])
+        self.cluster.datanodes[destination].store_fragment(dataset, coded, index)
+        new_replicas = list(meta.replicas)
+        new_replicas[index] = destination
+        self._replace_meta(dataset, block_id, new_replicas)
+        self.reconstructions.append(
+            ReconstructionEvent(
+                dataset=dataset,
+                block_id=block_id,
+                index=index,
+                sources=tuple(n for _i, n in sources),
+                destination=destination,
+                nbytes=coded.fragment_nbytes,
+                decode_bytes=coded.decode_read_bytes,
+            )
+        )
+
     # -- verification -----------------------------------------------------------------
 
     def verify_replication(self, dataset: str) -> Dict[int, int]:
@@ -166,10 +263,20 @@ class FailureManager:
         out: Dict[int, int] = {}
         namenode = self.cluster.namenode
         for block_id in namenode.blocks_of(dataset):
-            replicas = namenode.block_locations(dataset, block_id)
-            live = [n for n in replicas if self.is_alive(n)]
+            meta = namenode.block_meta(dataset, block_id)
+            live = [n for n in meta.replicas if self.is_alive(n)]
             for node in live:
-                if not self.cluster.datanodes[node].has_replica(dataset, block_id):
+                if meta.coding is not None:
+                    if not self.cluster.datanodes[node].has_fragment(
+                        dataset, block_id
+                    ):
+                        raise StorageError(
+                            f"catalog lists node {node} for fragment of block "
+                            f"{block_id} of {dataset!r} but the node lacks it"
+                        )
+                elif not self.cluster.datanodes[node].has_replica(
+                    dataset, block_id
+                ):
                     raise StorageError(
                         f"catalog lists node {node} for block {block_id} "
                         f"of {dataset!r} but the node lacks the replica"
@@ -180,3 +287,11 @@ class FailureManager:
     def bytes_re_replicated(self) -> int:
         """Total bytes copied across all failures handled so far."""
         return sum(e.nbytes for e in self.events)
+
+    def bytes_reconstructed(self) -> int:
+        """Total fragment bytes rebuilt from parity so far."""
+        return sum(e.nbytes for e in self.reconstructions)
+
+    def decode_bytes_read(self) -> int:
+        """Total peer-fragment bytes read to feed reconstructions."""
+        return sum(e.decode_bytes for e in self.reconstructions)

@@ -10,7 +10,7 @@ why DataNet's ElasticMap has to exist.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import BlockNotFoundError, ConfigError, StorageError
 
@@ -19,12 +19,19 @@ __all__ = ["BlockMeta", "NameNode"]
 
 @dataclass(frozen=True)
 class BlockMeta:
-    """Catalog entry for one block replica set."""
+    """Catalog entry for one block replica (or fragment-holder) set.
+
+    For a replicated block, ``replicas`` lists interchangeable full-copy
+    holders.  For an erasure-coded block (``coding = (k, m)``), the tuple
+    is *positional*: ``replicas[i]`` holds fragment ``i`` of the stripe,
+    and its length is exactly ``k + m``.
+    """
 
     dataset: str
     block_id: int
     size_bytes: int
     replicas: Tuple[int, ...]
+    coding: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:
@@ -33,6 +40,19 @@ class BlockMeta:
             raise ConfigError("a block needs at least one replica")
         if len(set(self.replicas)) != len(self.replicas):
             raise ConfigError("replicas must be distinct nodes")
+        if self.coding is not None:
+            k, m = self.coding
+            if k < 1 or m < 1:
+                raise ConfigError(f"coding needs k >= 1 and m >= 1, got ({k}, {m})")
+            if len(self.replicas) != k + m:
+                raise ConfigError(
+                    f"coded block needs exactly k+m={k + m} fragment holders, "
+                    f"got {len(self.replicas)}"
+                )
+
+    @property
+    def is_coded(self) -> bool:
+        return self.coding is not None
 
 
 class NameNode:
@@ -45,13 +65,23 @@ class NameNode:
     # -- registration -----------------------------------------------------------
 
     def register_block(
-        self, dataset: str, block_id: int, size_bytes: int, replicas: Sequence[int]
+        self,
+        dataset: str,
+        block_id: int,
+        size_bytes: int,
+        replicas: Sequence[int],
+        *,
+        coding: Optional[Tuple[int, int]] = None,
     ) -> BlockMeta:
-        """Catalog a new block of ``dataset``; ids must be unique per dataset."""
+        """Catalog a new block of ``dataset``; ids must be unique per dataset.
+
+        ``coding=(k, m)`` registers an erasure-coded block whose
+        ``replicas`` are fragment holders in stripe-index order.
+        """
         key = (dataset, block_id)
         if key in self._blocks:
             raise StorageError(f"block {block_id} of {dataset!r} already registered")
-        meta = BlockMeta(dataset, block_id, size_bytes, tuple(replicas))
+        meta = BlockMeta(dataset, block_id, size_bytes, tuple(replicas), coding)
         self._blocks[key] = meta
         self._datasets.setdefault(dataset, []).append(block_id)
         return meta
@@ -61,10 +91,13 @@ class NameNode:
     ) -> BlockMeta:
         """Replace a block's replica set (re-replication after failures).
 
-        Returns the new catalog entry.
+        The coding geometry is immutable; for a coded block the new tuple
+        must keep one holder per fragment index.  Returns the new entry.
         """
         old = self.block_meta(dataset, block_id)
-        new = BlockMeta(dataset, block_id, old.size_bytes, tuple(replicas))
+        new = BlockMeta(
+            dataset, block_id, old.size_bytes, tuple(replicas), old.coding
+        )
         self._blocks[(dataset, block_id)] = new
         return new
 

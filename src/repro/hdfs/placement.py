@@ -21,6 +21,7 @@ __all__ = [
     "RandomPlacement",
     "RoundRobinPlacement",
     "RackAwarePlacement",
+    "FragmentPlacement",
 ]
 
 
@@ -67,6 +68,73 @@ class RoundRobinPlacement(PlacementPolicy):
         r = self._effective_replication(nodes)
         n = len(nodes)
         return [nodes[(block_id + k) % n] for k in range(r)]
+
+
+class FragmentPlacement(PlacementPolicy):
+    """Rack-spreading placement for the k+m fragments of a coded stripe.
+
+    Fragments are dealt round-robin across racks — consecutive stripe
+    indices land on different racks — so losing an entire rack takes out
+    at most ``ceil((k+m)/racks)`` fragments of any one stripe, the coded
+    analogue of HDFS's "second replica off-rack" rule.  Both the starting
+    rack and the in-rack cursor rotate with the block id, spreading load
+    evenly, and the whole mapping is a pure function of
+    ``(block_id, nodes)`` — no RNG — so placements replay bit-for-bit.
+
+    The returned list is *positional*: entry ``i`` holds fragment ``i``.
+    """
+
+    def __init__(self, fragments: int, *, num_racks: int = 4) -> None:
+        super().__init__(fragments)
+        if num_racks <= 0:
+            raise ConfigError(f"num_racks must be positive, got {num_racks}")
+        self.num_racks = num_racks
+
+    def rack_of(self, node: int, num_nodes: int) -> int:
+        """Rack index of a node (nodes striped over racks)."""
+        return node % min(self.num_racks, max(num_nodes, 1))
+
+    def place(self, block_id: int, nodes: Sequence[int]) -> List[int]:
+        r = self._effective_replication(nodes)
+        n = len(nodes)
+        if r < self.replication:
+            raise ReplicationError(
+                f"cannot place {self.replication} fragments on {n} nodes; "
+                f"fragments of one stripe need distinct nodes"
+            )
+        racks: Dict[int, List[int]] = {}
+        for node in sorted(nodes):
+            racks.setdefault(self.rack_of(node, n), []).append(node)
+        rack_ids = sorted(racks)
+        cursors = {
+            rk: (block_id // len(rack_ids)) % len(racks[rk]) for rk in rack_ids
+        }
+        chosen: List[int] = []
+        taken = set()
+        rk_pos = block_id % len(rack_ids)
+        attempts = 0
+        while len(chosen) < r:
+            rk = rack_ids[rk_pos % len(rack_ids)]
+            rk_pos += 1
+            pool = racks[rk]
+            picked = None
+            for step in range(len(pool)):
+                candidate = pool[(cursors[rk] + step) % len(pool)]
+                if candidate not in taken:
+                    picked = candidate
+                    cursors[rk] = (cursors[rk] + step + 1) % len(pool)
+                    break
+            if picked is not None:
+                chosen.append(picked)
+                taken.add(picked)
+                attempts = 0
+            else:
+                attempts += 1
+                if attempts > len(rack_ids):  # pragma: no cover - r <= n guards this
+                    raise ReplicationError(
+                        f"exhausted nodes placing {r} fragments on {n} nodes"
+                    )
+        return chosen
 
 
 class RackAwarePlacement(PlacementPolicy):

@@ -20,11 +20,12 @@ corruption never reaches analysis output silently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Mapping, Optional, Tuple, Union
 
 from ..errors import IntegrityError
 from ..obs import NULL_OBS, Observability
 from .cluster import HDFSCluster
+from .coded import ReconstructionEvent
 from .failure import FailureManager
 
 __all__ = ["Scrubber", "ScrubReport", "RepairEvent", "ReadVerifier"]
@@ -43,15 +44,25 @@ class RepairEvent:
 
 @dataclass
 class ScrubReport:
-    """Outcome of one scrub pass (full sweep or incremental step)."""
+    """Outcome of one scrub pass (full sweep or incremental step).
+
+    ``repaired`` counts replica copies *and* fragment rebuilds; the coded
+    share is broken out in ``reconstructed``/``decode_bytes`` because its
+    repair traffic has a different shape (k fragment reads per rebuild
+    instead of one whole-block copy).
+    """
 
     replicas_scanned: int = 0
     bytes_scanned: int = 0
     corrupt_found: int = 0
     repaired: int = 0
     repaired_bytes: int = 0
+    reconstructed: int = 0
+    decode_bytes: int = 0
     unrepairable: List[Tuple[str, int]] = field(default_factory=list)
-    events: List[RepairEvent] = field(default_factory=list)
+    events: List[Union[RepairEvent, ReconstructionEvent]] = field(
+        default_factory=list
+    )
 
     @property
     def clean(self) -> bool:
@@ -65,6 +76,8 @@ class ScrubReport:
         self.corrupt_found += other.corrupt_found
         self.repaired += other.repaired
         self.repaired_bytes += other.repaired_bytes
+        self.reconstructed += other.reconstructed
+        self.decode_bytes += other.decode_bytes
         self.unrepairable.extend(other.unrepairable)
         self.events.extend(other.events)
 
@@ -81,6 +94,11 @@ class Scrubber:
         strict: when True (default), a block whose *every* live replica is
             corrupt raises :class:`~repro.errors.IntegrityError`; when
             False it is reported in ``ScrubReport.unrepairable`` instead.
+        health: optional node → health score in (0, 1] (the φ-accrual
+            detector's view).  Repair sources prefer the *healthiest*
+            verified holder, so a rebuild never reads from a known-slow
+            node when a healthy peer has the same bytes; load and node id
+            only break ties.
     """
 
     def __init__(
@@ -89,13 +107,20 @@ class Scrubber:
         *,
         failures: Optional[FailureManager] = None,
         strict: bool = True,
+        health: Optional[Mapping[int, float]] = None,
         obs: Observability = NULL_OBS,
     ) -> None:
         self.cluster = cluster
         self.failures = failures
         self.strict = strict
+        self.health = dict(health) if health is not None else None
         self.obs = obs
         self._cursor = 0
+
+    def _health_of(self, node: int) -> float:
+        if self.health is None:
+            return 1.0
+        return self.health.get(node, 1.0)
 
     # -- liveness -----------------------------------------------------------------
 
@@ -107,7 +132,7 @@ class Scrubber:
     def _replica_list(self, dataset: Optional[str]) -> List[Tuple[str, int, int]]:
         """Deterministic ``(dataset, block_id, node)`` sweep order."""
         namenode = self.cluster.namenode
-        datasets = [dataset] if dataset is not None else namenode.datasets()
+        datasets = [dataset] if dataset is not None else namenode.datasets
         out: List[Tuple[str, int, int]] = []
         for ds in datasets:
             for bid in namenode.blocks_of(ds):
@@ -195,6 +220,10 @@ class Scrubber:
     def _scrub_one(
         self, dataset: str, block_id: int, node: int, report: ScrubReport
     ) -> None:
+        meta = self.cluster.namenode.block_meta(dataset, block_id)
+        if meta.coding is not None:
+            self._scrub_one_fragment(dataset, block_id, node, meta, report)
+            return
         datanode = self.cluster.datanodes[node]
         block = self.cluster.get_block(dataset, block_id)
         report.replicas_scanned += 1
@@ -224,10 +253,84 @@ class Scrubber:
             )
         )
 
+    def _scrub_one_fragment(
+        self, dataset: str, block_id: int, node: int, meta, report: ScrubReport
+    ) -> None:
+        """Sweep one fragment; rebuild a rotten one from k verified peers.
+
+        The repair is a parity *reconstruction*, not a copy: k healthy
+        fragments are read (``decode_bytes`` of traffic), the missing
+        shard is recomputed through the generator matrix, and only the
+        rebuilt ``fragment_nbytes`` are rewritten.
+        """
+        datanode = self.cluster.datanodes[node]
+        coded = self.cluster.coded_block(dataset, block_id)
+        report.replicas_scanned += 1
+        report.bytes_scanned += coded.fragment_nbytes
+        if datanode.verify_fragment(dataset, block_id):
+            return
+        report.corrupt_found += 1
+        k = meta.coding[0]
+        sources = self._good_fragment_sources(dataset, block_id, meta, exclude=node)
+        if len(sources) < k:
+            if self.strict:
+                raise IntegrityError(
+                    f"block {block_id} of {dataset!r}: only {len(sources)} "
+                    f"verified fragments remain, {k} needed to rebuild node "
+                    f"{node}"
+                )
+            report.unrepairable.append((dataset, block_id))
+            return
+        chosen = sources[:k]
+        # run the actual decode so the scrubber can never claim a repair
+        # parity could not really perform
+        coded.reconstruct_payload([i for i, _n in chosen])
+        datanode.repair_fragment(dataset, block_id)
+        report.repaired += 1
+        report.repaired_bytes += coded.fragment_nbytes
+        report.reconstructed += 1
+        report.decode_bytes += coded.decode_read_bytes
+        report.events.append(
+            ReconstructionEvent(
+                dataset=dataset,
+                block_id=block_id,
+                index=datanode.fragment_index(dataset, block_id),
+                sources=tuple(n for _i, n in chosen),
+                destination=node,
+                nbytes=coded.fragment_nbytes,
+                decode_bytes=coded.decode_read_bytes,
+            )
+        )
+
+    def _good_fragment_sources(
+        self, dataset: str, block_id: int, meta, *, exclude: int
+    ) -> List[Tuple[int, int]]:
+        """Verified live fragment holders, healthiest first.
+
+        Returns ``(fragment_index, node)`` pairs ranked by descending
+        health, then load, then node id — the same policy as
+        :meth:`_good_source`, applied per fragment.
+        """
+        candidates = [
+            (index, holder)
+            for index, holder in enumerate(meta.replicas)
+            if holder != exclude
+            and self._is_alive(holder)
+            and self.cluster.datanodes[holder].verify_fragment(dataset, block_id)
+        ]
+        return sorted(
+            candidates,
+            key=lambda pair: (
+                -self._health_of(pair[1]),
+                self.cluster.datanodes[pair[1]].used_bytes(),
+                pair[1],
+            ),
+        )
+
     def _good_source(
         self, dataset: str, block_id: int, *, exclude: int
     ) -> Optional[int]:
-        """Least-loaded live replica holder that passes verification."""
+        """Healthiest verified live replica holder (load breaks ties)."""
         candidates = [
             n
             for n in self.cluster.namenode.block_locations(dataset, block_id)
@@ -239,7 +342,11 @@ class Scrubber:
             return None
         return min(
             candidates,
-            key=lambda n: (self.cluster.datanodes[n].used_bytes(), n),
+            key=lambda n: (
+                -self._health_of(n),
+                self.cluster.datanodes[n].used_bytes(),
+                n,
+            ),
         )
 
 

@@ -35,6 +35,10 @@ class ClusterCostModel:
         network_bps: point-to-point network bandwidth (GbE-class).
         remote_read_penalty: multiplier on transfer time for non-local
             reads (protocol overhead over raw bandwidth).
+        decode_bps: erasure-decode throughput (GF(256) table arithmetic
+            is CPU-bound; modern single-core RS decode sustains hundreds
+            of MB/s).  Charged on stripe bytes whenever a read or repair
+            has to combine parity instead of copying a shard verbatim.
         task_overhead_s: fixed JVM/task-launch overhead per task.
         job_overhead_s: fixed per-job overhead (job setup/cleanup waves,
             scheduling) charged once per analysis job, identical for both
@@ -50,12 +54,13 @@ class ClusterCostModel:
     disk_write_bps: float = 60e6
     network_bps: float = 100e6
     remote_read_penalty: float = 1.2
+    decode_bps: float = 400e6
     task_overhead_s: float = 0.15
     job_overhead_s: float = 1.5
     data_scale: float = 1.0
 
     def __post_init__(self) -> None:
-        for name in ("disk_read_bps", "disk_write_bps", "network_bps"):
+        for name in ("disk_read_bps", "disk_write_bps", "network_bps", "decode_bps"):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive")
         if self.remote_read_penalty < 1.0:
@@ -87,6 +92,10 @@ class ClusterCostModel:
     def transfer(self, nbytes: float) -> float:
         """Seconds to move ``nbytes`` stored bytes node-to-node."""
         return self.data_scale * nbytes / self.network_bps
+
+    def decode(self, nbytes: float) -> float:
+        """Seconds of CPU to erasure-decode ``nbytes`` of stripe data."""
+        return self.data_scale * nbytes / self.decode_bps
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoids a cycle)
     from ..faults.injector import FaultInjector
     from ..faults.plan import DriverRestart
     from ..faults.retry import AttemptLog, NodeBlacklist, RetryPolicy
+    from ..hdfs.coded import CodedReader
     from ..hdfs.hedged import HedgedReader
     from ..hdfs.scrubber import ReadVerifier
     from .checkpoint import WaveCheckpoint
@@ -163,6 +164,28 @@ class MapReduceEngine:
         self.map_slots = map_slots
         self.shuffle_model = ShuffleModel(self.cost)
         self.obs = obs
+        self._default_coded: Optional["CodedReader"] = None
+
+    def _coded_reader(
+        self, dataset: DatasetView, coded: Optional["CodedReader"]
+    ) -> Optional["CodedReader"]:
+        """The coded-read path for a dataset, if it needs one.
+
+        A coded dataset has no whole-block replicas, so its reads *must*
+        assemble k fragments; when the caller did not thread an explicit
+        :class:`~repro.hdfs.coded.CodedReader` (the chaos runner does, to
+        share counters), a plain one is created lazily and reused so
+        fault-free runs on coded data work out of the box.
+        """
+        if coded is not None:
+            return coded
+        if dataset.coding is None:
+            return None
+        if self._default_coded is None:
+            from ..hdfs.coded import CodedReader
+
+            self._default_coded = CodedReader(self.cluster, obs=self.obs)
+        return self._default_coded
 
     # -- selection phase ----------------------------------------------------------
 
@@ -204,6 +227,7 @@ class MapReduceEngine:
         hedge: Optional["HedgedReader"] = None,
         when: float = 0.0,
         replicas: Optional[Sequence[NodeId]] = None,
+        coded: Optional["CodedReader"] = None,
     ) -> Tuple[float, List[Record], int]:
         """Price one selection task: read + filter + write for one block.
 
@@ -226,6 +250,14 @@ class MapReduceEngine:
         the read — the chaos runner passes only the holders reachable from
         ``node`` when a partition is active.
 
+        An erasure-coded dataset always routes through a
+        :class:`~repro.hdfs.coded.CodedReader` (``coded`` when given, a
+        lazily-created default otherwise): the read assembles the k fastest
+        fragments, hedges a spare, and degrades through parity — charging
+        decode CPU via :meth:`~repro.mapreduce.costmodel.ClusterCostModel.decode`
+        — when data fragments are rotten or unreachable.  ``verify`` and
+        ``hedge`` are replica-path tools and are ignored for coded data.
+
         Raises:
             JobError: when the block is not part of the dataset placement.
         """
@@ -237,7 +269,21 @@ class MapReduceEngine:
         block = dataset.block(bid)
         nbytes = block.used_bytes
         holders = tuple(replicas) if replicas is not None else tuple(placement[bid])
-        if hedge is not None:
+        reader = self._coded_reader(dataset, coded)
+        if reader is not None:
+            read = reader.read_cost(
+                dataset.name,
+                bid,
+                node,
+                holders,
+                nbytes,
+                self.cost.read_local,
+                self.cost.read_remote,
+                self.cost.write_local,
+                when=when,
+                decode=self.cost.decode,
+            )
+        elif hedge is not None:
             read = hedge.read_cost(
                 dataset.name,
                 bid,
@@ -288,6 +334,7 @@ class MapReduceEngine:
         attempt_log: Optional["AttemptLog"] = None,
         blacklist: Optional["NodeBlacklist"] = None,
         verify: Optional["ReadVerifier"] = None,
+        coded: Optional["CodedReader"] = None,
     ) -> SelectionResult:
         """Run the filter phase under a given block-task assignment.
 
@@ -332,7 +379,15 @@ class MapReduceEngine:
                 node_elapsed = 0.0
                 for bid in block_ids:
                     base, matched, nbytes = self.selection_task_cost(
-                        dataset, sub_id, placement, node, bid, profile, verify=verify
+                        dataset,
+                        sub_id,
+                        placement,
+                        node,
+                        bid,
+                        profile,
+                        verify=verify,
+                        coded=coded,
+                        when=node_elapsed,
                     )
                     blocks_read += 1
                     bytes_read += nbytes

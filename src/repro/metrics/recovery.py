@@ -48,6 +48,15 @@ class RecoverySummary:
         hedged_reads: backup reads issued by the hedged read path.
         hedges_won: hedged reads where the backup beat the primary.
         hedge_wasted_seconds: loser-side seconds burned by hedge races.
+        reconstructions: erasure-coded fragments rebuilt from parity
+            (node-loss recovery, scrub rebuilds and in-place read repairs).
+        reconstructed_bytes: fragment bytes written by those rebuilds —
+            the coded analogue of ``re_replicated_bytes``.
+        decode_bytes: stripe bytes fed through the GF(256) decoder
+            (degraded reads + reconstruction source traffic).
+        degraded_reads: coded reads that had to decode through parity.
+        quarantined_blocks: coded blocks that lost more than m fragments
+            and were failed cleanly with a quarantine record.
     """
 
     attempts_histogram: Dict[int, int] = field(default_factory=dict)
@@ -69,6 +78,11 @@ class RecoverySummary:
     hedged_reads: int = 0
     hedges_won: int = 0
     hedge_wasted_seconds: float = 0.0
+    reconstructions: int = 0
+    reconstructed_bytes: int = 0
+    decode_bytes: int = 0
+    degraded_reads: int = 0
+    quarantined_blocks: int = 0
 
     def __post_init__(self) -> None:
         if any(k <= 0 or v < 0 for k, v in self.attempts_histogram.items()):
@@ -93,6 +107,14 @@ class RecoverySummary:
             raise ConfigError("gray-failure costs must be non-negative")
         if self.hedges_won > self.hedged_reads:
             raise ConfigError("hedge wins cannot exceed hedges issued")
+        if (
+            self.reconstructions < 0
+            or self.reconstructed_bytes < 0
+            or self.decode_bytes < 0
+            or self.degraded_reads < 0
+            or self.quarantined_blocks < 0
+        ):
+            raise ConfigError("coded recovery costs must be non-negative")
 
     # -- derived ------------------------------------------------------------------
 
@@ -152,6 +174,20 @@ class RecoverySummary:
                     "hedge wasted work (s)": self.hedge_wasted_seconds,
                 }
                 if self.hedged_reads
+                else {}
+            ),
+            **(
+                {
+                    "fragment reconstructions": self.reconstructions,
+                    "reconstructed bytes": self.reconstructed_bytes,
+                    "decoded stripe bytes": self.decode_bytes,
+                    "degraded reads": self.degraded_reads,
+                    "quarantined blocks": self.quarantined_blocks,
+                }
+                if self.reconstructions
+                or self.decode_bytes
+                or self.degraded_reads
+                or self.quarantined_blocks
                 else {}
             ),
             "baseline makespan (s)": self.baseline_makespan,

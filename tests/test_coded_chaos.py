@@ -1,0 +1,297 @@
+"""Integration tests for coded redundancy: degraded reads, parity repair,
+fragment-aware scheduling and the coded chaos drill."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import CodingSpec
+from repro.core.bipartite import BipartiteGraph
+from repro.core.datanet import DataNet
+from repro.errors import ConfigError, UnrecoverableBlockError
+from repro.faults import ChaosRunner, FaultPlan, NodeCrash
+from repro.faults.plan import BitRot, DriverRestart, NetworkPartition
+from repro.hdfs import CodedReader, FailureManager, HDFSCluster, Scrubber
+from repro.mapreduce.apps.word_count import word_count_job
+from tests.conftest import make_records
+
+
+def _coded_cluster(seed: int = 11, *, num_nodes: int = 8, k: int = 4, m: int = 2):
+    return HDFSCluster(
+        num_nodes=num_nodes,
+        block_size=2048,
+        replication=3,
+        rng=np.random.default_rng(seed),
+        coding=CodingSpec(k, m),
+    )
+
+
+def _records():
+    return make_records({"hot": 150, "cold": 50}, payload_len=30)
+
+
+def _replicated_reference():
+    """The healthy replicated run every coded drill must match byte-for-byte."""
+    cluster = HDFSCluster(
+        num_nodes=8,
+        block_size=2048,
+        replication=3,
+        rng=np.random.default_rng(11),
+    )
+    dataset = cluster.write_dataset("d", _records())
+    runner = ChaosRunner(cluster, FaultPlan(seed=3))
+    return runner.run(dataset, "hot", word_count_job())
+
+
+# -- the acceptance drill ----------------------------------------------------------
+
+
+class TestCodedChaosDrill:
+    def _drill(self):
+        cluster = _coded_cluster()
+        dataset = cluster.write_dataset("d", _records())
+        plan = FaultPlan(
+            seed=3,
+            crashes=(NodeCrash(2, time=0.4),),
+            bit_rots=(BitRot(node=1, block=0), BitRot(node=4, block=2)),
+            partitions=(NetworkPartition(nodes=(5, 6), start=0.2, heals_at=0.9),),
+        )
+        return ChaosRunner(cluster, plan).run(dataset, "hot", word_count_job())
+
+    def test_output_byte_identical_to_replicated_run(self):
+        """Crash + bit rot + partition under (4,2): same bytes out."""
+        report = self._drill()
+        reference = _replicated_reference()
+        assert report.job.output == reference.job.output
+        assert report.output_matches_baseline
+
+    def test_recovery_is_reconstruction_not_re_replication(self):
+        report = self._drill()
+        assert report.reconstructions > 0
+        assert report.reconstructed_bytes > 0
+        assert report.decode_bytes > 0
+        assert report.re_replicated_bytes == 0
+
+    def test_degraded_reads_counted(self):
+        report = self._drill()
+        assert report.degraded_reads > 0
+        assert report.quarantined_blocks == 0
+
+    def test_summary_renders_coded_section(self):
+        text = self._drill().summary().format()
+        assert "fragment reconstructions" in text
+        assert "decoded stripe bytes" in text
+        assert "degraded reads" in text
+
+    def test_drill_is_deterministic(self):
+        first, second = self._drill(), self._drill()
+        assert first.job.output == second.job.output
+        assert first.summary() == second.summary()
+
+    def test_driver_restarts_rejected_with_coding(self):
+        cluster = _coded_cluster()
+        plan = FaultPlan(seed=0, driver_restarts=(DriverRestart(1),))
+        with pytest.raises(ConfigError, match="driver restarts"):
+            ChaosRunner(cluster, plan)
+
+
+# -- degraded reads ----------------------------------------------------------------
+
+
+class TestDegradedReads:
+    def test_bit_rot_with_healing_partition(self):
+        """Rot + a partition that heals mid-run: degraded reads, same bytes."""
+        cluster = _coded_cluster()
+        dataset = cluster.write_dataset("d", _records())
+        holders = dataset.placement()[0]
+        plan = FaultPlan(
+            seed=5,
+            bit_rots=(BitRot(node=holders[0], block=0),),
+            partitions=(
+                NetworkPartition(nodes=(holders[1],), start=0.0, heals_at=0.8),
+            ),
+        )
+        report = ChaosRunner(cluster, plan).run(dataset, "hot", word_count_job())
+        assert report.job.output == _replicated_reference().job.output
+        assert report.degraded_reads > 0
+        assert report.quarantined_blocks == 0
+
+    def test_reader_decodes_through_parity(self):
+        cluster = _coded_cluster()
+        cluster.write_dataset("d", _records())
+        holders = cluster.namenode.block_locations("d", 0)
+        cluster.corrupt_replica("d", holders[0], 0)
+        reader = CodedReader(cluster)
+        cost = reader.read_cost(
+            "d", 0, holders[1], tuple(holders),
+            nbytes=cluster.coded_block("d", 0).payload_len,
+            read_local=lambda b: b * 1e-6,
+            read_remote=lambda b: b * 3e-6,
+            write_local=lambda b: b * 1e-6,
+        )
+        assert cost > 0
+        assert reader.degraded_reads == 1
+        assert reader.detected == 1
+        assert reader.decoded_bytes == cluster.coded_block("d", 0).decode_read_bytes
+
+    def test_quarantine_when_more_than_m_unreachable(self):
+        cluster = _coded_cluster()
+        cluster.write_dataset("d", _records())
+        holders = cluster.namenode.block_locations("d", 0)
+        for node in holders[:3]:  # m = 2, so 3 rotten fragments is fatal
+            cluster.corrupt_replica("d", node, 0)
+        reader = CodedReader(cluster)
+        with pytest.raises(UnrecoverableBlockError):
+            reader.read_cost(
+                "d", 0, holders[3], tuple(holders),
+                nbytes=1,
+                read_local=lambda b: 0.0,
+                read_remote=lambda b: 0.0,
+                write_local=lambda b: 0.0,
+            )
+        assert len(reader.quarantined) == 1
+        record = reader.quarantined[0]
+        assert record.needed == 4
+        assert len(record.available) == 3
+
+
+# -- parity repair -----------------------------------------------------------------
+
+
+class TestParityRepair:
+    def test_scrubber_rebuilds_fragment_from_parity(self):
+        cluster = _coded_cluster()
+        dataset = cluster.write_dataset("d", _records())
+        victim = dataset.placement()[0][0]
+        cluster.corrupt_replica("d", victim, 0)
+        report = Scrubber(cluster, strict=False).scrub("d")
+        assert report.corrupt_found == 1
+        assert report.repaired == 1
+        assert report.reconstructed == 1
+        assert report.decode_bytes == cluster.coded_block("d", 0).decode_read_bytes
+        assert cluster.datanodes[victim].verify_fragment("d", 0)
+
+    def test_scrub_sources_prefer_healthy_nodes(self):
+        """Satellite: repair-source ranking is health-first."""
+        cluster = _coded_cluster()
+        dataset = cluster.write_dataset("d", _records())
+        holders = dataset.placement()[0]
+        cluster.corrupt_replica("d", holders[0], 0)
+        sick = holders[1]
+        health = {n: 1.0 for n in cluster.nodes}
+        health[sick] = 0.05
+        report = Scrubber(cluster, strict=False, health=health).scrub("d")
+        event = next(e for e in report.events if hasattr(e, "sources"))
+        assert sick not in event.sources
+
+    def test_node_loss_reconstructs_at_same_index(self):
+        cluster = _coded_cluster()
+        dataset = cluster.write_dataset("d", _records())
+        before = dataset.placement()[0]
+        dead = before[2]
+        fm = FailureManager(cluster)
+        fm.fail_node(dead)
+        after = cluster.namenode.block_locations("d", 0)
+        assert after[2] != dead
+        assert [h for i, h in enumerate(after) if i != 2] == [
+            h for i, h in enumerate(before) if i != 2
+        ]
+        assert fm.reconstructions
+        assert fm.bytes_reconstructed() > 0
+        assert fm.decode_bytes_read() > 0
+
+    def test_quarantine_past_decode_floor(self):
+        """On a 6-node (4,2) cluster there are no spares: the third node
+        loss drops a stripe below k readable fragments and must fail
+        cleanly with a quarantine record, not garbage output."""
+        cluster = _coded_cluster(num_nodes=6)
+        cluster.write_dataset("d", _records())
+        fm = FailureManager(cluster)
+        fm.fail_node(0)
+        fm.fail_node(1)
+        with pytest.raises(UnrecoverableBlockError):
+            fm.fail_node(2)
+        assert fm.quarantined
+        assert fm.quarantined[0].needed == 4
+
+
+# -- fragments as the schedulable unit ---------------------------------------------
+
+
+class TestFragmentScheduling:
+    def test_bipartite_needed_accessor(self):
+        graph = BipartiteGraph(
+            {0: [0, 1, 2, 3, 4, 5]}, {0: 10}, needed={0: 4}
+        )
+        assert graph.needed_of(0) == 4
+
+    def test_needed_cannot_exceed_holders(self):
+        with pytest.raises(ConfigError):
+            BipartiteGraph({0: [0, 1]}, {0: 10}, needed={0: 4})
+
+    def test_restrict_strands_below_decode_floor(self):
+        graph = BipartiteGraph(
+            {0: [0, 1, 2, 3, 4, 5], 1: [0, 1, 2]},
+            {0: 10, 1: 5},
+            needed={0: 4},
+        )
+        sub, stranded = graph.restrict([0, 1, 2])
+        assert stranded == [0]  # 3 reachable < k=4
+        assert sub.blocks == [1]  # replicated block still schedulable
+
+    def test_datanet_threads_fragment_floor(self):
+        cluster = _coded_cluster()
+        dataset = cluster.write_dataset("d", _records())
+        datanet = DataNet.build(dataset)
+        graph = datanet.bipartite_graph("hot", skip_absent=False)
+        assert all(graph.needed_of(b) == 4 for b in graph.blocks)
+
+    def test_exclusion_below_floor_rejected(self):
+        cluster = _coded_cluster()
+        dataset = cluster.write_dataset("d", _records())
+        datanet = DataNet.build(dataset)
+        holders = dataset.placement()[0]
+        with pytest.raises(ConfigError, match="fewer than"):
+            datanet.bipartite_graph(
+                "hot", skip_absent=False, exclude=holders[:3]
+            )
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+
+class TestCodedCLI:
+    def test_chaos_coding_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["chaos", "--nodes", "8", "-n", "2000", "-k", "20",
+             "--coding", "4,2", "--bitrot", "1@0"]
+        )
+        assert code == 0
+        assert "fragment reconstructions" in capsys.readouterr().out
+
+    def test_scrub_coding_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["scrub", "--nodes", "8", "-n", "2000", "-k", "20",
+             "--coding", "4,2", "--rot", "0@0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fragment reconstructions" in out
+        assert "reconstructed fragment" in out
+
+    def test_malformed_coding_rejected_at_parse_time(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--nodes", "8", "--coding", "4x2"]) == 2
+        assert "--coding expects" in capsys.readouterr().err
+
+    def test_infeasible_coding_rejected_at_parse_time(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--nodes", "4", "--coding", "4,2"]) == 2
+        assert "distinct nodes" in capsys.readouterr().err

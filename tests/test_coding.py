@@ -1,0 +1,273 @@
+"""Tests for the GF(256) Reed–Solomon codec and coded-block layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding import (
+    CodingSpec,
+    RSCodec,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    join_stripe,
+    parse_coding,
+    split_stripe,
+    validate_coding,
+)
+from repro.errors import CodingError, ConfigError, ReplicationError
+from repro.hdfs import ErasureCodedBlock, FragmentPlacement, HDFSCluster
+from tests.conftest import make_records
+
+
+# -- GF(256) arithmetic ------------------------------------------------------------
+
+
+class TestGF256:
+    def test_mul_identity_and_zero(self):
+        for a in (1, 7, 113, 255):
+            assert gf_mul(a, 1) == a
+            assert gf_mul(a, 0) == 0
+
+    def test_inverse_round_trip(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_div_is_mul_by_inverse(self):
+        assert gf_div(gf_mul(37, 91), 91) == 37
+
+    def test_div_by_zero_rejected(self):
+        with pytest.raises(CodingError):
+            gf_inv(0)
+
+
+# -- spec parsing & validation (satellite: parse-time (k, m) checks) ---------------
+
+
+class TestCodingSpec:
+    def test_valid_spec(self):
+        spec = CodingSpec(4, 2)
+        assert spec.n == 6
+        assert spec.storage_overhead == pytest.approx(1.5)
+        assert str(spec) == "4,2"
+
+    @pytest.mark.parametrize("k,m", [(0, 2), (-1, 2), (4, 0), (4, -3)])
+    def test_k_and_m_floors(self, k, m):
+        with pytest.raises(ConfigError):
+            CodingSpec(k, m)
+
+    def test_gf256_fragment_ceiling(self):
+        with pytest.raises(ConfigError):
+            CodingSpec(200, 100)
+
+    def test_parse_coding(self):
+        assert parse_coding("4,2") == CodingSpec(4, 2)
+        assert parse_coding(" 6 , 3 ") == CodingSpec(6, 3)
+
+    @pytest.mark.parametrize("text", ["4", "4,2,1", "4x2", "a,b", "4,", ""])
+    def test_parse_coding_malformed(self, text):
+        with pytest.raises(ConfigError):
+            parse_coding(text)
+
+    def test_validate_against_cluster_size(self):
+        spec = CodingSpec(4, 2)
+        assert validate_coding(spec, 6) is spec
+        with pytest.raises(ConfigError, match="distinct nodes"):
+            validate_coding(spec, 5)
+
+    def test_cluster_constructor_validates(self):
+        with pytest.raises(ConfigError):
+            HDFSCluster(
+                num_nodes=4,
+                block_size=4096,
+                rng=np.random.default_rng(0),
+                coding=CodingSpec(4, 2),
+            )
+
+
+# -- striping ----------------------------------------------------------------------
+
+
+class TestStriping:
+    def test_split_join_round_trip(self):
+        payload = b"hello coded world"
+        shards = split_stripe(payload, 4)
+        assert len(shards) == 4
+        assert len({len(s) for s in shards}) == 1
+        assert join_stripe(shards, len(payload)) == payload
+
+    def test_split_pads_tail_with_zeros(self):
+        shards = split_stripe(b"abcde", 3)
+        assert b"".join(shards) == b"abcde\x00"
+
+    def test_empty_payload(self):
+        shards = split_stripe(b"", 3)
+        assert join_stripe(shards, 0) == b""
+
+    def test_join_refuses_impossible_length(self):
+        with pytest.raises(CodingError):
+            join_stripe([b"ab", b"cd"], 10)
+
+
+# -- codec -------------------------------------------------------------------------
+
+
+class TestRSCodec:
+    def test_systematic_data_fragments_verbatim(self):
+        codec = RSCodec(4, 2)
+        payload = bytes(range(64))
+        fragments = codec.encode(payload)
+        assert len(fragments) == 6
+        assert b"".join(fragments[:4])[: len(payload)] == payload
+
+    def test_all_fragments_equal_length(self):
+        fragments = RSCodec(3, 2).encode(b"0123456789")
+        assert len({len(f) for f in fragments}) == 1
+
+    def test_parity_only_decode(self):
+        codec = RSCodec(2, 2)
+        payload = b"parity can stand in for data"
+        frags = codec.encode(payload)
+        decoded = codec.reconstruct(
+            {2: frags[2], 3: frags[3]}, len(payload), indices=[2, 3]
+        )
+        assert decoded == payload
+
+    def test_too_few_fragments_rejected(self):
+        codec = RSCodec(4, 2)
+        frags = codec.encode(b"x" * 40)
+        with pytest.raises(CodingError):
+            codec.reconstruct({0: frags[0], 1: frags[1]}, 40)
+
+    def test_missing_forced_index_rejected(self):
+        codec = RSCodec(2, 1)
+        frags = codec.encode(b"x" * 8)
+        with pytest.raises(CodingError, match="not available"):
+            codec.reconstruct({0: frags[0]}, 8, indices=[0, 2])
+
+    def test_mismatched_fragment_lengths_rejected(self):
+        codec = RSCodec(2, 1)
+        frags = codec.encode(b"x" * 8)
+        with pytest.raises(CodingError, match="lengths disagree"):
+            codec.reconstruct({0: frags[0], 1: frags[1][:-1]}, 8, indices=[0, 1])
+
+    def test_generator_matrix_cached_per_geometry(self):
+        assert RSCodec(4, 2).matrix is RSCodec(4, 2).matrix
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        payload=st.binary(min_size=0, max_size=200),
+        k=st.integers(min_value=1, max_value=6),
+        m=st.integers(min_value=1, max_value=4),
+        data=st.data(),
+    )
+    def test_any_k_subset_round_trips(self, payload, k, m, data):
+        """Core invariant: ANY k of the k+m fragments decode byte-identically."""
+        codec = RSCodec(k, m)
+        fragments = codec.encode(payload)
+        subset = data.draw(
+            st.permutations(range(k + m)).map(lambda p: sorted(p[:k]))
+        )
+        decoded = codec.reconstruct(
+            {i: fragments[i] for i in subset}, len(payload), indices=subset
+        )
+        assert decoded == payload
+
+
+# -- fragment placement ------------------------------------------------------------
+
+
+class TestFragmentPlacement:
+    def test_positional_distinct_nodes(self):
+        policy = FragmentPlacement(6, num_racks=4)
+        placed = policy.place(0, list(range(8)))
+        assert len(placed) == 6
+        assert len(set(placed)) == 6
+
+    def test_consecutive_fragments_change_racks(self):
+        policy = FragmentPlacement(6, num_racks=4)
+        placed = policy.place(3, list(range(8)))
+        racks = [policy.rack_of(n, 8) for n in placed]
+        assert all(a != b for a, b in zip(racks, racks[1:]))
+
+    def test_rack_loss_bounded(self):
+        """Losing one rack takes at most ceil(n/racks) fragments of a stripe."""
+        policy = FragmentPlacement(6, num_racks=4)
+        for block_id in range(16):
+            placed = policy.place(block_id, list(range(12)))
+            per_rack: dict[int, int] = {}
+            for node in placed:
+                rk = policy.rack_of(node, 12)
+                per_rack[rk] = per_rack.get(rk, 0) + 1
+            assert max(per_rack.values()) <= 2  # ceil(6/4)
+
+    def test_deterministic(self):
+        policy = FragmentPlacement(5, num_racks=4)
+        assert policy.place(7, list(range(9))) == policy.place(7, list(range(9)))
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ReplicationError):
+            FragmentPlacement(6, num_racks=4).place(0, [0, 1, 2])
+
+
+# -- coded block -------------------------------------------------------------------
+
+
+def _coded_cluster(seed: int = 11, **kw) -> HDFSCluster:
+    defaults = dict(
+        num_nodes=8,
+        block_size=2048,
+        replication=3,
+        rng=np.random.default_rng(seed),
+        coding=CodingSpec(4, 2),
+    )
+    defaults.update(kw)
+    return HDFSCluster(**defaults)
+
+
+class TestErasureCodedBlock:
+    def test_stripe_geometry(self):
+        cluster = _coded_cluster()
+        ds = cluster.write_dataset("d", make_records({"hot": 40}, payload_len=30))
+        ecb = cluster.coded_block("d", 0)
+        assert ecb.total_fragment_bytes == ecb.fragment_nbytes * 6
+        assert ecb.decode_read_bytes == ecb.fragment_nbytes * 4
+        assert ecb.payload_len <= ecb.fragment_nbytes * 4
+        assert ds.num_blocks >= 1
+
+    def test_any_k_subset_matches_systematic(self):
+        cluster = _coded_cluster()
+        cluster.write_dataset("d", make_records({"hot": 40}, payload_len=30))
+        ecb = cluster.coded_block("d", 0)
+        healthy = ecb.reconstruct_payload(range(4))
+        assert ecb.reconstruct_payload([1, 2, 4, 5]) == healthy
+        assert ecb.reconstruct_payload([0, 2, 3, 5]) == healthy
+
+    def test_fragment_index_bounds(self):
+        cluster = _coded_cluster()
+        cluster.write_dataset("d", make_records({"hot": 40}, payload_len=30))
+        ecb = cluster.coded_block("d", 0)
+        with pytest.raises(CodingError):
+            ecb.fragment(6)
+        with pytest.raises(CodingError):
+            ecb.fragment_checksum(-1)
+
+    def test_coded_storage_cheaper_than_replication(self):
+        records = make_records({"hot": 80, "cold": 40}, payload_len=30)
+        coded = _coded_cluster()
+        coded_ds = coded.write_dataset("d", records)
+        replicated = HDFSCluster(
+            num_nodes=8,
+            block_size=2048,
+            replication=3,
+            rng=np.random.default_rng(11),
+        )
+        rep_ds = replicated.write_dataset("d", records)
+        coded_phys = sum(
+            coded.coded_block("d", b).total_fragment_bytes
+            for b in range(coded_ds.num_blocks)
+        )
+        rep_phys = 3 * rep_ds.total_bytes
+        assert coded_phys < rep_phys

@@ -10,12 +10,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.coding import CodingSpec
 from repro.core.bipartite import BipartiteGraph
 from repro.core.bloom import BloomFilter
 from repro.core.bucketizer import BucketSeparator, BucketSpec
 from repro.core.builder import ElasticMapBuilder
+from repro.core.countmin import CountMinSketch
 from repro.core.flow import optimal_assignment
 from repro.core.scheduler import DistributionAwareScheduler
+from repro.hdfs import CodedReader, HDFSCluster
 
 
 @pytest.fixture(scope="module")
@@ -30,6 +33,31 @@ def scan_input():
             (bid, [(f"s{sid}", int(sz)) for sid, sz in zip(sids, sizes)])
         )
     return blocks
+
+
+@pytest.fixture(scope="module")
+def scan_arrays(scan_input):
+    """The same scan as ``scan_input``, in columnar (ids, sizes) form."""
+    return [
+        (bid, [sid for sid, _ in obs], [sz for _, sz in obs])
+        for bid, obs in scan_input
+    ]
+
+
+@pytest.fixture(scope="module")
+def coded_cluster():
+    """A small erasure-coded cluster (k=4, m=2) with one written dataset."""
+    from tests.conftest import make_records
+
+    cluster = HDFSCluster(
+        num_nodes=8,
+        block_size=2048,
+        replication=3,
+        rng=np.random.default_rng(11),
+        coding=CodingSpec(4, 2),
+    )
+    cluster.write_dataset("d", make_records({"hot": 150, "cold": 50}, payload_len=30))
+    return cluster
 
 
 @pytest.fixture(scope="module")
@@ -87,6 +115,92 @@ def test_perf_elasticmap_build(benchmark, scan_input):
     # scan_input holds generators' worth of tuples; rebuild the iterable
     array = benchmark(build)
     assert len(array) == 64
+
+
+def test_perf_bloom_insert_batch(benchmark):
+    keys = [f"subdataset-{i}" for i in range(5000)]
+
+    def insert():
+        bf = BloomFilter(capacity=5000, error_rate=0.01)
+        bf.add_many(keys)
+        return bf
+
+    bf = benchmark(insert)
+    assert all(k in bf for k in keys[:100])
+
+
+def test_perf_bloom_query_batch(benchmark):
+    bf = BloomFilter(capacity=5000, error_rate=0.01)
+    keys = [f"subdataset-{i}" for i in range(5000)]
+    bf.add_many(keys)
+    probes = keys[:2500] + [f"missing-{i}" for i in range(2500)]
+
+    result = benchmark(lambda: int(bf.contains_many(probes).sum()))
+    assert result >= 2500
+
+
+def test_perf_bucket_separator_batch(benchmark):
+    rng = np.random.default_rng(2)
+    ids = [f"s{i}" for i in rng.integers(0, 500, 20000)]
+    sizes = [int(n) for n in rng.integers(50, 5000, 20000)]
+
+    def run():
+        sep = BucketSeparator(BucketSpec.fibonacci(base=64))
+        sep.observe_batch(ids, sizes)
+        return sep.separate(alpha=0.3)
+
+    result = benchmark(run)
+    assert result.num_subdatasets == 500
+
+
+def test_perf_countmin_update_many(benchmark):
+    rng = np.random.default_rng(3)
+    keys = [f"s{i}" for i in range(8000)]
+    amounts = [int(a) for a in rng.integers(1, 5000, 8000)]
+
+    def run():
+        sketch = CountMinSketch(epsilon=0.001, delta=0.01, seed=5)
+        sketch.update_many(keys, amounts)
+        return sketch
+
+    sketch = benchmark(run)
+    assert sketch.total == sum(amounts)
+
+
+def test_perf_elasticmap_build_arrays(benchmark, scan_arrays):
+    def build():
+        builder = ElasticMapBuilder(alpha=0.3, spec=BucketSpec.fibonacci(base=64))
+        return builder.build_arrays(scan_arrays)
+
+    array = benchmark(build)
+    assert len(array) == 64
+
+
+def test_perf_coded_read(benchmark, coded_cluster):
+    per_block = [
+        (
+            bid,
+            coded_cluster.namenode.block_locations("d", bid),
+            coded_cluster.coded_block("d", bid).payload_len,
+        )
+        for bid in coded_cluster.namenode.blocks_of("d")
+    ]
+
+    def read_all():
+        reader = CodedReader(coded_cluster)
+        total = 0.0
+        for bid, holders, nbytes in per_block:
+            total += reader.read_cost(
+                "d", bid, holders[0], tuple(holders),
+                nbytes=nbytes,
+                read_local=lambda b: b * 1e-6,
+                read_remote=lambda b: b * 3e-6,
+                write_local=lambda b: b * 1e-6,
+            )
+        return total
+
+    total = benchmark(read_all)
+    assert total > 0
 
 
 def test_perf_algorithm1(benchmark, random_graph):

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Standalone entry point for the core benchmark suite.
+
+Runs the fixed-seed core suite (the same one behind ``repro bench``) and
+appends a schema-validated record to ``BENCH_core.json`` at the repo
+root, building the per-PR performance trajectory.
+
+Usage::
+
+    python benchmarks/bench_runner.py [--quick] [--seed N] [--out PATH]
+
+The measurement logic lives in :mod:`repro.bench` so the installed
+package and this script always agree; this wrapper only fixes up
+``sys.path`` for running straight from a checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench import (  # noqa: E402  (path setup must precede import)
+    append_record,
+    format_record,
+    run_core_suite,
+)
+
+DEFAULT_OUT = os.path.join(_REPO_ROOT, "BENCH_core.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink workloads ~20x (CI smoke mode; same record schema)",
+    )
+    parser.add_argument("--seed", type=int, default=1729, help="workload seed")
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help="record history to append to (default: BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--no-append",
+        action="store_true",
+        help="print the record without touching the history file",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_core_suite(quick=args.quick, seed=args.seed)
+    print(format_record(record))
+    if not args.no_append:
+        count = append_record(args.out, record)
+        print(f"appended record #{count} to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

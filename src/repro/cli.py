@@ -643,6 +643,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import append_record, format_record, run_core_suite
+
+    record = run_core_suite(quick=args.quick, seed=args.seed)
+    print(format_record(record))
+    if args.no_append:
+        return 0
+    count = append_record(args.out, record)
+    print(f"appended record #{count} to {args.out}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .hdfs.cluster import HDFSCluster
     from .mapreduce.apps.word_count import word_count_job
@@ -979,6 +991,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument("--max-attempts", type=int, default=4)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the fixed-seed core perf suite; append to BENCH_core.json",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink workloads ~20x (CI smoke mode; same record schema)",
+    )
+    p_bench.add_argument("--seed", type=int, default=1729, help="workload seed")
+    p_bench.add_argument(
+        "--out",
+        default="BENCH_core.json",
+        help="record history to append to (default: BENCH_core.json)",
+    )
+    p_bench.add_argument(
+        "--no-append",
+        action="store_true",
+        help="print the record without touching the history file",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -147,8 +147,113 @@ class BipartiteGraph:
             replica_nodes = self._nodes_of.pop(block_id)
         except KeyError:
             raise SchedulingError(f"block {block_id} not in graph") from None
+        self._weight.pop(block_id, None)
+        self._needed.pop(block_id, None)
         for node in replica_nodes:
             self._blocks_on[node].discard(block_id)
+
+    # -- incremental edge updates ---------------------------------------------------
+    #
+    # Placement churn (node loss, re-replication, chaos recovery) used to
+    # rebuild the whole graph from scratch — O(nodes · blocks) per event.
+    # These mutators patch only the edges that actually changed, so a
+    # cached graph can track a drifting placement at O(degree) per event.
+
+    def add_node(self, node: NodeId) -> None:
+        """Register a cluster node (idempotent); it may hold no block yet."""
+        self._nodes.add(node)
+        self._blocks_on.setdefault(node, set())
+
+    def remove_node(self, node: NodeId) -> List[int]:
+        """Drop a node and its edges; returns the blocks it stranded.
+
+        A block is stranded when losing this holder leaves it with fewer
+        than ``needed`` reachable holders; stranded blocks are removed
+        from the graph (mirroring :meth:`restrict`) so the caller can
+        defer or re-replicate them.
+        """
+        if node not in self._nodes:
+            raise SchedulingError(f"unknown cluster node {node!r}")
+        self._nodes.discard(node)
+        held = self._blocks_on.pop(node, set())
+        stranded: List[int] = []
+        for block_id in held:
+            holders = self._nodes_of[block_id]
+            holders.discard(node)
+            if len(holders) < self._needed[block_id]:
+                stranded.append(block_id)
+        for block_id in stranded:
+            self.remove_block(block_id)
+        return sorted(stranded)
+
+    def add_block(
+        self,
+        block_id: int,
+        replica_nodes: Sequence[NodeId],
+        weight: int = 0,
+        *,
+        needed: int = 1,
+    ) -> None:
+        """Insert a block with its replica edges (same checks as __init__)."""
+        if block_id in self._nodes_of:
+            raise SchedulingError(f"block {block_id} already in graph")
+        if not replica_nodes:
+            raise ConfigError(f"block {block_id} has an empty replica list")
+        w = int(weight)
+        if w < 0:
+            raise ConfigError(f"block {block_id} has negative weight {w}")
+        need = int(needed)
+        if need < 1:
+            raise ConfigError(f"block {block_id} needs {need} holders; minimum is 1")
+        holders = set(replica_nodes)
+        if need > len(holders):
+            raise ConfigError(
+                f"block {block_id} needs {need} holders but is placed "
+                f"on only {len(holders)}"
+            )
+        self._weight[block_id] = w
+        self._needed[block_id] = need
+        self._nodes_of[block_id] = holders
+        for node in holders:
+            self._nodes.add(node)
+            self._blocks_on.setdefault(node, set()).add(block_id)
+
+    def set_block_nodes(self, block_id: int, replica_nodes: Sequence[NodeId]) -> bool:
+        """Point a block's edges at a new holder set; True if anything changed.
+
+        The weight and decode floor are preserved — only the replica edges
+        move (the re-replication / recovery case).
+        """
+        try:
+            old = self._nodes_of[block_id]
+        except KeyError:
+            raise SchedulingError(f"block {block_id} not in graph") from None
+        new = set(replica_nodes)
+        if not new:
+            raise ConfigError(f"block {block_id} has an empty replica list")
+        if self._needed[block_id] > len(new):
+            raise ConfigError(
+                f"block {block_id} needs {self._needed[block_id]} holders "
+                f"but is placed on only {len(new)}"
+            )
+        if new == old:
+            return False
+        for node in old - new:
+            self._blocks_on[node].discard(block_id)
+        for node in new - old:
+            self._nodes.add(node)
+            self._blocks_on.setdefault(node, set()).add(block_id)
+        self._nodes_of[block_id] = new
+        return True
+
+    def set_weight(self, block_id: int, weight: int) -> None:
+        """Update a block's edge weight in place."""
+        if block_id not in self._nodes_of:
+            raise SchedulingError(f"block {block_id} not in graph")
+        w = int(weight)
+        if w < 0:
+            raise ConfigError(f"block {block_id} has negative weight {w}")
+        self._weight[block_id] = w
 
     def restrict(
         self, allowed: Iterable[NodeId]

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import ConfigError
 from ..units import KiB, fibonacci_boundaries
@@ -49,6 +51,15 @@ class BucketSpec:
             raise ConfigError("bucket boundaries must be positive")
         if any(b >= c for b, c in zip(self.boundaries, self.boundaries[1:])):
             raise ConfigError("bucket boundaries must be strictly increasing")
+        # Cached lookup structures (the spec is frozen, so these never go
+        # stale): a list for bisect — re-indexing the tuple field per record
+        # is measurably slower — and an int64 array for the batched
+        # searchsorted path.  Not dataclass fields: eq/hash stay on
+        # ``boundaries`` alone.
+        object.__setattr__(self, "_bounds_list", list(self.boundaries))
+        object.__setattr__(
+            self, "_bounds_arr", np.asarray(self.boundaries, dtype=np.int64)
+        )
 
     # -- constructors --------------------------------------------------------
 
@@ -113,7 +124,18 @@ class BucketSpec:
         """
         if size < 0:
             raise ConfigError(f"size must be non-negative, got {size}")
-        return bisect.bisect_right(self.boundaries, size)
+        return bisect.bisect_right(self._bounds_list, size)
+
+    def buckets_of(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`bucket_of` over an integer size array.
+
+        Bit-identical to mapping :meth:`bucket_of` over ``sizes``:
+        ``searchsorted(..., side="right")`` is exactly ``bisect_right``.
+        """
+        arr = np.asarray(sizes, dtype=np.int64)
+        if arr.size and int(arr.min()) < 0:
+            raise ConfigError("sizes must be non-negative")
+        return np.searchsorted(self._bounds_arr, arr, side="right")
 
     def lower_bound(self, bucket: int) -> int:
         """Smallest size (inclusive) that maps into ``bucket``; 0 for bucket 0."""
@@ -184,9 +206,88 @@ class BucketSeparator:
         self._bucket_of[sub_dataset_id] = new_bucket
 
     def observe_many(self, items: Iterable[Tuple[str, int]]) -> None:
-        """Record a stream of ``(sub_dataset_id, nbytes)`` observations."""
+        """Record a stream of ``(sub_dataset_id, nbytes)`` observations.
+
+        Batched: the stream is materialized and folded through
+        :meth:`observe_batch`, which is bit-identical to calling
+        :meth:`observe` per item (the scalar oracle the property tests
+        compare against).
+        """
+        ids: List[str] = []
+        sizes: List[int] = []
         for sid, nbytes in items:
-            self.observe(sid, nbytes)
+            ids.append(sid)
+            sizes.append(nbytes)
+        self.observe_batch(ids, sizes)
+
+    def observe_batch(self, ids: Sequence[str], sizes: Sequence[int]) -> None:
+        """Vectorized accumulation of parallel ``ids``/``sizes`` arrays.
+
+        Grouping is exact and C-level: ``dict.fromkeys`` yields the
+        distinct ids in first-observation order (the same insertion order
+        the scalar loop produces), a dict lookup per record assigns dense
+        group codes, and one ``np.bincount`` folds the per-id byte totals.
+        The new bucket of every touched id then comes from one
+        ``searchsorted`` over the boundary series.  End state (sizes,
+        buckets, bucket histogram, *and* dict insertion order) is
+        bit-identical to the scalar :meth:`observe` loop.
+        """
+        n = len(ids)
+        if n != len(sizes):
+            raise ConfigError(
+                f"ids and sizes length mismatch: {n} != {len(sizes)}"
+            )
+        if n == 0:
+            return
+        size_arr = np.asarray(sizes, dtype=np.int64)
+        if int(size_arr.min()) < 0:
+            raise ConfigError("nbytes must be non-negative")
+        if not isinstance(ids, list):
+            ids = list(ids)
+        keys = list(dict.fromkeys(ids))
+        if len(keys) == n:
+            # all ids distinct — per-id totals are just the sizes
+            totals = size_arr
+        else:
+            code_of = {k: i for i, k in enumerate(keys)}
+            codes = np.fromiter(
+                map(code_of.__getitem__, ids), dtype=np.int64, count=n
+            )
+            if int(size_arr.sum()) < 2**53:
+                # float64 partial sums of non-negative ints below 2**53
+                # are exact, so the weighted bincount is too
+                totals = np.bincount(
+                    codes, weights=size_arr, minlength=len(keys)
+                ).astype(np.int64)
+            else:  # pragma: no cover - exabyte-scale batch
+                totals = np.zeros(len(keys), dtype=np.int64)
+                np.add.at(totals, codes, size_arr)
+        if self._sizes:
+            old_sizes = np.fromiter(
+                (self._sizes.get(k, 0) for k in keys),
+                dtype=np.int64,
+                count=len(keys),
+            )
+            new_sizes = old_sizes + totals
+        else:
+            # fresh separator (the per-block builder path): nothing to merge
+            new_sizes = totals
+        new_buckets = self.spec.buckets_of(new_sizes)
+        nb = self.spec.num_buckets
+        counts = np.asarray(self._bucket_counts, dtype=np.int64)
+        counts += np.bincount(new_buckets, minlength=nb)
+        if self._bucket_of:
+            old_buckets = np.fromiter(
+                (self._bucket_of.get(k, -1) for k in keys),
+                dtype=np.int64,
+                count=len(keys),
+            )
+            seen_before = old_buckets >= 0
+            if seen_before.any():
+                counts -= np.bincount(old_buckets[seen_before], minlength=nb)
+        self._bucket_counts = [int(c) for c in counts]
+        self._sizes.update(zip(keys, new_sizes.tolist()))
+        self._bucket_of.update(zip(keys, new_buckets.tolist()))
 
     # -- statistics ---------------------------------------------------------------
 

@@ -15,8 +15,9 @@ this shape (see :meth:`repro.hdfs.cluster.HDFSCluster.scan_blocks`).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
 from .bucketizer import BucketSeparator, BucketSpec
@@ -26,6 +27,18 @@ __all__ = ["BuildStats", "ElasticMapBuilder", "build_elasticmap_array"]
 
 #: One block's worth of scan input: ``(block_id, [(sub_dataset_id, nbytes), ...])``.
 BlockObservations = Tuple[int, Iterable[Tuple[str, int]]]
+
+#: One block's worth of columnar scan input: ``(block_id, ids, sizes)``.
+BlockArrays = Tuple[int, Sequence[str], Sequence[int]]
+
+
+def _scalar_forced() -> bool:
+    """True when ``REPRO_SCALAR`` requests the reference scalar path.
+
+    The CI equivalence job runs every workload twice — once per mode —
+    and diffs the outputs byte for byte.
+    """
+    return os.environ.get("REPRO_SCALAR", "") not in ("", "0")
 
 
 @dataclass
@@ -64,6 +77,10 @@ class ElasticMapBuilder:
         tail_store: ``"bloom"`` (the paper's design) or ``"countmin"``
             (tail sizes approximated by a Count-Min sketch; see
             :mod:`repro.core.sketchmap`).
+        vectorized: route scans through the NumPy batch kernels
+            (bit-identical to the scalar loop, which stays available as
+            the reference oracle).  Defaults to on; the ``REPRO_SCALAR``
+            environment variable forces the scalar path regardless.
     """
 
     def __init__(
@@ -74,6 +91,7 @@ class ElasticMapBuilder:
         spec: Optional[BucketSpec] = None,
         memory_model: Optional[MemoryModel] = None,
         tail_store: str = "bloom",
+        vectorized: bool = True,
     ) -> None:
         if (alpha is None) == (budget_bits_per_block is None):
             raise ConfigError("pass exactly one of alpha or budget_bits_per_block")
@@ -88,6 +106,7 @@ class ElasticMapBuilder:
         self.spec = spec or BucketSpec.fibonacci()
         self.memory_model = memory_model or MemoryModel()
         self.tail_store = tail_store
+        self.vectorized = vectorized and not _scalar_forced()
         self.stats = BuildStats()
 
     def build_block(
@@ -103,11 +122,47 @@ class ElasticMapBuilder:
         block it was built from, enabling later staleness detection
         (:meth:`repro.core.datanet.DataNet.validate_integrity`).
         """
+        if self.vectorized:
+            ids: List[str] = []
+            sizes: List[int] = []
+            for sid, nbytes in observations:
+                ids.append(sid)
+                sizes.append(nbytes)
+            return self.build_block_arrays(
+                block_id, ids, sizes, fingerprint=fingerprint
+            )
         separator = BucketSeparator(self.spec)
         n = 0
         for sid, nbytes in observations:
             separator.observe(sid, nbytes)
             n += 1
+        return self._finish_block(block_id, separator, n, fingerprint)
+
+    def build_block_arrays(
+        self,
+        block_id: int,
+        ids: Sequence[str],
+        sizes: Sequence[int],
+        *,
+        fingerprint: Optional[int] = None,
+    ) -> BlockElasticMap:
+        """Columnar :meth:`build_block`: parallel ``ids``/``sizes`` arrays.
+
+        The whole scan runs through the batched bucketizer kernel and the
+        resulting tail is inserted into the Bloom/CountMin store in one
+        batch — end-to-end array ops, one Python-level pass over the input.
+        """
+        separator = BucketSeparator(self.spec)
+        separator.observe_batch(ids, sizes)
+        return self._finish_block(block_id, separator, len(ids), fingerprint)
+
+    def _finish_block(
+        self,
+        block_id: int,
+        separator: BucketSeparator,
+        n: int,
+        fingerprint: Optional[int],
+    ) -> BlockElasticMap:
         if self.alpha is not None:
             result = separator.separate(alpha=self.alpha)
         else:
@@ -129,14 +184,25 @@ class ElasticMapBuilder:
                 result,
                 memory_model=self.memory_model,
                 fingerprint=fingerprint,
+                batched=self.vectorized,
             )
         return BlockElasticMap.from_separation(
-            block_id, result, memory_model=self.memory_model, fingerprint=fingerprint
+            block_id,
+            result,
+            memory_model=self.memory_model,
+            fingerprint=fingerprint,
+            batched=self.vectorized,
         )
 
     def build(self, blocks: Iterable[BlockObservations]) -> ElasticMapArray:
         """Scan every block once and return the assembled ElasticMap array."""
         return ElasticMapArray([self.build_block(bid, obs) for bid, obs in blocks])
+
+    def build_arrays(self, blocks: Iterable[BlockArrays]) -> ElasticMapArray:
+        """Columnar :meth:`build`: ``(block_id, ids, sizes)`` triples."""
+        return ElasticMapArray(
+            [self.build_block_arrays(bid, ids, sizes) for bid, ids, sizes in blocks]
+        )
 
 
 def build_elasticmap_array(

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Protocol, Sequence, Tuple
 
-from ..errors import ConfigError
+from ..errors import ConfigError, SchedulingError
 from ..obs import NULL_OBS, Observability
 from ..obs.profiler import profile_block
 from .bipartite import BipartiteGraph
@@ -118,6 +118,44 @@ class DataNet:
             for ns in self._placement.values():
                 seen.update(ns)
             self._nodes = sorted(seen, key=repr)
+        # per-sub-dataset caches over the (expensive) full-array scans:
+        # distribution/weights, and the skip_absent base bipartite graph.
+        # Keyed to the ElasticMapArray's version so any membership change
+        # (extend, integrity rebuild, chaos tampering) drops them.
+        self._dist_cache: Dict[str, Dict[int, Tuple[int, QueryKind]]] = {}
+        self._weights_cache: Dict[str, Dict[int, int]] = {}
+        self._graph_cache: Dict[str, BipartiteGraph] = {}
+        self._cache_version = self.elasticmap.version
+
+    # -- caching -----------------------------------------------------------------
+
+    def _sync_caches(self) -> None:
+        if self.elasticmap.version != self._cache_version:
+            self._dist_cache.clear()
+            self._weights_cache.clear()
+            self._graph_cache.clear()
+            self._cache_version = self.elasticmap.version
+
+    def _cached_distribution(self, sub_dataset_id: str) -> Dict[int, Tuple[int, QueryKind]]:
+        """Memoized ``elasticmap.distribution`` — callers must not mutate."""
+        self._sync_caches()
+        dist = self._dist_cache.get(sub_dataset_id)
+        if dist is None:
+            dist = self.elasticmap.distribution(sub_dataset_id)
+            self._dist_cache[sub_dataset_id] = dist
+        return dist
+
+    def _cached_weights(self, sub_dataset_id: str) -> Dict[int, int]:
+        """Memoized ``elasticmap.block_weights`` — callers must not mutate."""
+        self._sync_caches()
+        weights = self._weights_cache.get(sub_dataset_id)
+        if weights is None:
+            weights = {
+                bid: size
+                for bid, (size, _k) in self._cached_distribution(sub_dataset_id).items()
+            }
+            self._weights_cache[sub_dataset_id] = weights
+        return weights
 
     # -- construction ------------------------------------------------------------
 
@@ -335,11 +373,11 @@ class DataNet:
 
     def distribution(self, sub_dataset_id: str) -> Dict[int, Tuple[int, QueryKind]]:
         """Per-block ``(bytes, kind)`` of the sub-dataset (absent blocks omitted)."""
-        return self.elasticmap.distribution(sub_dataset_id)
+        return dict(self._cached_distribution(sub_dataset_id))
 
     def blocks_containing(self, sub_dataset_id: str) -> List[int]:
         """Blocks that may hold the sub-dataset — the task list for its analysis."""
-        return self.elasticmap.blocks_containing(sub_dataset_id)
+        return sorted(self._cached_distribution(sub_dataset_id))
 
     def estimate_total_size(self, sub_dataset_id: str) -> int:
         """Eq. 6 estimate of the sub-dataset's total bytes across all blocks."""
@@ -356,8 +394,14 @@ class DataNet:
         keeps the bipartite graph truthful mid-job.  Blocks unknown to the
         metadata are ignored (they are :meth:`extend`'s job); returns the
         number of blocks whose replica set changed.
+
+        Cached per-sub-dataset bipartite graphs are patched *incrementally*
+        — only the edges of blocks whose replica set actually moved — so
+        churn costs O(changed edges), not a full O(nodes · blocks) rebuild.
         """
+        self._sync_caches()
         changed = 0
+        added_nodes: List[NodeId] = []
         for bid, nodes in placement.items():
             if bid not in self._placement:
                 continue
@@ -365,9 +409,24 @@ class DataNet:
             if fresh != self._placement[bid]:
                 self._placement[bid] = fresh
                 changed += 1
+                for sid in list(self._graph_cache):
+                    try:
+                        self._graph_cache[sid].set_block_nodes(bid, fresh)
+                    except SchedulingError:
+                        pass  # block irrelevant to this sub-dataset's graph
+                    except ConfigError:
+                        # new holder set violates the decode floor; drop the
+                        # cache so the next rebuild raises exactly as the
+                        # uncached path always did
+                        del self._graph_cache[sid]
             for node in fresh:
                 if node not in self._nodes:
                     self._nodes.append(node)
+                    added_nodes.append(node)
+        if added_nodes:
+            for graph in self._graph_cache.values():
+                for node in added_nodes:
+                    graph.add_node(node)
         return changed
 
     def bipartite_graph(
@@ -398,9 +457,9 @@ class DataNet:
         with self.obs.tracer.span(
             f"elasticmap/lookup/{sub_dataset_id}", category="lookup"
         ):
-            weights = self.elasticmap.block_weights(sub_dataset_id)
+            weights = self._cached_weights(sub_dataset_id)
         if self.obs.metrics.enabled:
-            dist = self.elasticmap.distribution(sub_dataset_id)
+            dist = self._cached_distribution(sub_dataset_id)
             exact = sum(1 for _size, kind in dist.values() if kind == "exact")
             self.obs.metrics.counter(
                 "metadata_exact_hits_total",
@@ -410,6 +469,24 @@ class DataNet:
                 "metadata_bloom_hits_total",
                 help="distribution lookups answered by the Bloom filter",
             ).inc(len(dist) - exact)
+        if only_blocks is None and skip_absent:
+            # the common scheduling path: serve a copy of the cached base
+            # graph, applying exclusions as incremental node removals
+            graph = self._base_graph(sub_dataset_id).copy()
+            if exclude:
+                stranded: List[int] = []
+                for node in set(exclude):
+                    try:
+                        stranded.extend(graph.remove_node(node))
+                    except SchedulingError:
+                        pass  # barred node not in this graph's universe
+                if stranded:
+                    b = stranded[0]
+                    raise ConfigError(
+                        f"block {b} has fewer than {self._needed.get(b, 1)} "
+                        f"holders outside the excluded nodes"
+                    )
+            return graph
         if only_blocks is not None:
             wanted = list(only_blocks)
             unknown = [b for b in wanted if b not in self._placement]
@@ -417,8 +494,6 @@ class DataNet:
                 raise ConfigError(f"unknown blocks requested: {unknown[:5]}")
             placement = {b: self._placement[b] for b in wanted}
             weights = {b: weights.get(b, 0) for b in placement}
-        elif skip_absent:
-            placement = {b: self._placement[b] for b in weights}
         else:
             placement = self._placement
             weights = {b: weights.get(b, 0) for b in placement}
@@ -442,6 +517,27 @@ class DataNet:
             nodes=nodes,
             needed={b: self._needed[b] for b in placement if b in self._needed},
         )
+
+    def _base_graph(self, sub_dataset_id: str) -> BipartiteGraph:
+        """The cached skip-absent bipartite graph for one sub-dataset.
+
+        Built once per (sub-dataset, metadata version); placement churn is
+        applied to it incrementally by :meth:`refresh_placement`.  Callers
+        get copies — schedulers mutate their graph destructively.
+        """
+        self._sync_caches()
+        graph = self._graph_cache.get(sub_dataset_id)
+        if graph is None:
+            weights = self._cached_weights(sub_dataset_id)
+            placement = {b: self._placement[b] for b in weights}
+            graph = BipartiteGraph(
+                placement,
+                weights,
+                nodes=self._nodes,
+                needed={b: self._needed[b] for b in placement if b in self._needed},
+            )
+            self._graph_cache[sub_dataset_id] = graph
+        return graph
 
     def schedule(
         self,
@@ -567,7 +663,7 @@ class DataNet:
             raise ConfigError("need at least one sub-dataset id")
         weights: Dict[int, int] = {}
         for sid in ids:
-            for bid, w in self.elasticmap.block_weights(sid).items():
+            for bid, w in self._cached_weights(sid).items():
                 weights[bid] = weights.get(bid, 0) + w
         if skip_absent:
             placement = {b: self._placement[b] for b in weights}

@@ -110,7 +110,15 @@ class BlockElasticMap:
             treats it the same as a mismatch and rebuilds the entry.
     """
 
-    __slots__ = ("block_id", "hash_map", "bloom", "delta", "memory_model", "fingerprint")
+    __slots__ = (
+        "block_id",
+        "hash_map",
+        "bloom",
+        "delta",
+        "memory_model",
+        "fingerprint",
+        "_blob_cache",
+    )
 
     #: Upper bound (exclusive) on a fingerprint: it must fit the 8-byte
     #: trailer of the serialized form.
@@ -152,6 +160,7 @@ class BlockElasticMap:
                 f"fingerprint must fit in 64 bits, got {fingerprint}"
             )
         self.fingerprint = fingerprint
+        self._blob_cache: Optional[bytes] = None
 
     @classmethod
     def from_separation(
@@ -162,6 +171,7 @@ class BlockElasticMap:
         memory_model: Optional[MemoryModel] = None,
         bloom_seed: Optional[int] = None,
         fingerprint: Optional[int] = None,
+        batched: bool = True,
     ) -> "BlockElasticMap":
         """Construct from a dominant/tail separation of one block's contents.
 
@@ -170,6 +180,10 @@ class BlockElasticMap:
         repeat across blocks.  Because the salt defaults to the block id,
         rebuilding an entry from the same block content reproduces it
         bit-for-bit — the property integrity rebuilds rely on.
+
+        ``batched`` routes the tail insertions through the vectorized
+        :meth:`~repro.core.bloom.BloomFilter.add_many` kernel; the result
+        is bit-identical to the scalar ``update`` loop either way.
         """
         model = memory_model or MemoryModel()
         bloom = BloomFilter(
@@ -177,7 +191,10 @@ class BlockElasticMap:
             error_rate=model.bloom_error_rate,
             seed=bloom_seed if bloom_seed is not None else block_id,
         )
-        bloom.update(result.tail.keys())
+        if batched:
+            bloom.add_many(list(result.tail.keys()))
+        else:
+            bloom.update(result.tail.keys())
         # Eq. 6's delta: "the smallest size value of |s ∩ b_j|" — observed
         # from the tail while it is still in hand (the ElasticMap itself
         # keeps only this one number, not the tail sizes).
@@ -254,7 +271,13 @@ class BlockElasticMap:
         An entry carrying a content fingerprint appends it as an 8-byte
         little-endian trailer; fingerprint-less entries keep the original
         layout, so old blobs stay readable.
+
+        The blob is cached: entries are immutable once built (rebuilds
+        produce fresh objects), and the metadata store re-serializes the
+        same entry on every put/recovery round-trip.
         """
+        if self._blob_cache is not None:
+            return self._blob_cache
         import json
 
         hash_blob = json.dumps(self.hash_map, separators=(",", ":")).encode("utf-8")
@@ -270,7 +293,8 @@ class BlockElasticMap:
             if self.fingerprint is not None
             else b""
         )
-        return header + hash_blob + bloom_blob + trailer
+        self._blob_cache = header + hash_blob + bloom_blob + trailer
+        return self._blob_cache
 
     @classmethod
     def from_bytes(
@@ -304,7 +328,7 @@ class BlockElasticMap:
             bloom = BloomFilter.from_bytes(blob[32 + hash_len : base])
         except ConfigError as exc:
             raise MetadataError(f"corrupt bloom payload: {exc}") from exc
-        return cls(
+        out = cls(
             block_id,
             hash_map,
             bloom,
@@ -312,6 +336,10 @@ class BlockElasticMap:
             memory_model=memory_model,
             fingerprint=fingerprint,
         )
+        # a parsed entry re-serializes to the exact input blob, so the
+        # round-trip can skip re-encoding entirely
+        out._blob_cache = bytes(blob)
+        return out
 
 
 class ElasticMapArray:
@@ -332,6 +360,9 @@ class ElasticMapArray:
             raise MetadataError("duplicate block ids in ElasticMapArray")
         self._blocks: List[BlockElasticMap] = sorted(blocks, key=lambda b: b.block_id)
         self._by_id: Dict[int, BlockElasticMap] = {b.block_id: b for b in self._blocks}
+        # bumped on every membership change so callers (DataNet) can cache
+        # derived per-sub-dataset views and notice staleness cheaply
+        self.version = 0
 
     # -- container protocol ---------------------------------------------------
 
@@ -369,6 +400,7 @@ class ElasticMapArray:
             [b.block_id for b in self._blocks], block_map.block_id
         )
         self._blocks.insert(idx, block_map)
+        self.version += 1
 
     def remove_block(self, block_id: int) -> BlockElasticMap:
         """Quarantine a block's metadata (integrity validation path).
@@ -382,6 +414,7 @@ class ElasticMapArray:
         if entry is None:
             raise MetadataError(f"no ElasticMap for block {block_id}")
         self._blocks.remove(entry)
+        self.version += 1
         return entry
 
     # -- sub-dataset queries -----------------------------------------------------

@@ -162,6 +162,10 @@ class DistributedMetaStore:
         self.shard_map = ShardMap(self.nodes.keys(), replication=replication)
         self.memory_model = memory_model or MemoryModel()
         self._block_ids: Set[int] = set()
+        # block id → (blob, parsed entry): repeated lookups skip re-parsing
+        # as long as the stored blob is unchanged (identity check first,
+        # byte equality as the fallback after failover re-writes)
+        self._parse_cache: Dict[int, Tuple[bytes, BlockElasticMap]] = {}
 
     # -- ingest -----------------------------------------------------------------
 
@@ -180,6 +184,7 @@ class DistributedMetaStore:
                 f"no live meta-node available for block {block_map.block_id}"
             )
         self._block_ids.add(block_map.block_id)
+        self._parse_cache[block_map.block_id] = (blob, block_map)
 
     def load_array(self, array: ElasticMapArray) -> None:
         """Spread a whole ElasticMap array across the fleet."""
@@ -213,7 +218,12 @@ class DistributedMetaStore:
             except MetadataError as exc:
                 last_error = exc
                 continue
-            return BlockElasticMap.from_bytes(blob, memory_model=self.memory_model)
+            cached = self._parse_cache.get(block_id)
+            if cached is not None and (cached[0] is blob or cached[0] == blob):
+                return cached[1]
+            entry = BlockElasticMap.from_bytes(blob, memory_model=self.memory_model)
+            self._parse_cache[block_id] = (blob, entry)
+            return entry
         raise MetadataError(
             f"no live replica of metadata for block {block_id}: {last_error}"
         )

@@ -75,8 +75,15 @@ class SketchBlockElasticMap(BlockElasticMap):
         epsilon: float = 0.02,
         sketch_delta: float = 0.05,
         fingerprint: Optional[int] = None,
+        batched: bool = True,
     ) -> "SketchBlockElasticMap":
-        """Build from a dominant/tail separation, sketching the tail sizes."""
+        """Build from a dominant/tail separation, sketching the tail sizes.
+
+        The scalar loop interleaves sketch and Bloom insertions per tail
+        item; the two structures are independent, so ``batched`` splits
+        them into one :meth:`CountMinSketch.update_many` (same key order)
+        and one Bloom ``add_many`` with an identical end state.
+        """
         from .bloom import BloomFilter
 
         model = memory_model or MemoryModel()
@@ -86,9 +93,16 @@ class SketchBlockElasticMap(BlockElasticMap):
             error_rate=model.bloom_error_rate,
             seed=block_id,
         )
-        for sid, nbytes in result.tail.items():
-            sketch.add(sid, max(nbytes, 1))
-            bloom.add(sid)
+        if batched:
+            tail_ids = list(result.tail.keys())
+            sketch.update_many(
+                tail_ids, [max(n, 1) for n in result.tail.values()]
+            )
+            bloom.add_many(tail_ids)
+        else:
+            for sid, nbytes in result.tail.items():
+                sketch.add(sid, max(nbytes, 1))
+                bloom.add(sid)
         if result.tail:
             delta = min(result.tail.values())
         elif result.dominant:

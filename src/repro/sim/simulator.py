@@ -134,64 +134,99 @@ class DiscreteEventSimulator:
         if injector is not None:
             return self._run_with_faults(task_map, injector, policy, obs)
 
-        remaining_deps: Dict[str, Set[str]] = {
-            tid: set(t.deps) for tid, t in task_map.items()
-        }
-        successors: Dict[str, List[str]] = {tid: [] for tid in task_map}
+        # Fault-free fast path: tasks and nodes carry dense int indices so
+        # the heaps compare ints, dependency sets collapse to counters, and
+        # each node hands out slot indices from a free-list stack.  Task
+        # ranks follow sorted task-id order, so the int tie-breaks in the
+        # per-node ready heaps reproduce the original string tie-breaks —
+        # the realized timeline is bit-identical to the reference loop
+        # (the fault-aware loop below, run with an empty plan, is that
+        # reference; the equivalence tests drive both).
+        EV_READY, EV_FINISH = 0, 1
+        sorted_tids = sorted(task_map)
+        rank: Dict[str, int] = {tid: r for r, tid in enumerate(sorted_tids)}
+        n_tasks = len(sorted_tids)
+        node_of: List[int] = [0] * n_tasks
+        duration: List[float] = [0.0] * n_tasks
+        release: List[float] = [0.0] * n_tasks
+        node_rank: Dict[NodeId, int] = {}
+        for tid in sorted_tids:
+            task = task_map[tid]
+            r = rank[tid]
+            ni = node_rank.get(task.node)
+            if ni is None:
+                ni = node_rank[task.node] = len(node_rank)
+            node_of[r] = ni
+            duration[r] = task.duration
+            release[r] = task.release_time
+        remaining: List[int] = [0] * n_tasks
+        successors: List[List[int]] = [[] for _ in range(n_tasks)]
         for tid, task in task_map.items():
+            r = rank[tid]
+            remaining[r] = len(task.deps)
             for dep in task.deps:
-                successors[dep].append(tid)
+                successors[rank[dep]].append(r)
 
-        free_slots: Dict[NodeId, int] = {}
-        # per-node FIFO of ready tasks: (ready_time, task_id)
-        ready: Dict[NodeId, List[Tuple[float, str]]] = {}
-        for task in task_map.values():
-            free_slots.setdefault(task.node, self.slots_per_node)
-            ready.setdefault(task.node, [])
+        num_nodes = len(node_rank)
+        slot_free: List[List[int]] = [
+            list(range(self.slots_per_node - 1, -1, -1)) for _ in range(num_nodes)
+        ]
+        slot_of: List[int] = [0] * n_tasks
+        # per-node FIFO of ready tasks: (ready_time, task rank)
+        ready: List[List[Tuple[float, int]]] = [[] for _ in range(num_nodes)]
 
-        # event heap: (time, seq, kind, payload); kinds: "ready", "finish"
-        events: List[Tuple[float, int, str, str]] = []
+        # single event heap: (time, seq, kind, task rank)
+        events: List[Tuple[float, int, int, int]] = []
         seq = 0
         for tid, task in task_map.items():
             if not task.deps:
-                heapq.heappush(events, (task.release_time, seq, "ready", tid))
+                heapq.heappush(events, (task.release_time, seq, EV_READY, rank[tid]))
                 seq += 1
 
-        intervals: Dict[str, Tuple[float, float]] = {}
+        starts: List[float] = [0.0] * n_tasks
+        ends: List[float] = [0.0] * n_tasks
+        start_order: List[int] = []
         processed = 0
-        now = 0.0
 
-        def start_available(node: NodeId, time: float) -> None:
+        def start_available(ni: int, time: float) -> None:
             nonlocal seq
-            while free_slots[node] > 0 and ready[node]:
-                _rt, tid = heapq.heappop(ready[node])
-                free_slots[node] -= 1
-                task = task_map[tid]
-                end = time + task.duration
-                intervals[tid] = (time, end)
-                heapq.heappush(events, (end, seq, "finish", tid))
+            slots = slot_free[ni]
+            rheap = ready[ni]
+            while slots and rheap:
+                _rt, r = heapq.heappop(rheap)
+                slot_of[r] = slots.pop()
+                end = time + duration[r]
+                starts[r] = time
+                ends[r] = end
+                start_order.append(r)
+                heapq.heappush(events, (end, seq, EV_FINISH, r))
                 seq += 1
 
         while events:
-            now, _s, kind, tid = heapq.heappop(events)
+            now, _s, kind, r = heapq.heappop(events)
             processed += 1
-            task = task_map[tid]
-            if kind == "ready":
-                heapq.heappush(ready[task.node], (now, tid))
-                start_available(task.node, now)
-            else:  # finish
-                free_slots[task.node] += 1
-                for succ in successors[tid]:
-                    remaining_deps[succ].discard(tid)
-                    if not remaining_deps[succ]:
-                        ready_at = max(now, task_map[succ].release_time)
-                        heapq.heappush(events, (ready_at, seq, "ready", succ))
+            ni = node_of[r]
+            if kind == EV_READY:
+                heapq.heappush(ready[ni], (now, r))
+                start_available(ni, now)
+            else:  # finish: return the slot index, release successors
+                slot_free[ni].append(slot_of[r])
+                for succ in successors[r]:
+                    remaining[succ] -= 1
+                    if not remaining[succ]:
+                        ready_at = max(now, release[succ])
+                        heapq.heappush(events, (ready_at, seq, EV_READY, succ))
                         seq += 1
-                start_available(task.node, now)
+                start_available(ni, now)
 
-        if len(intervals) != len(task_map):  # pragma: no cover - guarded by validate
-            missing = sorted(set(task_map) - set(intervals))[:3]
+        if len(start_order) != n_tasks:  # pragma: no cover - guarded by validate
+            ran = {sorted_tids[r] for r in start_order}
+            missing = sorted(set(task_map) - ran)[:3]
             raise ConfigError(f"tasks never ran (scheduler bug?): {missing}")
+        # intervals in start order, matching the reference loop's insertion order
+        intervals: Dict[str, Tuple[float, float]] = {
+            sorted_tids[r]: (starts[r], ends[r]) for r in start_order
+        }
         if obs.tracer.enabled:
             with obs.tracer.span(
                 "sim/run", category="phase", sim_start=0.0, tasks=len(task_map)

@@ -7,6 +7,7 @@ these helpers exist so configuration and reports stay readable.
 
 from __future__ import annotations
 
+import functools
 import re
 
 from .errors import ConfigError
@@ -73,15 +74,8 @@ def format_size(num_bytes: int | float) -> str:
     return f"{n:.0f} B"
 
 
-def fibonacci_boundaries(base: int, count: int) -> list[int]:
-    """Return ``count`` increasing Fibonacci-scaled boundaries ``base*F_i``.
-
-    The paper's bucket series ``1kb, 2kb, 3kb, 5kb, 8kb, 13kb, 21kb, 34kb``
-    is ``fibonacci_boundaries(1024, 8)``.
-
-    Raises:
-        ConfigError: for a non-positive base or count.
-    """
+@functools.lru_cache(maxsize=256)
+def _fibonacci_boundaries_cached(base: int, count: int) -> tuple[int, ...]:
     if base <= 0:
         raise ConfigError(f"base must be positive, got {base}")
     if count <= 0:
@@ -91,4 +85,18 @@ def fibonacci_boundaries(base: int, count: int) -> list[int]:
     for _ in range(count):
         out.append(base * a)
         a, b = b, a + b
-    return out
+    return tuple(out)
+
+
+def fibonacci_boundaries(base: int, count: int) -> list[int]:
+    """Return ``count`` increasing Fibonacci-scaled boundaries ``base*F_i``.
+
+    The paper's bucket series ``1kb, 2kb, 3kb, 5kb, 8kb, 13kb, 21kb, 34kb``
+    is ``fibonacci_boundaries(1024, 8)``.  Results are memoized: the same
+    series is requested once per block during metadata construction, so
+    repeat calls must not recompute it.
+
+    Raises:
+        ConfigError: for a non-positive base or count.
+    """
+    return list(_fibonacci_boundaries_cached(base, count))

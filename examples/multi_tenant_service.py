@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Run the DataNet deployment as a long-lived multi-tenant service.
+
+Three tenants share one cluster through admission control: a weight-2
+tenant, a weight-1 tenant, and a rate-limited tenant whose quota sheds
+part of its stream with typed rejections.  Fresh reviews stream in as
+append batches and are indexed incrementally through the write-ahead
+metadata journal; then the same schedule is replayed with a driver crash
+landing mid-append, and the digests prove recovery is byte-identical.
+
+Run:  python examples/multi_tenant_service.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.serve import DrillConfig, run_service_drill
+
+config = DrillConfig(seed=7, num_nodes=12, jobs=18)
+
+print("=== healthy run ===")
+healthy = run_service_drill(config)
+print(healthy.format())
+
+print()
+print("=== same schedule, driver crash mid-append ===")
+crashed = run_service_drill(replace(config, crash=True))
+print(crashed.format())
+
+print()
+print("journal recovery check")
+print(f"  metadata digests agree: {crashed.metadata_digest == healthy.metadata_digest}")
+print(f"  results digests agree:  {crashed.results_digest == healthy.results_digest}")
+print(f"  jobs requeued on crash: {crashed.requeued_on_crash}")
+
+print()
+print("=== 4x overload on a single slot: backpressure sheds, never drops ===")
+overload = run_service_drill(
+    replace(config, pressure=4.0, slots=1, high_water=4, jobs=24)
+)
+print(overload.format())
+print()
+print(
+    f"every submission accounted for: {overload.submitted} submitted = "
+    f"{overload.admitted} admitted + {overload.rejected_total} typed "
+    f"rejections ({overload.rejected}); silent drops: {overload.silent_drops}"
+)

@@ -536,7 +536,59 @@ def _write_obs_artifacts(out_dir: str, obs=None, *, timeline=None) -> None:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import NULL_OBS, Observability
+    from .serve import DrillConfig, run_service_drill
+
+    config = DrillConfig(
+        seed=args.seed,
+        num_nodes=args.nodes,
+        jobs=args.jobs,
+        pressure=args.pressure,
+        append_batches=args.appends,
+        crash=args.crash,
+        meta_down=args.meta_down,
+        partition=args.partition,
+        slots=args.slots,
+        high_water=args.high_water,
+    )
+    obs = Observability.create() if args.obs else NULL_OBS
+    summary = run_service_drill(config, obs=obs)
+    faults = [
+        name
+        for name, on in (
+            ("service crash", args.crash),
+            ("metadata-shard outage", args.meta_down),
+            ("gray partition", args.partition),
+        )
+        if on
+    ]
+    print(
+        f"multi-tenant service drill — seed {args.seed}, "
+        f"{args.jobs} jobs at {args.pressure:g}x pressure"
+        + (f", faults: {', '.join(faults)}" if faults else "")
+    )
+    print()
+    print(summary.format())
+    if args.obs:
+        _write_obs_artifacts(args.obs, obs)
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.tenants:
+        # Multi-tenant chaos delegates to the service drill: the same
+        # crash/outage/partition toggles, but against the long-lived
+        # admission-controlled service instead of a single batch job.
+        args.jobs = 6 * args.tenants
+        args.pressure = 1.0
+        args.appends = 2
+        args.crash = bool(args.kill) or bool(args.restart_wave)
+        args.meta_down = bool(args.meta_down)
+        args.partition = bool(args.partition)
+        args.slots = 2
+        args.high_water = 64
+        return _cmd_serve(args)
     from .core.metastore import DistributedMetaStore
     from .faults import (
         BitRot,
@@ -903,7 +955,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs", metavar="DIR",
         help="trace the run and write observability artifacts into DIR",
     )
+    p_chaos.add_argument(
+        "--tenants", type=int, default=0,
+        help="run the multi-tenant service drill instead of a single batch "
+        "job: N tenants share the cluster through admission control, and "
+        "the --kill/--meta-down/--partition toggles become a service "
+        "crash, a metadata-shard outage, and a gray rack partition",
+    )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived multi-tenant analysis service drill",
+    )
+    p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.add_argument("--nodes", type=int, default=12)
+    p_serve.add_argument("--jobs", type=int, default=18)
+    p_serve.add_argument(
+        "--pressure", type=float, default=1.0,
+        help="arrival-rate multiplier (1.0 is sustainable; 2/4 overload)",
+    )
+    p_serve.add_argument(
+        "--appends", type=int, default=2,
+        help="streaming ingest batches cut from the tail of the stream",
+    )
+    p_serve.add_argument(
+        "--crash", action="store_true",
+        help="kill the driver mid-append and recover from the journal",
+    )
+    p_serve.add_argument(
+        "--meta-down", action="store_true",
+        help="take a metadata shard down mid-schedule (degraded mode)",
+    )
+    p_serve.add_argument(
+        "--partition", action="store_true",
+        help="gray-partition one rack mid-schedule (degraded mode)",
+    )
+    p_serve.add_argument("--slots", type=int, default=2)
+    p_serve.add_argument("--high-water", type=int, default=64)
+    p_serve.add_argument(
+        "--obs", metavar="DIR",
+        help="trace the run and write observability artifacts into DIR",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_scrub = sub.add_parser(
         "scrub", help="plant replica bit rot and repair it with the scrubber"

@@ -90,3 +90,46 @@ class TaskAttemptError(FaultError):
         self.task_id = task_id
         self.node = node
         self.attempts = attempts
+
+
+class ServiceError(ReproError):
+    """Raised by the multi-tenant analysis service (``repro.serve``)."""
+
+
+class Overloaded(ServiceError):
+    """A job was shed by admission control — a *typed* rejection.
+
+    The service never drops work silently: every request that cannot be
+    queued surfaces as one of these, carrying the tenant and the reason
+    (``"quota"``: token bucket empty, ``"backpressure"``: queue past its
+    high-water mark, ``"unavailable"``: service restarting after a crash)
+    so callers can account for every submission.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "", reason: str = "") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+
+
+class DeadlineExceeded(ServiceError):
+    """A job's deadline or timeout expired before it could complete.
+
+    Carries enough context to attribute the cancellation: whether the job
+    was still queued or already running, and the limit that fired.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        job_id: str = "",
+        tenant: str = "",
+        limit_s: float = 0.0,
+        while_running: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+        self.tenant = tenant
+        self.limit_s = limit_s
+        self.while_running = while_running

@@ -17,6 +17,7 @@ from typing import Dict, Optional
 from ..mapreduce.scheduler import LocalityScheduler
 from ..metrics.balance import improvement
 from ..metrics.reporting import format_table
+from ..serve.admission import AdmissionController, TenantSpec
 from ..sim import DiscreteEventSimulator, JobGraphBuilder, TaskTimeline
 from .config import ReferenceConfig, build_movie_environment
 from .pipeline import _jobs_for
@@ -93,7 +94,15 @@ def run_concurrent(
         sel_ids, local_data = builder.add_selection(
             "select", env.dataset, env.target, assignment, any_profile
         )
+        # The batch enters through the same admission queue the service
+        # uses; with one tenant and equal weights the fair drain preserves
+        # submission order, so the task graph is unchanged.
+        controller: AdmissionController = AdmissionController(
+            [TenantSpec("batch")], high_water=max(4, len(jobs))
+        )
         for label, job in jobs.items():
+            controller.submit("batch", (label, job), 0.0)
+        for _tenant, (label, job) in controller.queue.drain():
             builder.add_analysis(label, job, local_data, deps=sel_ids)
         sim = DiscreteEventSimulator(slots_per_node=slots_per_node)
         result = sim.run(builder.tasks)

@@ -43,6 +43,7 @@ from .plan import (
     MetaOutage,
     NetworkPartition,
     NodeCrash,
+    ServiceCrash,
     SlowNode,
     StaleMetadata,
     TransientFaults,
@@ -61,6 +62,7 @@ __all__ = [
     "BitRot",
     "StaleMetadata",
     "DriverRestart",
+    "ServiceCrash",
     "FaultInjector",
     "ResolvedPartition",
     "HealthDetector",

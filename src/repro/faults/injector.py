@@ -24,7 +24,15 @@ from typing import (
 )
 
 from ..errors import ConfigError
-from .plan import BitRot, DriverRestart, FaultPlan, FlakyLink, NodeCrash, SlowNode
+from .plan import (
+    BitRot,
+    DriverRestart,
+    FaultPlan,
+    FlakyLink,
+    NodeCrash,
+    ServiceCrash,
+    SlowNode,
+)
 
 __all__ = ["FaultInjector", "ResolvedPartition"]
 
@@ -257,3 +265,7 @@ class FaultInjector:
     def driver_restarts(self) -> List[DriverRestart]:
         """All planned driver restarts, earliest wave first."""
         return sorted(self.plan.driver_restarts, key=lambda r: r.wave)
+
+    def service_crashes_chronological(self) -> List[ServiceCrash]:
+        """All planned service crashes, earliest first."""
+        return sorted(self.plan.service_crashes, key=lambda c: c.time)

@@ -32,6 +32,7 @@ __all__ = [
     "BitRot",
     "StaleMetadata",
     "DriverRestart",
+    "ServiceCrash",
     "FaultPlan",
 ]
 
@@ -288,6 +289,30 @@ class DriverRestart:
 
 
 @dataclass(frozen=True)
+class ServiceCrash:
+    """The long-lived analysis service dies at ``time`` and restarts.
+
+    Unlike :class:`DriverRestart` (one job's driver, wave-granular), this
+    kills the whole multi-tenant daemon: in-memory metadata is lost and
+    must be rebuilt from the write-ahead journal, in-flight jobs are
+    re-queued, and submissions during the ``restart_delay_s`` outage are
+    shed with a typed rejection.  If an ingest batch is being journaled
+    when the crash lands, only records committed before ``time`` are
+    durable — recovery replays the journal and re-indexes the rest, and
+    the final metadata must be byte-identical to an uninterrupted run.
+    """
+
+    time: float
+    restart_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"crash time must be non-negative, got {self.time}")
+        if self.restart_delay_s < 0:
+            raise ConfigError("restart_delay_s must be non-negative")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full failure script for one chaos run.
 
@@ -306,6 +331,8 @@ class FaultPlan:
         stale_metadata: ElasticMap entries diverged from their blocks, at
             most one per block.
         driver_restarts: mid-job driver deaths, at most one per wave.
+        service_crashes: whole-service deaths (``repro.serve``), at most
+            one per time point.
     """
 
     seed: int = 0
@@ -318,6 +345,7 @@ class FaultPlan:
     bit_rots: Tuple[BitRot, ...] = ()
     stale_metadata: Tuple[StaleMetadata, ...] = ()
     driver_restarts: Tuple[DriverRestart, ...] = ()
+    service_crashes: Tuple[ServiceCrash, ...] = ()
 
     def __post_init__(self) -> None:
         crash_nodes = [c.node for c in self.crashes]
@@ -360,6 +388,9 @@ class FaultPlan:
         waves = [r.wave for r in self.driver_restarts]
         if len(set(waves)) != len(waves):
             raise ConfigError("at most one driver restart per wave")
+        crash_times = [c.time for c in self.service_crashes]
+        if len(set(crash_times)) != len(crash_times):
+            raise ConfigError("at most one service crash per time point")
 
     # -- queries -----------------------------------------------------------------
 
@@ -385,6 +416,7 @@ class FaultPlan:
             or self.bit_rots
             or self.stale_metadata
             or self.driver_restarts
+            or self.service_crashes
         )
 
     # -- construction ------------------------------------------------------------

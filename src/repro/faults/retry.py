@@ -13,8 +13,9 @@ wasted-work totals surfaced by :mod:`repro.metrics.recovery` come from it.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from ..errors import ConfigError, TaskAttemptError
 from ..obs import NULL_OBS, Observability
@@ -37,6 +38,13 @@ class RetryPolicy:
             are only rescheduled this long after the node died.
         blacklist_after: transient failures on one node before it stops
             receiving new work.
+        jitter: ``"none"`` keeps the deterministic exponential schedule;
+            ``"full"`` draws each delay uniformly from ``[0, exponential)``
+            (AWS full jitter) using a seeded hash of the task key, so
+            tenants that fail together do not retry in lockstep yet two
+            runs of the same plan still back off identically.
+        max_elapsed_s: optional cap on *cumulative* backoff per task — a
+            delay never extends a task's total waiting past this budget.
     """
 
     max_attempts: int = 4
@@ -44,6 +52,8 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     heartbeat_timeout_s: float = 2.0
     blacklist_after: int = 3
+    jitter: str = "none"
+    max_elapsed_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts <= 0:
@@ -54,12 +64,38 @@ class RetryPolicy:
             raise ConfigError("backoff_factor must be >= 1")
         if self.blacklist_after <= 0:
             raise ConfigError("blacklist_after must be positive")
+        if self.jitter not in ("none", "full"):
+            raise ConfigError(f"jitter must be 'none' or 'full', got {self.jitter!r}")
+        if self.max_elapsed_s is not None and self.max_elapsed_s <= 0:
+            raise ConfigError("max_elapsed_s must be positive when set")
 
-    def backoff(self, failed_attempts: int) -> float:
-        """Delay after ``failed_attempts`` consecutive failures (>= 1)."""
+    def backoff(
+        self,
+        failed_attempts: int,
+        *,
+        task_key: str = "",
+        seed: int = 0,
+        waited_s: float = 0.0,
+    ) -> float:
+        """Delay after ``failed_attempts`` consecutive failures (>= 1).
+
+        ``task_key``/``seed`` feed the jitter hash and ``waited_s`` is the
+        backoff already served for this task (for the ``max_elapsed_s``
+        budget); all three are ignored by the default policy, so existing
+        callers see byte-identical delays.
+        """
         if failed_attempts <= 0:
             raise ConfigError("backoff needs at least one failed attempt")
-        return self.backoff_base_s * self.backoff_factor ** (failed_attempts - 1)
+        delay = self.backoff_base_s * self.backoff_factor ** (failed_attempts - 1)
+        if self.jitter == "full":
+            digest = hashlib.blake2b(
+                f"backoff/{seed}/{task_key}/{failed_attempts}".encode("utf-8"),
+                digest_size=8,
+            ).digest()
+            delay *= int.from_bytes(digest, "little") / float(1 << 64)
+        if self.max_elapsed_s is not None:
+            delay = min(delay, max(0.0, self.max_elapsed_s - waited_s))
+        return delay
 
 
 @dataclass(frozen=True)
@@ -195,6 +231,7 @@ def run_attempts(
             track=f"node {node}",
         )
     elapsed = 0.0
+    waited = 0.0
     attempt = first_attempt
     failures_here = 0
     while attempt <= policy.max_attempts:
@@ -204,7 +241,12 @@ def run_attempts(
             log.record(task_key, node, attempt, "fault", wasted)
             blacklist.record_failure(node)
             failures_here += 1
-            delay = policy.backoff(failures_here)
+            delay = policy.backoff(
+                failures_here,
+                task_key=task_key,
+                seed=injector.plan.seed,
+                waited_s=waited,
+            )
             if traced:
                 obs.tracer.record(
                     f"{task_key}#a{attempt}",
@@ -227,6 +269,7 @@ def run_attempts(
                     help="simulated seconds spent waiting out backoff",
                 ).inc(delay)
             elapsed += wasted + delay
+            waited += delay
             attempt += 1
             continue
         if traced:

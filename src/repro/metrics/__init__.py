@@ -13,10 +13,12 @@ from .balance import (
 from .integrity import IntegritySummary
 from .recovery import RecoverySummary
 from .reporting import format_table, format_kv, format_histogram, series_to_rows
+from .service import ServiceSummary
 
 __all__ = [
     "IntegritySummary",
     "RecoverySummary",
+    "ServiceSummary",
     "format_histogram",
     "imbalance_ratio",
     "min_max_ratio",

@@ -1,0 +1,188 @@
+"""Service observability: what a multi-tenant run admitted, shed and lost.
+
+The reporting end of :mod:`repro.serve`, shaped like
+:class:`~repro.metrics.recovery.RecoverySummary`: a frozen block of
+counters with the accounting invariants enforced at construction time.
+The load-shedding contract — *never a silent drop* — is a type-level
+property here: a summary whose submissions do not reconcile with its
+admissions and typed rejections refuses to exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+from .reporting import format_kv
+
+__all__ = ["ServiceSummary"]
+
+
+@dataclass(frozen=True)
+class ServiceSummary:
+    """Aggregated outcome of one multi-tenant service run.
+
+    Attributes:
+        tenants: tenants configured on the service.
+        submitted: jobs offered to admission control.
+        admitted: jobs accepted into the fair queue.
+        completed: admitted jobs that produced output.
+        rejected: typed rejections by reason (``quota`` /
+            ``backpressure`` / ``unavailable``).
+        cancelled_deadline: jobs cancelled because their absolute deadline
+            passed (queued too long or in-flight past it).
+        cancelled_timeout: jobs whose in-flight waves were cut by their
+            relative timeout.
+        requeued_on_crash: in-flight or queued jobs re-admitted after a
+            service crash (not drops — they still reach a terminal state).
+        degraded_jobs: jobs dispatched in degraded (locality-only) mode.
+        deferred_jobs: dispatches postponed until a partition healed.
+        appends: ingest batches applied.
+        blocks_appended: blocks indexed incrementally from those batches.
+        journal_records: frames committed to the metadata journal.
+        journal_replays: recoveries that rebuilt metadata from the journal.
+        service_crashes: :class:`~repro.faults.ServiceCrash` events hit.
+        max_queue_depth: deepest the admission queue ever got.
+        makespan: simulated time from first event to last completion.
+        wait_mean_by_tenant: mean queue wait per tenant (admit→dispatch).
+        wait_p99_s: 99th-percentile queue wait across all dispatches.
+        degraded_intervals: ``(start, end)`` windows the service spent in
+            degraded mode (metadata-shard outage or gray partition).
+        metadata_digest: content digest of the final ElasticMap array.
+        results_digest: digest over every completed job's output — the
+            byte-identity oracle for rerun and crash/no-crash diffs.
+    """
+
+    tenants: int
+    submitted: int
+    admitted: int
+    completed: int
+    rejected: Dict[str, int] = field(default_factory=dict)
+    cancelled_deadline: int = 0
+    cancelled_timeout: int = 0
+    requeued_on_crash: int = 0
+    degraded_jobs: int = 0
+    deferred_jobs: int = 0
+    appends: int = 0
+    blocks_appended: int = 0
+    journal_records: int = 0
+    journal_replays: int = 0
+    service_crashes: int = 0
+    max_queue_depth: int = 0
+    makespan: float = 0.0
+    wait_mean_by_tenant: Dict[str, float] = field(default_factory=dict)
+    wait_p99_s: float = 0.0
+    degraded_intervals: Tuple[Tuple[float, float], ...] = ()
+    metadata_digest: str = ""
+    results_digest: str = ""
+
+    def __post_init__(self) -> None:
+        ints = {
+            "tenants": self.tenants,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "cancelled_deadline": self.cancelled_deadline,
+            "cancelled_timeout": self.cancelled_timeout,
+            "requeued_on_crash": self.requeued_on_crash,
+            "degraded_jobs": self.degraded_jobs,
+            "deferred_jobs": self.deferred_jobs,
+            "appends": self.appends,
+            "blocks_appended": self.blocks_appended,
+            "journal_records": self.journal_records,
+            "journal_replays": self.journal_replays,
+            "service_crashes": self.service_crashes,
+            "max_queue_depth": self.max_queue_depth,
+        }
+        for name, value in ints.items():
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value}")
+        for reason, count in self.rejected.items():
+            if count < 0:
+                raise ConfigError(f"rejected[{reason!r}] must be non-negative")
+        if self.makespan < 0 or self.wait_p99_s < 0:
+            raise ConfigError("makespan and waits must be non-negative")
+        if self.silent_drops != 0:
+            raise ConfigError(
+                f"{self.silent_drops} submissions unaccounted for — every job "
+                "must be admitted or rejected with a typed reason"
+            )
+        if self.completed + self.cancelled_deadline + self.cancelled_timeout != self.admitted:
+            raise ConfigError(
+                "admitted jobs must all reach a terminal state "
+                f"(admitted={self.admitted}, completed={self.completed}, "
+                f"cancelled={self.cancelled_deadline + self.cancelled_timeout})"
+            )
+        for start, end in self.degraded_intervals:
+            if end <= start:
+                raise ConfigError(f"inverted degraded interval [{start}, {end})")
+
+    # -- derived ----------------------------------------------------------------
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    @property
+    def silent_drops(self) -> int:
+        """Submissions with no typed outcome; always 0 for a valid summary."""
+        return self.submitted - self.admitted - self.rejected_total
+
+    @property
+    def admission_rate(self) -> float:
+        """Fraction of submissions admitted (1.0 when nothing was offered)."""
+        return self.admitted / self.submitted if self.submitted else 1.0
+
+    @property
+    def degraded_seconds(self) -> float:
+        return sum(end - start for start, end in self.degraded_intervals)
+
+    @property
+    def throughput_jobs_per_ks(self) -> float:
+        """Completed jobs per 1000 simulated seconds."""
+        return 1000.0 * self.completed / self.makespan if self.makespan else 0.0
+
+    # -- rendering ---------------------------------------------------------------
+
+    def format(self) -> str:
+        pairs: Dict[str, object] = {
+            "tenants": self.tenants,
+            "submitted": self.submitted,
+            "admitted": f"{self.admitted} ({self.admission_rate:.0%})",
+            "completed": self.completed,
+        }
+        for reason in sorted(self.rejected):
+            pairs[f"rejected ({reason})"] = self.rejected[reason]
+        if self.cancelled_deadline:
+            pairs["cancelled (deadline)"] = self.cancelled_deadline
+        if self.cancelled_timeout:
+            pairs["cancelled (timeout)"] = self.cancelled_timeout
+        if self.requeued_on_crash:
+            pairs["requeued on crash"] = self.requeued_on_crash
+        pairs["max queue depth"] = self.max_queue_depth
+        pairs["p99 wait (s)"] = f"{self.wait_p99_s:.2f}"
+        for tenant in sorted(self.wait_mean_by_tenant):
+            pairs[f"mean wait {tenant} (s)"] = (
+                f"{self.wait_mean_by_tenant[tenant]:.2f}"
+            )
+        if self.appends:
+            pairs["ingest batches"] = self.appends
+            pairs["blocks appended"] = self.blocks_appended
+        pairs["journal records"] = self.journal_records
+        if self.service_crashes:
+            pairs["service crashes"] = self.service_crashes
+            pairs["journal replays"] = self.journal_replays
+        if self.degraded_jobs or self.degraded_intervals:
+            pairs["degraded jobs"] = self.degraded_jobs
+            pairs["degraded (s)"] = f"{self.degraded_seconds:.1f}"
+            pairs["degraded windows"] = ", ".join(
+                f"[{s:.0f}, {e:.0f})" for s, e in self.degraded_intervals
+            ) or "none"
+        if self.deferred_jobs:
+            pairs["deferred dispatches"] = self.deferred_jobs
+        pairs["makespan (s)"] = f"{self.makespan:.1f}"
+        pairs["throughput (jobs/ks)"] = f"{self.throughput_jobs_per_ks:.1f}"
+        pairs["metadata digest"] = self.metadata_digest or "n/a"
+        pairs["results digest"] = self.results_digest or "n/a"
+        return format_kv(pairs, title="Service summary")

@@ -1,0 +1,44 @@
+"""Long-lived multi-tenant analysis service over one DataNet deployment.
+
+The serving layer stacks on the batch machinery: admission control and
+weighted fair queueing (:mod:`repro.serve.admission`), a write-ahead
+journal for crash-safe incremental metadata (:mod:`repro.serve.journal`),
+and the driver event loop with deadlines, crash recovery, and graceful
+degradation (:mod:`repro.serve.service`).  :mod:`repro.serve.scenario`
+packages deterministic drills for the CLI, CI soak, and tests.
+"""
+
+from .admission import (
+    AdmissionController,
+    TenantSpec,
+    TokenBucket,
+    WeightedFairQueue,
+)
+from .journal import MetadataJournal, ReplayResult, array_digest
+from .scenario import DrillConfig, DrillSetup, build_drill, run_service_drill
+from .service import (
+    AnalysisService,
+    AppendBatch,
+    JobRequest,
+    MetaOutageWindow,
+    ServiceConfig,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AnalysisService",
+    "AppendBatch",
+    "DrillConfig",
+    "DrillSetup",
+    "JobRequest",
+    "MetaOutageWindow",
+    "MetadataJournal",
+    "ReplayResult",
+    "ServiceConfig",
+    "TenantSpec",
+    "TokenBucket",
+    "WeightedFairQueue",
+    "array_digest",
+    "build_drill",
+    "run_service_drill",
+]

@@ -1,0 +1,236 @@
+"""Admission control and fair-share queueing for the analysis service.
+
+Three cooperating pieces, all seed-free and simulated-time driven so two
+runs of the same request stream admit identically:
+
+* :class:`TokenBucket` — per-tenant rate limiting.  Tokens refill
+  continuously at ``rate`` per simulated second up to ``burst``; a
+  submission costs one token, and an empty bucket is a *typed*
+  :class:`~repro.errors.Overloaded` rejection (reason ``"quota"``).
+* :class:`WeightedFairQueue` — classic virtual-time weighted fair
+  queueing over per-tenant FIFOs.  Each queued job advances its tenant's
+  virtual finish time by ``1 / weight``, so a weight-2 tenant drains
+  twice as often as a weight-1 tenant under contention, while an idle
+  tenant's arrears are forgiven (its virtual time snaps forward to the
+  queue's).  Ties break on submission sequence — deterministic.
+* :class:`AdmissionController` — the front door: quota check, then a
+  bounded queue that sheds load past ``high_water`` (reason
+  ``"backpressure"``).  Every submission ends in exactly one ledger
+  bucket — admitted or rejected-with-reason — never a silent drop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, Generic, Iterable, List, Tuple, TypeVar
+
+from ..errors import ConfigError, Overloaded
+from ..obs import NULL_OBS, Observability
+
+__all__ = ["TenantSpec", "TokenBucket", "WeightedFairQueue", "AdmissionController"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's share and quota.
+
+    Attributes:
+        name: tenant id (unique within a service).
+        weight: fair-share weight; a weight-2 tenant gets twice the
+            dispatch slots of a weight-1 tenant under contention.
+        rate: sustained admissions per simulated second (``inf`` = no
+            quota).
+        burst: bucket capacity — how many submissions can land back to
+            back before the rate gates them.
+    """
+
+    name: str
+    weight: float = 1.0
+    rate: float = math.inf
+    burst: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ConfigError("tenant weight must be positive")
+        if self.rate <= 0:
+            raise ConfigError("tenant rate must be positive (inf disables quota)")
+        if self.burst < 1:
+            raise ConfigError("tenant burst must be >= 1")
+
+
+class TokenBucket:
+    """Continuous-refill token bucket on the simulated clock."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst < 1:
+            raise ConfigError("token bucket needs rate > 0 and burst >= 1")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now < self._last:
+            raise ConfigError(f"token bucket clock moved backwards: {now} < {self._last}")
+        if math.isinf(self.rate):
+            self._tokens = self.burst
+        else:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def try_take(self, now: float) -> bool:
+        """Spend one token if available; False (and no spend) otherwise."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def level(self, now: float) -> float:
+        self._refill(now)
+        return self._tokens
+
+
+class WeightedFairQueue(Generic[T]):
+    """Virtual-time weighted fair queue over per-tenant FIFOs."""
+
+    def __init__(self, tenants: Iterable[TenantSpec]) -> None:
+        specs = list(tenants)
+        if not specs:
+            raise ConfigError("WeightedFairQueue needs at least one tenant")
+        names = [t.name for t in specs]
+        if len(set(names)) != len(names):
+            raise ConfigError("duplicate tenant names")
+        self._weights: Dict[str, float] = {t.name: t.weight for t in specs}
+        self._vtime = 0.0
+        self._last_finish: Dict[str, float] = {t.name: 0.0 for t in specs}
+        # heap of (virtual finish, submission seq, tenant, item)
+        self._heap: List[Tuple[float, int, str, T]] = []
+        self._seq = 0
+        self._depth: Dict[str, int] = {t.name: 0 for t in specs}
+
+    def push(self, tenant: str, item: T) -> None:
+        if tenant not in self._weights:
+            raise ConfigError(f"unknown tenant {tenant!r}")
+        finish = max(self._vtime, self._last_finish[tenant]) + 1.0 / self._weights[tenant]
+        self._last_finish[tenant] = finish
+        heapq.heappush(self._heap, (finish, self._seq, tenant, item))
+        self._seq += 1
+        self._depth[tenant] += 1
+
+    def pop(self) -> Tuple[str, T]:
+        if not self._heap:
+            raise ConfigError("pop from an empty fair queue")
+        finish, _seq, tenant, item = heapq.heappop(self._heap)
+        self._vtime = max(self._vtime, finish)
+        self._depth[tenant] -= 1
+        return tenant, item
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def depth_of(self, tenant: str) -> int:
+        return self._depth[tenant]
+
+    def drain(self) -> List[Tuple[str, T]]:
+        """Pop everything in fair order (used by the batch compat path)."""
+        out: List[Tuple[str, T]] = []
+        while self._heap:
+            out.append(self.pop())
+        return out
+
+
+class AdmissionController(Generic[T]):
+    """Quota check + bounded fair queue with typed load shedding."""
+
+    def __init__(
+        self,
+        tenants: Iterable[TenantSpec],
+        *,
+        high_water: int = 32,
+        obs: Observability = NULL_OBS,
+    ) -> None:
+        specs = list(tenants)
+        if high_water <= 0:
+            raise ConfigError("high_water must be positive")
+        self.tenants: Dict[str, TenantSpec] = {t.name: t for t in specs}
+        self.high_water = high_water
+        self.queue: WeightedFairQueue[T] = WeightedFairQueue(specs)
+        self._buckets: Dict[str, TokenBucket] = {
+            t.name: TokenBucket(t.rate, t.burst) for t in specs
+        }
+        self.obs = obs
+        self.submitted = 0
+        self.admitted = 0
+        self.rejected: Dict[str, int] = {}
+
+    def _reject(self, tenant: str, reason: str, message: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+        if self.obs.metrics.enabled:
+            self.obs.metrics.counter(
+                "service_jobs_rejected_total",
+                help="submissions shed by admission control, by reason",
+                labelnames=("reason",),
+            ).inc(reason=reason)
+        raise Overloaded(message, tenant=tenant, reason=reason)
+
+    def submit(self, tenant: str, item: T, now: float, *, open_for_business: bool = True) -> None:
+        """Admit one job into the fair queue or shed it.
+
+        Raises:
+            Overloaded: typed rejection — ``reason`` is ``"quota"``,
+                ``"backpressure"`` or ``"unavailable"``; the ledger counts
+                it either way, so ``submitted == admitted + rejections``.
+        """
+        if tenant not in self.tenants:
+            raise ConfigError(f"unknown tenant {tenant!r}")
+        self.submitted += 1
+        if not open_for_business:
+            self._reject(
+                tenant, "unavailable", f"service restarting; tenant {tenant} shed"
+            )
+        if not self._buckets[tenant].try_take(now):
+            self._reject(
+                tenant,
+                "quota",
+                f"tenant {tenant} exceeded its admission quota "
+                f"({self.tenants[tenant].rate}/s, burst {self.tenants[tenant].burst})",
+            )
+        if len(self.queue) >= self.high_water:
+            self._reject(
+                tenant,
+                "backpressure",
+                f"queue at high-water mark ({self.high_water}); tenant {tenant} shed",
+            )
+        self.queue.push(tenant, item)
+        self.admitted += 1
+        if self.obs.metrics.enabled:
+            self.obs.metrics.counter(
+                "service_jobs_admitted_total", help="jobs accepted into the fair queue"
+            ).inc()
+            self.obs.metrics.gauge(
+                "service_queue_depth", help="jobs waiting in the admission queue"
+            ).set(len(self.queue))
+
+    def requeue(self, tenant: str, item: T) -> None:
+        """Put an admitted-but-interrupted job back (crash recovery);
+        bypasses quota and high-water — the job was already paid for."""
+        self.queue.push(tenant, item)
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    @property
+    def silent_drops(self) -> int:
+        """Must be zero by construction; the summary asserts it."""
+        return self.submitted - self.admitted - self.rejected_total

@@ -54,10 +54,16 @@ class SimulationResult:
     dead_nodes: List[NodeId] = field(default_factory=list)
     blacklisted_nodes: List[NodeId] = field(default_factory=list)
     migrated_tasks: List[str] = field(default_factory=list)
+    cancelled_tasks: List[str] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
         return self.timeline.makespan
+
+    @property
+    def cancelled(self) -> bool:
+        """True when a ``cancel_at`` horizon cut the run short."""
+        return bool(self.cancelled_tasks)
 
 
 class DiscreteEventSimulator:
@@ -109,6 +115,7 @@ class DiscreteEventSimulator:
         injector: Optional["FaultInjector"] = None,
         policy: Optional["RetryPolicy"] = None,
         obs: Observability = NULL_OBS,
+        cancel_at: Optional[float] = None,
     ) -> SimulationResult:
         """Simulate all tasks; returns the realized timeline.
 
@@ -119,12 +126,21 @@ class DiscreteEventSimulator:
             obs: observability bundle; spans and counters are recorded
                 post-hoc from the realized timeline, so the event loop
                 itself is untouched.
+            cancel_at: optional deadline on the simulated clock.  Events
+                past it never run: in-flight work is abandoned, its slots
+                are implicitly released, and every task without a completed
+                interval is reported in ``cancelled_tasks`` instead of
+                raising — the cooperative cancellation the analysis
+                service's job deadlines ride on.  ``None`` (the default)
+                keeps the run-to-completion semantics byte-identical.
 
         Raises:
             ConfigError: duplicate ids, unknown dependencies, or cycles.
             TaskAttemptError: a task exhausted its retry budget.
             FaultError: no live node remains to run a task.
         """
+        if cancel_at is not None and cancel_at < 0:
+            raise ConfigError("cancel_at must be non-negative")
         task_map: Dict[str, SimTask] = {}
         for task in tasks:
             if task.task_id in task_map:
@@ -132,7 +148,7 @@ class DiscreteEventSimulator:
             task_map[task.task_id] = task
         self._validate(task_map)
         if injector is not None:
-            return self._run_with_faults(task_map, injector, policy, obs)
+            return self._run_with_faults(task_map, injector, policy, obs, cancel_at)
 
         # Fault-free fast path: tasks and nodes carry dense int indices so
         # the heaps compare ints, dependency sets collapse to counters, and
@@ -185,6 +201,7 @@ class DiscreteEventSimulator:
 
         starts: List[float] = [0.0] * n_tasks
         ends: List[float] = [0.0] * n_tasks
+        finished: List[bool] = [False] * n_tasks
         start_order: List[int] = []
         processed = 0
 
@@ -203,6 +220,8 @@ class DiscreteEventSimulator:
                 seq += 1
 
         while events:
+            if cancel_at is not None and events[0][0] > cancel_at:
+                break
             now, _s, kind, r = heapq.heappop(events)
             processed += 1
             ni = node_of[r]
@@ -210,6 +229,7 @@ class DiscreteEventSimulator:
                 heapq.heappush(ready[ni], (now, r))
                 start_available(ni, now)
             else:  # finish: return the slot index, release successors
+                finished[r] = True
                 slot_free[ni].append(slot_of[r])
                 for succ in successors[r]:
                     remaining[succ] -= 1
@@ -219,14 +239,22 @@ class DiscreteEventSimulator:
                         seq += 1
                 start_available(ni, now)
 
-        if len(start_order) != n_tasks:  # pragma: no cover - guarded by validate
+        if cancel_at is None and len(start_order) != n_tasks:  # pragma: no cover
             ran = {sorted_tids[r] for r in start_order}
             missing = sorted(set(task_map) - ran)[:3]
             raise ConfigError(f"tasks never ran (scheduler bug?): {missing}")
-        # intervals in start order, matching the reference loop's insertion order
+        # intervals in start order, matching the reference loop's insertion
+        # order; under a cancel horizon only completed tasks count
         intervals: Dict[str, Tuple[float, float]] = {
-            sorted_tids[r]: (starts[r], ends[r]) for r in start_order
+            sorted_tids[r]: (starts[r], ends[r])
+            for r in start_order
+            if finished[r]
         }
+        cancelled = (
+            [tid for tid in sorted_tids if not finished[rank[tid]]]
+            if cancel_at is not None
+            else []
+        )
         if obs.tracer.enabled:
             with obs.tracer.span(
                 "sim/run", category="phase", sim_start=0.0, tasks=len(task_map)
@@ -253,6 +281,7 @@ class DiscreteEventSimulator:
         return SimulationResult(
             timeline=TaskTimeline(intervals=intervals, tasks=task_map),
             events_processed=processed,
+            cancelled_tasks=cancelled,
         )
 
     # -- the fault-aware event loop ------------------------------------------------
@@ -263,6 +292,7 @@ class DiscreteEventSimulator:
         injector: "FaultInjector",
         policy: Optional["RetryPolicy"],
         obs: Observability = NULL_OBS,
+        cancel_at: Optional[float] = None,
     ) -> SimulationResult:
         """The attempt-lifecycle event loop (see module docstring)."""
         from ..faults.retry import AttemptLog, NodeBlacklist, RetryPolicy
@@ -402,6 +432,8 @@ class DiscreteEventSimulator:
 
         processed = 0
         while events:
+            if cancel_at is not None and events[0][0] > cancel_at:
+                break
             now, _s, kind, payload, tok = heapq.heappop(events)
             processed += 1
             if kind == "pstart":
@@ -477,7 +509,14 @@ class DiscreteEventSimulator:
                 failures_of[tid] += 1
                 if attempt_no[tid] > policy.max_attempts:
                     raise exhaust(tid, node)
-                push(now + policy.backoff(failures_of[tid]), "ready", tid)
+                push(
+                    now
+                    + policy.backoff(
+                        failures_of[tid], task_key=tid, seed=injector.plan.seed
+                    ),
+                    "ready",
+                    tid,
+                )
                 if newly_benched:
                     evacuate(node, now)
                 else:
@@ -495,12 +534,15 @@ class DiscreteEventSimulator:
                     push(max(now, task_map[succ].release_time), "ready", succ)
             start_available(node, now)
 
-        if len(intervals) != len(task_map):  # pragma: no cover - defensive
+        if cancel_at is None and len(intervals) != len(task_map):  # pragma: no cover
             missing = sorted(set(task_map) - set(intervals))[:3]
             raise ConfigError(f"tasks never ran (scheduler bug?): {missing}")
+        cancelled = sorted(set(task_map) - set(intervals)) if cancel_at is not None else []
         realized = {
             tid: (
-                task if final_node[tid] == task.node else replace(task, node=final_node[tid])
+                task
+                if final_node.get(tid, task.node) == task.node
+                else replace(task, node=final_node[tid])
             )
             for tid, task in task_map.items()
         }
@@ -562,4 +604,5 @@ class DiscreteEventSimulator:
             dead_nodes=sorted(dead, key=repr),
             blacklisted_nodes=blacklist.nodes,
             migrated_tasks=sorted(set(migrated)),
+            cancelled_tasks=cancelled,
         )

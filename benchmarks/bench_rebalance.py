@@ -1,0 +1,292 @@
+#!/usr/bin/env python
+"""Performance harness for the background placement rebalancer.
+
+Runs the fixed-seed rebalance suite — annealing planner throughput,
+executor apply rate, and the three-way makespan comparison — and appends
+one schema-validated record to ``BENCH_rebalance.json`` at the repo
+root, so planner or executor regressions show up as a drop between
+consecutive records measured by the same harness.
+
+Usage::
+
+    python benchmarks/bench_rebalance.py [--quick] [--seed N] [--out PATH]
+
+``--quick`` shrinks the annealing budget ~4x for CI smoke runs; the
+record schema is identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np  # noqa: E402
+
+from repro import DataNet, HDFSCluster, Record  # noqa: E402
+from repro.rebalance import (  # noqa: E402
+    RebalanceExecutor,
+    RebalancePlanner,
+    WorkloadProfile,
+)
+
+SCHEMA_NAME = "bench-rebalance/v1"
+DEFAULT_OUT = os.path.join(_REPO_ROOT, "BENCH_rebalance.json")
+
+#: result section → numeric fields every record must carry
+_RESULT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "planning": (
+        "blocks",
+        "iterations",
+        "proposals_per_s",
+        "cost_improvement",
+    ),
+    "execution": (
+        "moves",
+        "bytes_migrated",
+        "moves_per_s",
+        "bytes_per_s",
+    ),
+    "comparison": (
+        "makespan_scheduling_only_s",
+        "makespan_rebalanced_s",
+        "speedup",
+        "migration_fraction",
+    ),
+}
+
+
+def _time(fn: Callable[[], object], *, repeat: int = 2) -> float:
+    """Best-of-``repeat`` wall time of ``fn()`` in seconds (> 0)."""
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return max(best, 1e-9)
+
+
+def _environment(seed: int):
+    """Seed-deterministic skewed dataset: a clustered hot run plus a tail."""
+    rng = np.random.default_rng(seed)
+    cluster = HDFSCluster(
+        num_nodes=10, block_size=2048, replication=3, rng=rng
+    )
+    records = [Record("hot", float(t), "h" * 30) for t in range(400)]
+    records += [
+        Record(f"s{i % 8}", 400.0 + i, "c" * 30) for i in range(600)
+    ]
+    dataset = cluster.write_dataset("d", records)
+    datanet = DataNet.build(dataset, alpha=0.3)
+    sizes = dataset.subdataset_sizes()
+    weights = {sid: float(nbytes) for sid, nbytes in sizes.items()}
+    weights["hot"] = 4.0 * max(weights.values())
+    return cluster, dataset, datanet, WorkloadProfile(weights)
+
+
+def _bench_planning(seed: int, quick: bool) -> Dict[str, float]:
+    iterations = 800 if quick else 3000
+    _cluster, dataset, datanet, profile = _environment(seed)
+
+    def plan():
+        return RebalancePlanner(
+            dataset, datanet, profile, seed=seed, iterations=iterations
+        ).plan()
+
+    t = _time(plan, repeat=2)
+    result = plan()
+    return {
+        "blocks": float(dataset.num_blocks),
+        "iterations": float(iterations),
+        "proposals_per_s": iterations / t,
+        "cost_improvement": result.improvement,
+    }
+
+
+def _bench_execution(seed: int, quick: bool) -> Dict[str, float]:
+    iterations = 800 if quick else 3000
+    _cluster, dataset, datanet, profile = _environment(seed)
+    plan = RebalancePlanner(
+        dataset, datanet, profile, seed=seed, iterations=iterations
+    ).plan()
+
+    def apply_once() -> None:
+        cluster, ds, dn, _p = _environment(seed)
+        cluster.watch_placement(ds.name, dn)
+        RebalanceExecutor(cluster).apply(plan)
+
+    # time includes the environment rebuild; subtract the rebuild baseline
+    t_total = _time(apply_once, repeat=2)
+    t_setup = _time(lambda: _environment(seed), repeat=2)
+    t = max(t_total - t_setup, 1e-9)
+    return {
+        "moves": float(plan.num_moves),
+        "bytes_migrated": float(plan.total_bytes),
+        "moves_per_s": plan.num_moves / t,
+        "bytes_per_s": plan.total_bytes / t,
+    }
+
+
+def _bench_comparison(seed: int, quick: bool) -> Dict[str, float]:
+    from repro.experiments import ReferenceConfig
+    from repro.experiments.rebalance import run_rebalance_comparison
+
+    result = run_rebalance_comparison(
+        ReferenceConfig.small(),
+        workload="movielens",
+        iterations=1500 if quick else 6000,
+        seed=seed,
+    )
+    return {
+        "makespan_scheduling_only_s": result.time_scheduling_only,
+        "makespan_rebalanced_s": result.time_rebalanced,
+        "speedup": result.time_scheduling_only
+        / max(result.time_rebalanced, 1e-9),
+        "migration_fraction": result.migration_fraction,
+    }
+
+
+def run_rebalance_suite(
+    *, quick: bool = False, seed: int = 7
+) -> Dict[str, object]:
+    """Run every rebalance benchmark and return one record."""
+    results: Dict[str, Dict[str, float]] = {
+        "planning": _bench_planning(seed, quick),
+        "execution": _bench_execution(seed, quick),
+        "comparison": _bench_comparison(seed, quick),
+    }
+    return {
+        "schema": SCHEMA_NAME,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "seed": seed,
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "results": results,
+    }
+
+
+def validate_record(record: object) -> List[str]:
+    """Schema check; returns a list of problems (empty = valid).
+
+    Hand-rolled like :func:`repro.bench.validate_record`: the container
+    carries no jsonschema package and the schema is small.
+    """
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record must be an object, got {type(record).__name__}"]
+    if record.get("schema") != SCHEMA_NAME:
+        problems.append(
+            f"schema must be {SCHEMA_NAME!r}, got {record.get('schema')!r}"
+        )
+    for key, kind in (
+        ("timestamp", str),
+        ("seed", int),
+        ("quick", bool),
+        ("python", str),
+        ("numpy", str),
+    ):
+        if not isinstance(record.get(key), kind):
+            problems.append(f"{key} must be {kind.__name__}")
+    results = record.get("results")
+    if not isinstance(results, dict):
+        problems.append("results must be an object")
+        return problems
+    for section, fields in _RESULT_FIELDS.items():
+        data = results.get(section)
+        if not isinstance(data, dict):
+            problems.append(f"results.{section} missing")
+            continue
+        for f in fields:
+            value = data.get(f)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"results.{section}.{f} must be a number")
+            elif value < 0:
+                problems.append(f"results.{section}.{f} must be non-negative")
+    return problems
+
+
+def load_records(path: str) -> List[Dict[str, object]]:
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array of records")
+    return data
+
+
+def append_record(path: str, record: Dict[str, object]) -> int:
+    problems = validate_record(record)
+    if problems:
+        raise ValueError("invalid bench record: " + "; ".join(problems))
+    records = load_records(path)
+    records.append(record)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(records, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(records)
+
+
+def format_record(record: Dict[str, object]) -> str:
+    results: Dict[str, Dict[str, float]] = record["results"]  # type: ignore[assignment]
+    plan, execu, comp = (
+        results["planning"],
+        results["execution"],
+        results["comparison"],
+    )
+    return "\n".join(
+        [
+            f"bench-rebalance @ {record['timestamp']}  "
+            f"(seed={record['seed']}, quick={record['quick']})",
+            f"planning   : {plan['proposals_per_s']:>10,.0f} proposals/s  "
+            f"({plan['cost_improvement']:.1%} cost improvement, "
+            f"{plan['blocks']:.0f} blocks)",
+            f"execution  : {execu['moves_per_s']:>10,.1f} moves/s      "
+            f"({execu['moves']:.0f} moves, {execu['bytes_migrated']:,.0f} B)",
+            f"comparison : {comp['speedup']:>10.3f}x makespan    "
+            f"({comp['makespan_scheduling_only_s']:.1f}s -> "
+            f"{comp['makespan_rebalanced_s']:.1f}s, "
+            f"{comp['migration_fraction']:.1%} migrated)",
+        ]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the annealing budget ~4x (CI smoke mode; same schema)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help="record history to append to (default: BENCH_rebalance.json)",
+    )
+    parser.add_argument(
+        "--no-append",
+        action="store_true",
+        help="print the record without touching the history file",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_rebalance_suite(quick=args.quick, seed=args.seed)
+    print(format_record(record))
+    if not args.no_append:
+        count = append_record(args.out, record)
+        print(f"appended record #{count} to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

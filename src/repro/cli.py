@@ -39,6 +39,7 @@ EXPERIMENTS: Dict[str, str] = {
     "fig9": "Figure 9 — per-sub-dataset estimate accuracy",
     "fig10": "Figure 10 — balance vs alpha",
     "migration": "Section V-A.4 — dynamic rebalance baseline",
+    "rebalance": "Extension — background annealed rebalance, three-way comparison",
     "scaling": "Extension — imbalance vs cluster size (theory, end to end)",
     "hetero": "Extension — capacity-aware scheduling on a mixed cluster",
     "concurrent": "Extension — four jobs sharing the cluster (event-driven sim)",
@@ -96,6 +97,15 @@ def _run_experiment(exp_id: str, small: bool) -> str:
         from .experiments.migration import run_migration
 
         return run_migration(cfg).format()
+    if exp_id == "rebalance":
+        from .experiments.rebalance import run_rebalance_comparison
+
+        iters = 6000 if small else 2000
+        parts = [
+            run_rebalance_comparison(cfg, workload=wl, iterations=iters).format()
+            for wl in ("movielens", "github_events")
+        ]
+        return "\n\n".join(parts)
     if exp_id == "scaling":
         from .experiments.scaling import run_scaling
 
@@ -551,6 +561,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         partition=args.partition,
         slots=args.slots,
         high_water=args.high_water,
+        rebalance_budget=args.rebalance_budget,
     )
     obs = Observability.create() if args.obs else NULL_OBS
     summary = run_service_drill(config, obs=obs)
@@ -573,6 +584,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.obs:
         _write_obs_artifacts(args.obs, obs)
     return 0
+
+
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    from .experiments.config import ReferenceConfig
+    from .experiments.rebalance import WORKLOADS, run_rebalance_comparison
+    from .obs import NULL_OBS, Observability
+    from .rebalance import check_plan_invariants
+
+    cfg = ReferenceConfig() if args.full else ReferenceConfig.small()
+    obs = Observability.create() if args.obs else NULL_OBS
+    workloads = list(WORKLOADS) if args.workload == "all" else [args.workload]
+    failed = False
+    for i, workload in enumerate(workloads):
+        result = run_rebalance_comparison(
+            cfg,
+            workload=workload,
+            budget_fraction=args.budget,
+            iterations=args.iterations,
+            seed=args.seed,
+            obs=obs,
+        )
+        if i:
+            print()
+        print(result.plan.format())
+        print()
+        print(result.format())
+        if result.plan.cost_after > result.plan.cost_before:
+            print(
+                f"error: {workload} plan raised the layout cost",
+                file=sys.stderr,
+            )
+            failed = True
+    if args.obs:
+        _write_obs_artifacts(args.obs, obs)
+    return 1 if failed else 0
+
+
+def _rebalance_cluster(cluster, dataset, *, budget_fraction, seed, alpha, obs):
+    """Background rebalance pre-pass shared by ``chaos`` and ad-hoc callers:
+    plan against a fresh DataNet over the hottest sub-datasets and apply.
+    Returns ``(plan, report)``."""
+    from .core.datanet import DataNet
+    from .rebalance import RebalanceExecutor, RebalancePlanner, WorkloadProfile
+
+    datanet = DataNet.build(dataset, alpha=alpha)
+    sizes = dataset.subdataset_sizes()
+    hot = sorted(sizes, key=sizes.get, reverse=True)[:6]
+    profile = WorkloadProfile({sid: float(sizes[sid]) for sid in hot})
+    planner = RebalancePlanner(
+        dataset,
+        datanet,
+        profile,
+        budget_fraction=budget_fraction,
+        seed=seed,
+        iterations=3000,
+        obs=obs,
+    )
+    plan = planner.plan()
+    cluster.watch_placement(dataset.name, datanet)
+    report = RebalanceExecutor(cluster, obs=obs).apply(plan)
+    return plan, report
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -673,6 +745,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from .obs import NULL_OBS, Observability
 
     obs = Observability.create() if args.obs else NULL_OBS
+    if args.rebalance_budget > 0:
+        rplan, _report = _rebalance_cluster(
+            cluster,
+            dataset,
+            budget_fraction=args.rebalance_budget,
+            seed=args.seed,
+            alpha=args.alpha,
+            obs=obs,
+        )
+        print(
+            f"rebalanced layout before the drill: {rplan.num_moves} moves, "
+            f"{rplan.total_bytes} bytes "
+            f"(cost {rplan.cost_before:.0f} -> {rplan.cost_after:.0f})"
+        )
     runner = ChaosRunner(
         cluster,
         plan,
@@ -962,7 +1048,39 @@ def build_parser() -> argparse.ArgumentParser:
         "the --kill/--meta-down/--partition toggles become a service "
         "crash, a metadata-shard outage, and a gray rack partition",
     )
+    p_chaos.add_argument(
+        "--rebalance-budget", type=float, default=0.0, metavar="FRACTION",
+        help="run the background placement rebalancer before the drill, "
+        "bounded to this fraction of dataset bytes (0 disables)",
+    )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_reb = sub.add_parser(
+        "rebalance",
+        help="background annealed placement rebalance + three-way comparison",
+    )
+    p_reb.add_argument(
+        "--workload", choices=["movielens", "github_events", "all"],
+        default="movielens",
+    )
+    p_reb.add_argument(
+        "--budget", type=float, default=0.25, metavar="FRACTION",
+        help="migration budget as a fraction of dataset bytes",
+    )
+    p_reb.add_argument("--seed", type=int, default=7, help="annealer seed")
+    p_reb.add_argument(
+        "--iterations", type=int, default=6000,
+        help="annealing proposals to evaluate",
+    )
+    p_reb.add_argument(
+        "--full", action="store_true",
+        help="reference-size config (32 nodes) instead of the fast variant",
+    )
+    p_reb.add_argument(
+        "--obs", metavar="DIR",
+        help="trace the run and write observability artifacts into DIR",
+    )
+    p_reb.set_defaults(func=_cmd_rebalance)
 
     p_serve = sub.add_parser(
         "serve",
@@ -993,6 +1111,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--slots", type=int, default=2)
     p_serve.add_argument("--high-water", type=int, default=64)
+    p_serve.add_argument(
+        "--rebalance-budget", type=float, default=0.0, metavar="FRACTION",
+        help="rebalance the resident dataset's placement before serving, "
+        "bounded to this fraction of dataset bytes (0 disables)",
+    )
     p_serve.add_argument(
         "--obs", metavar="DIR",
         help="trace the run and write observability artifacts into DIR",

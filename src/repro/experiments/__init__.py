@@ -16,6 +16,7 @@ Fig. 6    :func:`repro.experiments.fig6.run_fig6`
 Fig. 7    :func:`repro.experiments.fig7.run_fig7`
 Fig. 8    :func:`repro.experiments.fig8.run_fig8`
 §V-A.4    :func:`repro.experiments.migration.run_migration`
+Rebalance :func:`repro.experiments.rebalance.run_rebalance_comparison`
 Table II  :func:`repro.experiments.table2.run_table2`
 Fig. 9    :func:`repro.experiments.fig9.run_fig9`
 Fig. 10   :func:`repro.experiments.fig10.run_fig10`

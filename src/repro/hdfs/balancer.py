@@ -92,15 +92,9 @@ class BlockBalancer:
         return best
 
     def _move(self, dataset: str, block_id: int, src: int, dst: int) -> None:
-        namenode = self.cluster.namenode
-        block = self.cluster.get_block(dataset, block_id)
-        self.cluster.datanodes[dst].store_replica(dataset, block)
-        # drop the source replica from both the store and the catalog
-        self.cluster.datanodes[src].drop_replica(dataset, block_id)
-        replicas = [
-            n for n in namenode.block_locations(dataset, block_id) if n != src
-        ]
-        namenode.update_replicas(dataset, block_id, replicas + [dst])
+        # route through the cluster's single mutation path so placement
+        # listeners (DataNet cache refresh) fire for balancer moves too
+        self.cluster.move_replica(dataset, block_id, src, dst)
 
     def balance(self, *, max_moves: int = 10_000) -> BalancerReport:
         """Run one balancing pass; returns the report.

@@ -13,7 +13,7 @@ construction directly over stored blocks.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -86,6 +86,13 @@ class HDFSCluster:
         self._blocks: Dict[Tuple[str, int], Block] = {}
         self._coded: Dict[Tuple[str, int], ErasureCodedBlock] = {}
         self._coding_of: Dict[str, CodingSpec] = {}
+        # placement-change listeners: fn(dataset_name, placement).  Every
+        # replica/fragment move — balancer or rebalancer — funnels through
+        # move_replica/move_fragment, which notify these, so version-keyed
+        # metadata caches (DataNet bipartite graphs) never go stale.
+        self._placement_listeners: List[
+            Callable[[str, Dict[int, Tuple[int, ...]]], None]
+        ] = []
 
     # -- topology ---------------------------------------------------------------
 
@@ -104,6 +111,101 @@ class HDFSCluster:
             return self.datanodes[node].rack
         except KeyError:
             raise ConfigError(f"unknown node {node}") from None
+
+    # -- placement churn -----------------------------------------------------------
+
+    def add_placement_listener(
+        self, fn: Callable[[str, Dict[int, Tuple[int, ...]]], None]
+    ) -> None:
+        """Register ``fn(dataset_name, placement)`` to run after every move."""
+        self._placement_listeners.append(fn)
+
+    def watch_placement(self, dataset: str, metadata: object) -> None:
+        """Keep a metadata object's replica map in sync with this cluster.
+
+        ``metadata`` is anything exposing ``refresh_placement(placement)``
+        (a :class:`~repro.core.datanet.DataNet`).  After every replica or
+        fragment move touching ``dataset``, the current NameNode placement
+        is pushed through that hook, so version-keyed bipartite-graph
+        caches are patched instead of silently serving stale edges.
+        """
+        refresh = getattr(metadata, "refresh_placement")
+
+        def _listener(name: str, placement: Dict[int, Tuple[int, ...]]) -> None:
+            if name == dataset:
+                refresh(placement)
+
+        self.add_placement_listener(_listener)
+
+    def notify_placement(self, dataset: str) -> None:
+        """Push the dataset's current placement to every listener."""
+        if not self._placement_listeners:
+            return
+        placement = self.namenode.placement(dataset)
+        for fn in self._placement_listeners:
+            fn(dataset, placement)
+
+    def move_replica(self, dataset: str, block_id: int, src: int, dst: int) -> int:
+        """Move one replica ``src`` → ``dst``; returns the bytes moved.
+
+        The single mutation path for replica migration (balancer and
+        rebalancer both route through here): store at the destination,
+        drop at the source, substitute the catalog entry in place, then
+        notify placement listeners so attached metadata refreshes.
+
+        Raises:
+            ConfigError: unknown nodes, ``src`` holding no replica in the
+                catalog, or ``dst`` already holding one.
+        """
+        for node in (src, dst):
+            if node not in self.datanodes:
+                raise ConfigError(f"unknown node {node}")
+        holders = self.namenode.block_locations(dataset, block_id)
+        if src not in holders:
+            raise ConfigError(
+                f"node {src} holds no replica of block {block_id} of {dataset!r}"
+            )
+        if dst in holders:
+            raise ConfigError(
+                f"node {dst} already holds block {block_id} of {dataset!r}"
+            )
+        block = self.get_block(dataset, block_id)
+        self.datanodes[dst].store_replica(dataset, block)
+        self.datanodes[src].drop_replica(dataset, block_id)
+        self.namenode.update_replicas(
+            dataset, block_id, [dst if n == src else n for n in holders]
+        )
+        self.notify_placement(dataset)
+        return block.used_bytes
+
+    def move_fragment(self, dataset: str, block_id: int, src: int, dst: int) -> int:
+        """Move one coded fragment ``src`` → ``dst``; returns bytes moved.
+
+        The fragment keeps its stripe index — ``dst`` takes over exactly
+        the positional slot ``src`` held — so the coding geometry the
+        NameNode enforces (one holder per fragment index) is preserved.
+        """
+        for node in (src, dst):
+            if node not in self.datanodes:
+                raise ConfigError(f"unknown node {node}")
+        coded = self.coded_block(dataset, block_id)
+        holders = list(self.namenode.block_locations(dataset, block_id))
+        if src not in holders:
+            raise ConfigError(
+                f"node {src} holds no fragment of block {block_id} of {dataset!r}"
+            )
+        if dst in holders:
+            raise ConfigError(
+                f"node {dst} already holds a fragment of block {block_id} "
+                f"of {dataset!r}"
+            )
+        index = self.datanodes[src].fragment_index(dataset, block_id)
+        self.datanodes[dst].store_fragment(dataset, coded, index)
+        self.datanodes[src].drop_fragment(dataset, block_id)
+        holders[index] = dst
+        self.namenode.update_replicas(dataset, block_id, holders)
+        self.notify_placement(dataset)
+        return coded.fragment_nbytes
 
     # -- ingest ------------------------------------------------------------------
 

@@ -1,0 +1,136 @@
+"""Rebalancing under chaos: the executor must be raceable and crash-safe.
+
+Three oracles:
+
+* a fixed-seed drill that rebalances first and then survives node
+  crashes plus a rack partition reruns **bit-for-bit** — same layout
+  digest, same job output, same recovery ledger;
+* a crash in the middle of applying the plan (between moves, and mid-move
+  with the destination copy already written) replays to the same
+  byte-identical layout the crash-free run reaches;
+* the serve daemon's drill stays digest-deterministic when a rebalance
+  pre-pass runs under it (``DrillConfig.rebalance_budget``), and legacy
+  digests are untouched when the budget is zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataNet, HDFSCluster
+from repro.errors import ConfigError
+from repro.faults import ChaosRunner, FaultPlan, NodeCrash, RetryPolicy
+from repro.faults.plan import NetworkPartition
+from repro.mapreduce.apps.word_count import word_count_job
+from repro.rebalance import (
+    RebalanceExecutor,
+    RebalancePlanner,
+    WorkloadProfile,
+    layout_digest,
+)
+from repro.serve.scenario import DrillConfig, run_service_drill
+from tests.conftest import make_records
+
+DRILL_PLAN = FaultPlan(
+    seed=3,
+    crashes=(NodeCrash(2, time=0.5), NodeCrash(5, time=1.1)),
+    partitions=(NetworkPartition(rack=1, start=0.3, heals_at=1.4),),
+)
+
+
+def _environment(seed=11):
+    cluster = HDFSCluster(
+        num_nodes=8,
+        block_size=2048,
+        replication=3,
+        rng=np.random.default_rng(seed),
+    )
+    recs = make_records({"hot": 200, "warm": 100, "cold": 60}, payload_len=30)
+    dataset = cluster.write_dataset("d", recs)
+    datanet = DataNet.build(dataset, alpha=0.3)
+    return cluster, dataset, datanet
+
+
+def _plan_for(dataset, datanet):
+    sizes = dataset.subdataset_sizes()
+    weights = {sid: float(nbytes) for sid, nbytes in sizes.items()}
+    weights["hot"] = 4.0 * max(weights.values())
+    return RebalancePlanner(
+        dataset,
+        datanet,
+        WorkloadProfile(weights),
+        seed=5,
+        iterations=1500,
+    ).plan()
+
+
+def _rebalanced_drill(*, crash_at_move=None, torn=False):
+    """Rebalance the layout, then race the chaos drill over it."""
+    cluster, dataset, datanet = _environment()
+    plan = _plan_for(dataset, datanet)
+    cluster.watch_placement(dataset.name, datanet)
+    executor = RebalanceExecutor(cluster)
+    if crash_at_move is not None:
+        executor.apply(plan, crash_at_move=crash_at_move, torn=torn)
+    report = executor.apply(plan)  # resume (or the only pass)
+    assert report.completed
+    digest = layout_digest(dataset)
+    runner = ChaosRunner(cluster, DRILL_PLAN, retry=RetryPolicy())
+    chaos = runner.run(dataset, "hot", word_count_job())
+    return plan, digest, chaos
+
+
+class TestRebalanceUnderChaos:
+    def test_drill_reruns_bit_for_bit(self):
+        plan_a, digest_a, chaos_a = _rebalanced_drill()
+        plan_b, digest_b, chaos_b = _rebalanced_drill()
+        assert plan_a == plan_b
+        assert digest_a == digest_b
+        assert repr(chaos_a.job) == repr(chaos_b.job)
+        assert chaos_a.attempts_histogram == chaos_b.attempts_histogram
+        assert chaos_a.rescheduled_blocks == chaos_b.rescheduled_blocks
+        assert chaos_a.dead_nodes == chaos_b.dead_nodes
+
+    def test_drill_output_matches_failure_free_baseline(self):
+        _plan, _digest, chaos = _rebalanced_drill()
+        assert chaos.output_matches_baseline
+
+    def test_mid_plan_crash_replays_to_same_layout_and_output(self):
+        plan, reference_digest, reference_chaos = _rebalanced_drill()
+        assert plan.num_moves >= 2
+        _plan, digest, chaos = _rebalanced_drill(
+            crash_at_move=plan.num_moves // 2
+        )
+        assert digest == reference_digest
+        assert repr(chaos.job) == repr(reference_chaos.job)
+
+    def test_torn_move_crash_replays_to_same_layout(self):
+        plan, reference_digest, _reference = _rebalanced_drill()
+        assert plan.num_moves >= 1
+        _plan, digest, _chaos = _rebalanced_drill(crash_at_move=0, torn=True)
+        assert digest == reference_digest
+
+
+class TestServeDrillWithRebalance:
+    def test_rebalance_budget_validation(self):
+        with pytest.raises(ConfigError):
+            DrillConfig(rebalance_budget=-0.1)
+        with pytest.raises(ConfigError):
+            DrillConfig(rebalance_budget=1.5)
+
+    def test_drill_digests_deterministic_with_rebalance(self):
+        config = DrillConfig(jobs=8, rebalance_budget=0.2)
+        a = run_service_drill(config)
+        b = run_service_drill(config)
+        assert a.metadata_digest == b.metadata_digest
+        assert a.results_digest == b.results_digest
+        assert a.completed == b.completed
+
+    def test_zero_budget_preserves_legacy_digests(self):
+        base = DrillConfig(jobs=8)
+        explicit = DrillConfig(jobs=8, rebalance_budget=0.0)
+        a = run_service_drill(base)
+        b = run_service_drill(explicit)
+        assert a.metadata_digest == b.metadata_digest
+        assert a.results_digest == b.results_digest

@@ -1,0 +1,138 @@
+"""Property-based invariants of the rebalance planner.
+
+Any :class:`~repro.rebalance.RebalancePlan` — whatever the seed, budget,
+workload shape, or coding geometry — must preserve the placement
+invariants: no two replicas of a block on one node, coded fragments keep
+their stripe index and rack spread, and the migrated bytes stay within
+the budget.  :func:`~repro.rebalance.check_plan_invariants` raises on
+the first violation; these tests drive it over randomized environments
+and additionally assert what the checker itself cannot see (replica
+counts, executor agreement with the symbolic replay).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DataNet, HDFSCluster, Record
+from repro.coding import CodingSpec
+from repro.rebalance import (
+    RebalanceExecutor,
+    RebalancePlanner,
+    WorkloadProfile,
+    check_plan_invariants,
+)
+
+
+def _random_environment(seed: int, *, num_sids: int, coding=None):
+    rng = np.random.default_rng(seed)
+    cluster = HDFSCluster(
+        num_nodes=int(rng.integers(6, 10)),
+        block_size=2048,
+        replication=3,
+        rng=rng,
+        coding=coding,
+    )
+    records = []
+    t = 0.0
+    # one clustered hot run plus a shuffled tail: enough skew to move
+    for _ in range(int(rng.integers(120, 240))):
+        records.append(Record("s0", t, "h" * 30))
+        t += 1.0
+    for _ in range(int(rng.integers(120, 240))):
+        sid = f"s{int(rng.integers(num_sids))}"
+        records.append(Record(sid, t, "c" * 30))
+        t += 1.0
+    dataset = cluster.write_dataset("d", records)
+    datanet = DataNet.build(dataset, alpha=0.3)
+    sizes = dataset.subdataset_sizes()
+    profile = WorkloadProfile(
+        {sid: float(nbytes) for sid, nbytes in sizes.items()}
+    )
+    return cluster, dataset, datanet, profile
+
+
+def _check(cluster, dataset, plan):
+    return check_plan_invariants(
+        plan,
+        dataset.placement(),
+        num_racks=cluster.num_racks,
+        rack_of=cluster.rack_of,
+    )
+
+
+class TestPlanInvariantProperties:
+    @given(
+        env_seed=st.integers(0, 10**6),
+        plan_seed=st.integers(0, 100),
+        budget_fraction=st.sampled_from([0.05, 0.15, 0.3, 1.0]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_property_replicated_plans_keep_invariants(
+        self, env_seed, plan_seed, budget_fraction
+    ):
+        cluster, dataset, datanet, profile = _random_environment(
+            env_seed, num_sids=4
+        )
+        plan = RebalancePlanner(
+            dataset,
+            datanet,
+            profile,
+            budget_fraction=budget_fraction,
+            seed=plan_seed,
+            iterations=400,
+        ).plan()
+        final = _check(cluster, dataset, plan)  # raises on any violation
+        assert plan.total_bytes <= plan.budget_bytes
+        # replica count per block is conserved, holders stay distinct
+        for bid, holders in dataset.placement().items():
+            assert len(final[bid]) == len(holders)
+            assert len(set(final[bid])) == len(final[bid])
+
+    @given(env_seed=st.integers(0, 10**6), plan_seed=st.integers(0, 100))
+    @settings(max_examples=8, deadline=None)
+    def test_property_coded_plans_keep_stripe_and_rack_spread(
+        self, env_seed, plan_seed
+    ):
+        cluster, dataset, datanet, profile = _random_environment(
+            env_seed, num_sids=3, coding=CodingSpec(4, 2)
+        )
+        plan = RebalancePlanner(
+            dataset, datanet, profile, seed=plan_seed, iterations=400
+        ).plan()
+        final = _check(cluster, dataset, plan)  # rack spread asserted inside
+        for move in plan.moves:
+            assert move.fragment_index is not None
+        for bid, holders in final.items():
+            assert len(holders) == 6 and len(set(holders)) == 6
+
+    @given(env_seed=st.integers(0, 10**6), plan_seed=st.integers(0, 100))
+    @settings(max_examples=6, deadline=None)
+    def test_property_executor_realizes_symbolic_replay(
+        self, env_seed, plan_seed
+    ):
+        """Applying a plan against the live cluster lands on exactly the
+        layout the symbolic checker computes."""
+        cluster, dataset, datanet, profile = _random_environment(
+            env_seed, num_sids=4
+        )
+        plan = RebalancePlanner(
+            dataset, datanet, profile, seed=plan_seed, iterations=300
+        ).plan()
+        expected = _check(cluster, dataset, plan)
+        report = RebalanceExecutor(cluster).apply(plan)
+        assert report.completed and report.applied == plan.num_moves
+        assert dataset.placement() == expected
+
+    @given(env_seed=st.integers(0, 10**6))
+    @settings(max_examples=6, deadline=None)
+    def test_property_planning_is_seed_deterministic(self, env_seed):
+        _cluster, dataset, datanet, profile = _random_environment(
+            env_seed, num_sids=4
+        )
+        kwargs = dict(seed=9, iterations=300)
+        a = RebalancePlanner(dataset, datanet, profile, **kwargs).plan()
+        b = RebalancePlanner(dataset, datanet, profile, **kwargs).plan()
+        assert a == b

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Survive a metadata-plane leader crash without losing a byte.
+
+The service's write-ahead journal is replicated across three replicas
+and committed at majority quorum.  Mid-ingest, the leader is killed:
+the phi-accrual detector notices the silent heartbeats, a Raft-lite
+election seats a successor, the new epoch is fenced onto the quorum and
+the cluster (so the deposed leader's writes are rejected, not merged),
+and the committed journal is recovered from the surviving majority.
+In-flight jobs are parked and replayed — nothing is shed.
+
+The proof is the digest triple: metadata, results, and layout digests of
+the failover run are byte-identical to the crash-free run at the same
+seed.
+
+Run:  python examples/metadata_failover_drill.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.rebalance import layout_digest
+from repro.serve import DrillConfig, build_drill
+
+config = DrillConfig(seed=7, num_nodes=12, jobs=12, journal_replicas=3)
+
+
+def run(cfg):
+    setup = build_drill(cfg)
+    summary = setup.service.run(setup.requests, setup.appends)
+    return summary, layout_digest(setup.service._view)
+
+
+print("=== healthy run, 3 journal replicas ===")
+healthy, healthy_layout = run(config)
+print(healthy.format())
+
+print()
+print("=== same schedule, leader killed mid-ingest ===")
+crashed, crashed_layout = run(replace(config, leader_crash=True))
+print(crashed.format())
+
+print()
+print("failover check")
+print(f"  leadership changes:     {crashed.leadership_changes}")
+print(f"  failover downtime:      {crashed.failover_downtime:.2f}s")
+print(f"  jobs parked + replayed: {crashed.requeued_on_crash}")
+print(f"  silent drops:           {crashed.silent_drops}")
+print(f"  metadata digests agree: {crashed.metadata_digest == healthy.metadata_digest}")
+print(f"  results digests agree:  {crashed.results_digest == healthy.results_digest}")
+print(f"  layout digests agree:   {crashed_layout == healthy_layout}")
+
+print()
+print("=== failover latency vs replica count ===")
+print(f"{'replicas':>8} {'downtime (s)':>12} {'parked':>7} {'digests':>8}")
+for replicas in (1, 3, 5):
+    clean, clean_layout = run(replace(config, journal_replicas=replicas))
+    failed, failed_layout = run(
+        replace(config, journal_replicas=replicas, leader_crash=True)
+    )
+    identical = (
+        failed.metadata_digest == clean.metadata_digest
+        and failed.results_digest == clean.results_digest
+        and failed_layout == clean_layout
+    )
+    print(
+        f"{replicas:>8} {failed.failover_downtime:>12.2f} "
+        f"{failed.requeued_on_crash:>7} {'match' if identical else 'DIFFER':>8}"
+    )

@@ -548,7 +548,8 @@ def _write_obs_artifacts(out_dir: str, obs=None, *, timeline=None) -> None:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .obs import NULL_OBS, Observability
-    from .serve import DrillConfig, run_service_drill
+    from .rebalance.executor import layout_digest
+    from .serve import DrillConfig, build_drill
 
     config = DrillConfig(
         seed=args.seed,
@@ -562,25 +563,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slots=args.slots,
         high_water=args.high_water,
         rebalance_budget=args.rebalance_budget,
+        journal_replicas=args.journal_replicas,
+        leader_crash=args.leader_crash,
+        journal_crash=args.journal_crash,
+        meta_partition=args.meta_partition,
+        retry_jitter=args.retry_jitter,
+        retry_max_elapsed=args.retry_max_elapsed,
     )
     obs = Observability.create() if args.obs else NULL_OBS
-    summary = run_service_drill(config, obs=obs)
+    setup = build_drill(config, obs=obs)
+    summary = setup.service.run(setup.requests, setup.appends)
     faults = [
         name
         for name, on in (
             ("service crash", args.crash),
             ("metadata-shard outage", args.meta_down),
             ("gray partition", args.partition),
+            ("leader crash", args.leader_crash),
+            ("journal-replica crash", args.journal_crash),
+            ("metadata partition", args.meta_partition),
         )
         if on
     ]
     print(
         f"multi-tenant service drill — seed {args.seed}, "
         f"{args.jobs} jobs at {args.pressure:g}x pressure"
+        + (f", {args.journal_replicas} journal replicas"
+           if args.journal_replicas > 1 else "")
         + (f", faults: {', '.join(faults)}" if faults else "")
     )
     print()
     print(summary.format())
+    print(f"layout digest: {layout_digest(setup.service._view)}")
     if args.obs:
         _write_obs_artifacts(args.obs, obs)
     return 0
@@ -660,6 +674,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         args.partition = bool(args.partition)
         args.slots = 2
         args.high_water = 64
+        # Metadata-plane faults the chaos surface doesn't expose directly.
+        args.journal_crash = False
+        args.meta_partition = False
         return _cmd_serve(args)
     from .core.metastore import DistributedMetaStore
     from .faults import (
@@ -681,6 +698,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from .units import parse_size
     from .workloads import MovieLensGenerator
 
+    # RetryPolicy validates jitter/max-elapsed; constructing it up front
+    # rejects bad CLI values before any data is generated.
+    retry = RetryPolicy(
+        max_attempts=args.max_attempts,
+        jitter=args.retry_jitter,
+        max_elapsed_s=args.retry_max_elapsed,
+    )
     rng = np.random.default_rng(args.seed)
     coding = _coding_spec(args.coding, args.nodes)
     records = MovieLensGenerator(
@@ -762,7 +786,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     runner = ChaosRunner(
         cluster,
         plan,
-        retry=RetryPolicy(max_attempts=args.max_attempts),
+        retry=retry,
         metastore=metastore,
         alpha=args.alpha,
         detect=not args.no_detector,
@@ -1010,6 +1034,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument("--max-attempts", type=int, default=4)
     p_chaos.add_argument(
+        "--retry-jitter", choices=["none", "full"], default="none",
+        help="backoff jitter mode for retries (full = seeded full jitter)",
+    )
+    p_chaos.add_argument(
+        "--retry-max-elapsed", type=float, default=None, metavar="SECONDS",
+        help="total retry budget per task (unset = unbounded)",
+    )
+    p_chaos.add_argument(
+        "--journal-replicas", type=int, default=1, metavar="N",
+        help="with --tenants: replicate the service's metadata journal "
+        "across N replicas (majority-quorum commits)",
+    )
+    p_chaos.add_argument(
+        "--leader-crash", action="store_true",
+        help="with --tenants: kill the metadata-plane leader mid-ingest "
+        "and fail over to a freshly elected, fenced leader",
+    )
+    p_chaos.add_argument(
         "--meta-nodes", type=int, default=0,
         help="run metadata from a sharded metastore with this many nodes",
     )
@@ -1111,6 +1153,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--slots", type=int, default=2)
     p_serve.add_argument("--high-water", type=int, default=64)
+    p_serve.add_argument(
+        "--journal-replicas", type=int, default=1, metavar="N",
+        help="replicate the metadata journal across N replicas and commit "
+        "frames at majority quorum (1 keeps the single local journal)",
+    )
+    p_serve.add_argument(
+        "--leader-crash", action="store_true",
+        help="kill the metadata-plane leader mid-ingest; the plane detects "
+        "the silence, elects a new leader, fences the old epoch, and "
+        "resumes from the quorum journal",
+    )
+    p_serve.add_argument(
+        "--journal-crash", action="store_true",
+        help="crash one journal replica mid-drill (needs --journal-replicas "
+        ">= 2); anti-entropy catches it up when it restarts",
+    )
+    p_serve.add_argument(
+        "--meta-partition", action="store_true",
+        help="partition a minority of journal replicas around the final "
+        "ingest batch (needs --journal-replicas >= 3)",
+    )
+    p_serve.add_argument(
+        "--retry-jitter", choices=["none", "full"], default="none",
+        help="backoff jitter mode for quorum-append retries",
+    )
+    p_serve.add_argument(
+        "--retry-max-elapsed", type=float, default=None, metavar="SECONDS",
+        help="total retry budget per journal append (unset = unbounded)",
+    )
     p_serve.add_argument(
         "--rebalance-budget", type=float, default=0.0, metavar="FRACTION",
         help="rebalance the resident dataset's placement before serving, "

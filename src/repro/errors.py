@@ -112,6 +112,61 @@ class Overloaded(ServiceError):
         self.reason = reason
 
 
+class TornFrameError(ServiceError):
+    """A *non-final* journal frame failed its checksum — mid-log corruption.
+
+    A torn tail (the crash case: the final frame cut short or scribbled
+    mid-write) is recoverable by dropping the suffix, so replay treats it
+    as a clean stop.  A corrupt frame with committed frames *after* it is
+    different: dropping it would silently lose committed records, so the
+    journal refuses to replay past it and raises this instead, carrying
+    the byte offset and the checksum mismatch for the repair tooling.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        offset: int = 0,
+        expected_checksum: int = 0,
+        actual_checksum: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.offset = offset
+        self.expected_checksum = expected_checksum
+        self.actual_checksum = actual_checksum
+
+
+class QuorumLostError(ServiceError):
+    """The replicated metadata plane cannot reach a majority.
+
+    Raised by quorum appends, fencing rounds, elections and recovery when
+    fewer than ``n // 2 + 1`` journal replicas (or voters) are reachable.
+    Carries the tally so callers can report how far short the round fell.
+    """
+
+    def __init__(self, message: str, *, acks: int = 0, quorum: int = 0) -> None:
+        super().__init__(message)
+        self.acks = acks
+        self.quorum = quorum
+
+
+class StaleLeaderError(ServiceError):
+    """A fenced-off leader tried to write — the split-brain guard.
+
+    Every journal frame and every cluster mutation is stamped with the
+    writing leader's epoch (its fencing token).  Once a newer epoch has
+    been promised by a quorum, writes stamped with an older epoch are
+    rejected with this error instead of being applied, so a deposed
+    leader that does not yet know it lost can never corrupt the layout.
+    """
+
+    def __init__(self, message: str, *, epoch: int = 0, fence: int = 0) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.fence = fence
+
+
 class DeadlineExceeded(ServiceError):
     """A job's deadline or timeout expired before it could complete.
 

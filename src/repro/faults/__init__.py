@@ -40,6 +40,9 @@ from .plan import (
     DriverRestart,
     FaultPlan,
     FlakyLink,
+    JournalReplicaCrash,
+    LeaderCrash,
+    MetadataPartition,
     MetaOutage,
     NetworkPartition,
     NodeCrash,
@@ -63,6 +66,9 @@ __all__ = [
     "StaleMetadata",
     "DriverRestart",
     "ServiceCrash",
+    "LeaderCrash",
+    "JournalReplicaCrash",
+    "MetadataPartition",
     "FaultInjector",
     "ResolvedPartition",
     "HealthDetector",

@@ -29,6 +29,9 @@ from .plan import (
     DriverRestart,
     FaultPlan,
     FlakyLink,
+    JournalReplicaCrash,
+    LeaderCrash,
+    MetadataPartition,
     NodeCrash,
     ServiceCrash,
     SlowNode,
@@ -269,3 +272,19 @@ class FaultInjector:
     def service_crashes_chronological(self) -> List[ServiceCrash]:
         """All planned service crashes, earliest first."""
         return sorted(self.plan.service_crashes, key=lambda c: c.time)
+
+    def leader_crashes_chronological(self) -> List[LeaderCrash]:
+        """All planned metadata-leader crashes, earliest first."""
+        return sorted(self.plan.leader_crashes, key=lambda c: c.time)
+
+    def journal_crashes_chronological(self) -> List[JournalReplicaCrash]:
+        """All planned journal-replica crashes, earliest first."""
+        return sorted(
+            self.plan.journal_crashes, key=lambda c: (c.time, c.replica)
+        )
+
+    def meta_partitions_chronological(self) -> List[MetadataPartition]:
+        """All planned metadata-plane partitions, earliest first."""
+        return sorted(
+            self.plan.meta_partitions, key=lambda p: (p.start, p.replicas)
+        )

@@ -33,6 +33,9 @@ __all__ = [
     "StaleMetadata",
     "DriverRestart",
     "ServiceCrash",
+    "LeaderCrash",
+    "JournalReplicaCrash",
+    "MetadataPartition",
     "FaultPlan",
 ]
 
@@ -313,6 +316,98 @@ class ServiceCrash:
 
 
 @dataclass(frozen=True)
+class LeaderCrash:
+    """The metadata-plane *leader* dies at ``time``; a follower takes over.
+
+    Unlike :class:`ServiceCrash` (the whole daemon restarts and sheds
+    submissions with a typed rejection), only the leader role dies here:
+    the replicated journal quorum survives, the φ-accrual detector takes
+    ``detect_delay`` to declare the leader dead, a Raft-lite election
+    fences a new epoch, and every job in flight or submitted during the
+    outage is *parked and replayed* — nothing is shed, ``silent_drops``
+    stays zero, and the final digests must match the crash-free run.
+    """
+
+    time: float
+    suspicion_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"crash time must be non-negative, got {self.time}")
+        if self.suspicion_threshold <= 0:
+            raise ConfigError("suspicion_threshold must be positive")
+
+
+@dataclass(frozen=True)
+class JournalReplicaCrash:
+    """One journal replica dies at ``time`` and restarts at ``restores_at``.
+
+    A minority of these must never block commits (quorum absorbs them);
+    on restore the replica catches up via anti-entropy frame transfer.
+    ``at_byte`` optionally truncates the replica's durable log there,
+    modelling a crash mid-write (the torn tail is dropped on re-open).
+    ``restores_at=None`` keeps the replica down for the rest of the run.
+    """
+
+    replica: str
+    time: float
+    restores_at: Optional[float] = None
+    at_byte: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.replica:
+            raise ConfigError("journal replica id must be non-empty")
+        if self.time < 0:
+            raise ConfigError(f"crash time must be non-negative, got {self.time}")
+        if self.restores_at is not None and self.restores_at <= self.time:
+            raise ConfigError(
+                f"zero-duration or inverted replica outage on {self.replica!r}: "
+                f"[{self.time}, {self.restores_at})"
+            )
+        if self.at_byte is not None and self.at_byte < 0:
+            raise ConfigError("at_byte must be non-negative")
+
+    @property
+    def window(self) -> Tuple[float, Optional[float]]:
+        return (self.time, self.restores_at)
+
+
+@dataclass(frozen=True)
+class MetadataPartition:
+    """Journal replicas unreachable from the leader during ``[start, heals_at)``.
+
+    The storage-plane cousin is :class:`NetworkPartition`; this one cuts
+    the *metadata* plane.  While a minority is cut, appends still commit
+    at quorum; cutting a majority makes appends fail with a typed
+    ``QuorumLostError`` and the service parks ingest until the heal, when
+    anti-entropy catches the returning replicas up.
+    """
+
+    replicas: Tuple[str, ...]
+    start: float = 0.0
+    heals_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise ConfigError("a metadata partition must cut at least one replica")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise ConfigError("duplicate replicas in metadata partition scope")
+        if any(not r for r in self.replicas):
+            raise ConfigError("journal replica ids must be non-empty")
+        if self.start < 0:
+            raise ConfigError("partition start must be non-negative")
+        if self.heals_at <= self.start:
+            raise ConfigError(
+                f"zero-duration or inverted metadata-partition window: "
+                f"[{self.start}, {self.heals_at}) — heals_at must exceed start"
+            )
+
+    @property
+    def window(self) -> Tuple[float, Optional[float]]:
+        return (self.start, self.heals_at)
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full failure script for one chaos run.
 
@@ -333,6 +428,12 @@ class FaultPlan:
         driver_restarts: mid-job driver deaths, at most one per wave.
         service_crashes: whole-service deaths (``repro.serve``), at most
             one per time point.
+        leader_crashes: metadata-plane leader deaths (quorum survives,
+            failover elects a successor), at most one per time point.
+        journal_crashes: journal replica deaths; windows on the same
+            replica must not overlap.
+        meta_partitions: metadata-plane partitions; windows sharing a
+            replica must not overlap.
     """
 
     seed: int = 0
@@ -346,6 +447,9 @@ class FaultPlan:
     stale_metadata: Tuple[StaleMetadata, ...] = ()
     driver_restarts: Tuple[DriverRestart, ...] = ()
     service_crashes: Tuple[ServiceCrash, ...] = ()
+    leader_crashes: Tuple[LeaderCrash, ...] = ()
+    journal_crashes: Tuple[JournalReplicaCrash, ...] = ()
+    meta_partitions: Tuple[MetadataPartition, ...] = ()
 
     def __post_init__(self) -> None:
         crash_nodes = [c.node for c in self.crashes]
@@ -391,6 +495,24 @@ class FaultPlan:
         crash_times = [c.time for c in self.service_crashes]
         if len(set(crash_times)) != len(crash_times):
             raise ConfigError("at most one service crash per time point")
+        leader_times = [c.time for c in self.leader_crashes]
+        if len(set(leader_times)) != len(leader_times):
+            raise ConfigError("at most one leader crash per time point")
+        by_replica: dict = {}
+        for jc in self.journal_crashes:
+            by_replica.setdefault(jc.replica, []).append(jc)
+        for key, crashes in sorted(by_replica.items()):
+            _assert_disjoint_windows(
+                [c.window for c in crashes], f"journal replica {key!r}"
+            )
+        by_jmember: dict = {}
+        for mp in self.meta_partitions:
+            for r in mp.replicas:
+                by_jmember.setdefault(r, []).append(mp)
+        for key, parts in sorted(by_jmember.items()):
+            _assert_disjoint_windows(
+                [p.window for p in parts], f"partitioned journal replica {key!r}"
+            )
 
     # -- queries -----------------------------------------------------------------
 
@@ -417,6 +539,9 @@ class FaultPlan:
             or self.stale_metadata
             or self.driver_restarts
             or self.service_crashes
+            or self.leader_crashes
+            or self.journal_crashes
+            or self.meta_partitions
         )
 
     # -- construction ------------------------------------------------------------

@@ -18,7 +18,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..coding import CodingSpec, validate_coding
-from ..errors import BlockNotFoundError, ConfigError
+from ..errors import BlockNotFoundError, ConfigError, StaleLeaderError
 from ..units import MiB
 from .block import Block, pack_records
 from .coded import ErasureCodedBlock
@@ -93,6 +93,9 @@ class HDFSCluster:
         self._placement_listeners: List[
             Callable[[str, Dict[int, Tuple[int, ...]]], None]
         ] = []
+        # Fencing token of the metadata plane: mutations stamped with an
+        # epoch below the installed fence are rejected (split-brain guard).
+        self._fence_epoch = 0
 
     # -- topology ---------------------------------------------------------------
 
@@ -111,6 +114,49 @@ class HDFSCluster:
             return self.datanodes[node].rack
         except KeyError:
             raise ConfigError(f"unknown node {node}") from None
+
+    # -- fencing -----------------------------------------------------------------
+
+    @property
+    def fence_epoch(self) -> int:
+        """The currently installed metadata-plane fencing token."""
+        return self._fence_epoch
+
+    def install_fence(self, epoch: int) -> None:
+        """Install a new fencing epoch; must be monotonically non-decreasing.
+
+        The elected metadata leader installs its epoch here after winning
+        its term, so every subsequent cluster mutation stamped with an
+        older epoch — a deposed leader that does not yet know it lost —
+        is rejected by :meth:`check_fence`.
+
+        Raises:
+            StaleLeaderError: the epoch regresses below the installed fence.
+        """
+        if epoch < self._fence_epoch:
+            raise StaleLeaderError(
+                f"fencing token may not regress: {epoch} < {self._fence_epoch}",
+                epoch=epoch,
+                fence=self._fence_epoch,
+            )
+        self._fence_epoch = epoch
+
+    def check_fence(self, epoch: Optional[int], what: str) -> None:
+        """Reject a mutation stamped with a stale epoch.
+
+        ``None`` means the caller is not participating in the replicated
+        metadata plane (legacy single-leader paths) and passes unchecked.
+
+        Raises:
+            StaleLeaderError: ``epoch`` is below the installed fence.
+        """
+        if epoch is not None and epoch < self._fence_epoch:
+            raise StaleLeaderError(
+                f"{what} stamped with stale epoch {epoch}; "
+                f"fence is {self._fence_epoch}",
+                epoch=epoch,
+                fence=self._fence_epoch,
+            )
 
     # -- placement churn -----------------------------------------------------------
 
@@ -145,18 +191,30 @@ class HDFSCluster:
         for fn in self._placement_listeners:
             fn(dataset, placement)
 
-    def move_replica(self, dataset: str, block_id: int, src: int, dst: int) -> int:
+    def move_replica(
+        self,
+        dataset: str,
+        block_id: int,
+        src: int,
+        dst: int,
+        *,
+        epoch: Optional[int] = None,
+    ) -> int:
         """Move one replica ``src`` → ``dst``; returns the bytes moved.
 
         The single mutation path for replica migration (balancer and
         rebalancer both route through here): store at the destination,
         drop at the source, substitute the catalog entry in place, then
         notify placement listeners so attached metadata refreshes.
+        ``epoch`` stamps the mutation with the caller's fencing token;
+        a stale token is rejected before anything is touched.
 
         Raises:
             ConfigError: unknown nodes, ``src`` holding no replica in the
                 catalog, or ``dst`` already holding one.
+            StaleLeaderError: ``epoch`` is below the installed fence.
         """
+        self.check_fence(epoch, f"move_replica({dataset!r}, {block_id})")
         for node in (src, dst):
             if node not in self.datanodes:
                 raise ConfigError(f"unknown node {node}")
@@ -178,13 +236,24 @@ class HDFSCluster:
         self.notify_placement(dataset)
         return block.used_bytes
 
-    def move_fragment(self, dataset: str, block_id: int, src: int, dst: int) -> int:
+    def move_fragment(
+        self,
+        dataset: str,
+        block_id: int,
+        src: int,
+        dst: int,
+        *,
+        epoch: Optional[int] = None,
+    ) -> int:
         """Move one coded fragment ``src`` → ``dst``; returns bytes moved.
 
         The fragment keeps its stripe index — ``dst`` takes over exactly
         the positional slot ``src`` held — so the coding geometry the
         NameNode enforces (one holder per fragment index) is preserved.
+        ``epoch`` stamps the mutation with the caller's fencing token, as
+        in :meth:`move_replica`.
         """
+        self.check_fence(epoch, f"move_fragment({dataset!r}, {block_id})")
         for node in (src, dst):
             if node not in self.datanodes:
                 raise ConfigError(f"unknown node {node}")

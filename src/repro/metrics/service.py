@@ -49,6 +49,14 @@ class ServiceSummary:
         wait_p99_s: 99th-percentile queue wait across all dispatches.
         degraded_intervals: ``(start, end)`` windows the service spent in
             degraded mode (metadata-shard outage or gray partition).
+        leadership_changes: metadata-plane leader elections completed
+            (0 when the plane is unreplicated or the leader never died).
+        failover_downtime: simulated seconds the metadata plane spent
+            leaderless (crash → detection → election → recovery), summed
+            over every failover.
+        journal_replica_lag: peak count of committed frames any journal
+            replica was missing (bounded by ``journal_records`` — a
+            replica can at most lack every committed frame).
         metadata_digest: content digest of the final ElasticMap array.
         results_digest: digest over every completed job's output — the
             byte-identity oracle for rerun and crash/no-crash diffs.
@@ -74,6 +82,9 @@ class ServiceSummary:
     wait_mean_by_tenant: Dict[str, float] = field(default_factory=dict)
     wait_p99_s: float = 0.0
     degraded_intervals: Tuple[Tuple[float, float], ...] = ()
+    leadership_changes: int = 0
+    failover_downtime: float = 0.0
+    journal_replica_lag: int = 0
     metadata_digest: str = ""
     results_digest: str = ""
 
@@ -94,6 +105,8 @@ class ServiceSummary:
             "journal_replays": self.journal_replays,
             "service_crashes": self.service_crashes,
             "max_queue_depth": self.max_queue_depth,
+            "leadership_changes": self.leadership_changes,
+            "journal_replica_lag": self.journal_replica_lag,
         }
         for name, value in ints.items():
             if value < 0:
@@ -117,6 +130,20 @@ class ServiceSummary:
         for start, end in self.degraded_intervals:
             if end <= start:
                 raise ConfigError(f"inverted degraded interval [{start}, {end})")
+        if self.failover_downtime < 0:
+            raise ConfigError(
+                f"failover_downtime must be non-negative, got {self.failover_downtime}"
+            )
+        if self.failover_downtime > 0 and self.leadership_changes == 0:
+            raise ConfigError(
+                "failover downtime without a leadership change is unaccountable"
+            )
+        if self.journal_replica_lag > self.journal_records:
+            raise ConfigError(
+                f"journal_replica_lag ({self.journal_replica_lag}) cannot exceed "
+                f"committed journal records ({self.journal_records}) — a replica "
+                "can at most miss every committed frame"
+            )
 
     # -- derived ----------------------------------------------------------------
 
@@ -173,6 +200,11 @@ class ServiceSummary:
         if self.service_crashes:
             pairs["service crashes"] = self.service_crashes
             pairs["journal replays"] = self.journal_replays
+        if self.leadership_changes:
+            pairs["leadership changes"] = self.leadership_changes
+            pairs["failover downtime (s)"] = f"{self.failover_downtime:.2f}"
+        if self.journal_replica_lag:
+            pairs["peak journal replica lag"] = self.journal_replica_lag
         if self.degraded_jobs or self.degraded_intervals:
             pairs["degraded jobs"] = self.degraded_jobs
             pairs["degraded (s)"] = f"{self.degraded_seconds:.1f}"

@@ -91,13 +91,19 @@ class RebalanceExecutor:
         *,
         datanet: Optional["object"] = None,
         journal: Optional["object"] = None,
+        epoch: Optional[int] = None,
         obs: Observability = NULL_OBS,
     ) -> None:
         if journal is not None and datanet is None:
             raise ConfigError("journaled execution needs the datanet too")
+        if epoch is not None and epoch < 0:
+            raise ConfigError(f"fencing epoch must be non-negative, got {epoch}")
         self.cluster = cluster
         self.datanet = datanet
         self.journal = journal
+        # Fencing token stamped into every mutation this executor applies;
+        # a deposed leader's executor is rejected by the cluster fence.
+        self.epoch = epoch
         self.obs = obs
 
     # -- single move ----------------------------------------------------------------
@@ -122,6 +128,9 @@ class RebalanceExecutor:
 
     def _complete_torn(self, move: Move) -> None:
         """Finish a move whose destination write landed before a crash."""
+        self.cluster.check_fence(
+            self.epoch, f"complete_torn({move.dataset!r}, {move.block_id})"
+        )
         holders = list(
             self.cluster.namenode.block_locations(move.dataset, move.block_id)
         )
@@ -196,11 +205,19 @@ class RebalanceExecutor:
                     self._complete_torn(move)
                 elif move.fragment_index is not None:
                     self.cluster.move_fragment(
-                        move.dataset, move.block_id, move.src, move.dst
+                        move.dataset,
+                        move.block_id,
+                        move.src,
+                        move.dst,
+                        epoch=self.epoch,
                     )
                 else:
                     self.cluster.move_replica(
-                        move.dataset, move.block_id, move.src, move.dst
+                        move.dataset,
+                        move.block_id,
+                        move.src,
+                        move.dst,
+                        epoch=self.epoch,
                     )
                 report.applied += 1
                 report.bytes_migrated += move.nbytes

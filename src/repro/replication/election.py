@@ -1,0 +1,177 @@
+"""Seed-deterministic Raft-lite leader election on the simulated clock.
+
+The serve daemon needs exactly one property from its elector: after the
+current leader is declared dead, some surviving node must win a majority
+of votes for a fresh term, and **no term may ever produce two leaders**.
+This module implements the Raft timeout lottery deterministically:
+
+* every ``(node, term)`` pair draws an election timeout from a seeded
+  hash — the node whose timeout fires first becomes the term's candidate;
+* a voter grants its vote iff the candidate's request arrives (one
+  simulated RTT after the candidate's timeout) before the voter's own
+  timeout fires — otherwise the voter has already become a candidate
+  itself and the term splits, exactly like real Raft split votes;
+* votes are counted against the **total** membership, not the live set,
+  so a minority partition can never elect anyone;
+* terms are strictly increasing and a term elects at most one candidate
+  by construction (ties on the timeout draw are broken by node name),
+  which the hypothesis suite asserts over random membership/crash mixes.
+
+The elapsed simulated time of the whole election — every split term plus
+the winning one — is returned so the service can charge it to failover
+downtime, making election latency visible in the summary and metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigError, QuorumLostError
+
+__all__ = ["ElectionRecord", "ElectionResult", "LeaderElector"]
+
+#: Election timeout window, in simulated seconds.  Chosen Raft-style:
+#: the spread (2x) is much larger than the RTT, so split votes are rare
+#: but reachable, and the hypothesis suite sees both branches.
+_TIMEOUT_LO = 0.15
+_TIMEOUT_HI = 0.30
+#: One simulated request round trip (vote request + grant).
+_RTT_S = 0.02
+
+
+@dataclass(frozen=True)
+class ElectionRecord:
+    """One term's outcome: its candidate, votes, and verdict."""
+
+    term: int
+    candidate: str
+    votes: int
+    won: bool
+
+
+@dataclass(frozen=True)
+class ElectionResult:
+    """A completed election: the new leader, term, and time it cost."""
+
+    leader: str
+    term: int
+    elapsed_s: float
+    rounds: Tuple[ElectionRecord, ...] = field(default_factory=tuple)
+
+
+class LeaderElector:
+    """Deterministic term/vote bookkeeping for the metadata leader.
+
+    Args:
+        nodes: full voting membership (fixed for the elector's lifetime).
+        seed: seeds every timeout draw; same seed, same elections.
+    """
+
+    def __init__(self, nodes: Sequence[str], *, seed: int = 0) -> None:
+        members = sorted(set(nodes))
+        if len(members) < 1:
+            raise ConfigError("an elector needs at least one voting node")
+        if len(members) != len(tuple(nodes)):
+            raise ConfigError("voting membership must not repeat nodes")
+        self.nodes: Tuple[str, ...] = tuple(members)
+        self.seed = int(seed)
+        self.term = 0
+        self.leader: str = ""
+        self.history: List[ElectionRecord] = []
+        self._leaders_by_term: Dict[int, str] = {}
+
+    @property
+    def majority(self) -> int:
+        return len(self.nodes) // 2 + 1
+
+    def timeout_of(self, node: str, term: int) -> float:
+        """The seeded election timeout ``node`` draws for ``term``."""
+        digest = hashlib.blake2b(
+            f"elect/{self.seed}/{node}/{term}".encode(), digest_size=8
+        ).digest()
+        u = int.from_bytes(digest, "little") / 2**64
+        return _TIMEOUT_LO + u * (_TIMEOUT_HI - _TIMEOUT_LO)
+
+    def elect(
+        self, live: Sequence[str], *, max_terms: int = 64
+    ) -> ElectionResult:
+        """Run terms until some live node wins a majority.
+
+        Args:
+            live: nodes currently up and mutually reachable.  Must be a
+                subset of the membership.
+            max_terms: safety bound on consecutive split terms.
+
+        Raises:
+            QuorumLostError: the live set is below a majority of the
+                total membership, or every term split (cannot happen with
+                ``max_terms`` this large, but the bound keeps the loop
+                total).
+        """
+        live_set = sorted(set(live))
+        unknown = [n for n in live_set if n not in self.nodes]
+        if unknown:
+            raise ConfigError(f"non-member node(s) cannot vote: {unknown}")
+        if len(live_set) < self.majority:
+            raise QuorumLostError(
+                f"{len(live_set)}/{len(self.nodes)} voters live; a leader "
+                f"needs {self.majority}",
+                acks=len(live_set),
+                quorum=self.majority,
+            )
+        elapsed = 0.0
+        rounds: List[ElectionRecord] = []
+        for _ in range(max_terms):
+            self.term += 1
+            touts = {n: self.timeout_of(n, self.term) for n in live_set}
+            # The first timeout to fire makes that node this term's (only)
+            # candidate; name order breaks exact ties deterministically.
+            candidate = min(live_set, key=lambda n: (touts[n], n))
+            t_c = touts[candidate]
+            # A voter grants iff the request beats its own timeout.
+            votes = sum(
+                1
+                for n in live_set
+                if n == candidate or t_c + _RTT_S <= touts[n]
+            )
+            won = votes >= self.majority
+            record = ElectionRecord(
+                term=self.term, candidate=candidate, votes=votes, won=won
+            )
+            rounds.append(record)
+            self.history.append(record)
+            elapsed += t_c + 2 * _RTT_S
+            if won:
+                assert self.term not in self._leaders_by_term
+                self._leaders_by_term[self.term] = candidate
+                self.leader = candidate
+                return ElectionResult(
+                    leader=candidate,
+                    term=self.term,
+                    elapsed_s=elapsed,
+                    rounds=tuple(rounds),
+                )
+        raise QuorumLostError(
+            f"no leader after {max_terms} terms (pathological split votes)",
+            acks=0,
+            quorum=self.majority,
+        )
+
+    def leaders_by_term(self) -> Dict[int, str]:
+        """Every term that elected a leader — the ≤1-leader-per-term oracle."""
+        return dict(self._leaders_by_term)
+
+
+def detection_delay(mean_interval_s: float, threshold: float) -> float:
+    """Phi-accrual detection latency for a silent leader.
+
+    The :class:`~repro.faults.health.HealthDetector` suspicion statistic
+    is ``elapsed / (mean_interval * ln 10)``; it crosses ``threshold``
+    after ``threshold * mean_interval * ln 10`` seconds of silence.
+    """
+    if mean_interval_s <= 0 or threshold <= 0:
+        raise ConfigError("detection needs positive interval and threshold")
+    return threshold * mean_interval_s * math.log(10.0)

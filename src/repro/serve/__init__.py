@@ -4,7 +4,9 @@ The serving layer stacks on the batch machinery: admission control and
 weighted fair queueing (:mod:`repro.serve.admission`), a write-ahead
 journal for crash-safe incremental metadata (:mod:`repro.serve.journal`),
 and the driver event loop with deadlines, crash recovery, and graceful
-degradation (:mod:`repro.serve.service`).  :mod:`repro.serve.scenario`
+degradation (:mod:`repro.serve.service`).  With ``journal_replicas > 1``
+the journal is quorum-replicated and the leader role survives crashes
+via fenced failover (:mod:`repro.replication`).  :mod:`repro.serve.scenario`
 packages deterministic drills for the CLI, CI soak, and tests.
 """
 

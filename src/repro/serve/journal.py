@@ -16,11 +16,19 @@ Frame layout (all little-endian)::
             u64 blake2b(header + payload) checksum
 
 A crash can truncate the tail mid-frame; :meth:`MetadataJournal.replay`
-stops at the first torn or checksum-failing frame and returns only the
-committed prefix — replay is *idempotent* (duplicate frames for a block
-are ignored; the first committed copy wins) and rebuilding the blocks the
+stops at the first torn *final* frame and returns only the committed
+prefix — replay is *idempotent* (duplicate frames for a block are
+ignored; the first committed copy wins) and rebuilding the blocks the
 torn tail lost from the stored dataset reproduces byte-identical entries,
 because ElasticMap construction is deterministic per block.
+
+Corruption and truncation are deliberately distinguished: a bad frame at
+the very end of the log is a crash artifact (the write was cut short) and
+a clean stop, but a checksum-failing frame with committed frames *after*
+it means mid-log corruption — silently truncating there would throw away
+committed records.  Replay raises a typed
+:class:`~repro.errors.TornFrameError` for that case, carrying the byte
+offset and both checksums so repair tooling can point at the damage.
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 from ..core.elasticmap import BlockElasticMap, ElasticMapArray
-from ..errors import ConfigError
+from ..errors import ConfigError, TornFrameError
 
 __all__ = ["MetadataJournal", "ReplayResult", "array_digest"]
 
@@ -156,15 +164,32 @@ class MetadataJournal:
 
         ``offsets[k]`` is the journal length after exactly ``k`` committed
         records — the property tests truncate at (and between) these to
-        model a crash at any record boundary.
+        model a crash at any record boundary.  Frames are checksum-verified
+        while walking: a corrupt or torn *final* frame simply ends the
+        walk, but a corrupt frame with committed frames after it raises
+        :class:`~repro.errors.TornFrameError` (see :meth:`replay`).
         """
         offsets = [len(MAGIC)]
         pos = len(MAGIC)
         n = len(blob)
         while pos + _FRAME_HEAD.size <= n:
-            length, _kind, _bid = _FRAME_HEAD.unpack_from(blob, pos)
-            end = pos + _FRAME_HEAD.size + length + _CHECKSUM.size
+            length, kind, _bid = _FRAME_HEAD.unpack_from(blob, pos)
+            body_end = pos + _FRAME_HEAD.size + length
+            end = body_end + _CHECKSUM.size
             if end > n:
+                break
+            payload = bytes(blob[pos + _FRAME_HEAD.size : body_end])
+            (stored,) = _CHECKSUM.unpack_from(blob, body_end)
+            computed = _frame_checksum(bytes(blob[pos : pos + _FRAME_HEAD.size]), payload)
+            if kind != KIND_BLOCK or stored != computed:
+                if end < n:
+                    raise TornFrameError(
+                        f"corrupt non-final journal frame at offset {pos} "
+                        f"(expected checksum {stored:#018x}, got {computed:#018x})",
+                        offset=pos,
+                        expected_checksum=stored,
+                        actual_checksum=computed,
+                    )
                 break
             pos = end
             offsets.append(pos)
@@ -172,11 +197,14 @@ class MetadataJournal:
 
     @staticmethod
     def replay(blob: bytes) -> ReplayResult:
-        """Parse committed frames; a torn or corrupt tail is discarded.
+        """Parse committed frames; a torn or corrupt *tail* is discarded.
 
         Raises:
             ConfigError: when the magic header itself is wrong — that is
                 not a torn write but the wrong file.
+            TornFrameError: a checksum-failing frame has committed frames
+                after it (mid-log corruption, not a crash artifact) —
+                truncating there would silently lose committed records.
         """
         if blob[: len(MAGIC)] != MAGIC:
             raise ConfigError("not a metadata journal (bad magic)")
@@ -190,13 +218,22 @@ class MetadataJournal:
             body_start = pos + _FRAME_HEAD.size
             body_end = body_start + length
             frame_end = body_end + _CHECKSUM.size
-            if kind != KIND_BLOCK or frame_end > n:
-                break
+            if frame_end > n:
+                break  # torn tail: the crash cut the final frame short
             payload = bytes(blob[body_start:body_end])
             (stored,) = _CHECKSUM.unpack_from(blob, body_end)
             head = blob[pos : pos + _FRAME_HEAD.size]
-            if stored != _frame_checksum(bytes(head), payload):
-                break
+            computed = _frame_checksum(bytes(head), payload)
+            if kind != KIND_BLOCK or stored != computed:
+                if frame_end < n:
+                    raise TornFrameError(
+                        f"corrupt non-final journal frame at offset {pos} "
+                        f"(expected checksum {stored:#018x}, got {computed:#018x})",
+                        offset=pos,
+                        expected_checksum=stored,
+                        actual_checksum=computed,
+                    )
+                break  # corrupt final frame: torn in-place write, clean stop
             if block_id in entries:
                 duplicates += 1
             else:

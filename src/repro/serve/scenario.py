@@ -31,7 +31,15 @@ import numpy as np
 from ..core.datanet import DataNet
 from ..core.metastore import DistributedMetaStore
 from ..errors import ConfigError
-from ..faults.plan import FaultPlan, NetworkPartition, ServiceCrash
+from ..faults.plan import (
+    FaultPlan,
+    JournalReplicaCrash,
+    LeaderCrash,
+    MetadataPartition,
+    NetworkPartition,
+    ServiceCrash,
+)
+from ..faults.retry import RetryPolicy
 from ..hdfs.cluster import HDFSCluster
 from ..mapreduce.apps import (
     histogram_job,
@@ -89,6 +97,19 @@ class DrillConfig:
         rebalance_budget: migration-byte budget (fraction of dataset
             bytes) for a background rebalance pass run before the drill;
             0.0 (the default) skips it, keeping legacy digests intact.
+        journal_replicas: metadata-journal copies; >1 turns on the
+            quorum-replicated plane.
+        leader_crash: kill the metadata leader mid-drill and fail over
+            to an elected successor (parks + replays, never sheds).
+        journal_crash: kill one journal replica mid-drill (restored
+            later via anti-entropy catch-up).
+        meta_partition: cut a minority of journal replicas from the
+            leader for a window mid-schedule.
+        retry_jitter: ``"none"`` or ``"full"`` — jitter mode of the
+            quorum-append retry backoff (see
+            :class:`~repro.faults.RetryPolicy`).
+        retry_max_elapsed: optional cap on cumulative quorum-append
+            backoff, in simulated seconds.
     """
 
     seed: int = 7
@@ -102,6 +123,12 @@ class DrillConfig:
     slots: int = 2
     high_water: int = 64
     rebalance_budget: float = 0.0
+    journal_replicas: int = 1
+    leader_crash: bool = False
+    journal_crash: bool = False
+    meta_partition: bool = False
+    retry_jitter: str = "none"
+    retry_max_elapsed: float | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 4:
@@ -112,6 +139,21 @@ class DrillConfig:
             raise ConfigError("a drill streams at least one append batch")
         if not 0.0 <= self.rebalance_budget <= 1.0:
             raise ConfigError("rebalance_budget must be in [0, 1]")
+        if self.journal_replicas < 1:
+            raise ConfigError("journal_replicas must be >= 1")
+        if self.journal_crash and self.journal_replicas < 2:
+            raise ConfigError(
+                "a journal-replica crash drill needs journal_replicas >= 2 "
+                "(crashing the only copy just loses quorum)"
+            )
+        if self.meta_partition and self.journal_replicas < 3:
+            raise ConfigError(
+                "a metadata-partition drill needs journal_replicas >= 3 "
+                "(a quorum must survive on the leader's side)"
+            )
+        # RetryPolicy owns jitter/max-elapsed validation; constructing one
+        # here surfaces bad CLI values as a ConfigError at parse time.
+        RetryPolicy(jitter=self.retry_jitter, max_elapsed_s=self.retry_max_elapsed)
 
 
 @dataclass
@@ -202,6 +244,10 @@ def build_drill(
         high_water=config.high_water,
         slots_per_node=2,
         ingest_block_cost_s=0.5,
+        journal_replicas=config.journal_replicas,
+        retry=RetryPolicy(
+            jitter=config.retry_jitter, max_elapsed_s=config.retry_max_elapsed
+        ),
     )
 
     # The first append's ingest window deliberately straddles arrival 6
@@ -229,8 +275,48 @@ def build_drill(
         partitions = (
             NetworkPartition(rack=1, start=start, heals_at=start + 2.2 * gap),
         )
+    # The leader crash reuses the service-crash placement: right after the
+    # first ingest window straddles a live dispatch, in a gap wide enough
+    # that detection + election + recovery finish before the next arrival.
+    # It therefore perturbs only timing — the digest oracle again.
+    leader_crashes: Tuple[LeaderCrash, ...] = ()
+    if config.leader_crash:
+        leader_crashes = (LeaderCrash(time=append_times[0] + 1.2),)
+    journal_crashes: Tuple[JournalReplicaCrash, ...] = ()
+    if config.journal_crash:
+        # Kill the highest-numbered replica across the ingest batches, so
+        # it misses committed frames and the restore exercises anti-entropy
+        # catch-up of everything the quorum wrote without it.
+        start = append_times[0] - 0.3 * gap
+        journal_crashes = (
+            JournalReplicaCrash(
+                f"journal-{config.journal_replicas - 1}",
+                time=start,
+                restores_at=append_times[-1] + 0.5 * gap,
+            ),
+        )
+    meta_partitions: Tuple[MetadataPartition, ...] = ()
+    if config.meta_partition:
+        # Cut a minority from the leader, straddling the last ingest
+        # batch: quorum survives, commits proceed, the cut replicas fall
+        # behind (visible lag), and the heal catches them back up.
+        start = append_times[-1] - 0.25 * gap
+        meta_partitions = (
+            MetadataPartition(
+                replicas=tuple(
+                    f"journal-{i}" for i in range(config.journal_replicas // 2)
+                ),
+                start=start,
+                heals_at=start + 2.0 * gap,
+            ),
+        )
     plan = FaultPlan(
-        seed=config.seed, service_crashes=crashes, partitions=partitions
+        seed=config.seed,
+        service_crashes=crashes,
+        partitions=partitions,
+        leader_crashes=leader_crashes,
+        journal_crashes=journal_crashes,
+        meta_partitions=meta_partitions,
     )
 
     meta_windows: Tuple[MetaOutageWindow, ...] = ()

@@ -24,6 +24,18 @@ clock.  Four layers stack on the existing building blocks:
    parked until the heal), and a metadata-shard outage falls back to
    :func:`~repro.faults.degrade.degraded_schedule`; both keep the
    service admitting at reduced QoS instead of failing closed.
+5. **Replicated metadata plane** — with ``journal_replicas > 1`` (or any
+   metadata-plane fault in the plan) the write-ahead journal becomes a
+   :class:`~repro.replication.ReplicatedJournal` committing each frame
+   at majority quorum, and a :class:`~repro.replication.LeaderElector`
+   owns the leader role.  A :class:`~repro.faults.LeaderCrash` kills
+   only that role: the φ-accrual detector takes its deterministic time
+   to suspect the silence, an election fences a new epoch onto the
+   quorum *and* the cluster mutation path, the successor recovers
+   committed metadata from any surviving majority, and every job in
+   flight or submitted during the outage is parked and replayed — never
+   shed — so ``silent_drops`` stays 0 and the final digests match the
+   crash-free run byte for byte.
 
 Everything is simulated-time and seed-deterministic: two runs of the
 same request stream produce byte-identical
@@ -42,12 +54,16 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..core.builder import ElasticMapBuilder
 from ..core.datanet import DataNet
+from ..core.elasticmap import BlockElasticMap, ElasticMapArray
 from ..core.metastore import DistributedMetaStore
 from ..errors import ConfigError, MetadataError, Overloaded, SchedulingError
 from ..faults.degrade import degraded_schedule
+from ..faults.health import HealthDetector
 from ..faults.injector import FaultInjector
-from ..faults.plan import FaultPlan, ServiceCrash
+from ..faults.plan import FaultPlan, LeaderCrash, ServiceCrash
+from ..faults.retry import RetryPolicy
 from ..hdfs.cluster import DatasetView, HDFSCluster
+from ..replication import LeaderElector, ReplicatedJournal, detection_delay
 from ..mapreduce.costmodel import ClusterCostModel
 from ..mapreduce.job import MapReduceJob
 from ..metrics.service import ServiceSummary
@@ -151,12 +167,26 @@ class ServiceConfig:
         ingest_block_cost_s: simulated seconds to index + journal one
             appended block — the window a :class:`~repro.faults.ServiceCrash`
             can land inside.
+        journal_replicas: journal copies behind the metadata plane.  1
+            (the default) keeps the legacy single
+            :class:`~repro.serve.journal.MetadataJournal`; higher values
+            (or any metadata-plane fault in the plan) switch to the
+            quorum-replicated plane.
+        heartbeat_interval_s: leader heartbeat cadence feeding the
+            φ-accrual detector — sets how long a leader crash stays
+            undetected.
+        retry: backoff policy pacing quorum-append retry probes while a
+            majority of journal replicas is unreachable (``None`` uses
+            the default :class:`~repro.faults.RetryPolicy`).
     """
 
     slots: int = 2
     high_water: int = 32
     slots_per_node: int = 2
     ingest_block_cost_s: float = 0.5
+    journal_replicas: int = 1
+    heartbeat_interval_s: float = 0.5
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.slots <= 0 or self.slots_per_node <= 0:
@@ -165,6 +195,12 @@ class ServiceConfig:
             raise ConfigError("high_water must be positive")
         if self.ingest_block_cost_s <= 0:
             raise ConfigError("ingest_block_cost_s must be positive")
+        if self.journal_replicas < 1:
+            raise ConfigError(
+                f"journal_replicas must be >= 1, got {self.journal_replicas}"
+            )
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigError("heartbeat_interval_s must be positive")
 
 
 @dataclass
@@ -182,20 +218,29 @@ class JobOutcome:
     output_digest: str = ""
 
 
-# Event kinds in pop order at equal times: the service restarts before
-# anything else happens, faults heal before new ones land, running jobs
-# finish (and free their slots) before a crash kills them "at the same
-# instant", and ingest lands before the submissions that might query it.
+# Event kinds in pop order at equal times: the service restarts (and the
+# metadata leader resumes) before anything else happens, faults heal
+# before new ones land, running jobs finish (and free their slots) before
+# a crash kills them "at the same instant", and ingest lands before the
+# submissions that might query it.
 _PRIO = {
     "restart": 0,
-    "pheal": 1,
-    "meta_up": 2,
-    "crash": 3,
-    "pstart": 4,
-    "meta_down": 5,
-    "finish": 6,
-    "append": 7,
-    "submit": 8,
+    "lrestore": 1,
+    "jheal": 2,
+    "mpheal": 3,
+    "pheal": 4,
+    "meta_up": 5,
+    "crash": 6,
+    "lcrash": 7,
+    "jcrash": 8,
+    "mpstart": 9,
+    "failover": 10,
+    "pstart": 11,
+    "meta_down": 12,
+    "finish": 13,
+    "append": 14,
+    "jretry": 15,
+    "submit": 16,
 }
 
 
@@ -274,14 +319,50 @@ class AnalysisService:
             tenants, high_water=self.config.high_water, obs=obs
         )
         # The journal's first frames snapshot the initial build — recovery
-        # never needs to rescan blocks that predate the service.
-        self.journal = MetadataJournal()
+        # never needs to rescan blocks that predate the service.  Any
+        # metadata-plane fault in the plan forces the replicated plane
+        # even at replica count 1 (leader failover needs the quorum
+        # machinery; a single replica is simply a quorum of one).
+        meta_plane_faults = bool(
+            self.plan.leader_crashes
+            or self.plan.journal_crashes
+            or self.plan.meta_partitions
+        )
+        self._replicated = self.config.journal_replicas > 1 or meta_plane_faults
+        self._elector: Optional[LeaderElector] = None
+        self._epoch = 0
+        if self._replicated:
+            rjournal = ReplicatedJournal(self.config.journal_replicas)
+            for jc in self.plan.journal_crashes:
+                if jc.replica not in rjournal.replicas:
+                    raise ConfigError(
+                        f"plan crashes unknown journal replica {jc.replica!r}"
+                    )
+            for mp in self.plan.meta_partitions:
+                for rid in mp.replicas:
+                    if rid not in rjournal.replicas:
+                        raise ConfigError(
+                            f"plan partitions unknown journal replica {rid!r}"
+                        )
+            # Startup election seats the first leader and installs its
+            # fencing epoch everywhere before any frame is written.
+            self._elector = LeaderElector(
+                rjournal.replica_ids, seed=self.plan.seed
+            )
+            seated = self._elector.elect(rjournal.replica_ids)
+            self._epoch = seated.term
+            rjournal.fence(self._epoch)
+            cluster.install_fence(self._epoch)
+            self.journal = rjournal
+        else:
+            self.journal = MetadataJournal()
         self.journal.append_array(datanet.elasticmap)
         if self.metastore is not None and not self.metastore.block_ids:
             self.metastore.load_array(datanet.elasticmap)
 
         # runtime state
         self._up = True
+        self._leader_up = True
         self._slots_free = self.config.slots
         self._run_token = 0
         self._live_tokens: Set[int] = set()
@@ -290,6 +371,11 @@ class AnalysisService:
         self._append_backlog: List[AppendBatch] = []
         # metadata-fleet writes that found no live owner; flushed on heal
         self._meta_pending: Dict[int, object] = {}
+        # quorum-append retry pacing (while a majority is unreachable)
+        self._retry = self.config.retry or RetryPolicy()
+        self._retry_attempts = 0
+        self._retry_waited = 0.0
+        self._retry_pending = False
 
         # accounting
         self.outcomes: List[JobOutcome] = []
@@ -302,6 +388,8 @@ class AnalysisService:
         self._requeued = 0
         self._degraded_jobs = 0
         self._deferred = 0
+        self._leadership_changes = 0
+        self._failover_downtime = 0.0
         self._horizon = 0.0
         self._events: List[Tuple[float, int, int, str, object]] = []
         self._seq = 0
@@ -498,7 +586,12 @@ class AnalysisService:
         return True
 
     def _dispatch(self, now: float) -> None:
-        while self._up and self._slots_free > 0 and self.controller.queue:
+        while (
+            self._up
+            and self._leader_up
+            and self._slots_free > 0
+            and self.controller.queue
+        ):
             tenant, req = self.controller.queue.pop()
             try:
                 self._start_job(now, tenant, req)
@@ -652,13 +745,14 @@ class AnalysisService:
             ).inc()
         self._push(now + crash.restart_delay_s, "restart", None)
 
-    def _restart(self, now: float) -> None:
-        """Rebuild resident metadata from the journal, then resume."""
-        blob = self.journal.to_bytes()
-        replayed = MetadataJournal.replay(blob)
-        self.journal = MetadataJournal.from_bytes(blob)
-        self._journal_replays += 1
-        array = replayed.to_array()
+    def _rebuild_metadata(self, array: ElasticMapArray) -> int:
+        """Re-seat resident metadata from recovered entries.
+
+        Blocks the crash caught before their journal frame landed are
+        re-indexed from the durable data plane — deterministic per block,
+        so the rebuilt array is byte-identical to the uninterrupted one —
+        and journaled now.  Returns the number of re-indexed blocks.
+        """
         needed = (
             self._view.fragments_needed()
             if hasattr(self._view, "fragments_needed")
@@ -672,23 +766,42 @@ class AnalysisService:
             obs=self.obs,
         )
         datanet._builder_config = dict(self._builder_config)
-        # Blocks the crash caught before their journal frame landed are
-        # re-indexed from the durable data plane — deterministic per
-        # block, so the rebuilt array is byte-identical to the
-        # uninterrupted one — and journaled now.
         readded = datanet.extend(self._view)
         for bid in datanet.elasticmap.block_ids:
             if self.journal.append_block(datanet.elasticmap[bid]):
                 self._blocks_appended += 1
                 self._meta_put(datanet.elasticmap[bid])
         self.datanet = datanet
+        return readded
+
+    def _restart(self, now: float) -> None:
+        """Rebuild resident metadata from the journal, then resume."""
+        if self._replicated:
+            # The journal replicas are separate processes and survive the
+            # driver: recovery reads committed state back from any quorum.
+            entries = self.journal.recover()
+            array = ElasticMapArray(
+                [
+                    BlockElasticMap.from_bytes(entries[bid])
+                    for bid in sorted(entries)
+                ]
+            )
+            replayed_records = len(entries)
+        else:
+            blob = self.journal.to_bytes()
+            replayed = MetadataJournal.replay(blob)
+            self.journal = MetadataJournal.from_bytes(blob)
+            array = replayed.to_array()
+            replayed_records = replayed.records
+        self._journal_replays += 1
+        readded = self._rebuild_metadata(array)
         self._up = True
         self.obs.tracer.record(
             "service/recovery",
             category="service",
             sim_start=now,
             sim_end=now,
-            replayed_records=replayed.records,
+            replayed_records=replayed_records,
             reindexed_blocks=readded,
         )
         if self.obs.metrics.enabled:
@@ -696,9 +809,140 @@ class AnalysisService:
                 "service_journal_replays_total",
                 help="metadata recoveries from the write-ahead journal",
             ).inc()
+        self._try_flush_appends(now)
+
+    # -- leader failover ----------------------------------------------------------
+
+    def _quorum_ok(self) -> bool:
+        """Whether a majority of journal replicas is currently reachable."""
+        if not self._replicated:
+            return True
+        up = sum(1 for r in self.journal.replicas.values() if r.available)
+        return up >= self.journal.quorum
+
+    def _try_flush_appends(self, now: float) -> None:
+        """Apply backlogged ingest once the plane can accept it again."""
+        if not (self._up and self._leader_up and self._quorum_ok()):
+            return
+        self._retry_attempts = 0
+        self._retry_waited = 0.0
         backlog, self._append_backlog = self._append_backlog, []
         for batch in backlog:
             self._apply_append(now, batch)
+
+    def _maybe_schedule_append_retry(self, now: float) -> None:
+        """Probe for quorum return on the retry policy's backoff schedule.
+
+        Heal events flush the backlog the instant a majority returns;
+        these bounded probes only pace the case where the retry budget
+        should give up first (surfacing ``max_elapsed`` in the drill).
+        """
+        if not self._replicated or self._retry_pending:
+            return
+        if not (self._up and self._leader_up):
+            return  # restart / lrestore will flush instead
+        if self._retry_attempts >= self._retry.max_attempts:
+            return  # budget exhausted: wait for an explicit heal
+        self._retry_attempts += 1
+        delay = self._retry.backoff(
+            self._retry_attempts,
+            task_key="journal-append",
+            seed=self.plan.seed,
+            waited_s=self._retry_waited,
+        )
+        self._retry_waited += delay
+        self._retry_pending = True
+        self._push(now + delay, "jretry", None)
+
+    def _leader_crash(self, now: float, crash: LeaderCrash) -> None:
+        """The metadata leader dies: park in-flight work, start suspecting.
+
+        Unlike :meth:`_crash` nothing is shed — admission stays open (the
+        daemon's front door is not the leader), queued submissions simply
+        wait, and in-flight jobs are re-queued without a fresh quota
+        charge, to be replayed by the successor.
+        """
+        self._leader_up = False
+        for token in sorted(self._inflight):
+            tenant, req = self._inflight[token]
+            self._live_tokens.discard(token)
+            self.controller.requeue(tenant, req)
+            self._requeued += 1
+        self._inflight.clear()
+        self._slots_free = self.config.slots
+        # φ-accrual suspicion: replay the heartbeats the leader actually
+        # sent into a detector, then find when the silence crosses the
+        # threshold.  Deterministic — same cadence, same detection time.
+        hb = self.config.heartbeat_interval_s
+        detector = HealthDetector(expected_interval_s=hb)
+        beats = int(now // hb) + 1
+        for i in range(max(0, beats - detector.window), beats):
+            detector.record("leader", i * hb)
+        mean = detector.mean_interval("leader") or hb
+        last_beat = (beats - 1) * hb
+        detect_at = max(
+            now, last_beat + detection_delay(mean, crash.suspicion_threshold)
+        )
+        self._push(detect_at, "failover", crash)
+        self.obs.tracer.record(
+            "service/leader-crash",
+            category="service",
+            sim_start=now,
+            sim_end=detect_at,
+            suspicion_threshold=crash.suspicion_threshold,
+        )
+
+    def _failover(self, now: float, crash: LeaderCrash) -> None:
+        """Elect a successor, fence its epoch, recover from the quorum."""
+        assert self._elector is not None
+        live = [
+            rid
+            for rid in self.journal.replica_ids
+            if self.journal.replicas[rid].available
+        ]
+        result = self._elector.elect(live)
+        self._epoch = result.term
+        self.journal.fence(self._epoch)
+        self.cluster.install_fence(self._epoch)
+        entries = self.journal.recover()
+        array = ElasticMapArray(
+            [BlockElasticMap.from_bytes(entries[bid]) for bid in sorted(entries)]
+        )
+        readded = self._rebuild_metadata(array)
+        self._journal_replays += 1
+        self._leadership_changes += 1
+        resume = now + result.elapsed_s
+        self._failover_downtime += resume - crash.time
+        self._push(resume, "lrestore", (crash, result, readded))
+        if self.obs.metrics.enabled:
+            self.obs.metrics.counter(
+                "service_leadership_changes_total",
+                help="metadata-plane leader elections completed",
+            ).inc()
+            self.obs.metrics.gauge(
+                "service_leader_term", help="current metadata-leader term"
+            ).set(float(result.term))
+            self.obs.metrics.gauge(
+                "service_failover_latency_seconds",
+                help="crash-to-resume latency of the last leader failover",
+            ).set(resume - crash.time)
+
+    def _leader_restore(
+        self, now: float, crash: LeaderCrash, result, readded: int
+    ) -> None:
+        self._leader_up = True
+        self.obs.tracer.record(
+            "service/failover",
+            category="service",
+            sim_start=crash.time,
+            sim_end=now,
+            term=result.term,
+            leader=result.leader,
+            election_rounds=len(result.rounds),
+            reindexed_blocks=readded,
+        )
+        self._try_flush_appends(now)
+        self._dispatch(now)
 
     # -- event loop --------------------------------------------------------------
 
@@ -726,6 +970,15 @@ class AnalysisService:
         for part in self._partitions:
             self._push(part.start, "pstart", part)
             self._push(part.heals_at, "pheal", part)
+        for lcrash in self._injector.leader_crashes_chronological():
+            self._push(lcrash.time, "lcrash", lcrash)
+        for jcrash in self._injector.journal_crashes_chronological():
+            self._push(jcrash.time, "jcrash", jcrash)
+            if jcrash.restores_at is not None:
+                self._push(jcrash.restores_at, "jheal", jcrash)
+        for mpart in self._injector.meta_partitions_chronological():
+            self._push(mpart.start, "mpstart", mpart)
+            self._push(mpart.heals_at, "mpheal", mpart)
 
         degraded_gauge = (
             self.obs.metrics.gauge(
@@ -757,10 +1010,47 @@ class AnalysisService:
                     )
                 self._dispatch(now)
             elif kind == "append":
-                if self._up:
+                if self._up and self._leader_up and self._quorum_ok():
                     self._apply_append(now, batch=payload)
                 else:
                     self._append_backlog.append(payload)
+                    self._maybe_schedule_append_retry(now)
+            elif kind == "jretry":
+                self._retry_pending = False
+                if self._quorum_ok():
+                    self._try_flush_appends(now)
+                elif self._append_backlog:
+                    self._maybe_schedule_append_retry(now)
+            elif kind == "lcrash":
+                if self._up and self._leader_up:
+                    self._leader_crash(now, payload)
+            elif kind == "failover":
+                self._failover(now, payload)
+            elif kind == "lrestore":
+                crash, result, readded = payload
+                self._leader_restore(now, crash, result, readded)
+            elif kind == "jcrash":
+                self.journal.crash_replica(
+                    payload.replica, at_byte=payload.at_byte
+                )
+            elif kind == "jheal":
+                moved = self.journal.restore_replica(payload.replica)
+                if self.obs.metrics.enabled and moved:
+                    self.obs.metrics.counter(
+                        "service_antientropy_frames_total",
+                        help="journal frames copied to lagging replicas",
+                    ).inc(moved)
+                self._try_flush_appends(now)
+            elif kind == "mpstart":
+                self.journal.partition(payload.replicas)
+            elif kind == "mpheal":
+                moved = self.journal.heal(payload.replicas)
+                if self.obs.metrics.enabled and moved:
+                    self.obs.metrics.counter(
+                        "service_antientropy_frames_total",
+                        help="journal frames copied to lagging replicas",
+                    ).inc(moved)
+                self._try_flush_appends(now)
             elif kind == "crash":
                 if (
                     self._crash_idx < len(self._crashes)
@@ -811,6 +1101,11 @@ class AnalysisService:
                 f"{len(self._parked)} jobs still parked at end of run — the "
                 "fault plan's partitions must heal before the stream ends"
             )
+        if self._replicated and self.obs.metrics.enabled:
+            self.obs.metrics.gauge(
+                "service_journal_replica_lag",
+                help="peak committed frames any journal replica was missing",
+            ).set(float(self.journal.peak_lag))
         return self._summary()
 
     # -- summary -----------------------------------------------------------------
@@ -857,6 +1152,11 @@ class AnalysisService:
             },
             wait_p99_s=wait_p99,
             degraded_intervals=self.degraded_intervals(),
+            leadership_changes=self._leadership_changes,
+            failover_downtime=self._failover_downtime,
+            journal_replica_lag=(
+                self.journal.peak_lag if self._replicated else 0
+            ),
             metadata_digest=array_digest(self.datanet.elasticmap),
             results_digest=digest.hexdigest(),
         )

@@ -28,6 +28,54 @@ class TestParser:
             assert args.id == exp_id
 
 
+class TestMetadataPlaneFlags:
+    def test_serve_flags_accepted(self):
+        args = build_parser().parse_args(
+            ["serve", "--journal-replicas", "3", "--leader-crash",
+             "--journal-crash", "--meta-partition",
+             "--retry-jitter", "full", "--retry-max-elapsed", "30"]
+        )
+        assert args.journal_replicas == 3
+        assert args.leader_crash and args.journal_crash and args.meta_partition
+        assert args.retry_jitter == "full"
+        assert args.retry_max_elapsed == 30.0
+
+    def test_chaos_flags_accepted(self):
+        args = build_parser().parse_args(
+            ["chaos", "--retry-jitter", "full", "--retry-max-elapsed", "5",
+             "--journal-replicas", "3", "--leader-crash"]
+        )
+        assert args.retry_jitter == "full"
+        assert args.journal_replicas == 3
+
+    def test_bad_jitter_mode_rejected_at_parse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--retry-jitter", "gaussian"])
+
+    def test_negative_retry_budget_is_typed_error(self, capsys):
+        assert main(["serve", "--retry-max-elapsed", "-1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_zero_journal_replicas_is_typed_error(self, capsys):
+        assert main(["serve", "--journal-replicas", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_journal_crash_needs_replicas(self, capsys):
+        assert main(["serve", "--journal-crash"]) == 2
+        assert "journal_replicas" in capsys.readouterr().err
+
+    def test_leader_crash_drill_prints_digests(self, capsys):
+        assert main(
+            ["serve", "--jobs", "8", "--nodes", "8", "--appends", "1",
+             "--journal-replicas", "3", "--leader-crash"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "leadership changes" in out
+        assert "metadata digest" in out
+        assert "layout digest: " in out
+        assert "3 journal replicas" in out
+
+
 class TestInfo:
     def test_lists_experiments(self, capsys):
         assert main(["info"]) == 0

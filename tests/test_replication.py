@@ -1,0 +1,335 @@
+"""Tests for the replicated metadata plane (repro.replication): quorum
+journal semantics, fencing, anti-entropy catch-up, deterministic leader
+election, and the cluster-side fencing of placement mutations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import HDFSCluster
+from repro.core.builder import ElasticMapBuilder
+from repro.errors import (
+    ConfigError,
+    QuorumLostError,
+    StaleLeaderError,
+    TornFrameError,
+)
+from repro.replication import (
+    JournalReplica,
+    LeaderElector,
+    QuorumFrame,
+    ReplicatedJournal,
+    detection_delay,
+)
+from repro.replication.journal import MAGIC, read_frames
+from tests.conftest import make_records
+
+
+def _blocks(n=4):
+    builder = ElasticMapBuilder(alpha=0.5)
+    return [
+        builder.build_block(i, [("a", 10 * (i + 1)), ("b", 5)])
+        for i in range(n)
+    ]
+
+
+# -- frames and replica logs --------------------------------------------------------
+
+
+class TestQuorumFrame:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            QuorumFrame(epoch=-1, seq=1, block_id=0, payload=b"x")
+        with pytest.raises(ConfigError):
+            QuorumFrame(epoch=0, seq=0, block_id=0, payload=b"x")
+
+    def test_round_trip(self):
+        frame = QuorumFrame(epoch=3, seq=7, block_id=2, payload=b"payload")
+        frames, torn = read_frames(MAGIC + frame.to_bytes())
+        assert frames == [frame]
+        assert torn == 0
+
+    def test_torn_final_frame_is_clean_stop(self):
+        f1 = QuorumFrame(1, 1, 0, b"aa")
+        f2 = QuorumFrame(1, 2, 1, b"bb")
+        blob = MAGIC + f1.to_bytes() + f2.to_bytes()
+        frames, torn = read_frames(blob[:-3])
+        assert frames == [f1]
+        assert torn == len(f2.to_bytes()) - 3
+
+    def test_corrupt_non_final_frame_raises_torn_frame_error(self):
+        f1 = QuorumFrame(1, 1, 0, b"aa")
+        f2 = QuorumFrame(1, 2, 1, b"bb")
+        blob = bytearray(MAGIC + f1.to_bytes() + f2.to_bytes())
+        blob[len(MAGIC) + 6] ^= 0xFF  # flip a byte inside frame 1
+        with pytest.raises(TornFrameError) as exc:
+            read_frames(bytes(blob))
+        assert exc.value.offset == len(MAGIC)
+        assert exc.value.expected_checksum != exc.value.actual_checksum
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ConfigError):
+            read_frames(b"NOPE" + b"\x00" * 32)
+
+
+class TestJournalReplica:
+    def test_dense_prefix_enforced(self):
+        replica = JournalReplica("r")
+        assert replica.install(QuorumFrame(1, 1, 0, b"a"), leader_epoch=1)
+        # a gap is refused, a duplicate is an idempotent ack
+        assert not replica.install(QuorumFrame(1, 3, 2, b"c"), leader_epoch=1)
+        assert replica.install(QuorumFrame(1, 1, 0, b"a"), leader_epoch=1)
+        assert replica.last_seq == 1
+
+    def test_fencing_checks_driving_leader_not_frame(self):
+        replica = JournalReplica("r")
+        replica.promise(5)
+        # an old-epoch committed frame transfers fine under a new leader
+        assert replica.install(QuorumFrame(2, 1, 0, b"a"), leader_epoch=5)
+        # but a deposed leader driving the install is refused
+        assert not replica.install(QuorumFrame(2, 2, 1, b"b"), leader_epoch=2)
+
+    def test_promise_is_monotonic(self):
+        replica = JournalReplica("r")
+        assert replica.promise(3)
+        assert not replica.promise(2)
+        assert replica.promised_epoch == 3
+
+    def test_crash_at_byte_truncates_to_committed_prefix(self):
+        replica = JournalReplica("r")
+        f1, f2 = QuorumFrame(1, 1, 0, b"aa"), QuorumFrame(1, 2, 1, b"bb")
+        replica.install(f1, leader_epoch=1)
+        replica.install(f2, leader_epoch=1)
+        replica.crash(at_byte=len(MAGIC) + len(f1.to_bytes()) + 4)
+        assert not replica.up
+        assert replica.frames == (f1,)
+        replica.restore()
+        assert replica.install(f2, leader_epoch=1)
+
+
+# -- the quorum journal -------------------------------------------------------------
+
+
+class TestReplicatedJournal:
+    def test_append_acks_at_quorum_and_is_idempotent(self):
+        journal = ReplicatedJournal(3)
+        blocks = _blocks(2)
+        assert journal.append_block(blocks[0])
+        assert not journal.append_block(blocks[0])  # first commit wins
+        assert journal.append_block(blocks[1])
+        assert journal.record_count == 2
+        assert journal.committed_blocks == [0, 1]
+        assert all(lag == 0 for lag in journal.replica_lag().values())
+
+    def test_minority_crash_never_blocks_commits(self):
+        journal = ReplicatedJournal(3)
+        journal.crash_replica("journal-2")
+        for bm in _blocks(3):
+            assert journal.append_block(bm)
+        assert journal.replica_lag()["journal-2"] == 3
+        assert journal.peak_lag == 3
+
+    def test_majority_loss_raises_quorum_lost(self):
+        journal = ReplicatedJournal(3)
+        journal.crash_replica("journal-1")
+        journal.crash_replica("journal-2")
+        with pytest.raises(QuorumLostError) as exc:
+            journal.append_block(_blocks(1)[0])
+        assert exc.value.acks == 1
+        assert exc.value.quorum == 2
+        # a failed round writes nothing: logs never diverge
+        assert journal.record_count == 0
+        assert journal.replicas["journal-0"].last_seq == 0
+
+    def test_restore_catches_up_via_anti_entropy(self):
+        journal = ReplicatedJournal(3)
+        journal.crash_replica("journal-2")
+        for bm in _blocks(4):
+            journal.append_block(bm)
+        moved = journal.restore_replica("journal-2")
+        assert moved == 4
+        assert journal.replica_lag()["journal-2"] == 0
+        assert journal.frames_transferred >= 4
+
+    def test_partition_heal_catches_up(self):
+        journal = ReplicatedJournal(5)
+        journal.partition(["journal-0", "journal-1"])
+        for bm in _blocks(2):
+            journal.append_block(bm)
+        assert journal.replica_lag()["journal-0"] == 2
+        moved = journal.heal(["journal-0", "journal-1"])
+        assert moved == 4
+        assert all(lag == 0 for lag in journal.replica_lag().values())
+
+    def test_quorum_of_one(self):
+        journal = ReplicatedJournal(1)
+        assert journal.quorum == 1
+        assert journal.append_block(_blocks(1)[0])
+
+    def test_recover_adopts_longest_log(self):
+        journal = ReplicatedJournal(3)
+        blocks = _blocks(3)
+        journal.append_block(blocks[0])
+        journal.crash_replica("journal-2")
+        journal.append_block(blocks[1])
+        journal.append_block(blocks[2])
+        journal.restore_replica("journal-2")
+        # a fresh journal object models the new leader reading the replicas
+        successor = ReplicatedJournal(3)
+        successor.replicas = journal.replicas
+        entries = successor.recover()
+        assert sorted(entries) == [0, 1, 2]
+        assert successor.committed_seq == 3
+        assert entries == journal.entries
+
+    def test_recover_below_quorum_refused(self):
+        journal = ReplicatedJournal(3)
+        journal.append_block(_blocks(1)[0])
+        journal.crash_replica("journal-0")
+        journal.crash_replica("journal-1")
+        with pytest.raises(QuorumLostError):
+            journal.recover()
+
+
+class TestFencing:
+    def test_fence_requires_quorum_of_promises(self):
+        journal = ReplicatedJournal(3)
+        journal.crash_replica("journal-1")
+        journal.crash_replica("journal-2")
+        with pytest.raises(QuorumLostError):
+            journal.fence(1)
+
+    def test_fence_never_regresses(self):
+        journal = ReplicatedJournal(3)
+        journal.fence(4)
+        with pytest.raises(StaleLeaderError) as exc:
+            journal.fence(3)
+        assert exc.value.epoch == 3
+        assert exc.value.fence == 4
+
+    def test_stale_epoch_append_rejected_after_fencing(self):
+        """The split-brain guard: once a new epoch is fenced onto a
+        majority, the deposed leader's next append must fail typed."""
+        journal = ReplicatedJournal(3)
+        blocks = _blocks(3)
+        journal.fence(1)
+        assert journal.append_block(blocks[0], epoch=1)
+        # a new leader fences epoch 2 onto the quorum
+        journal.fence(2)
+        with pytest.raises(StaleLeaderError) as exc:
+            journal.append_block(blocks[1], epoch=1)
+        assert exc.value.epoch == 1
+        assert exc.value.fence == 2
+        assert journal.stale_rejections == 1
+        # the rejected round wrote nothing anywhere
+        assert journal.record_count == 1
+        # the fenced epoch keeps working
+        assert journal.append_block(blocks[2], epoch=2)
+
+
+# -- leader election ----------------------------------------------------------------
+
+
+class TestLeaderElector:
+    NODES = ["journal-0", "journal-1", "journal-2"]
+
+    def test_same_seed_same_leader(self):
+        a = LeaderElector(self.NODES, seed=7).elect(self.NODES)
+        b = LeaderElector(self.NODES, seed=7).elect(self.NODES)
+        assert (a.leader, a.term, a.elapsed_s) == (b.leader, b.term, b.elapsed_s)
+        assert a.leader in self.NODES
+        assert a.elapsed_s > 0
+
+    def test_minority_cannot_elect(self):
+        elector = LeaderElector(self.NODES, seed=0)
+        with pytest.raises(QuorumLostError):
+            elector.elect(["journal-0"])
+
+    def test_non_member_rejected(self):
+        with pytest.raises(ConfigError):
+            LeaderElector(self.NODES).elect(self.NODES + ["intruder"])
+
+    def test_at_most_one_leader_per_term(self):
+        elector = LeaderElector([f"n{i}" for i in range(5)], seed=3)
+        for live in (elector.nodes, elector.nodes[:3], elector.nodes[1:]):
+            elector.elect(list(live))
+        by_term = elector.leaders_by_term()
+        assert len(by_term) == 3
+        # terms strictly increase and every record stays consistent
+        assert sorted(by_term) == list(by_term)
+        for record in elector.history:
+            if record.won:
+                assert by_term[record.term] == record.candidate
+
+    def test_detection_delay_matches_health_detector(self):
+        from repro.faults import HealthDetector
+
+        detector = HealthDetector(expected_interval_s=0.5)
+        for i in range(8):
+            detector.record("leader", 0.5 * i)
+        mean = detector.mean_interval("leader")
+        delay = detection_delay(mean, 1.0)
+        last = 0.5 * 7
+        assert detector.suspicion("leader", last + delay) >= 1.0
+        assert detector.suspicion("leader", last + 0.5 * delay) < 1.0
+
+    def test_detection_delay_validation(self):
+        with pytest.raises(ConfigError):
+            detection_delay(0.0, 1.0)
+        with pytest.raises(ConfigError):
+            detection_delay(1.0, -1.0)
+
+
+# -- cluster-side fencing of placement mutations ------------------------------------
+
+
+class TestClusterFence:
+    def _cluster(self):
+        cluster = HDFSCluster(
+            num_nodes=6,
+            block_size=2048,
+            replication=3,
+            rng=np.random.default_rng(11),
+        )
+        recs = make_records({"hot": 120, "cold": 60}, payload_len=30)
+        dataset = cluster.write_dataset("d", recs)
+        return cluster, dataset
+
+    def _movable(self, cluster, dataset):
+        placement = dataset.placement()
+        bid = sorted(placement)[0]
+        src = placement[bid][0]
+        dst = next(
+            n for n in range(cluster.num_nodes) if n not in placement[bid]
+        )
+        return bid, src, dst
+
+    def test_stale_epoch_move_rejected(self):
+        cluster, dataset = self._cluster()
+        cluster.install_fence(3)
+        bid, src, dst = self._movable(cluster, dataset)
+        before = dict(dataset.placement())
+        with pytest.raises(StaleLeaderError):
+            cluster.move_replica("d", bid, src, dst, epoch=2)
+        assert dict(dataset.placement()) == before  # nothing moved
+
+    def test_current_epoch_move_allowed(self):
+        cluster, dataset = self._cluster()
+        cluster.install_fence(3)
+        bid, src, dst = self._movable(cluster, dataset)
+        cluster.move_replica("d", bid, src, dst, epoch=3)
+        assert dst in dataset.placement()[bid]
+
+    def test_unfenced_move_unchecked(self):
+        cluster, dataset = self._cluster()
+        cluster.install_fence(3)
+        bid, src, dst = self._movable(cluster, dataset)
+        cluster.move_replica("d", bid, src, dst)  # epoch=None passes
+
+    def test_fence_install_is_monotonic(self):
+        cluster, _ = self._cluster()
+        cluster.install_fence(2)
+        with pytest.raises(StaleLeaderError):
+            cluster.install_fence(1)
+        assert cluster.fence_epoch == 2

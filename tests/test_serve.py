@@ -227,6 +227,39 @@ class TestJournal:
         assert replayed.records == 1
         assert 0 in replayed.entries and 1 not in replayed.entries
 
+    def test_corrupt_non_final_frame_raises_typed(self):
+        """A checksum failure with committed frames *behind* it is silent
+        data loss, not a crash artifact — replay must refuse, typed."""
+        from repro.errors import TornFrameError
+
+        blocks = _blocks([(0, [("a", 10)]), (1, [("b", 7)]), (2, [("a", 3)])])
+        journal = MetadataJournal()
+        for bm in blocks:
+            journal.append_block(bm)
+        blob = bytearray(journal.to_bytes())
+        offsets = MetadataJournal.frame_offsets(blob)
+        blob[offsets[1] + 8] ^= 0xFF  # corrupt frame 1's body, frame 2 intact
+        with pytest.raises(TornFrameError) as exc:
+            MetadataJournal.replay(bytes(blob))
+        assert exc.value.offset == offsets[1]
+        assert exc.value.expected_checksum != exc.value.actual_checksum
+        with pytest.raises(TornFrameError):
+            MetadataJournal.frame_offsets(bytes(blob))
+
+    def test_torn_final_frame_is_clean_stop(self):
+        """The same corruption in the *final* frame is a torn in-place
+        write: replay stops cleanly at the last good frame."""
+        blocks = _blocks([(0, [("a", 10)]), (1, [("b", 7)])])
+        journal = MetadataJournal()
+        for bm in blocks:
+            journal.append_block(bm)
+        blob = journal.to_bytes()
+        offsets = MetadataJournal.frame_offsets(blob)
+        # truncated mid-frame: a crash cut the last write short
+        replayed = MetadataJournal.replay(blob[: offsets[2] - 3])
+        assert replayed.records == 1
+        assert replayed.torn_bytes > 0
+
 
 # ---------------------------------------------------------------------------
 # retry jitter satellite
